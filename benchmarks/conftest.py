@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every module in this directory regenerates one table or figure of the
+paper (see DESIGN.md's per-experiment index).  ``pytest benchmarks/
+--benchmark-only`` runs them all; each prints the reproduced artefact and
+asserts the paper's qualitative *shape* (signs, orderings, ✓/✗ patterns),
+not its absolute numbers -- our substrate is a simulator, not the
+authors' testbed.
+
+Reproduction output is buffered and dumped after the test summary (so it
+survives pytest's capture) and additionally written to
+``benchmarks/reports/reproduction_report.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+_LINES: List[str] = []
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+REPORT_PATH = os.path.join(REPORT_DIR, "reproduction_report.txt")
+
+
+def banner(title: str) -> None:
+    """Start a new section of the reproduction report."""
+    line = "=" * max(64, len(title) + 8)
+    _LINES.extend(["", line, f"  {title}", line])
+
+
+def emit(text: str = "") -> None:
+    """Append one line to the reproduction report."""
+    _LINES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Dump the accumulated reproduction artefacts after the test summary."""
+    if not _LINES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("#" * 78)
+    write("#  PAPER REPRODUCTION OUTPUT (tables & figures)")
+    write("#" * 78)
+    for line in _LINES:
+        write(line)
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    with open(REPORT_PATH, "w") as handle:
+        handle.write("\n".join(_LINES) + "\n")
+    write("")
+    write(f"(report also written to {REPORT_PATH})")

@@ -1,0 +1,90 @@
+"""E19 (ablation) -- parameter sensitivity: the channel is not a knob.
+
+The simulator has calibration parameters (resteer penalty, recovery tail,
+fault-raise delay, the nested-clear serialisation cost).  If the Whisper
+signs only appeared at the shipped values, the reproduction would be
+circular.  This ablation sweeps each parameter across a wide range and
+asserts the two signature signs survive everywhere:
+
+* TET-MD: trigger -> ToTE longer (nested-clear serialisation);
+* TET-ZBL (sled 32): trigger -> ToTE shorter (issue pruning).
+
+Magnitudes move (reported), signs do not -- the channel follows from the
+*mechanisms*, not from a particular constant.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import banner, emit
+from repro.sim.machine import Machine
+from repro.uarch.config import cpu_model
+from repro.whisper.gadgets import GadgetBuilder
+
+SECRET = 0x5A
+NO_MATCH = 256
+
+SWEEPS = {
+    "mispredict_resteer": (7, 14, 28),
+    "recovery_tail": (5, 10, 20),
+    "fault_raise_delay": (40, 60, 120),
+    "nested_clear_flush_penalty": (4, 8, 16),
+    "flush_drain_per_uop": (0.4, 0.75, 1.5),
+}
+
+
+def trigger_delta(machine, program, fault_va):
+    def run(test):
+        result = machine.run(program, regs={"r13": fault_va, "r9": test})
+        return result.regs.read("r15") - result.regs.read("r14")
+
+    for _ in range(6):
+        run(NO_MATCH)
+    deltas = []
+    for _ in range(3):
+        for _ in range(3):
+            run(NO_MATCH)
+        quiet = run(NO_MATCH)
+        for _ in range(3):
+            run(NO_MATCH)
+        deltas.append(run(SECRET) - quiet)
+    deltas.sort()
+    return deltas[len(deltas) // 2]
+
+
+def measure(model):
+    md_machine = Machine(model, seed=801, secret=bytes([SECRET]))
+    md_machine.warm_kernel_secret()
+    md_program = GadgetBuilder(md_machine).meltdown()
+    md = trigger_delta(md_machine, md_program, md_machine.kernel.secret_va)
+
+    zbl_machine = Machine(model, seed=802)
+    zbl_machine.victim_store(zbl_machine.alloc_data(), bytes([SECRET]))
+    zbl_program = GadgetBuilder(zbl_machine).zombieload(sled=32)
+    zbl = trigger_delta(zbl_machine, zbl_program, 0)
+    return md, zbl
+
+
+def run_sweeps():
+    base = cpu_model("i7-7700")
+    results = {("(shipped)", "-"): measure(base)}
+    for parameter, values in SWEEPS.items():
+        for value in values:
+            model = dataclasses.replace(base, **{parameter: value})
+            results[(parameter, value)] = measure(model)
+    return results
+
+
+def test_ablation_parameter_sensitivity(benchmark):
+    results = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    banner("Ablation -- parameter sensitivity of the Whisper signs (i7-7700)")
+    emit(f"{'parameter':28} {'value':>8} {'MD delta':>9} {'ZBL delta':>10}")
+    for (parameter, value), (md, zbl) in results.items():
+        emit(f"{parameter:28} {str(value):>8} {md:>+9} {zbl:>+10}")
+    emit("")
+    emit("every configuration keeps MD positive and ZBL negative: the")
+    emit("signs come from the mechanisms, not from tuned constants.")
+
+    for (parameter, value), (md, zbl) in results.items():
+        assert md > 0, f"TET-MD sign flipped at {parameter}={value}"
+        assert zbl < 0, f"TET-ZBL sign flipped at {parameter}={value}"

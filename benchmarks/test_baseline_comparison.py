@@ -1,0 +1,96 @@
+"""E14 (extension) -- TET-KASLR vs the related KASLR attack family.
+
+§2.1 positions Whisper against the prior KASLR attacks: the 2013
+fault-timing attack and EntryBleed (2023).  This bench runs all three
+against every defense configuration and prints who survives what --
+making the paper's "behavioural timing instead of specific instructions"
+argument concrete:
+
+* the fault-timing baseline needs no TSX but pays the full signal path
+  per probe;
+* EntryBleed rides the syscall's architectural TLB fill, so it works on
+  AMD too -- but FLARE's dummy blanket (built against the prefetch
+  family) stops it;
+* TET-KASLR is the only one through FLARE, and the only one stopped by
+  permission-checked TLB fills (AMD).
+"""
+
+from benchmarks.conftest import banner, emit
+from repro.baselines.entrybleed import EntryBleedKaslr
+from repro.baselines.fault_timing_kaslr import FaultTimingKaslr
+from repro.sim.machine import Machine
+from repro.whisper.attacks.kaslr import TetKaslr
+
+CONFIGS = [
+    ("plain KASLR, Intel", dict(model="i9-10980XE", seed=501)),
+    ("KPTI, Intel", dict(model="i9-10980XE", seed=502, kpti=True)),
+    ("KPTI+FLARE, Intel", dict(model="i9-10980XE", seed=503, kpti=True, flare=True)),
+    ("plain KASLR, AMD", dict(model="ryzen-5600G", seed=504)),
+    ("KPTI, AMD", dict(model="ryzen-5600G", seed=505, kpti=True)),
+]
+
+
+def run_attack(name, machine):
+    if name == "TET-KASLR":
+        return TetKaslr(machine).break_auto()
+    if name == "fault-timing (2013)":
+        return FaultTimingKaslr(machine).break_kaslr()
+    if name == "EntryBleed (2023)":
+        return EntryBleedKaslr(machine).break_kaslr()
+    raise ValueError(name)
+
+
+ATTACKS = ("TET-KASLR", "fault-timing (2013)", "EntryBleed (2023)")
+
+#: Expected survival matrix (attack x config) -- the literature's shape.
+EXPECTED = {
+    ("TET-KASLR", "plain KASLR, Intel"): True,
+    ("TET-KASLR", "KPTI, Intel"): True,
+    ("TET-KASLR", "KPTI+FLARE, Intel"): True,
+    ("TET-KASLR", "plain KASLR, AMD"): False,
+    ("TET-KASLR", "KPTI, AMD"): False,
+    ("fault-timing (2013)", "plain KASLR, Intel"): True,
+    ("fault-timing (2013)", "plain KASLR, AMD"): False,
+    ("EntryBleed (2023)", "KPTI, Intel"): True,
+    ("EntryBleed (2023)", "KPTI+FLARE, Intel"): False,
+    ("EntryBleed (2023)", "KPTI, AMD"): True,
+}
+
+
+def run_matrix():
+    outcomes = {}
+    for config_name, kwargs in CONFIGS:
+        for attack_name in ATTACKS:
+            machine = Machine(**kwargs)
+            result = run_attack(attack_name, machine)
+            outcomes[(attack_name, config_name)] = result
+    return outcomes
+
+
+def test_kaslr_attack_family_comparison(benchmark):
+    outcomes = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    banner("Extension -- KASLR attack family vs defenses")
+    header = f"{'configuration':22} " + " ".join(f"{a:>20}" for a in ATTACKS)
+    emit(header)
+    emit("-" * len(header))
+    for config_name, _ in CONFIGS:
+        cells = []
+        for attack_name in ATTACKS:
+            result = outcomes[(attack_name, config_name)]
+            verdict = "BROKEN" if result.success else "safe"
+            cells.append(f"{f'{verdict} ({result.cycles/1e3:.0f}k cyc)':>20}")
+        emit(f"{config_name:22} " + " ".join(cells))
+    emit("")
+    emit("TET-KASLR is the only attack through FLARE; EntryBleed is the")
+    emit("only one that works on AMD (architectural syscall TLB fill);")
+    emit("both Intel-only attacks die with permission-checked TLB fills.")
+
+    for (attack_name, config_name), expected in EXPECTED.items():
+        result = outcomes[(attack_name, config_name)]
+        assert result.success == expected, (attack_name, config_name)
+
+    # TET's suppressed probes are cheaper than full fault round-trips.
+    tet = outcomes[("TET-KASLR", "plain KASLR, Intel")]
+    fault = outcomes[("fault-timing (2013)", "plain KASLR, Intel")]
+    assert tet.cycles < fault.cycles

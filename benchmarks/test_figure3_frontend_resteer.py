@@ -1,0 +1,88 @@
+"""E6 -- Figure 3: the frontend-issued resteer within transient execution.
+
+The figure illustrates the mechanism behind RQ1: when the transient Jcc
+triggers, the BPU mispredict clears the frontend, the resteered fetch
+loses its DSB streak (more MITE/MS delivery), and extra clear/recovery
+cycles appear.  This bench reconstructs that picture from a traced run:
+the dispatch timeline around the nested redirect plus the IDQ deltas.
+"""
+
+from benchmarks.conftest import banner, emit
+from repro.sim.machine import Machine
+from repro.sim.tracing import frontend_trace
+from repro.whisper.gadgets import GadgetBuilder
+
+SECRET = 0x53
+
+
+def build(machine):
+    builder = GadgetBuilder(machine)
+    program = builder.figure1()
+    page = machine.alloc_data()
+    machine.write_data(page, bytes([SECRET]))
+    return program, page
+
+
+def run_conditions():
+    machine = Machine("i7-7700", seed=402)
+    program, page = build(machine)
+    regs = lambda test: {"r12": page, "r13": 0, "r9": test}
+    # Warm, and keep the predictor trained to the common direction.
+    for _ in range(6):
+        machine.run(program, regs=regs(256))
+    pmu = machine.pmu
+
+    base = pmu.snapshot()
+    no_trigger = machine.run(program, regs=regs(256), record_trace=True)
+    no_trigger_delta = pmu.delta(base)
+
+    for _ in range(3):
+        machine.run(program, regs=regs(256))
+    base = pmu.snapshot()
+    trigger = machine.run(program, regs=regs(SECRET), record_trace=True)
+    trigger_delta = pmu.delta(base)
+    return no_trigger, no_trigger_delta, trigger, trigger_delta
+
+
+def test_figure3_frontend_resteer_within_transient_window(benchmark):
+    no_trigger, nt_delta, trigger, t_delta = benchmark.pedantic(
+        run_conditions, rounds=1, iterations=1
+    )
+
+    banner("Figure 3 -- frontend resteer within the transient window")
+    emit("dispatch timeline (trigger run), around the nested redirect:")
+    redirect = trigger.events.redirects[0]
+    for entry in frontend_trace(trigger):
+        marker = ""
+        if entry.cycle >= redirect.redirect_cycle and entry.transient:
+            marker = "   <- post-resteer fetch"
+        flag = "T" if entry.transient else " "
+        squash = "x" if entry.squashed else " "
+        emit(
+            f"  cycle {entry.cycle - trigger.start_cycle:4d} [{flag}{squash}] "
+            f"{entry.source:4} {entry.mnemonic}{marker}"
+        )
+    emit("")
+    emit(f"nested redirect: resolve @+{redirect.resolve_cycle - trigger.start_cycle}, "
+         f"resteer until @+{redirect.redirect_cycle - trigger.start_cycle}, "
+         f"recovery until @+{redirect.recovery_end - trigger.start_cycle}")
+
+    emit("")
+    emit(f"{'event':40} {'no trigger':>12} {'trigger':>10}")
+    for event in (
+        "INT_MISC.CLEAR_RESTEER_CYCLES",
+        "INT_MISC.RECOVERY_CYCLES",
+        "BR_MISP_EXEC.ALL_BRANCHES",
+        "IDQ.DSB_UOPS",
+        "IDQ.MS_UOPS",
+    ):
+        emit(f"{event:40} {nt_delta[event]:12d} {t_delta[event]:10d}")
+
+    # Shape: the trigger run has a nested redirect and pays extra
+    # clear-resteer + recovery cycles; the quiet run has neither.
+    assert len(no_trigger.events.redirects) == 0
+    assert len(trigger.events.redirects) == 1
+    assert trigger.events.redirects[0].nested_in_transient
+    assert t_delta["INT_MISC.CLEAR_RESTEER_CYCLES"] > nt_delta["INT_MISC.CLEAR_RESTEER_CYCLES"]
+    assert t_delta["INT_MISC.RECOVERY_CYCLES"] > nt_delta["INT_MISC.RECOVERY_CYCLES"]
+    assert t_delta["BR_MISP_EXEC.ALL_BRANCHES"] == 1

@@ -1,0 +1,89 @@
+"""E7 -- Figure 4 and §5.2.5: the transient control-flow graph.
+
+The paper's branch-reachability experiment: with the mfence close to the
+branch, the *not-trigger* path stalls at the fence and issues fewer uops,
+while the trigger path jumps past it and issues more -- confirming the
+trigger path executes (path (3) in the figure).  Lengthening the nop sled
+before the mfence flips the sign: the not-trigger path now fills the
+window with nops while the trigger path pays the redirect bubble.
+
+The bench reproduces both halves: the CFG with per-path annotations and
+the UOPS_ISSUED.ANY sign flip over the sled length.
+"""
+
+from benchmarks.conftest import banner, emit
+from repro.pmutools.scenarios import TransientFlowScenario
+from repro.sim.machine import Machine
+from repro.sim.tracing import control_flow_graph, path_summary
+
+
+def measure_uops(machine, scenario):
+    """UOPS_ISSUED.ANY per condition, PMU-bracketed like the toolset."""
+    scenario.warm_up()
+    pmu = machine.pmu
+    means = []
+    for condition in (0, 1):
+        total = 0
+        for _ in range(6):
+            scenario.retrain()
+            base = pmu.snapshot()
+            scenario.run_condition(condition)
+            total += pmu.delta(base)["UOPS_ISSUED.ANY"]
+        means.append(total / 6)
+    return means
+
+
+def run_experiment():
+    results = {}
+    for sled in (0, 24, 48):
+        machine = Machine("i7-6700", seed=403)
+        scenario = TransientFlowScenario(machine, sled=sled)
+        results[sled] = measure_uops(machine, scenario)
+    # One traced trigger run for the CFG itself.
+    machine = Machine("i7-6700", seed=404)
+    scenario = TransientFlowScenario(machine, sled=0)
+    scenario.warm_up()
+    scenario.retrain()
+    traced = machine.run(
+        scenario.program,
+        regs={"r13": scenario.secret_va, "r9": scenario.secret_byte},
+        record_trace=True,
+    )
+    return results, traced
+
+
+def test_figure4_transient_cfg_and_uops_issued(benchmark):
+    results, traced = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    banner("Figure 4 -- control flow graph of the transient execution")
+    graph = control_flow_graph(traced)
+    for node in sorted(graph.nodes):
+        data = graph.nodes[node]
+        kind = []
+        if data["committed_visits"]:
+            kind.append(f"committed x{data['committed_visits']}")
+        if data["transient_visits"]:
+            kind.append(f"transient x{data['transient_visits']}")
+        emit(f"  {node:#x}: {data['mnemonic']:24} [{', '.join(kind)}]")
+    summary = path_summary(traced)
+    emit("")
+    emit(f"path summary: {summary}")
+
+    banner("§5.2.5 -- UOPS_ISSUED.ANY vs nop-sled length (sign flip)")
+    emit(f"{'sled nops':>10} | {'not trigger':>12} | {'trigger':>8} | sign")
+    for sled, (no_trigger, trigger) in sorted(results.items()):
+        sign = "+" if trigger > no_trigger else "-"
+        emit(f"{sled:>10} | {no_trigger:12.1f} | {trigger:8.1f} | {sign}")
+
+    # Shape assertions -------------------------------------------------------
+    # The trigger path exists: transient visits beyond the faulting load.
+    assert summary["uops_squashed"] > 0
+    assert summary["nested_redirects"] == 1
+    # Short sled: fence throttles the not-trigger path -> trigger issues
+    # MORE uops (the paper's path-(3) evidence).
+    short_no, short_yes = results[0]
+    assert short_yes > short_no
+    # Long sled: the not-trigger path issues nops freely while the trigger
+    # path eats the redirect bubble -> the sign flips (fewer uops).
+    long_no, long_yes = results[48]
+    assert long_yes < long_no

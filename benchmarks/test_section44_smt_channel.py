@@ -1,0 +1,62 @@
+"""E10 -- §4.4: the SMT covert channel built from suppressed exceptions.
+
+The paper's prototype reaches 1 B/s with <5 % error on the i7-7700; with
+the SecSMT evaluation harness the raw rate is 268 KB/s at a 28 % error
+rate.  The simulator has no co-running OS noise, so both modes decode
+cleanly; the preserved shape is the rate/robustness trade-off (the SecSMT
+configuration is much faster per bit) and the signal mechanism (the '1'
+symbols slow the sibling's nop loop via flush windows).
+"""
+
+import random
+
+from benchmarks.conftest import banner, emit
+from repro.sim.machine import Machine
+from repro.whisper.smt_channel import SmtCovertChannel
+
+BITS = 64
+
+
+def run_both_modes():
+    rng = random.Random(441)
+    bits = [rng.randint(0, 1) for _ in range(BITS)]
+    machine = Machine("i7-7700", seed=442)
+    reliable = SmtCovertChannel(machine, mode="reliable").transmit(bits)
+    secsmt = SmtCovertChannel(machine, mode="secsmt").transmit(bits)
+    return bits, reliable, secsmt
+
+
+def test_section44_smt_covert_channel(benchmark):
+    bits, reliable, secsmt = benchmark.pedantic(run_both_modes, rounds=1, iterations=1)
+
+    banner("§4.4 -- SMT covert channel (i7-7700)")
+    emit(f"payload: {BITS} random bits")
+    emit("")
+    emit(f"{'mode':10} {'simulated':>16} {'bit error':>10}   paper")
+    emit(
+        f"{'prototype':10} {reliable.bytes_per_second:>12,.0f} B/s "
+        f"{reliable.error_rate:>10.2%}   1 B/s, <5% error"
+    )
+    emit(
+        f"{'secsmt':10} {secsmt.bytes_per_second:>12,.0f} B/s "
+        f"{secsmt.error_rate:>10.2%}   268 KB/s, 28% error"
+    )
+    emit("")
+    ones = [s for s, b in zip(reliable.samples, bits) if b]
+    zeros = [s for s, b in zip(reliable.samples, bits) if not b]
+    emit(
+        f"signal separation (reliable mode): '1' symbols "
+        f"{min(ones)}..{max(ones)} cycles, '0' symbols "
+        f"{min(zeros)}..{max(zeros)} cycles, threshold {reliable.threshold:.0f}"
+    )
+    emit(
+        "note: with no co-running OS noise the simulated secsmt mode "
+        "decodes cleanly; on hardware its 28% error comes from ambient "
+        "contention."
+    )
+
+    # Shape: prototype mode meets the paper's error bound; the SecSMT
+    # configuration is strictly faster per bit; '1' symbols are slower.
+    assert reliable.error_rate < 0.05
+    assert secsmt.bytes_per_second > reliable.bytes_per_second
+    assert min(ones) > max(zeros)

@@ -1,0 +1,70 @@
+"""E9 -- §4.5 + §4.1: TET-KASLR in every configuration the paper attacks.
+
+* plain KASLR on i7-6700 / i7-7700 / i9-10980XE (Table 2's ✓ column);
+* KASLR + KPTI: the 512 candidate trampolines scanned "within 1s";
+* KASLR + KPTI + FLARE: the state-of-the-art defense, still broken;
+* inside a Docker container;
+* break time: the paper reports 0.8829 s average (n=3, σ=0.0036) on the
+  i9-10980XE -- we reproduce n=3 runs and the sub-second shape (the
+  simulator's eviction primitive is cheaper than real eviction sets, so
+  the absolute time is smaller);
+* AMD Zen 3: the oracle is blind (Table 2's ✗).
+"""
+
+import statistics
+
+from benchmarks.conftest import banner, emit
+from repro.sim.machine import Machine
+from repro.whisper.attacks.kaslr import TetKaslr
+
+
+def run_all():
+    results = {}
+    for cpu in ("i7-6700", "i7-7700", "i9-10980XE"):
+        machine = Machine(cpu, seed=451)
+        results[f"plain {cpu}"] = TetKaslr(machine).break_kaslr()
+    kpti_runs = []
+    for run_index in range(3):  # the paper's n=3
+        machine = Machine("i9-10980XE", seed=452 + run_index, kpti=True)
+        kpti_runs.append(TetKaslr(machine).break_kaslr_kpti())
+    results["kpti i9-10980XE (3 runs)"] = kpti_runs
+    machine = Machine("i9-10980XE", seed=455, kpti=True, flare=True)
+    results["flare i9-10980XE"] = TetKaslr(machine).break_kaslr_flare()
+    machine = Machine("i9-10980XE", seed=456, kpti=True, container=True)
+    results["docker i9-10980XE"] = TetKaslr(machine).break_kaslr_kpti()
+    machine = Machine("ryzen-5600G", seed=457)
+    results["amd ryzen-5600G"] = TetKaslr(machine).break_kaslr()
+    return results
+
+
+def test_section45_breaking_kaslr(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    banner("§4.5 -- TET-KASLR across defenses (simulated)")
+    for name, outcome in results.items():
+        if isinstance(outcome, list):
+            for index, run in enumerate(outcome):
+                emit(f"{name} [run {index}]: {run}")
+        else:
+            emit(f"{name}: {outcome}")
+
+    kpti_runs = results["kpti i9-10980XE (3 runs)"]
+    times = [run.seconds for run in kpti_runs]
+    mean_time = statistics.mean(times)
+    sigma = statistics.pstdev(times)
+    emit("")
+    emit(
+        f"KPTI break time over n=3: mean {mean_time:.6f} s, sigma {sigma:.6f} s "
+        f"(paper: 0.8829 s, sigma 0.0036 s -- real eviction sets and retries "
+        f"dominate there)"
+    )
+
+    # Shapes ------------------------------------------------------------------
+    for cpu in ("i7-6700", "i7-7700", "i9-10980XE"):
+        assert results[f"plain {cpu}"].success, cpu
+    assert all(run.success for run in kpti_runs)
+    assert all(run.seconds < 1.0 for run in kpti_runs)  # "within 1s"
+    assert all(len(run.mapped_slots) == 1 for run in kpti_runs)
+    assert results["flare i9-10980XE"].success
+    assert results["docker i9-10980XE"].success
+    assert not results["amd ryzen-5600G"].success

@@ -1,0 +1,97 @@
+"""E17 -- §6: what actually mitigates the TET attacks.
+
+The security discussion names three mitigations and one non-mitigation:
+
+* KPTI and microcode updates stop TET-MD/TET-ZBL (§6.2) -- but not
+  TET-KASLR and not same-address-space leaks (TET-RSB/TET-V1);
+* FGKASLR devalues a leaked base without preventing the leak (§6.2);
+* permission-checked TLB fills (the §6.3 hardware fix) kill TET-KASLR;
+* detecting/blocking cache covert channels does nothing (§6.1) -- bench
+  E11 covers that half.
+
+This bench runs the attack x defense matrix and prints who stops what.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import banner, emit
+from repro.kernel.layout import DEFAULT_SYMBOL_OFFSETS
+from repro.sim.machine import Machine
+from repro.uarch.config import cpu_model
+from repro.whisper.attacks.kaslr import TetKaslr
+from repro.whisper.attacks.meltdown import TetMeltdown
+from repro.whisper.attacks.spectre_rsb import TetSpectreRsb
+
+SECRET = b"S6"
+
+
+def run_matrix():
+    rows = {}
+
+    def machine_for(defense):
+        if defense == "none":
+            return Machine("i7-7700", seed=601, secret=SECRET)
+        if defense == "KPTI":
+            return Machine("i7-7700", seed=602, secret=SECRET, kpti=True)
+        if defense == "KPTI+FLARE":
+            return Machine("i7-7700", seed=603, secret=SECRET, kpti=True, flare=True)
+        if defense == "FGKASLR":
+            return Machine("i7-7700", seed=604, secret=SECRET, fgkaslr=True)
+        if defense == "secure TLB (§6.3)":
+            model = dataclasses.replace(cpu_model("i7-7700"), fill_tlb_on_fault=False)
+            return Machine(model, seed=605, secret=SECRET)
+        raise ValueError(defense)
+
+    defenses = ("none", "KPTI", "KPTI+FLARE", "FGKASLR", "secure TLB (§6.3)")
+    for defense in defenses:
+        row = {}
+        machine = machine_for(defense)
+        row["TET-MD"] = TetMeltdown(machine, batches=3).leak(length=len(SECRET)).success
+
+        machine = machine_for(defense)
+        rsb = TetSpectreRsb(machine)
+        rsb.install_secret(SECRET)
+        row["TET-RSB"] = rsb.leak().success
+
+        machine = machine_for(defense)
+        kaslr_result = TetKaslr(machine).break_auto()
+        row["TET-KASLR"] = kaslr_result.success
+        if defense == "FGKASLR" and kaslr_result.success:
+            guessed = kaslr_result.found_base + DEFAULT_SYMBOL_OFFSETS["commit_creds"]
+            actual = machine.kernel.layout.symbol_va("commit_creds")
+            row["symbols usable"] = guessed == actual
+        rows[defense] = row
+    return rows
+
+
+def test_section6_defense_matrix(benchmark):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    banner("§6 -- defense evaluation (i7-7700 family)")
+    attacks = ("TET-MD", "TET-RSB", "TET-KASLR")
+    header = f"{'defense':20} " + " ".join(f"{a:>10}" for a in attacks)
+    emit(header)
+    emit("-" * len(header))
+    for defense, row in rows.items():
+        cells = " ".join(
+            f"{'leaks' if row[a] else 'stopped':>10}" for a in attacks
+        )
+        emit(f"{defense:20} {cells}")
+    emit("")
+    emit(
+        f"FGKASLR: base leaks but canonical symbol offsets are "
+        f"{'still valid (!)' if rows['FGKASLR'].get('symbols usable') else 'useless'} "
+        f"-- §6.2's point about devaluing the leak"
+    )
+
+    # §6.2: KPTI stops TET-MD...
+    assert rows["none"]["TET-MD"] and not rows["KPTI"]["TET-MD"]
+    # ...but not TET-KASLR (that is the paper's headline) nor TET-RSB.
+    assert rows["KPTI"]["TET-KASLR"] and rows["KPTI+FLARE"]["TET-KASLR"]
+    assert all(row["TET-RSB"] for row in rows.values())
+    # FGKASLR: the base leaks, the symbols do not.
+    assert rows["FGKASLR"]["TET-KASLR"]
+    assert rows["FGKASLR"].get("symbols usable") is False
+    # §6.3: the hardware fix kills the KASLR oracle (and only it).
+    assert not rows["secure TLB (§6.3)"]["TET-KASLR"]
+    assert rows["secure TLB (§6.3)"]["TET-MD"]  # Meltdown forwarding is separate

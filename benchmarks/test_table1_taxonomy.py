@@ -1,0 +1,27 @@
+"""E2 -- Table 1: the side-channel-attack comparison.
+
+A qualitative table; the bench renders it and asserts the classification
+claims the paper builds its novelty argument on.
+"""
+
+from benchmarks.conftest import banner, emit
+from repro.whisper.taxonomy import TABLE1_ROWS, render_table1, transient_only_classes
+
+
+def test_table1_comparison_of_side_channel_attacks(benchmark):
+    table = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+
+    banner("Table 1 -- Comparison of Side Channel Attacks")
+    emit(table)
+
+    tet = transient_only_classes()
+    emit("")
+    emit(f"transient-only channels: {[row.example for row in tet]}")
+
+    # Shape: TET occupies the transient-only column alone, is stateless,
+    # and covers both the direct (TET-MD/ZBL/RSB) and indirect (TET-KASLR)
+    # rows -- §3.3's summary.
+    assert all(row.this_paper for row in tet)
+    assert all(not row.stateful for row in tet)
+    assert {row.direct for row in tet} == {True, False}
+    assert all(not row.transient_only for row in TABLE1_ROWS if not row.this_paper)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The §5 root-cause analysis, re-run: the PMU toolset on three scenes.
+
+Runs the Figure 2 pipeline (prepare -> collect -> differential filter ->
+per-domain analysis) on TET-CC (Intel + AMD) and TET-KASLR, prints the
+Table 3-style survivors, and states the RQ1-RQ3 answers the evidence
+supports.
+
+Run:  python examples/pmu_root_cause.py
+"""
+
+from repro.pmutools import OnlineCollector, PmuPipeline
+from repro.pmutools.scenarios import TetCcScenario, TetKaslrScenario
+from repro.sim import Machine
+
+
+def main() -> None:
+    pipeline = PmuPipeline(OnlineCollector(iterations=8))
+
+    for title, machine, scenario_cls in [
+        ("TET-CC on Intel (Kaby Lake)", Machine("i7-7700", seed=31), TetCcScenario),
+        ("TET-CC on AMD (Zen 3)", Machine("ryzen-5600G", seed=32), TetCcScenario),
+        ("TET-KASLR on Intel (Comet Lake)", Machine("i9-10980XE", seed=33), TetKaslrScenario),
+    ]:
+        print(f"=== {title} ===")
+        report = pipeline.analyze(scenario_cls(machine))
+        print(
+            f"prepared {report.prepared_events} events, "
+            f"{len(report.survivors)} survived the differential filter, "
+            f"{len(report.rejected)} were irrelevant"
+        )
+        print(report.render())
+        print()
+
+    print("=== the paper's answers, which the evidence above supports ===")
+    print("RQ1 (frontend): the resteer of a BPU misprediction causes the")
+    print("                transient stall (BR_MISP_EXEC, CLEAR_RESTEER, IDQ.*)")
+    print("RQ2 (backend) : resource-related stalls of the pipeline")
+    print("                (RESOURCE_STALLS, RECOVERY_CYCLES, token stalls)")
+    print("RQ3 (memory)  : TLB missing extends the ToTE")
+    print("                (DTLB_LOAD_MISSES.* only for unmapped probes)")
+
+
+if __name__ == "__main__":
+    main()

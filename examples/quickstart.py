@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: observe the Whisper channel with your own eyes.
+
+Builds a simulated Kaby Lake machine, runs the paper's Figure 1a gadget
+over all 256 test values, and prints the ToTE scan -- the single peak at
+the secret byte IS the transient-execution-timing side channel.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.sim import Machine
+from repro.whisper import TetCovertChannel
+
+SECRET = ord("S")  # the byte the paper's Figure 1 transmits
+
+
+def main() -> None:
+    machine = Machine("i7-7700", seed=1)
+    print(f"machine : {machine.model.name} ({machine.model.microarch})")
+    print(f"kernel  : KASLR slot {machine.kernel.layout.slot}, "
+          f"base {machine.kernel.layout.base:#x}")
+    print()
+
+    channel = TetCovertChannel(machine, batches=3)
+    machine.write_data(channel.sender_page, bytes([SECRET]))
+    scan = channel.scan_byte()
+
+    medians = {
+        test: sorted(samples)[len(samples) // 2]
+        for test, samples in scan.totes_by_test.items()
+    }
+    baseline = min(medians.values())
+    print("ToTE scan (only rows that deviate from the floor):")
+    print(f"  {'test value':>10} | {'median ToTE':>11}")
+    for test in sorted(medians):
+        if medians[test] != baseline:
+            marker = "   <-- the transient Jcc triggered here" if test == SECRET else ""
+            print(f"  {f'{test:#x}':>10} | {medians[test]:>11}{marker}")
+    print()
+    print(f"decoded byte : {scan.value:#x} ({chr(scan.value)!r})")
+    print(f"ground truth : {SECRET:#x} ({chr(SECRET)!r})")
+    print(f"confidence   : {scan.confidence:.0%} of batches agreed")
+    print()
+
+    message = b"whisper"
+    stats = channel.transmit(message)
+    print(f"covert channel: sent {message!r}, received {stats.received!r}")
+    print(f"  {stats}")
+    print()
+
+    # How healthy is this channel?  Calibrate it like a real tool would.
+    from repro.whisper import calibrate_channel
+
+    calibration = calibrate_channel(channel, samples=8)
+    print(
+        f"calibration  : signal {calibration.delta:+.1f} cycles, "
+        f"noise {calibration.noise:.1f}, SNR {calibration.snr}, "
+        f"recommended batches {calibration.recommended_batches()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""A cache-behaviour attack detector -- the defense TET walks past.
+
+The threat model (§4.2) assumes the victim machine deploys
+"state-of-art attack detection based on cache behavior": HPC-based
+classifiers in the literature key on Flush+Reload's signature -- a high
+``clflush`` rate paired with a high long-latency-miss rate on reloads.
+This detector implements that rule against the simulator's real counters.
+
+The point of the experiment (bench E11): the classic Flush+Reload
+Meltdown trips the detector on every leaked byte; the TET attacks --
+which never touch a probe array and flush nothing -- stay under both
+thresholds even though they fault just as often.  Stateful channels are
+detectable, Whisper is not ("the cache-based mitigation cannot address
+the TET side channel", §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+
+@dataclass
+class DetectionReport:
+    """What the monitor saw over one attack window."""
+
+    flagged: bool
+    clflush_per_kilo_uop: float
+    llc_miss_per_kilo_uop: float
+    machine_clears_per_kilo_uop: float
+    uops: int
+    features: Dict[str, float]
+
+    def __str__(self) -> str:
+        verdict = "ATTACK DETECTED" if self.flagged else "nothing suspicious"
+        return (
+            f"{verdict}: clflush/kuop={self.clflush_per_kilo_uop:.2f}, "
+            f"LLC-miss/kuop={self.llc_miss_per_kilo_uop:.2f}, "
+            f"clears/kuop={self.machine_clears_per_kilo_uop:.2f}"
+        )
+
+
+class CacheAttackDetector:
+    """Flags cache side-channel activity from hardware counters.
+
+    The decision rule mirrors the published HPC detectors: *both* an
+    anomalous flush rate and an anomalous long-latency miss rate must be
+    present (faults/clears alone are normal application behaviour --
+    garbage collectors and JITs trip them constantly, so a detector that
+    alarmed on clears would be useless).
+    """
+
+    def __init__(
+        self,
+        clflush_threshold: float = 1.0,
+        llc_miss_threshold: float = 5.0,
+    ) -> None:
+        self.clflush_threshold = clflush_threshold
+        self.llc_miss_threshold = llc_miss_threshold
+
+    def monitor(self, machine, attack: Callable[[], object]) -> DetectionReport:
+        """Run *attack* under observation; return the verdict."""
+        pmu = machine.pmu
+        baseline = pmu.snapshot()
+        clflush_before = machine.hierarchy.clflush_count
+        attack()
+        delta = pmu.delta(baseline)
+        clflushes = machine.hierarchy.clflush_count - clflush_before
+        uops = max(1, delta["UOPS_ISSUED.ANY"])
+        kilo = uops / 1000.0
+        clflush_rate = clflushes / kilo
+        llc_rate = delta["LONGEST_LAT_CACHE.MISS"] / kilo
+        clears_rate = delta["MACHINE_CLEARS.COUNT"] / kilo
+        flagged = (
+            clflush_rate > self.clflush_threshold and llc_rate > self.llc_miss_threshold
+        )
+        return DetectionReport(
+            flagged=flagged,
+            clflush_per_kilo_uop=clflush_rate,
+            llc_miss_per_kilo_uop=llc_rate,
+            machine_clears_per_kilo_uop=clears_rate,
+            uops=uops,
+            features={
+                "clflush": clflushes,
+                "llc_miss": delta["LONGEST_LAT_CACHE.MISS"],
+                "machine_clears": delta["MACHINE_CLEARS.COUNT"],
+                "l1_miss": delta["MEM_LOAD_RETIRED.L1_MISS"],
+                "uops": uops,
+            },
+        )

@@ -1,0 +1,140 @@
+"""Flush+Reload and the original cache-channel Meltdown.
+
+This is the covert channel the paper's attacks replace: a 256-page probe
+array, a transient access ``probe[secret << 12]``, and a timed reload of
+every page.  It is fast and reliable -- and loud: hundreds of ``clflush``
+operations and LLC misses per leaked byte, the signature the
+cache-behaviour detector keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.whisper.analysis import error_rate
+from repro.whisper.gadgets import RESUME_LABEL, Suppression
+
+PAGE_SHIFT = 12
+
+
+@dataclass
+class FlushReloadStats:
+    """Reload timings and the decoded value for one byte."""
+
+    value: int
+    reload_cycles: List[int]
+    threshold: int
+
+
+class FlushReloadChannel:
+    """The classic three-step channel: flush, transient access, reload."""
+
+    def __init__(self, machine, suppression: Optional[Suppression] = None) -> None:
+        self.machine = machine
+        if suppression is None:
+            suppression = (
+                Suppression.TSX if machine.model.has_tsx else Suppression.SIGNAL
+            )
+        self.suppression = suppression
+        self.probe_base = machine.alloc_data(pages=256)
+        self._build_programs()
+        # Reload threshold: anything at L2 latency or better is a hit.
+        self.threshold = machine.model.l2.latency + machine.model.l1d.latency + 2
+
+    def _build_programs(self) -> None:
+        transient = f"""
+    loadb r8, [r13]         ; the (possibly faulting) secret load
+    shl r8, {PAGE_SHIFT}
+    add r8, r10             ; probe base
+    load r9, [r8]           ; encode into the cache
+"""
+        if self.suppression is Suppression.TSX:
+            source = f"""
+    xbegin {RESUME_LABEL}
+{transient}
+    xend
+{RESUME_LABEL}:
+    hlt
+"""
+            self.access_program = self.machine.load_program(source)
+        else:
+            source = f"""
+{transient}
+{RESUME_LABEL}:
+    hlt
+"""
+            self.access_program = self.machine.load_program(source)
+            self.machine.set_signal_handler(self.access_program, RESUME_LABEL)
+        self.reload_program = self.machine.load_program("""
+    mfence
+    rdtsc
+    mov r14, rax
+    load r8, [r13]
+    rdtsc
+    mov r15, rax
+    hlt
+""")
+
+    def flush(self) -> None:
+        """Step 1: flush all 256 probe lines (loud, counted)."""
+        for value in range(256):
+            self.machine.mmu.clflush(self.probe_base + (value << PAGE_SHIFT))
+        # Eviction work costs the attacker real time.
+        self.machine.core.global_cycle += 256 * 8
+
+    def access(self, secret_va: int) -> None:
+        """Step 2: the transient access that encodes the secret."""
+        self.machine.run(
+            self.access_program, regs={"r13": secret_va, "r10": self.probe_base}
+        )
+
+    def reload(self) -> FlushReloadStats:
+        """Step 3: time every probe page; the cached one is the byte.
+
+        Self-calibrating decode: after a flush, 255 reloads come from DRAM
+        and one (the transiently touched page) from the cache, so the
+        minimum timing is the byte if it clearly separates from the
+        population median."""
+        timings: List[int] = []
+        for value in range(256):
+            result = self.machine.run(
+                self.reload_program,
+                regs={"r13": self.probe_base + (value << PAGE_SHIFT)},
+            )
+            timings.append(result.regs.read("r15") - result.regs.read("r14"))
+        fastest = min(range(256), key=timings.__getitem__)
+        population = sorted(timings)
+        median = population[128]
+        separation = median - timings[fastest]
+        value = fastest if separation > self.threshold else 0
+        return FlushReloadStats(value=value, reload_cycles=timings, threshold=self.threshold)
+
+    def leak_byte(self, secret_va: int) -> FlushReloadStats:
+        """One full flush -> access -> reload round."""
+        self.flush()
+        self.access(secret_va)
+        return self.reload()
+
+
+class ClassicMeltdown:
+    """Meltdown with its original Flush+Reload channel (the baseline the
+    detector catches and TET-MD replaces)."""
+
+    def __init__(self, machine, suppression: Optional[Suppression] = None) -> None:
+        self.machine = machine
+        self.channel = FlushReloadChannel(machine, suppression=suppression)
+
+    def leak(self, va: Optional[int] = None, length: Optional[int] = None):
+        """Leak kernel bytes; returns (data, expected, error_rate)."""
+        kernel = self.machine.kernel
+        if va is None:
+            va = kernel.secret_va
+        if length is None:
+            length = len(kernel.secret)
+        out = bytearray()
+        for index in range(length):
+            self.machine.victim_touch(va + index)
+            out.append(self.channel.leak_byte(va + index).value)
+        expected = kernel.secret[:length]
+        return bytes(out), expected, error_rate(expected, bytes(out))

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A downstream user's fastest route to every headline result:
+
+==========  ============================================================
+command     what it does
+==========  ============================================================
+``demo``    the Figure 1 channel: scan, text plot, decoded byte
+``send``    transmit a message through TET-CC (``--fast`` = TET-CC-BS)
+``leak``    TET-Meltdown against the simulated kernel secret
+``kaslr``   break KASLR (``--kpti`` / ``--flare`` / ``--container``)
+``matrix``  the Table 2 attack x CPU matrix (short secrets)
+``pmu``     the Figure 2 toolset on a chosen scene
+==========  ============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.machine import Machine
+from repro.sim.viz import argmax_series, success_matrix, tote_scan_plot
+from repro.uarch.config import CPU_MODELS
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cpu", default="i7-7700", choices=sorted(CPU_MODELS), help="CPU model"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="KASLR/boot seed")
+
+
+def _machine(args, **kwargs) -> Machine:
+    return Machine(args.cpu, seed=args.seed, **kwargs)
+
+
+def cmd_demo(args) -> int:
+    from repro.whisper import TetCovertChannel
+
+    machine = _machine(args)
+    secret = args.byte & 0xFF
+    print(f"machine: {machine.model.name}; sending byte {secret:#04x}")
+    channel = TetCovertChannel(machine, batches=args.batches)
+    machine.write_data(channel.sender_page, bytes([secret]))
+    scan = channel.scan_byte()
+    print()
+    print(tote_scan_plot(scan.totes_by_test, highlight=secret))
+    print()
+    print(argmax_series(scan.totes_by_test))
+    print()
+    print(f"decoded: {scan.value:#04x} (confidence {scan.confidence:.0%})")
+    return 0 if scan.value == secret else 1
+
+
+def cmd_send(args) -> int:
+    machine = _machine(args)
+    payload = args.message.encode()
+    if args.fast:
+        from repro.whisper.fast_channel import BinarySearchChannel
+
+        channel = BinarySearchChannel(machine)
+        label = "TET-CC-BS (binary search)"
+    else:
+        from repro.whisper import TetCovertChannel
+
+        channel = TetCovertChannel(machine, batches=args.batches)
+        label = "TET-CC (linear scan)"
+    stats = channel.transmit(payload)
+    print(f"{label} on {machine.model.name}")
+    print(f"sent     : {payload!r}")
+    print(f"received : {stats.received!r}")
+    print(f"stats    : {stats}")
+    return 0 if stats.error_rate == 0 else 1
+
+
+def cmd_leak(args) -> int:
+    from repro.whisper import TetMeltdown
+
+    machine = _machine(args, kpti=args.kpti)
+    attack = TetMeltdown(machine, batches=args.batches)
+    result = attack.leak(length=args.length)
+    print(f"TET-MD on {machine.model.name} (kpti={args.kpti})")
+    print(f"expected : {result.expected!r}")
+    print(f"leaked   : {result.data!r}")
+    print(f"stats    : {result}")
+    print(f"verdict  : {'SUCCESS' if result.success else 'FAILED'}")
+    return 0 if result.success else 1
+
+
+def cmd_kaslr(args) -> int:
+    from repro.whisper import TetKaslr
+
+    machine = _machine(
+        args, kpti=args.kpti, flare=args.flare, container=args.container
+    )
+    result = TetKaslr(machine).break_auto()
+    print(f"TET-KASLR on {machine.model.name} "
+          f"(kpti={args.kpti}, flare={args.flare}, container={args.container})")
+    print(result)
+    return 0 if result.success else 1
+
+
+def cmd_matrix(args) -> int:
+    from repro.whisper import (
+        TetCovertChannel,
+        TetKaslr,
+        TetMeltdown,
+        TetSpectreRsb,
+        TetZombieload,
+    )
+
+    secret = b"T2"
+    attacks = ("TET-CC", "TET-MD", "TET-ZBL", "TET-RSB", "TET-KASLR")
+    cpus = sorted(CPU_MODELS) if args.all_cpus else [
+        "i7-6700", "i7-7700", "i9-10980XE", "i9-13900K", "ryzen-5600G",
+    ]
+    matrix = {}
+    for cpu in cpus:
+        row = {}
+        for attack in attacks:
+            machine = Machine(cpu, seed=args.seed, secret=secret)
+            if attack == "TET-CC":
+                row[attack] = (
+                    TetCovertChannel(machine, batches=3).transmit(secret).error_rate == 0
+                )
+            elif attack == "TET-MD":
+                row[attack] = TetMeltdown(machine, batches=3).leak(length=2).success
+            elif attack == "TET-ZBL":
+                zbl = TetZombieload(machine, batches=5)
+                zbl.install_victim_secret(secret)
+                row[attack] = zbl.leak().success
+            elif attack == "TET-RSB":
+                rsb = TetSpectreRsb(machine)
+                rsb.install_secret(secret)
+                row[attack] = rsb.leak().success
+            else:
+                row[attack] = TetKaslr(machine).break_kaslr().success
+        matrix[cpu] = row
+        print(f"[{cpu}] done", file=sys.stderr)
+    print(success_matrix(matrix, row_order=cpus, column_order=attacks))
+    return 0
+
+
+def cmd_pmu(args) -> int:
+    from repro.pmutools import OnlineCollector, PmuPipeline
+    from repro.pmutools.scenarios import (
+        TetCcScenario,
+        TetKaslrScenario,
+        TetMdScenario,
+    )
+
+    scenarios = {
+        "tet-cc": TetCcScenario,
+        "tet-md": TetMdScenario,
+        "tet-kaslr": TetKaslrScenario,
+    }
+    machine = _machine(args)
+    pipeline = PmuPipeline(OnlineCollector(iterations=args.iterations))
+    report = pipeline.analyze(scenarios[args.scene](machine))
+    print(
+        f"prepared {report.prepared_events} events; "
+        f"{len(report.survivors)} condition-sensitive after filtering"
+    )
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Whisper (DAC 2024) reproduction on a simulated CPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="see the Figure 1 channel")
+    _add_machine_args(demo)
+    demo.add_argument("--byte", type=lambda s: int(s, 0), default=0x53)
+    demo.add_argument("--batches", type=int, default=5)
+    demo.set_defaults(func=cmd_demo)
+
+    send = sub.add_parser("send", help="transmit a message through TET-CC")
+    _add_machine_args(send)
+    send.add_argument("message", nargs="?", default="whisper")
+    send.add_argument("--batches", type=int, default=3)
+    send.add_argument("--fast", action="store_true", help="binary-search mode")
+    send.set_defaults(func=cmd_send)
+
+    leak = sub.add_parser("leak", help="TET-Meltdown the kernel secret")
+    _add_machine_args(leak)
+    leak.add_argument("--length", type=int, default=8)
+    leak.add_argument("--batches", type=int, default=3)
+    leak.add_argument("--kpti", action="store_true")
+    leak.set_defaults(func=cmd_leak)
+
+    kaslr = sub.add_parser("kaslr", help="break KASLR")
+    _add_machine_args(kaslr)
+    kaslr.add_argument("--kpti", action="store_true")
+    kaslr.add_argument("--flare", action="store_true")
+    kaslr.add_argument("--container", action="store_true")
+    kaslr.set_defaults(func=cmd_kaslr)
+
+    matrix = sub.add_parser("matrix", help="the Table 2 attack x CPU matrix")
+    matrix.add_argument("--seed", type=int, default=1)
+    matrix.add_argument("--all-cpus", action="store_true")
+    matrix.set_defaults(func=cmd_matrix)
+
+    pmu = sub.add_parser("pmu", help="the Figure 2 PMU toolset")
+    _add_machine_args(pmu)
+    pmu.add_argument(
+        "--scene", default="tet-cc", choices=("tet-cc", "tet-md", "tet-kaslr")
+    )
+    pmu.add_argument("--iterations", type=int, default=8)
+    pmu.set_defaults(func=cmd_pmu)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,304 @@
+"""A two-pass text assembler for the micro-ISA.
+
+Gadgets in this project are written as assembly text so they read like the
+paper's listings::
+
+    assemble('''
+        rdtsc
+        mov r15, rax          ; start_time = rdtsc()
+        xbegin abort          ; transient_begin()
+        load rax, [rcx]       ; faulting access
+        cmp rax, 'S'
+        jne skip
+        nop                   ; Jcc-guarded nop, as in Figure 1a
+    skip:
+        xend
+    abort:
+        rdtsc
+    ''')
+
+Supported syntax: one instruction per line; ``label:`` lines (or a label
+and an instruction on the same line); ``;`` or ``#`` comments; register,
+immediate (decimal, hex, ``'c'`` char) and ``[base + index*scale + disp]``
+memory operands; ``jz``/``jnz``/``jb``-style condition aliases.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, MemRef
+from repro.isa.opcodes import COND_ALIASES, Cond, Op
+from repro.isa.program import Program
+from repro.isa.registers import GPRS
+
+
+class AssemblyError(ValueError):
+    """Raised for any malformed assembly input, with line context."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*)\s*:\s*(.*)$")
+_MEM_TERM_RE = re.compile(r"^([A-Za-z_]\w*)(?:\s*\*\s*(\d+))?$")
+
+_ZERO_OPERAND = {
+    "nop": Op.NOP,
+    "mfence": Op.MFENCE,
+    "lfence": Op.LFENCE,
+    "sfence": Op.SFENCE,
+    "rdtsc": Op.RDTSC,
+    "rdtscp": Op.RDTSCP,
+    "xend": Op.XEND,
+    "ret": Op.RET,
+    "hlt": Op.HLT,
+    "syscall": Op.SYSCALL,
+}
+
+_ALU_OPS = {
+    "add": Op.ADD,
+    "sub": Op.SUB,
+    "and": Op.AND,
+    "or": Op.OR,
+    "xor": Op.XOR,
+    "shl": Op.SHL,
+    "shr": Op.SHR,
+    "cmp": Op.CMP,
+    "test": Op.TEST,
+}
+
+
+def parse_immediate(text: str) -> Optional[int]:
+    """Parse an immediate operand; return ``None`` if *text* is not one.
+
+    Accepts decimal, ``0x`` hex, binary ``0b``, and single-quoted character
+    literals (``'S'`` assembles to 83, as in the Figure 1a gadget).
+    """
+    text = text.strip()
+    if len(text) == 3 and text[0] == text[2] == "'":
+        return ord(text[1])
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def parse_memref(text: str) -> Optional[MemRef]:
+    """Parse a ``[...]`` memory operand; return ``None`` if not one."""
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        return None
+    inner = text[1:-1].strip()
+    if not inner:
+        raise AssemblyError("empty memory operand []")
+    # Split into signed terms on + / - while keeping the sign.
+    terms: List[Tuple[int, str]] = []
+    sign, start = 1, 0
+    depth_terms = re.split(r"([+-])", inner)
+    pending_sign = 1
+    for piece in depth_terms:
+        piece = piece.strip()
+        if piece == "+":
+            pending_sign = 1
+        elif piece == "-":
+            pending_sign = -1
+        elif piece:
+            terms.append((pending_sign, piece))
+            pending_sign = 1
+    del sign, start
+
+    base = index = None
+    scale = 1
+    disp = 0
+    for term_sign, term in terms:
+        immediate = parse_immediate(term)
+        if immediate is not None:
+            disp += term_sign * immediate
+            continue
+        match = _MEM_TERM_RE.match(term)
+        if not match:
+            raise AssemblyError(f"bad memory-operand term {term!r}")
+        register, scale_text = match.group(1).lower(), match.group(2)
+        if register not in GPRS:
+            raise AssemblyError(f"unknown register {register!r} in memory operand")
+        if term_sign < 0:
+            raise AssemblyError(f"cannot subtract register {register!r} in memory operand")
+        if scale_text is not None:
+            if index is not None:
+                raise AssemblyError("memory operand has two index registers")
+            index, scale = register, int(scale_text)
+        elif base is None:
+            base = register
+        elif index is None:
+            index = register
+        else:
+            raise AssemblyError("memory operand has too many registers")
+    return MemRef(base=base, index=index, scale=scale, disp=disp)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on commas that are outside brackets."""
+    operands, depth, current = [], 0, []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def _parse_cond(mnemonic: str) -> Optional[Cond]:
+    """Map a ``j<cc>`` mnemonic to its :class:`Cond`, or ``None``."""
+    if not mnemonic.startswith("j") or mnemonic in ("jmp",):
+        return None
+    suffix = mnemonic[1:]
+    if suffix in COND_ALIASES:
+        return COND_ALIASES[suffix]
+    try:
+        return Cond(suffix)
+    except ValueError:
+        return None
+
+
+def _assemble_line(mnemonic: str, operands: List[str], comment: str) -> Instruction:
+    """Assemble one mnemonic + operand list into an :class:`Instruction`."""
+
+    def expect(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}"
+            )
+
+    if mnemonic in _ZERO_OPERAND:
+        expect(0)
+        return Instruction(_ZERO_OPERAND[mnemonic], comment=comment)
+
+    if mnemonic in ("jmp", "call", "xbegin"):
+        expect(1)
+        op = {"jmp": Op.JMP, "call": Op.CALL, "xbegin": Op.XBEGIN}[mnemonic]
+        return Instruction(op, target=operands[0], comment=comment)
+
+    cond = _parse_cond(mnemonic)
+    if cond is not None:
+        expect(1)
+        return Instruction(Op.JCC, cond=cond, target=operands[0], comment=comment)
+
+    if mnemonic == "clflush":
+        expect(1)
+        mem = parse_memref(operands[0])
+        if mem is None:
+            raise AssemblyError("clflush requires a memory operand")
+        return Instruction(Op.CLFLUSH, mem=mem, comment=comment)
+
+    if mnemonic in ("prefetch", "prefetcht0", "prefetchnta"):
+        expect(1)
+        mem = parse_memref(operands[0])
+        if mem is None:
+            raise AssemblyError(f"{mnemonic} requires a memory operand")
+        return Instruction(Op.PREFETCH, mem=mem, comment=comment)
+
+    if mnemonic == "lea":
+        expect(2)
+        mem = parse_memref(operands[1])
+        if operands[0].lower() not in GPRS or mem is None:
+            raise AssemblyError("lea requires `lea reg, [mem]`")
+        return Instruction(Op.LEA, dst=operands[0].lower(), mem=mem, comment=comment)
+
+    if mnemonic in ("loadb", "movzx"):
+        expect(2)
+        mem = parse_memref(operands[1])
+        if operands[0].lower() not in GPRS or mem is None:
+            raise AssemblyError(f"{mnemonic} requires `{mnemonic} reg, [mem]`")
+        return Instruction(Op.LOAD_BYTE, dst=operands[0].lower(), mem=mem, comment=comment)
+
+    if mnemonic in ("mov", "load", "store"):
+        expect(2)
+        left, right = operands
+        left_mem, right_mem = parse_memref(left), parse_memref(right)
+        if left_mem is not None and right_mem is not None:
+            raise AssemblyError("mov cannot have two memory operands")
+        if left_mem is not None:
+            source = right.lower()
+            if source in GPRS:
+                return Instruction(Op.STORE, mem=left_mem, src=source, comment=comment)
+            immediate = parse_immediate(right)
+            if immediate is None:
+                raise AssemblyError(f"bad store source {right!r}")
+            return Instruction(Op.STORE, mem=left_mem, imm=immediate, comment=comment)
+        destination = left.lower()
+        if destination not in GPRS:
+            raise AssemblyError(f"unknown destination register {left!r}")
+        if right_mem is not None:
+            return Instruction(Op.LOAD, dst=destination, mem=right_mem, comment=comment)
+        if right.startswith("@"):
+            # `mov reg, @label` -- load a code label's address (the
+            # `movabs $2f, %rax` of the paper's Listing 1).
+            return Instruction(Op.MOV_RI, dst=destination, target=right[1:], comment=comment)
+        if right.lower() in GPRS:
+            return Instruction(Op.MOV_RR, dst=destination, src=right.lower(), comment=comment)
+        immediate = parse_immediate(right)
+        if immediate is None:
+            raise AssemblyError(f"bad mov source operand {right!r}")
+        return Instruction(Op.MOV_RI, dst=destination, imm=immediate, comment=comment)
+
+    if mnemonic in _ALU_OPS:
+        expect(2)
+        destination = operands[0].lower()
+        if destination not in GPRS:
+            raise AssemblyError(f"unknown register {operands[0]!r}")
+        right = operands[1]
+        if right.lower() in GPRS:
+            return Instruction(_ALU_OPS[mnemonic], dst=destination, src=right.lower(), comment=comment)
+        immediate = parse_immediate(right)
+        if immediate is None:
+            raise AssemblyError(f"bad {mnemonic} operand {right!r}")
+        return Instruction(_ALU_OPS[mnemonic], dst=destination, imm=immediate, comment=comment)
+
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+
+
+def assemble(source: str, base: int = 0x400000) -> Program:
+    """Assemble *source* text into a :class:`Program` at virtual *base*.
+
+    Raises :class:`AssemblyError` with a line number on any syntax error.
+    """
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].split("#", 1)[0].strip()
+        comment = ""
+        if ";" in raw_line:
+            comment = raw_line.split(";", 1)[1].strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label, rest = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblyError(f"line {line_number}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+            if not rest:
+                continue
+            line = rest
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(operand_text)
+        try:
+            instructions.append(_assemble_line(mnemonic, operands, comment))
+        except AssemblyError as error:
+            raise AssemblyError(f"line {line_number}: {error}") from None
+
+    for label, target_index in labels.items():
+        if target_index > len(instructions):
+            raise AssemblyError(f"label {label!r} points past end of program")
+
+    return Program(instructions, labels=labels, base=base, source=source)

@@ -1,0 +1,99 @@
+"""Assembled programs: instruction sequences bound to virtual addresses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.isa.instructions import Instruction
+
+#: Fixed encoded size of every instruction, in bytes.  x86 is variable
+#: length; a fixed size keeps PC arithmetic trivial without affecting any
+#: behaviour the paper measures (alignment effects are modelled at the
+#: fetch-line granularity, not per instruction).
+INSTRUCTION_SIZE = 4
+
+
+class Program:
+    """A sequence of instructions bound to a base virtual address.
+
+    The core fetches by virtual address; :meth:`fetch` maps an address back
+    to its instruction.  Labels survive assembly so tests and traces can
+    refer to gadget landmarks symbolically.
+    """
+
+    def __init__(
+        self,
+        instructions: List[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        base: int = 0x400000,
+        source: str = "",
+    ) -> None:
+        self.base = base
+        self.source = source
+        self.labels = dict(labels or {})
+        self.instructions = self._resolve_targets(instructions)
+
+    def _resolve_targets(self, instructions: List[Instruction]) -> List[Instruction]:
+        resolved = []
+        for instruction in instructions:
+            if instruction.target is not None and instruction.target_addr is None:
+                if instruction.target not in self.labels:
+                    raise KeyError(f"undefined label {instruction.target!r}")
+                addr = self.address_of_index(self.labels[instruction.target])
+                instruction = instruction.with_target_addr(addr)
+            resolved.append(instruction)
+        return resolved
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def address_of_index(self, index: int) -> int:
+        """Virtual address of the instruction at *index*."""
+        return self.base + index * INSTRUCTION_SIZE
+
+    def index_of_address(self, address: int) -> int:
+        """Instruction index for virtual *address* (must be in range)."""
+        offset = address - self.base
+        index, remainder = divmod(offset, INSTRUCTION_SIZE)
+        if remainder or not 0 <= index < len(self.instructions):
+            raise IndexError(f"address {address:#x} is not inside this program")
+        return index
+
+    def contains_address(self, address: int) -> bool:
+        """Whether *address* points at an instruction of this program."""
+        offset = address - self.base
+        if offset < 0 or offset % INSTRUCTION_SIZE:
+            return False
+        return offset // INSTRUCTION_SIZE < len(self.instructions)
+
+    def fetch(self, address: int) -> Instruction:
+        """Return the instruction at virtual *address*."""
+        return self.instructions[self.index_of_address(address)]
+
+    def label_address(self, name: str) -> int:
+        """Virtual address of label *name*."""
+        return self.address_of_index(self.labels[name])
+
+    @property
+    def end_address(self) -> int:
+        """Address one past the last instruction."""
+        return self.address_of_index(len(self.instructions))
+
+    def listing(self) -> str:
+        """Return a human-readable disassembly listing with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            for name in sorted(by_index.get(index, [])):
+                lines.append(f"{name}:")
+            address = self.address_of_index(index)
+            lines.append(f"  {address:#x}: {instruction}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Program({len(self.instructions)} instructions at {self.base:#x})"

@@ -1,0 +1,98 @@
+"""Architectural register file and status flags.
+
+The simulator keeps architectural state in a :class:`RegisterFile`; the
+out-of-order core snapshots and restores it on squashes, and transient
+execution operates on a speculative copy so that rolled-back work never
+reaches architectural state (the defining property the paper exploits).
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+#: The sixteen x86-64 general-purpose registers, in encoding order.
+GPRS = (
+    "rax",
+    "rbx",
+    "rcx",
+    "rdx",
+    "rsi",
+    "rdi",
+    "rbp",
+    "rsp",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+)
+
+#: Status flags modelled from RFLAGS (the subset Jcc conditions consume).
+FLAGS = ("zf", "cf", "sf", "of")
+
+
+class RegisterFile:
+    """Sixteen 64-bit general-purpose registers plus ZF/CF/SF/OF.
+
+    Values are always kept wrapped to 64 bits.  Unknown register names
+    raise ``KeyError`` immediately -- silent creation of registers would
+    hide assembler typos.
+    """
+
+    __slots__ = ("_regs", "_flags")
+
+    def __init__(self) -> None:
+        self._regs = {name: 0 for name in GPRS}
+        self._flags = {name: False for name in FLAGS}
+
+    def read(self, name: str) -> int:
+        """Return the 64-bit value of register *name*."""
+        return self._regs[name]
+
+    def write(self, name: str, value: int) -> None:
+        """Set register *name* to *value*, wrapped to 64 bits."""
+        if name not in self._regs:
+            raise KeyError(f"unknown register {name!r}")
+        self._regs[name] = value & MASK64
+
+    def read_flag(self, name: str) -> bool:
+        """Return the boolean value of flag *name* (``zf``/``cf``/``sf``/``of``)."""
+        return self._flags[name]
+
+    def write_flag(self, name: str, value: bool) -> None:
+        """Set flag *name* to *value*."""
+        if name not in self._flags:
+            raise KeyError(f"unknown flag {name!r}")
+        self._flags[name] = bool(value)
+
+    def set_alu_flags(self, result: int, carry: bool = False, overflow: bool = False) -> None:
+        """Update ZF/SF from *result* and CF/OF from the supplied carries."""
+        result &= MASK64
+        self._flags["zf"] = result == 0
+        self._flags["sf"] = bool(result >> 63)
+        self._flags["cf"] = carry
+        self._flags["of"] = overflow
+
+    def snapshot(self) -> dict:
+        """Return a copyable snapshot of the full architectural state."""
+        return {"regs": dict(self._regs), "flags": dict(self._flags)}
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self._regs = dict(snapshot["regs"])
+        self._flags = dict(snapshot["flags"])
+
+    def copy(self) -> "RegisterFile":
+        """Return an independent copy (used for speculative state)."""
+        clone = RegisterFile()
+        clone._regs = dict(self._regs)
+        clone._flags = dict(self._flags)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        live = {name: value for name, value in self._regs.items() if value}
+        flags = "".join(name[0].upper() if on else "" for name, on in self._flags.items())
+        return f"RegisterFile({live}, flags={flags or '-'})"

@@ -1,0 +1,37 @@
+"""Miniature OS substrate: kernel layout, KASLR and its defenses.
+
+TET-KASLR's target lives here.  The kernel image is placed at one of the
+512 2 MiB-aligned slots of the canonical Linux text range; KPTI builds a
+user-visible page table that keeps only the trampoline remnant mapped at a
+fixed offset inside the image; FLARE blankets the rest of the range with
+dummy mappings; FGKASLR shuffles function offsets inside the image.  The
+simulated attacks probe exactly these structures.
+
+* :mod:`repro.kernel.frames` -- physical frame allocator.
+* :mod:`repro.kernel.layout` -- address-space constants and the image map.
+* :mod:`repro.kernel.kaslr` -- slot randomisation (and FGKASLR shuffling).
+* :mod:`repro.kernel.kernel` -- the :class:`Kernel` facade.
+* :mod:`repro.kernel.process` -- user processes, signals, containers.
+"""
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.layout import (
+    KASLR_ALIGN,
+    KASLR_SLOTS,
+    KERNEL_TEXT_RANGE_END,
+    KERNEL_TEXT_RANGE_START,
+    KPTI_TRAMPOLINE_OFFSET,
+    KernelLayout,
+)
+from repro.kernel.process import Process
+
+__all__ = [
+    "KASLR_ALIGN",
+    "KASLR_SLOTS",
+    "KERNEL_TEXT_RANGE_END",
+    "KERNEL_TEXT_RANGE_START",
+    "KPTI_TRAMPOLINE_OFFSET",
+    "Kernel",
+    "KernelLayout",
+    "Process",
+]

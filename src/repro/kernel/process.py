@@ -1,0 +1,60 @@
+"""User processes: address space view, memory allocation, signals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.memory.paging import AddressSpace, PageSize
+
+
+@dataclass
+class SignalDisposition:
+    """Registered handler for one signal (we only model SIGSEGV)."""
+
+    handler_pc: int
+
+
+@dataclass
+class Process:
+    """One user process.
+
+    ``space`` is the page table the process runs on (the KPTI *user* table
+    when KPTI is enabled -- the kernel keeps its full table separately).
+    ``container`` marks Docker-style namespacing; it intentionally changes
+    nothing about translation, which is the paper's §4.5 point about
+    breaking KASLR from inside a container.
+    """
+
+    pid: int
+    name: str
+    space: AddressSpace
+    kernel_space: AddressSpace
+    container: bool = False
+    signal_handlers: Dict[str, SignalDisposition] = field(default_factory=dict)
+    #: Next free user virtual address for allocations.
+    brk: int = 0x0000_7000_0000_0000
+    #: Next free virtual address for code mappings.
+    code_brk: int = 0x40_0000
+
+    def register_signal_handler(self, signal: str, handler_pc: int) -> None:
+        """Install *handler_pc* for *signal* (``"SIGSEGV"``)."""
+        self.signal_handlers[signal] = SignalDisposition(handler_pc)
+
+    def signal_handler(self, signal: str) -> Optional[int]:
+        """Handler PC for *signal*, or ``None``."""
+        disposition = self.signal_handlers.get(signal)
+        return disposition.handler_pc if disposition else None
+
+    def take_data_va(self, pages: int, size: PageSize = PageSize.SIZE_4K) -> int:
+        """Reserve *pages* of user data address space; return the base."""
+        alignment = int(size)
+        base = (self.brk + alignment - 1) & ~(alignment - 1)
+        self.brk = base + pages * alignment
+        return base
+
+    def take_code_va(self, pages: int) -> int:
+        """Reserve *pages* of executable address space; return the base."""
+        base = (self.code_brk + 0xFFF) & ~0xFFF
+        self.code_brk = base + pages * int(PageSize.SIZE_4K)
+        return base

@@ -1,0 +1,167 @@
+"""Set-associative cache hierarchy with ``clflush`` support.
+
+Caches track line *presence and recency* (hit/miss timing, flush, evict);
+data values always come from :class:`~repro.memory.physical.PhysicalMemory`
+so coherence bugs are impossible by construction.  That is all the paper's
+experiments need: Flush+Reload (the baseline covert channel) and the
+transient-window-length effects both depend only on hit/miss latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+LINE_SHIFT = 6
+LINE_SIZE = 1 << LINE_SHIFT
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape/latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+
+    @property
+    def sets(self) -> int:
+        return max(1, self.size_bytes // (LINE_SIZE * self.ways))
+
+
+class Cache:
+    """One set-associative, LRU cache level (presence only)."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, paddr: int) -> Tuple[int, int]:
+        line = paddr >> LINE_SHIFT
+        return line % self.geometry.sets, line
+
+    def probe(self, paddr: int) -> bool:
+        """Whether the line holding *paddr* is present (no state change)."""
+        set_index, line = self._set_for(paddr)
+        return line in self._sets.get(set_index, ())
+
+    def touch(self, paddr: int) -> bool:
+        """Look up *paddr*; on hit refresh LRU.  Returns hit/miss."""
+        set_index, line = self._set_for(paddr)
+        ways = self._sets.get(set_index)
+        if ways is not None and line in ways:
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, paddr: int) -> Optional[int]:
+        """Insert the line holding *paddr*; return evicted line or None."""
+        set_index, line = self._set_for(paddr)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if line in ways:
+            ways.move_to_end(line)
+            return None
+        evicted = None
+        if len(ways) >= self.geometry.ways:
+            evicted, _ = ways.popitem(last=False)
+        ways[line] = True
+        return evicted
+
+    def flush_line(self, paddr: int) -> bool:
+        """Remove the line holding *paddr*; return whether it was present."""
+        set_index, line = self._set_for(paddr)
+        ways = self._sets.get(set_index)
+        if ways is not None and line in ways:
+            del ways[line]
+            return True
+        return False
+
+    def flush_all(self) -> None:
+        """Empty the cache."""
+        self._sets.clear()
+
+    def evict_set_of(self, paddr: int) -> None:
+        """Empty the set that *paddr* maps to (Prime+Probe-style eviction)."""
+        set_index, _ = self._set_for(paddr)
+        self._sets.pop(set_index, None)
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())
+
+
+@dataclass(frozen=True)
+class MemoryAccessOutcome:
+    """Result of a hierarchy access: latency and the level that hit."""
+
+    latency: int
+    hit_level: str  # "L1", "L2", "LLC" or "DRAM"
+
+
+class CacheHierarchy:
+    """L1D + L1I + unified L2 + LLC with inclusive fills.
+
+    ``data_access``/``inst_access`` return the latency of the access and
+    fill all levels on the way in.  ``clflush`` removes a line everywhere,
+    exactly what the paper's gadgets use to lengthen transient windows.
+    """
+
+    def __init__(
+        self,
+        l1d: CacheGeometry,
+        l1i: CacheGeometry,
+        l2: CacheGeometry,
+        llc: CacheGeometry,
+        dram_latency: int = 200,
+    ) -> None:
+        self.l1d = Cache(l1d)
+        self.l1i = Cache(l1i)
+        self.l2 = Cache(l2)
+        self.llc = Cache(llc)
+        self.dram_latency = dram_latency
+        #: Total clflush operations (the cache-attack detector's feature).
+        self.clflush_count = 0
+
+    def _access(self, first_level: Cache, paddr: int) -> MemoryAccessOutcome:
+        if first_level.touch(paddr):
+            return MemoryAccessOutcome(first_level.geometry.latency, first_level.geometry.name)
+        if self.l2.touch(paddr):
+            first_level.fill(paddr)
+            return MemoryAccessOutcome(self.l2.geometry.latency, "L2")
+        if self.llc.touch(paddr):
+            first_level.fill(paddr)
+            self.l2.fill(paddr)
+            return MemoryAccessOutcome(self.llc.geometry.latency, "LLC")
+        first_level.fill(paddr)
+        self.l2.fill(paddr)
+        self.llc.fill(paddr)
+        return MemoryAccessOutcome(self.dram_latency, "DRAM")
+
+    def data_access(self, paddr: int) -> MemoryAccessOutcome:
+        """Access *paddr* through the data side (L1D -> L2 -> LLC -> DRAM)."""
+        return self._access(self.l1d, paddr)
+
+    def inst_access(self, paddr: int) -> MemoryAccessOutcome:
+        """Access *paddr* through the instruction side."""
+        return self._access(self.l1i, paddr)
+
+    def clflush(self, paddr: int) -> None:
+        """Flush the line holding *paddr* from every level."""
+        self.clflush_count += 1
+        for cache in (self.l1d, self.l1i, self.l2, self.llc):
+            cache.flush_line(paddr)
+
+    def flush_all(self) -> None:
+        """Empty the entire hierarchy (cold-cache experiment setup)."""
+        for cache in (self.l1d, self.l1i, self.l2, self.llc):
+            cache.flush_all()
+
+    def data_resident(self, paddr: int) -> bool:
+        """Whether *paddr*'s line is in L1D (Flush+Reload's question)."""
+        return self.l1d.probe(paddr) or self.l2.probe(paddr) or self.llc.probe(paddr)

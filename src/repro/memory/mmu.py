@@ -1,0 +1,376 @@
+"""The MMU facade the core talks to: TLBs + walker + caches + physical RAM.
+
+This is where the paper's TET-KASLR root cause is implemented as policy:
+
+* mapped-but-forbidden access -> permission fault, and on parts with
+  ``fill_tlb_on_faulting_access`` the translation is *still cached*, so the
+  next probe of the same address skips the walk entirely;
+* unmapped access -> not-present fault that can never be cached, so every
+  probe pays the full walk (plus the walker's not-present confirmation).
+
+The MMU is deliberately policy-free about *transient data forwarding*
+(Meltdown/MDS): it reports what happened and exposes peeks; the core
+decides what a vulnerable pipeline forwards.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.cache import CacheHierarchy, LINE_SIZE
+from repro.memory.lfb import LineFillBuffer
+from repro.memory.paging import AddressSpace, Pte
+from repro.memory.physical import PhysicalMemory
+from repro.memory.tlb import SplitTlb
+from repro.memory.walker import PageWalker, WalkResult
+
+
+class FaultKind(enum.Enum):
+    """Why a memory access faulted."""
+
+    NOT_PRESENT = "not_present"  # #PF, P=0 -- the address is unmapped
+    PROTECTION = "protection"  # #PF, U/S violation -- mapped, supervisor-only
+    WRITE_PROTECT = "write_protect"  # #PF, W=0 on a write
+    NX = "nx"  # instruction fetch from NX page
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A page fault with the detail the kernel (and the attacker) can see."""
+
+    kind: FaultKind
+    va: int
+
+    @property
+    def address_is_mapped(self) -> bool:
+        """Whether a translation exists (the secret TET-KASLR extracts)."""
+        return self.kind is not FaultKind.NOT_PRESENT
+
+
+@dataclass
+class AccessResult:
+    """Everything one data access produced."""
+
+    va: int
+    paddr: Optional[int]
+    value: Optional[int]
+    fault: Optional[Fault]
+    latency: int
+    tlb_hit: bool
+    hit_level: str  # cache level that served the data ("" if faulted)
+    was_cached: bool  # line presence *before* this access
+    walk: Optional[WalkResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.fault is None
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one instruction-fetch translation + line access."""
+
+    va: int
+    fault: Optional[Fault]
+    latency: int
+    tlb_hit: bool
+    walk: Optional[WalkResult] = None
+
+
+class Mmu:
+    """Memory-management unit for one core (shared by SMT siblings)."""
+
+    def __init__(
+        self,
+        physical: PhysicalMemory,
+        hierarchy: CacheHierarchy,
+        fill_tlb_on_faulting_access: bool = True,
+        dtlb: Optional[SplitTlb] = None,
+        itlb: Optional[SplitTlb] = None,
+        lfb: Optional[LineFillBuffer] = None,
+        fault_determination_cost: int = 4,
+    ) -> None:
+        self.physical = physical
+        self.hierarchy = hierarchy
+        self.fill_tlb_on_faulting_access = fill_tlb_on_faulting_access
+        self.dtlb = dtlb or SplitTlb("DTLB")
+        self.itlb = itlb or SplitTlb("ITLB", entries_4k=64, ways_4k=8)
+        self.walker = PageWalker(hierarchy)
+        # `is not None`, not truthiness: an empty shared LineFillBuffer is
+        # falsy (it defines __len__) but must still be shared.
+        self.lfb = lfb if lfb is not None else LineFillBuffer()
+        self.fault_determination_cost = fault_determination_cost
+        self.space: Optional[AddressSpace] = None
+        # Optional ambient-noise model: a seeded jitter added to every
+        # memory-side latency, standing in for co-running OS activity.
+        # Deterministic given the seed, so noisy runs still replay.
+        self._noise_rng: Optional[random.Random] = None
+        self._noise_amplitude = 0
+        # Walk-cycle accounting split by requester, feeding Table 3's
+        # DTLB_LOAD_MISSES.* / ITLB_MISSES.WALK_ACTIVE counters.
+        self.dside_walks = 0
+        self.dside_walk_cycles = 0
+        self.iside_walks = 0
+        self.iside_walk_cycles = 0
+
+    def set_noise(self, amplitude: int, seed: int = 0) -> None:
+        """Enable ambient latency noise: each memory-side access gains a
+        uniform 0..*amplitude* cycle jitter.  ``amplitude=0`` disables."""
+        if amplitude < 0:
+            raise ValueError("noise amplitude must be >= 0")
+        self._noise_amplitude = amplitude
+        self._noise_rng = random.Random(seed) if amplitude else None
+
+    def _jitter(self) -> int:
+        if self._noise_rng is None:
+            return 0
+        return self._noise_rng.randint(0, self._noise_amplitude)
+
+    def set_address_space(self, space: AddressSpace, flush_global: bool = False) -> None:
+        """CR3 write: switch tables, flushing non-global TLB entries."""
+        self.space = space
+        self.dtlb.flush(keep_global=not flush_global)
+        self.itlb.flush(keep_global=not flush_global)
+        self.walker.flush_psc()
+
+    def flush_tlb(self, keep_global: bool = False) -> None:
+        """Full TLB + paging-structure-cache flush (attacker primitive)."""
+        self.dtlb.flush(keep_global=keep_global)
+        self.itlb.flush(keep_global=keep_global)
+        self.walker.flush_psc()
+
+    def invalidate_page(self, va: int) -> None:
+        """``invlpg``-style single-address invalidation."""
+        self.dtlb.invalidate(va)
+        self.itlb.invalidate(va)
+
+    # -- permission checking -------------------------------------------------
+
+    @staticmethod
+    def _check_permissions(pte: Pte, write: bool, user: bool, fetch: bool, va: int) -> Optional[Fault]:
+        if user and not pte.user:
+            return Fault(FaultKind.PROTECTION, va)
+        if write and not pte.writable:
+            return Fault(FaultKind.WRITE_PROTECT, va)
+        if fetch and pte.nx:
+            return Fault(FaultKind.NX, va)
+        return None
+
+    # -- data side -----------------------------------------------------------
+
+    def data_access(
+        self,
+        va: int,
+        write: bool = False,
+        value: Optional[int] = None,
+        size: int = 8,
+        user: bool = True,
+        now: int = 0,
+        thread_id: int = 0,
+    ) -> AccessResult:
+        """Perform one data load or store at *va*.
+
+        On success the value is read from / written to physical memory and
+        the cache hierarchy is updated (fills recorded into the LFB).  On a
+        fault nothing architectural happens; the result captures the fault
+        kind, the translation latency actually spent, and (via ``paddr``)
+        where the data would have been -- the core uses that for transient
+        forwarding decisions.
+        """
+        if self.space is None:
+            raise RuntimeError("MMU has no address space installed")
+
+        walk = None
+        entry = self.dtlb.lookup(va)
+        if entry is not None:
+            pte = entry.pte
+            latency = 1 + self._jitter()
+            tlb_hit = True
+        else:
+            walk = self.walker.walk(self.space, va, now=now)
+            self.dside_walks += 1
+            self.dside_walk_cycles += walk.latency
+            latency = walk.latency + self._jitter()
+            tlb_hit = False
+            if walk.pte is None:
+                latency += self.fault_determination_cost
+                return AccessResult(
+                    va=va,
+                    paddr=None,
+                    value=None,
+                    fault=Fault(FaultKind.NOT_PRESENT, va),
+                    latency=latency,
+                    tlb_hit=False,
+                    hit_level="",
+                    was_cached=False,
+                    walk=walk,
+                )
+            pte = walk.pte
+            fault_preview = self._check_permissions(pte, write, user, False, va)
+            if fault_preview is None or self.fill_tlb_on_faulting_access:
+                self.dtlb.fill(va, pte)
+
+        paddr = pte.physical_address(va)
+        fault = self._check_permissions(pte, write, user, False, va)
+        if fault is not None:
+            latency += self.fault_determination_cost
+            return AccessResult(
+                va=va,
+                paddr=paddr,
+                value=None,
+                fault=fault,
+                latency=latency,
+                tlb_hit=tlb_hit,
+                hit_level="",
+                was_cached=self.hierarchy.data_resident(paddr),
+                walk=walk,
+            )
+
+        was_cached = self.hierarchy.data_resident(paddr)
+        outcome = self.hierarchy.data_access(paddr)
+        latency += outcome.latency
+        if outcome.hit_level != "L1":
+            # The fill buffers sit between L1D and the rest of the
+            # hierarchy: every L1 miss is serviced through one.
+            line_paddr = paddr & ~(LINE_SIZE - 1)
+            self.lfb.record_fill(
+                line_paddr, self.physical.read_bytes(line_paddr, LINE_SIZE), thread_id
+            )
+        if write:
+            if value is None:
+                raise ValueError("store needs a value")
+            self.physical.write_bytes(paddr, value.to_bytes(size, "little", signed=False))
+            line_paddr = paddr & ~(LINE_SIZE - 1)
+            self.lfb.record_fill(
+                line_paddr, self.physical.read_bytes(line_paddr, LINE_SIZE), thread_id
+            )
+            data = value
+        else:
+            data = int.from_bytes(self.physical.read_bytes(paddr, size), "little")
+        return AccessResult(
+            va=va,
+            paddr=paddr,
+            value=data,
+            fault=None,
+            latency=latency,
+            tlb_hit=tlb_hit,
+            hit_level=outcome.hit_level,
+            was_cached=was_cached,
+            walk=walk,
+        )
+
+    def prefetch(self, va: int, user: bool = True, now: int = 0, thread_id: int = 0) -> int:
+        """Software prefetch: translate and fill, never fault.
+
+        Returns the latency.  This is EntryBleed's primitive: on parts
+        that load translations regardless of the permission outcome, a
+        user-mode prefetch of a *mapped kernel* address still fills the
+        TLB (and its latency reveals the translation state); on
+        permission-checked parts it does not.
+        """
+        if self.space is None:
+            raise RuntimeError("MMU has no address space installed")
+        entry = self.dtlb.lookup(va)
+        if entry is not None:
+            pte = entry.pte
+            latency = 1
+        else:
+            walk = self.walker.walk(self.space, va, now=now)
+            self.dside_walks += 1
+            self.dside_walk_cycles += walk.latency
+            latency = walk.latency
+            if walk.pte is None:
+                return latency  # unmapped: nothing to fill, nothing fetched
+            pte = walk.pte
+            permitted = self._check_permissions(pte, False, user, False, va) is None
+            if permitted or self.fill_tlb_on_faulting_access:
+                self.dtlb.fill(va, pte)
+        if self._check_permissions(pte, False, user, False, va) is None:
+            outcome = self.hierarchy.data_access(pte.physical_address(va))
+            latency += outcome.latency
+        return latency
+
+    # -- instruction side ----------------------------------------------------
+
+    def instruction_fetch(self, va: int, user: bool = True, now: int = 0) -> FetchResult:
+        """Translate and fetch the instruction line at *va*."""
+        if self.space is None:
+            raise RuntimeError("MMU has no address space installed")
+        walk = None
+        entry = self.itlb.lookup(va)
+        if entry is not None:
+            pte = entry.pte
+            latency = 1 + self._jitter()
+            tlb_hit = True
+        else:
+            walk = self.walker.walk(self.space, va, now=now)
+            self.iside_walks += 1
+            self.iside_walk_cycles += walk.latency
+            latency = walk.latency
+            tlb_hit = False
+            if walk.pte is None:
+                return FetchResult(va, Fault(FaultKind.NOT_PRESENT, va), latency, False, walk)
+            pte = walk.pte
+            self.itlb.fill(va, pte)
+        fault = self._check_permissions(pte, False, user, True, va)
+        if fault is not None:
+            return FetchResult(va, fault, latency + self.fault_determination_cost, tlb_hit, walk)
+        outcome = self.hierarchy.inst_access(pte.physical_address(va))
+        return FetchResult(va, None, latency + outcome.latency, tlb_hit, walk)
+
+    # -- attacker-visible helpers ---------------------------------------------
+
+    def clflush(self, va: int, user: bool = True) -> bool:
+        """Flush the line at *va* from the whole hierarchy.
+
+        Returns ``False`` (no-op) when the address does not translate --
+        ``clflush`` on a bad address raises #PF on real hardware, but the
+        gadgets only flush their own memory, so a boolean is sufficient.
+        """
+        pte = self.space.lookup(va) if self.space else None
+        if pte is None:
+            return False
+        self.hierarchy.clflush(pte.physical_address(va))
+        return True
+
+    def translate_peek(self, va: int) -> Optional[int]:
+        """Translate *va* with no side effects; ``None`` if unmapped."""
+        pte = self.space.lookup(va) if self.space else None
+        if pte is None:
+            return None
+        return pte.physical_address(va)
+
+    def peek_raw_bytes(self, va: int, size: int) -> Optional[bytes]:
+        """Read *size* bytes at *va* with no side effects (undo logging)."""
+        paddr = self.translate_peek(va)
+        if paddr is None:
+            return None
+        return self.physical.read_bytes(paddr, size)
+
+    def poke_raw_bytes(self, va: int, data: bytes) -> None:
+        """Write bytes at *va* with no side effects (store rollback)."""
+        paddr = self.translate_peek(va)
+        if paddr is None:
+            raise ValueError(f"poke of unmapped address {va:#x}")
+        self.physical.write_bytes(paddr, data)
+
+    def peek_physical(self, va: int) -> Optional[int]:
+        """Read the byte at *va*'s translation ignoring permissions.
+
+        This is the *simulator-internal* peek the core uses to model
+        Meltdown's transient forwarding; it never touches the caches.
+        """
+        pte = self.space.lookup(va) if self.space else None
+        if pte is None:
+            return None
+        return self.physical.read_u8(pte.physical_address(va))
+
+    def is_cached(self, va: int) -> bool:
+        """Whether *va*'s line is anywhere in the data hierarchy."""
+        pte = self.space.lookup(va) if self.space else None
+        if pte is None:
+            return False
+        return self.hierarchy.data_resident(pte.physical_address(va))

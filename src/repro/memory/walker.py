@@ -1,0 +1,124 @@
+"""The hardware page walker.
+
+A walk fetches one entry per level through the *data cache hierarchy* and
+keeps paging-structure caches (PSCs) for the non-leaf levels.  Two
+properties matter for the paper:
+
+* A walk for an **unmapped** address cannot be short-circuited by the TLB,
+  so every probe repeats the multi-level traversal --
+  ``DTLB_LOAD_MISSES.WALK_ACTIVE`` grows (Table 3).
+* The walker is a single shared resource; a concurrent request (e.g. an
+  instruction-side translation after the TLB flush) queues behind an
+  in-flight walk, which is how ``ITLB_MISSES.WALK_ACTIVE`` becomes nonzero
+  only in the unmapped case.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.memory.cache import CacheHierarchy
+from repro.memory.paging import AddressSpace, Pte, WalkStep
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one hardware page walk."""
+
+    pte: Optional[Pte]
+    steps: List[WalkStep]
+    latency: int
+    queue_delay: int
+    psc_hits: int
+    entry_fetches: int
+
+    @property
+    def present(self) -> bool:
+        return self.pte is not None
+
+    @property
+    def levels_touched(self) -> int:
+        return len(self.steps)
+
+
+class PageWalker:
+    """Walks page tables, caching upper-level entries in a PSC.
+
+    ``busy_until`` implements the shared-resource queueing: callers pass
+    the current cycle and receive the queue delay as part of the walk
+    latency.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        psc_entries: int = 32,
+        setup_cost: int = 3,
+        not_present_cost: int = 0,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.psc_entries = psc_entries
+        self.setup_cost = setup_cost
+        #: Extra cycles to signal a terminal not-present entry.  Zero by
+        #: default: a mapped-but-forbidden and an unmapped walk that
+        #: terminate at the same level cost the same, so the *only*
+        #: mapped-address oracle is the TLB fill-on-fault behaviour --
+        #: which is exactly the paper's root-cause claim (§5.2.4), and
+        #: why TET-KASLR fails on parts that check permissions first.
+        self.not_present_cost = not_present_cost
+        self._psc: OrderedDict = OrderedDict()
+        self.busy_until = 0
+        self.walks = 0
+        self.walk_cycles = 0
+
+    def flush_psc(self) -> None:
+        """Drop all cached paging-structure entries (full TLB flush)."""
+        self._psc.clear()
+
+    def _psc_lookup(self, key: Tuple[int, int]) -> bool:
+        if key in self._psc:
+            self._psc.move_to_end(key)
+            return True
+        return False
+
+    def _psc_fill(self, key: Tuple[int, int]) -> None:
+        if key in self._psc:
+            self._psc.move_to_end(key)
+            return
+        if len(self._psc) >= self.psc_entries:
+            self._psc.popitem(last=False)
+        self._psc[key] = True
+
+    def walk(self, space: AddressSpace, va: int, now: int = 0) -> WalkResult:
+        """Perform a hardware walk of *space* for *va* starting at cycle *now*."""
+        steps, pte = space.walk_path(va)
+        queue_delay = max(0, self.busy_until - now)
+        latency = self.setup_cost
+        psc_hits = 0
+        entry_fetches = 0
+        for step in steps:
+            key = (step.level, (va >> 12) >> (9 * (3 - step.level)))
+            if not step.is_leaf and self._psc_lookup(key):
+                psc_hits += 1
+                latency += 1
+                continue
+            outcome = self.hierarchy.data_access(step.entry_paddr)
+            entry_fetches += 1
+            latency += outcome.latency
+            if not step.is_leaf and step.present:
+                self._psc_fill(key)
+        if pte is None:
+            latency += self.not_present_cost
+        self.walks += 1
+        self.walk_cycles += latency
+        self.busy_until = now + queue_delay + latency
+        return WalkResult(
+            pte=pte,
+            steps=steps,
+            latency=queue_delay + latency,
+            queue_delay=queue_delay,
+            psc_hits=psc_hits,
+            entry_fetches=entry_fetches,
+        )

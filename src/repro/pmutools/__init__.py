@@ -1,0 +1,50 @@
+"""The automated PMU analysis toolset of §5 (Figure 2).
+
+Manual inspection of hundreds of PMU events is "a daunting task and
+challenge", so the paper builds a three-stage pipeline; this package is
+that pipeline against the simulator's PMU:
+
+1. **Preparation** (:mod:`repro.pmutools.events`): enumerate the events a
+   CPU model exposes, as the paper does from Intel Perfmon / Linux perf.
+2. **Online collection** (:mod:`repro.pmutools.collector`): run a scenario
+   under both of its conditions (Jcc trigger / no trigger, or mapped /
+   unmapped) and record per-event counter deltas.
+3. **Offline analysis** (:mod:`repro.pmutools.differential` and
+   :mod:`repro.pmutools.report`): differential filtering to discard
+   condition-insensitive events, then grouping by microarchitectural
+   domain to answer RQ1-RQ3 -- the content of Table 3.
+
+:mod:`repro.pmutools.scenarios` defines the measured scenes (TET-CC,
+TET-MD, the transient-flow experiment, TET-KASLR) and
+:mod:`repro.pmutools.pipeline` glues all stages together.
+"""
+
+from repro.pmutools.collector import CollectionResult, OnlineCollector
+from repro.pmutools.differential import DifferentialFilter, FilteredEvent
+from repro.pmutools.events import prepare_events
+from repro.pmutools.pipeline import PmuPipeline, PipelineReport
+from repro.pmutools.report import Table3Row, render_table3
+from repro.pmutools.scenarios import (
+    Scenario,
+    TetCcScenario,
+    TetKaslrScenario,
+    TetMdScenario,
+    TransientFlowScenario,
+)
+
+__all__ = [
+    "CollectionResult",
+    "DifferentialFilter",
+    "FilteredEvent",
+    "OnlineCollector",
+    "PipelineReport",
+    "PmuPipeline",
+    "Scenario",
+    "Table3Row",
+    "TetCcScenario",
+    "TetKaslrScenario",
+    "TetMdScenario",
+    "TransientFlowScenario",
+    "prepare_events",
+    "render_table3",
+]

@@ -1,0 +1,64 @@
+"""Online collection stage: run scenes and harvest counter deltas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.pmutools.events import counter_groups
+from repro.uarch.pmu import PmuEvent
+from repro.pmutools.scenarios import Scenario
+
+
+@dataclass
+class CollectionResult:
+    """Raw per-event means for both conditions of one scenario."""
+
+    scenario: str
+    condition_names: tuple
+    iterations: int
+    #: event name -> (mean under condition 0, mean under condition 1)
+    means: Dict[str, tuple] = field(default_factory=dict)
+
+
+class OnlineCollector:
+    """Runs a scenario under PMU observation, a counter group at a time.
+
+    The simulator's PMU could count every event in one run, but the stage
+    mimics the real methodology: program a group of ~4 counters, run the
+    scene N times per condition, read, move to the next group.
+    """
+
+    def __init__(self, iterations: int = 16, group_size: int = 4) -> None:
+        self.iterations = iterations
+        self.group_size = group_size
+
+    def collect(self, scenario: Scenario, events: List[PmuEvent]) -> CollectionResult:
+        """Measure *events* under both conditions of *scenario*."""
+        scenario.warm_up()
+        pmu = scenario.machine.pmu
+        result = CollectionResult(
+            scenario=scenario.name,
+            condition_names=scenario.condition_names,
+            iterations=self.iterations,
+        )
+        for group in counter_groups(events, self.group_size):
+            names = [event.name for event in group]
+            per_condition: List[Dict[str, float]] = []
+            for condition in (0, 1):
+                sums = {name: 0.0 for name in names}
+                for _ in range(self.iterations):
+                    # Re-create the sweep context (predictor trained to the
+                    # common direction) outside the measured bracket.
+                    scenario.retrain()
+                    baseline = pmu.snapshot()
+                    scenario.run_condition(condition)
+                    delta = pmu.delta(baseline)
+                    for name in names:
+                        sums[name] += delta[name]
+                per_condition.append(
+                    {name: sums[name] / self.iterations for name in names}
+                )
+            for name in names:
+                result.means[name] = (per_condition[0][name], per_condition[1][name])
+        return result

@@ -1,0 +1,42 @@
+"""Preparation stage: enumerate the PMU events a CPU exposes.
+
+On real hardware this stage parses Intel's Perfmon JSON and ``perf list``;
+here the catalogue lives in :mod:`repro.uarch.pmu` and is filtered by
+vendor, exactly the information the online stage needs to program the
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.uarch.config import CpuModel
+from repro.uarch.pmu import PmuEvent, events_for_vendor
+
+
+def prepare_events(model: CpuModel, domains: List[str] = None) -> List[PmuEvent]:
+    """Events available on *model*, optionally filtered by domain.
+
+    Domains are ``"frontend"``, ``"backend"``, ``"memory"`` -- the RQ1-RQ3
+    split of §5.2.
+    """
+    events = events_for_vendor(model.vendor)
+    if domains:
+        unknown = set(domains) - {"frontend", "backend", "memory"}
+        if unknown:
+            raise ValueError(f"unknown domains: {sorted(unknown)}")
+        events = [event for event in events if event.domain in domains]
+    return events
+
+
+def counter_groups(events: List[PmuEvent], group_size: int = 4) -> List[List[PmuEvent]]:
+    """Partition events into programmable counter groups.
+
+    Real PMUs expose a handful of programmable counters, so the collection
+    stage measures a few events per run and repeats the scenario; the
+    simulator could count everything at once, but we keep the grouping so
+    the pipeline's run count matches the real methodology.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    return [events[i : i + group_size] for i in range(0, len(events), group_size)]

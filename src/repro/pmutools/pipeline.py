@@ -1,0 +1,63 @@
+"""The complete three-stage flow of Figure 2, as one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.pmutools.collector import CollectionResult, OnlineCollector
+from repro.pmutools.differential import DifferentialFilter, FilteredEvent
+from repro.pmutools.events import prepare_events
+from repro.pmutools.report import Table3Row, answers_by_domain, render_table3, rows_from_filtered
+from repro.pmutools.scenarios import Scenario
+
+
+@dataclass
+class PipelineReport:
+    """Everything one pipeline run produced, stage by stage."""
+
+    scenario: str
+    cpu: str
+    prepared_events: int
+    collection: CollectionResult
+    survivors: List[FilteredEvent]
+    rejected: List[str]
+    rows: List[Table3Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_table3(self.rows)
+
+    def domains(self):
+        """RQ1-RQ3 grouping of the surviving evidence."""
+        return answers_by_domain(self.rows)
+
+
+class PmuPipeline:
+    """Prepare -> collect -> filter -> report (Figure 2)."""
+
+    def __init__(
+        self,
+        collector: Optional[OnlineCollector] = None,
+        differential: Optional[DifferentialFilter] = None,
+    ) -> None:
+        self.collector = collector or OnlineCollector()
+        self.differential = differential or DifferentialFilter()
+
+    def analyze(self, scenario: Scenario) -> PipelineReport:
+        """Run the full flow for one scenario on its machine."""
+        model = scenario.machine.model
+        events = prepare_events(model)
+        collection = self.collector.collect(scenario, events)
+        survivors = self.differential.filter(collection)
+        rejected = self.differential.rejected(collection)
+        scene = f"{model.name} / {scenario.name}"
+        rows = rows_from_filtered(scene, survivors, collection.condition_names)
+        return PipelineReport(
+            scenario=scenario.name,
+            cpu=model.name,
+            prepared_events=len(events),
+            collection=collection,
+            survivors=survivors,
+            rejected=rejected,
+            rows=rows,
+        )

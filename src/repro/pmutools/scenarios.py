@@ -1,0 +1,155 @@
+"""The measured scenes of Table 3.
+
+A :class:`Scenario` owns a machine, knows its two *conditions* (the
+columns of Table 3: Jcc trigger / no trigger, or mapped / unmapped) and
+runs one iteration of the scene under a chosen condition.  The collector
+brackets those runs with PMU snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.sim.machine import Machine
+from repro.whisper.gadgets import GadgetBuilder
+
+#: A test value no byte can match (keeps a Jcc direction constant).
+NEVER_MATCH = 256
+
+
+class Scenario:
+    """Base class: a named scene with two PMU-compared conditions."""
+
+    name = "scenario"
+    condition_names: Tuple[str, str] = ("Jcc not Trigger", "Jcc Trigger")
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._prepare()
+
+    def _prepare(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def warm_up(self, rounds: int = 8) -> None:
+        """Run both conditions a few times to settle predictors/caches."""
+        for _ in range(rounds):
+            self.run_condition(0)
+            self.run_condition(1)
+
+    def run_condition(self, index: int) -> None:  # pragma: no cover - overridden
+        """Run one iteration under condition *index* (0 or 1)."""
+        raise NotImplementedError
+
+    def retrain(self) -> None:
+        """Restore the ambient microarchitectural state between measured
+        iterations.
+
+        In the paper the trigger case is one rare value inside a 0..255
+        sweep, so the predictor is always trained toward the common
+        (no-trigger) direction when the trigger lands; three no-trigger
+        runs recreate that context.  Collectors call this *outside* the
+        PMU bracket.
+        """
+        for _ in range(3):
+            self.run_condition(0)
+
+
+class TetCcScenario(Scenario):
+    """TET-CC (Figure 1a): compare a sent byte against a test value."""
+
+    name = "TET-CC"
+
+    def _prepare(self) -> None:
+        self.builder = GadgetBuilder(self.machine)
+        self.program = self.builder.figure1()
+        self.sender_page = self.machine.alloc_data()
+        self.sent_byte = ord("S")
+        self.machine.write_data(self.sender_page, bytes([self.sent_byte]))
+
+    def run_condition(self, index: int) -> None:
+        test = self.sent_byte if index else NEVER_MATCH
+        self.machine.run(
+            self.program, regs={"r12": self.sender_page, "r13": 0, "r9": test}
+        )
+
+
+class TetMdScenario(Scenario):
+    """TET-MD: the Jcc consumes the transiently forwarded kernel byte."""
+
+    name = "TET-MD"
+
+    def _prepare(self) -> None:
+        self.builder = GadgetBuilder(self.machine)
+        self.program = self.builder.meltdown()
+        self.secret_va = self.machine.kernel.secret_va
+        self.secret_byte = self.machine.kernel.secret[0]
+        self.machine.warm_kernel_secret()
+
+    def run_condition(self, index: int) -> None:
+        self.machine.victim_touch(self.secret_va)
+        test = self.secret_byte if index else NEVER_MATCH
+        self.machine.run(self.program, regs={"r13": self.secret_va, "r9": test})
+
+
+class TransientFlowScenario(Scenario):
+    """§5.2.5's branch-reachability experiment (Figure 4).
+
+    The gadget is the Figure 1a shape with a configurable nop sled before
+    the transient block's end; sweeping the sled length flips the sign of
+    the UOPS_ISSUED.ANY difference, as the paper observes.
+    """
+
+    name = "Transient Execution Flow"
+
+    def __init__(self, machine: Machine, sled: int = 0) -> None:
+        self.sled = sled
+        super().__init__(machine)
+
+    def _prepare(self) -> None:
+        self.builder = GadgetBuilder(self.machine)
+        nops = "\n".join("    nop" for _ in range(self.sled))
+        transient = f"""
+    loadb r8, [r13]
+    cmp r8, r9
+    je flow_trigger          ; (3) the trigger path
+{nops}
+    mfence                   ; the fence the not-trigger path meets
+    nop
+flow_trigger:
+    nop
+    nop"""
+        self.program = self.builder._load(self.builder._wrap_transient(transient))
+        self.secret_va = self.machine.kernel.secret_va
+        self.secret_byte = self.machine.kernel.secret[0]
+        self.machine.warm_kernel_secret()
+
+    def run_condition(self, index: int) -> None:
+        self.machine.victim_touch(self.secret_va)
+        test = self.secret_byte if index else NEVER_MATCH
+        self.machine.run(self.program, regs={"r13": self.secret_va, "r9": test})
+
+
+class TetKaslrScenario(Scenario):
+    """TET-KASLR: conditions are *unmapped* vs *mapped* probe targets."""
+
+    name = "TET-KASLR"
+    condition_names = ("unmapped", "mapped")
+
+    def _prepare(self) -> None:
+        self.builder = GadgetBuilder(self.machine)
+        self.program = self.builder.kaslr_probe()
+        layout = self.machine.kernel.layout
+        self.mapped_va = layout.base + 0x1000
+        # A guaranteed-unmapped neighbour: just below the image, or just
+        # above it when the image sits at slot 0.
+        if layout.slot > 0:
+            self.unmapped_va = layout.base - 0x200000
+        else:
+            self.unmapped_va = layout.end + 0x200000
+
+    def run_condition(self, index: int) -> None:
+        va = self.mapped_va if index else self.unmapped_va
+        self.machine.flush_tlb(charge_cycles=False)
+        # Double probe, as the attack does: fill, then measure.
+        self.machine.run(self.program, regs={"r13": va, "r9": NEVER_MATCH})
+        self.machine.run(self.program, regs={"r13": va, "r9": NEVER_MATCH})

@@ -1,0 +1,23 @@
+"""Simulation harness: a whole machine, timing helpers and trace analysis.
+
+* :mod:`repro.sim.machine` -- :class:`Machine` wires a CPU model, memory
+  subsystem, kernel and core together and loads/runs programs.
+* :mod:`repro.sim.timing` -- ToTE measurement conventions and statistics.
+* :mod:`repro.sim.tracing` -- frontend traces (Figure 3) and transient
+  control-flow graphs (Figure 4) from run records.
+"""
+
+from repro.sim.machine import Machine
+from repro.sim.timing import ToteSample, measure_tote, tote_from_result
+from repro.sim.tracing import control_flow_graph, frontend_trace
+from repro.sim.victim import VictimProcess
+
+__all__ = [
+    "Machine",
+    "ToteSample",
+    "VictimProcess",
+    "control_flow_graph",
+    "frontend_trace",
+    "measure_tote",
+    "tote_from_result",
+]

@@ -1,0 +1,71 @@
+"""ToTE measurement conventions.
+
+Gadgets in this project follow one convention, mirroring the paper's
+``start_time = rdtsc(); ...; spend_time = rdtsc() - start_time``:
+
+* the first ``rdtsc`` result is parked in ``r14``;
+* the second ``rdtsc`` result is parked in ``r15``;
+* the program ends with ``hlt``.
+
+``tote_from_result`` recovers the elapsed time-of-transient-execution from
+the final architectural registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Dict, List, Optional
+
+from repro.isa.program import Program
+from repro.uarch.core import RunResult
+
+START_REG = "r14"
+END_REG = "r15"
+
+
+@dataclass(frozen=True)
+class ToteSample:
+    """One timed execution of a transient gadget."""
+
+    tote: int
+    start_cycle: int
+    end_cycle: int
+
+
+def tote_from_result(result: RunResult) -> ToteSample:
+    """Extract the ToTE from a run that followed the r14/r15 convention."""
+    start = result.regs.read(START_REG)
+    end = result.regs.read(END_REG)
+    if end < start:
+        raise ValueError(
+            f"gadget produced end timestamp {end} before start {start}; "
+            f"did it follow the r14/r15 convention?"
+        )
+    return ToteSample(tote=end - start, start_cycle=start, end_cycle=end)
+
+
+def measure_tote(
+    machine,
+    program: Program,
+    regs: Optional[Dict[str, int]] = None,
+    repeats: int = 1,
+) -> List[ToteSample]:
+    """Run *program* *repeats* times and collect the ToTE samples."""
+    samples = []
+    for _ in range(repeats):
+        result = machine.run(program, regs=dict(regs or {}))
+        samples.append(tote_from_result(result))
+    return samples
+
+
+def summarize(samples: List[ToteSample]) -> Dict[str, float]:
+    """Mean/median/min/max of a sample list (frequency-plot statistics)."""
+    totes = [sample.tote for sample in samples]
+    return {
+        "mean": mean(totes),
+        "median": median(totes),
+        "min": min(totes),
+        "max": max(totes),
+        "n": len(totes),
+    }

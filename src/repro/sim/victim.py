@@ -1,0 +1,107 @@
+"""Real victim processes: simulated code on a sibling logical core.
+
+The attack classes default to abstract victim activity
+(:meth:`Machine.victim_store` pokes memory and records fills).  For
+end-to-end realism, :class:`VictimProcess` instead runs an actual victim
+*program* on its own core with its own address space and TLBs -- the
+attacker cannot map the victim's pages at all -- while sharing exactly
+what SMT siblings share on silicon: physical memory, the cache
+hierarchy, and the line fill buffers.  ZombieLoad's leak then crosses a
+genuine process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.isa.program import Program
+from repro.kernel.process import Process
+from repro.memory.mmu import Mmu
+from repro.memory.tlb import SplitTlb
+from repro.uarch.core import Core, RunResult
+
+#: A worker loop that keeps handling its secret: read bytes and fold them
+#: into a register (a key-schedule / MAC shape).  Deliberately store-free:
+#: the line fill buffers then carry the *secret* line, not scratch data.
+DEFAULT_VICTIM_SOURCE = """
+    mov rcx, r10            ; iterations
+victim_work:
+    loadb rax, [r12]        ; read a secret byte
+    add rbx, rax            ; "process" it
+    add r12, 1
+    sub rcx, 1
+    cmp rcx, 0
+    jne victim_work
+    hlt
+"""
+
+
+class VictimProcess:
+    """A victim with its own process, address space, core and TLBs."""
+
+    def __init__(self, machine, secret: bytes, name: str = "victim") -> None:
+        if len(secret) > 64:
+            raise ValueError("victim secret must fit one cache line (64 B)")
+        self.machine = machine
+        self.secret = bytes(secret)
+        self.process: Process = machine.kernel.create_process(name)
+        # Own MMU: private TLBs and page tables; shared physical memory,
+        # caches and fill buffers (the SMT-shared structures).
+        self.mmu = Mmu(
+            machine.physical,
+            machine.hierarchy,
+            fill_tlb_on_faulting_access=machine.model.fill_tlb_on_fault,
+            dtlb=SplitTlb(f"{name}-DTLB"),
+            lfb=machine.mmu.lfb,
+        )
+        self.mmu.set_address_space(self.process.space)
+        self.core = Core(machine.model, self.mmu, thread_id=1)
+        # The victim's working set: a secret page and a scratch page.
+        self.secret_va = machine.kernel.map_user_memory(self.process, 1)
+        self.scratch_va = machine.kernel.map_user_memory(self.process, 1)
+        self.mmu.poke_raw_bytes(self.secret_va, self.secret)
+        # The victim's wider working set: pages whose lines alias the
+        # secret's L1 set.  A victim with any real cache footprint keeps
+        # evicting its own hot lines; modelling that footprint is what
+        # makes the secret keep flowing through the fill buffers.
+        ways = machine.model.l1d.ways
+        self._pressure_vas = [
+            machine.kernel.map_user_memory(self.process, 1) for _ in range(ways + 1)
+        ]
+        self._secret_set_offset = self.secret_va & 0xFC0  # line offset in page
+        self.program: Program = self._load(DEFAULT_VICTIM_SOURCE)
+
+    def _load(self, source: str) -> Program:
+        from repro.isa.assembler import assemble
+        from repro.isa.program import INSTRUCTION_SIZE
+
+        probe = assemble(source, base=0)
+        pages = (len(probe) * INSTRUCTION_SIZE + 0xFFF) // 0x1000 or 1
+        base = self.process.take_code_va(pages)
+        self.machine.kernel.map_user_code(self.process, pages, base)
+        return assemble(source, base=base)
+
+    def work(self, iterations: int = 8, regs: Optional[Dict[str, int]] = None) -> RunResult:
+        """Run one burst of the victim's secret-handling loop.
+
+        The burst first walks the victim's wider working set (which
+        aliases the secret's L1 set), evicting the hot secret line, so
+        the secret reads that follow refill through the shared LFBs --
+        the self-eviction every non-trivial victim exhibits."""
+        for va in self._pressure_vas:
+            self.mmu.data_access(
+                va + self._secret_set_offset, user=True, thread_id=1,
+                now=self.core.global_cycle,
+            )
+        initial = {
+            "r10": min(iterations, len(self.secret)),
+            "r12": self.secret_va,
+            "r13": self.scratch_va,
+        }
+        if regs:
+            initial.update(regs)
+        return self.core.run(self.program, regs=initial)
+
+    def secret_is_unreachable_by(self, attacker_process) -> bool:
+        """The isolation check: the attacker cannot map the secret."""
+        return attacker_process.space.lookup(self.secret_va) is None

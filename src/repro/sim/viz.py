@@ -1,0 +1,102 @@
+"""Terminal visualisations for the reproduction's figures.
+
+No plotting dependencies: the paper's Figure 1b (ToTE frequency by test
+value, argmax series) and simple bar charts render as text, good enough
+to *see* the channel in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+BAR = "█"
+HALF = "▌"
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render labelled values as a horizontal bar chart."""
+    if not values:
+        return "(no data)"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(values.values()) or 1
+    label_width = max(len(str(label)) for label in values)
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        lines.append(f"{str(label):>{label_width}} | {BAR * filled} {value:g}")
+    return "\n".join(lines)
+
+
+def tote_scan_plot(
+    totes_by_test: Dict[int, List[int]],
+    highlight: Optional[int] = None,
+    width: int = 40,
+) -> str:
+    """The Figure 1b upper panel: per-test-value ToTE above the floor.
+
+    Values at the floor render as a thin tick so the peak stands out the
+    way the paper's red box does.  *highlight* marks the ground truth.
+    """
+    if not totes_by_test:
+        return "(no data)"
+    medians = {
+        test: sorted(samples)[len(samples) // 2]
+        for test, samples in totes_by_test.items()
+    }
+    floor = min(medians.values())
+    peak = max(medians.values())
+    spread = max(1, peak - floor)
+    lines = [f"ToTE by test value (floor {floor} cycles, peak +{peak - floor}):"]
+    for test in sorted(medians):
+        delta = medians[test] - floor
+        if delta == 0 and test != highlight:
+            continue
+        filled = int(round(width * delta / spread))
+        bar = BAR * filled if filled else HALF
+        marker = "  <-- secret" if test == highlight else ""
+        lines.append(f"  {test:#04x} | {bar} +{delta}{marker}")
+    if len(lines) == 1:
+        lines.append("  (scan is flat -- no channel)")
+    return "\n".join(lines)
+
+
+def argmax_series(
+    totes_by_test: Dict[int, List[int]],
+    mode: str = "max",
+) -> str:
+    """The Figure 1b lower panel: the per-batch arg-extreme series."""
+    if not totes_by_test:
+        return "(no data)"
+    batches = len(next(iter(totes_by_test.values())))
+    pick = max if mode == "max" else min
+    lines = [f"arg{mode} per batch:"]
+    for batch in range(batches):
+        winner = pick(totes_by_test, key=lambda test: totes_by_test[test][batch])
+        lines.append(f"  batch {batch}: {winner:#04x}")
+    return "\n".join(lines)
+
+
+def success_matrix(
+    matrix: Dict[str, Dict[str, bool]],
+    row_order: Optional[Sequence[str]] = None,
+    column_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a ✓/✗ matrix (the Table 2 shape) as aligned text."""
+    rows = list(row_order or matrix)
+    columns = list(column_order or (next(iter(matrix.values())) if matrix else []))
+    if not rows or not columns:
+        return "(no data)"
+    row_width = max(len(row) for row in rows)
+    header = " " * row_width + "  " + "  ".join(f"{c:>10}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = "  ".join(
+            f"{'Y' if matrix[row][column] else 'x':>10}" for column in columns
+        )
+        lines.append(f"{row:>{row_width}}  {cells}")
+    return "\n".join(lines)

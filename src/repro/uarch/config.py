@@ -1,0 +1,207 @@
+"""CPU model configurations -- the five machines of the paper's Table 2.
+
+Each :class:`CpuModel` bundles pipeline geometry, latency parameters, and
+the *vulnerability flags* that decide which attacks succeed where:
+
+======================  =======================================================
+flag                    attack gated on it
+======================  =======================================================
+meltdown_vulnerable     TET-MD (Skylake/Kaby Lake yes; Comet/Raptor Lake and
+                        Zen 3 are fixed -> Table 2's TET-MD ✗ columns)
+mds_vulnerable          TET-ZBL (same split)
+fill_tlb_on_fault       TET-KASLR (Intel loads TLB entries even for illegal
+                        access to mapped addresses, §4.5; AMD does not ->
+                        TET-KASLR ✗ on Zen 3)
+has_tsx                 whether ``xbegin`` suppression is available; signal
+                        handlers are always available
+smt                     whether the §4.4 SMT covert channel applies
+======================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.memory.cache import CacheGeometry
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Static description of one simulated CPU."""
+
+    name: str
+    vendor: str  # "intel" | "amd"
+    microarch: str
+    microcode: str
+    kernel: str  # the Ubuntu kernel of Table 2 (cosmetic, printed in benches)
+    nominal_ghz: float
+
+    # Pipeline geometry
+    issue_width: int = 4
+    retire_width: int = 4
+    rob_size: int = 224
+    rs_size: int = 97
+    load_ports: int = 2
+    store_ports: int = 1
+    alu_ports: int = 4
+    branch_ports: int = 1
+
+    # Latency parameters (cycles)
+    mispredict_resteer: int = 14  # frontend resteer after a clear
+    recovery_tail: int = 10  # allocator recovery after a resteer
+    fault_raise_delay: int = 60  # retire-slot -> exception microcode entry
+    #   (Meltdown-class transient windows are tens of cycles long; the
+    #    fault is only signalled once the exception microcode engages)
+    fault_flush_base: int = 24  # pipeline flush on a retired fault
+    flush_drain_per_uop: float = 0.75  # ROB deallocation drain per transient uop
+    branch_drain_per_uop: float = 0.4  # RAT-walk drain per squashed wrong-path uop
+    nested_clear_flush_penalty: int = 8  # serialised recovery when a flush meets
+    #                                      an in-window resteer (Whisper's +)
+    tsx_abort_latency: int = 140
+    signal_dispatch_latency: int = 420  # kernel #PF -> signal -> handler -> resume
+    mite_line_penalty: int = 3  # extra cycles per fetch line decoded by MITE
+    ms_switch_penalty: int = 2  # DSB/MITE -> MS switch cost
+
+    # Memory geometry
+    l1d: CacheGeometry = field(default_factory=lambda: CacheGeometry("L1", 32 * 1024, 8, 4))
+    l1i: CacheGeometry = field(default_factory=lambda: CacheGeometry("L1I", 32 * 1024, 8, 4))
+    l2: CacheGeometry = field(default_factory=lambda: CacheGeometry("L2", 256 * 1024, 8, 12))
+    llc: CacheGeometry = field(default_factory=lambda: CacheGeometry("LLC", 8 * 1024 * 1024, 16, 42))
+    dram_latency: int = 180
+    dtlb_entries_4k: int = 64
+    dtlb_entries_2m: int = 32
+    dsb_lines: int = 64  # uop-cache capacity in fetch lines
+
+    # Vulnerability flags (what Table 2 is really about)
+    meltdown_vulnerable: bool = True
+    mds_vulnerable: bool = True
+    fill_tlb_on_fault: bool = True
+    has_tsx: bool = True
+    smt: bool = True
+
+    def cache_geometries(self) -> Tuple[CacheGeometry, CacheGeometry, CacheGeometry, CacheGeometry]:
+        """(L1D, L1I, L2, LLC) geometry tuple for building a hierarchy."""
+        return self.l1d, self.l1i, self.l2, self.llc
+
+    def seconds(self, cycles: int) -> float:
+        """Convert simulated *cycles* to simulated wall-clock seconds."""
+        return cycles / (self.nominal_ghz * 1e9)
+
+
+def _intel(name: str, **overrides) -> CpuModel:
+    return replace(
+        CpuModel(
+            name=name,
+            vendor="intel",
+            microarch=overrides.pop("microarch"),
+            microcode=overrides.pop("microcode"),
+            kernel=overrides.pop("kernel"),
+            nominal_ghz=overrides.pop("nominal_ghz"),
+        ),
+        **overrides,
+    )
+
+
+#: Table 2's test machines.
+CPU_MODELS: Dict[str, CpuModel] = {
+    "i7-6700": _intel(
+        "Intel Core i7-6700",
+        microarch="Skylake",
+        microcode="0xf0",
+        kernel="4.15.0-213",
+        nominal_ghz=3.4,
+        meltdown_vulnerable=True,
+        mds_vulnerable=True,
+        fill_tlb_on_fault=True,
+        has_tsx=True,
+    ),
+    "i7-7700": _intel(
+        "Intel Core i7-7700",
+        microarch="Kaby Lake",
+        microcode="0x5e",
+        kernel="5.4.0-150",
+        nominal_ghz=3.6,
+        meltdown_vulnerable=True,
+        mds_vulnerable=True,
+        fill_tlb_on_fault=True,
+        has_tsx=True,
+    ),
+    "i9-10980XE": _intel(
+        "Intel Core i9-10980XE",
+        microarch="Comet Lake",  # Cascade Lake-X family; paper lists Comet Lake
+        microcode="0x5003303",
+        kernel="5.15.0-72",
+        nominal_ghz=3.0,
+        rob_size=224,
+        meltdown_vulnerable=False,  # hardware-fixed: TET-MD ✗ in Table 2
+        mds_vulnerable=False,  # hardware-fixed: TET-ZBL ✗
+        fill_tlb_on_fault=True,  # TET-KASLR ✓
+        has_tsx=True,
+    ),
+    "i9-13900K": _intel(
+        "Intel Core i9-13900K",
+        microarch="Raptor Lake",
+        microcode="0x119",
+        kernel="5.15.0-86",
+        nominal_ghz=5.8,
+        issue_width=6,
+        retire_width=8,
+        rob_size=512,
+        rs_size=205,
+        alu_ports=5,
+        load_ports=3,
+        meltdown_vulnerable=False,
+        mds_vulnerable=False,
+        fill_tlb_on_fault=True,  # paper marks TET-KASLR "?" here; see benches
+        has_tsx=False,  # TSX fused off on client Raptor Lake
+    ),
+    "ryzen-5600G": CpuModel(
+        name="AMD Ryzen 5 5600G",
+        vendor="amd",
+        microarch="Zen 3",
+        microcode="0xA50000D",
+        kernel="5.15.0-76",
+        nominal_ghz=3.9,
+        issue_width=6,
+        retire_width=8,
+        rob_size=256,
+        rs_size=96,
+        mispredict_resteer=13,
+        meltdown_vulnerable=False,  # AMD never had Meltdown
+        mds_vulnerable=False,  # nor MDS
+        fill_tlb_on_fault=False,  # permission is checked before TLB fill:
+        #                           TET-KASLR ✗ on Zen 3 (Table 2)
+        has_tsx=False,
+    ),
+    "ryzen-5900": CpuModel(
+        name="AMD Ryzen 9 5900",
+        vendor="amd",
+        microarch="Zen 3",
+        microcode="0xA50000D",
+        kernel="5.15.0-76",
+        nominal_ghz=3.7,
+        issue_width=6,
+        retire_width=8,
+        rob_size=256,
+        rs_size=96,
+        mispredict_resteer=13,
+        meltdown_vulnerable=False,
+        mds_vulnerable=False,
+        fill_tlb_on_fault=False,
+        has_tsx=False,
+    ),
+}
+
+
+def cpu_model(key: str) -> CpuModel:
+    """Look up a CPU model by short key (e.g. ``"i7-7700"``).
+
+    Accepts the short keys of :data:`CPU_MODELS` or a full model name.
+    """
+    if key in CPU_MODELS:
+        return CPU_MODELS[key]
+    for model in CPU_MODELS.values():
+        if model.name == key:
+            return model
+    raise KeyError(f"unknown CPU model {key!r}; known: {sorted(CPU_MODELS)}")

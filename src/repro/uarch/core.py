@@ -1,0 +1,1079 @@
+"""The event-driven out-of-order core.
+
+Instead of stepping every pipeline stage every cycle, the engine dispatches
+instructions in fetch order, stamping each with the cycles at which it was
+delivered, issued, completed and retired; speculation is tracked as a stack
+of *contexts* that later squash the uops dispatched under them.  The model
+is event-accurate where it matters to Whisper:
+
+* a fault is raised when the faulting uop reaches the ROB head plus an
+  exception-entry delay, and the flush must **drain** the transient uops in
+  flight and any **in-progress mispredict recovery** -- the two mechanisms
+  whose balance gives TET its sign (longer for the Figure 1a gadget,
+  shorter for the ZombieLoad gadget);
+* branch mispredicts (conditional or RSB) redirect fetch after a resteer
+  penalty, even when the branch itself is transient, and speculatively
+  train the predictor;
+* transient loads keep their real microarchitectural side effects (cache
+  fills, TLB fills, LFB entries) while their architectural effects are
+  rolled back.
+
+Every timing side effect lands in the :class:`~repro.uarch.pmu.PmuCounters`
+bank so the PMU toolset sees the same picture the paper's Table 3 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.isa.opcodes import Op, UopClass
+from repro.isa.program import INSTRUCTION_SIZE, Program
+from repro.isa.registers import RegisterFile
+from repro.memory.mmu import Fault, FaultKind, Mmu
+from repro.uarch.bpu import BranchPredictor
+from repro.uarch.config import CpuModel
+from repro.uarch.frontend import Frontend
+from repro.uarch.pmu import PmuCounters
+from repro.uarch.uop import FlushEvent, RedirectEvent, RunEvents, UopRecord
+
+MASK64 = (1 << 64) - 1
+
+
+class SimulationError(RuntimeError):
+    """The simulated program did something the model cannot continue from
+    (unhandled fault, fetch off the program, malformed TSX nesting...)."""
+
+
+@dataclass
+class _Snapshot:
+    """Speculative state captured at a potential squash point."""
+
+    regs: dict
+    reg_ready: Dict[str, int]
+    flag_ready: int
+    serialize_until: int
+    max_ready: int
+    undo_index: int
+    store_ready: Dict[int, int]
+    #: Copy of the open-transaction stack (a transient ``xend`` pops an
+    #: entry that a squash must bring back).
+    tsx_stack: List["_TsxContext"]
+
+
+@dataclass
+class _TsxContext:
+    """An open hardware transaction."""
+
+    xbegin_seq: int
+    fallback_pc: int
+    regs: dict
+    undo_index: int
+
+
+@dataclass
+class _SpecContext:
+    """An unresolved speculation: a mispredicted branch or a pending fault."""
+
+    kind: str  # "branch" | "fault"
+    trigger_seq: int
+    resolve_cycle: int
+    resume_pc: int
+    snapshot: _Snapshot
+    branch_kind: str = ""  # conditional | return | underflow
+    suppression: str = ""  # fault contexts: tsx | signal
+    fault: Optional[Fault] = None
+    tsx: Optional[_TsxContext] = None
+    tsx_index: int = -1
+    nested_clears: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything one :meth:`Core.run` produced."""
+
+    start_cycle: int
+    end_cycle: int
+    instructions_retired: int
+    uops_issued: int
+    regs: RegisterFile
+    halted: bool
+    events: RunEvents
+    faults: List[Fault] = field(default_factory=list)
+    records: Optional[List[UopRecord]] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class Core:
+    """One logical processor of a simulated CPU."""
+
+    def __init__(
+        self,
+        model: CpuModel,
+        mmu: Mmu,
+        pmu: Optional[PmuCounters] = None,
+        bpu: Optional[BranchPredictor] = None,
+        thread_id: int = 0,
+    ) -> None:
+        self.model = model
+        self.mmu = mmu
+        self.pmu = pmu or PmuCounters()
+        self.bpu = bpu or BranchPredictor()
+        self.frontend = Frontend(model, mmu, self.pmu)
+        self.thread_id = thread_id
+        self.global_cycle = 0
+        #: PC of the registered SIGSEGV handler (None = faults are fatal
+        #: unless a transaction is open).  Set by the kernel substrate.
+        self.signal_handler_pc: Optional[int] = None
+        #: Optional syscall hook: called with the speculative register
+        #: file; may mutate it (the kernel substrate installs this).
+        self.syscall_handler: Optional[Callable[[RegisterFile], None]] = None
+        #: Disruption windows (start, end) this core inflicted on shared
+        #: SMT resources: flushes, recoveries, signal dispatches (§4.4).
+        self.disruptions: List[Tuple[int, int]] = []
+
+    def run(
+        self,
+        program: Program,
+        regs: Optional[Dict[str, int]] = None,
+        entry: Optional[int] = None,
+        user: bool = True,
+        max_instructions: int = 200_000,
+        record_trace: bool = False,
+    ) -> RunResult:
+        """Run *program* until ``hlt`` retires or *max_instructions*.
+
+        *regs* seeds the architectural register file.  The core's cycle
+        counter continues across calls, so ``rdtsc`` values from repeated
+        runs form one timeline (the covert-channel receivers rely on it).
+        """
+        engine = _RunEngine(self, program, regs or {}, entry, user, max_instructions)
+        result = engine.execute()
+        if record_trace:
+            result.records = engine.records
+        self.global_cycle = result.end_cycle + 1
+        return result
+
+
+class _RunEngine:
+    """The per-run state machine (split out of Core to keep state explicit)."""
+
+    def __init__(
+        self,
+        core: Core,
+        program: Program,
+        regs: Dict[str, int],
+        entry: Optional[int],
+        user: bool,
+        max_instructions: int,
+    ) -> None:
+        self.core = core
+        self.model = core.model
+        self.mmu = core.mmu
+        self.pmu = core.pmu
+        self.bpu = core.bpu
+        self.frontend = core.frontend
+        self.program = program
+        self.user = user
+        self.max_instructions = max_instructions
+
+        self.start_cycle = core.global_cycle
+        self.frontend.reset_clock(self.start_cycle)
+        self.pc = entry if entry is not None else program.base
+
+        self.spec = RegisterFile()
+        for name, value in regs.items():
+            self.spec.write(name, value)
+
+        self.reg_ready: Dict[str, int] = {}
+        self.flag_ready = self.start_cycle
+        self.serialize_until = self.start_cycle
+        self.max_ready = self.start_cycle
+        self.recovery_busy_until = self.start_cycle
+
+        self.records: List[UopRecord] = []
+        self.contexts: List[_SpecContext] = []
+        self.tsx_stack: List[_TsxContext] = []
+        self.undo_log: List[Tuple[int, bytes]] = []
+        self.store_ready: Dict[int, int] = {}
+        self.events = RunEvents()
+        self.faults: List[Fault] = []
+
+        self.retire_cursor = self.start_cycle
+        self.retire_slots = 0
+        self.retired_instructions = 0
+        self.dispatched_uops = 0
+        self.squashed_uops = 0
+        self.freed_retired_uops = 0
+        self.retire_ptr = 0  # occupancy scan cursor into self.records
+
+        # Each port books the discrete cycles it issues in: an older uop
+        # stalled on operands must not block a younger, ready one (the
+        # scheduler is out of order).
+        self.ports: Dict[UopClass, List[set]] = {
+            UopClass.ALU: [set() for _ in range(self.model.alu_ports)],
+            UopClass.LOAD: [set() for _ in range(self.model.load_ports)],
+            UopClass.STORE: [set() for _ in range(self.model.store_ports)],
+            UopClass.BRANCH: [set() for _ in range(self.model.branch_ports)],
+            UopClass.SYSTEM: [set()],
+        }
+
+        self.halted = False
+        self.end_cycle = self.start_cycle
+        self.force_resolve = False
+        self.dispatch_cycles: Set[int] = set()
+        self.iside_walk_base = self.mmu.iside_walk_cycles
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _reg_time(self, name: Optional[str]) -> int:
+        if name is None:
+            return self.start_cycle
+        return self.reg_ready.get(name, self.start_cycle)
+
+    def _snapshot(self) -> _Snapshot:
+        return _Snapshot(
+            regs=self.spec.snapshot(),
+            reg_ready=dict(self.reg_ready),
+            flag_ready=self.flag_ready,
+            serialize_until=self.serialize_until,
+            max_ready=self.max_ready,
+            undo_index=len(self.undo_log),
+            store_ready=dict(self.store_ready),
+            tsx_stack=list(self.tsx_stack),
+        )
+
+    def _restore(self, snapshot: _Snapshot) -> None:
+        self.spec.restore(snapshot.regs)
+        self.reg_ready = dict(snapshot.reg_ready)
+        self.flag_ready = snapshot.flag_ready
+        self.serialize_until = snapshot.serialize_until
+        self.max_ready = snapshot.max_ready
+        self.store_ready = dict(snapshot.store_ready)
+        self._unwind_stores(snapshot.undo_index)
+        self.tsx_stack = list(snapshot.tsx_stack)
+
+    def _unwind_stores(self, undo_index: int) -> None:
+        while len(self.undo_log) > undo_index:
+            va, old = self.undo_log.pop()
+            self.mmu.poke_raw_bytes(va, old)
+
+    def _squash_after(self, trigger_seq: int) -> int:
+        """Mark every record younger than *trigger_seq* squashed; return
+        the number of uops freed."""
+        squashed = 0
+        for record in reversed(self.records):
+            if record.seq <= trigger_seq:
+                break
+            if not record.squashed:
+                record.squashed = True
+                squashed += record.uop_count
+        self.squashed_uops += squashed
+        return squashed
+
+    def _live_transient_uops(self, trigger_seq: int) -> int:
+        total = 0
+        for record in reversed(self.records):
+            if record.seq <= trigger_seq:
+                break
+            if not record.squashed:
+                total += record.uop_count
+        return total
+
+    def _port_start(self, uop_class: UopClass, earliest: int) -> int:
+        """Claim the earliest free issue slot of *uop_class* at or after
+        *earliest* (ports are pipelined: one issue slot per cycle)."""
+        pool = self.ports.get(uop_class)
+        if pool is None:  # NOP / FENCE need no execution port
+            return earliest
+        best_port = None
+        best_cycle = None
+        for port in pool:
+            cycle = earliest
+            while cycle in port:
+                cycle += 1
+            if best_cycle is None or cycle < best_cycle:
+                best_port, best_cycle = port, cycle
+                if cycle == earliest:
+                    break
+        best_port.add(best_cycle)
+        return best_cycle
+
+    def _occupancy_earliest(self, upcoming_cycle: int, uop_count: int) -> Optional[int]:
+        """ROB-capacity stall: earliest cycle allocation may proceed, or
+        ``None`` when the ROB is stuffed with speculative uops that only a
+        squash can free (caller must resolve a context)."""
+        while self.retire_ptr < len(self.records):
+            record = self.records[self.retire_ptr]
+            if record.squashed:
+                self.retire_ptr += 1
+                continue
+            if record.retire_cycle is not None and record.retire_cycle <= upcoming_cycle:
+                self.freed_retired_uops += record.uop_count
+                self.retire_ptr += 1
+                continue
+            break
+        live = self.dispatched_uops - self.freed_retired_uops - self.squashed_uops
+        if live + uop_count <= self.model.rob_size:
+            return upcoming_cycle
+        for record in self.records[self.retire_ptr :]:
+            if record.squashed:
+                continue
+            if record.retire_cycle is None:
+                return None
+            return record.retire_cycle + 1
+        return upcoming_cycle
+
+    # -- context resolution ------------------------------------------------------
+
+    def _earliest_context(self) -> Optional[_SpecContext]:
+        if not self.contexts:
+            return None
+        return min(self.contexts, key=lambda ctx: ctx.resolve_cycle)
+
+    def _resolve(self, ctx: _SpecContext) -> None:
+        if ctx.kind == "branch":
+            self._resolve_branch(ctx)
+        else:
+            self._resolve_fault(ctx)
+
+    def _resolve_branch(self, ctx: _SpecContext) -> None:
+        wrong_uops = self._live_transient_uops(ctx.trigger_seq)
+        self._squash_after(ctx.trigger_seq)
+        self._restore(ctx.snapshot)
+        redirect_cycle = ctx.resolve_cycle + self.model.mispredict_resteer
+        recovery_end = redirect_cycle + self.model.recovery_tail + int(
+            self.model.branch_drain_per_uop * wrong_uops
+        )
+        nested = any(c is not ctx for c in self.contexts)
+        self.frontend.block_until(redirect_cycle, resteer=True)
+        self.pmu.add("INT_MISC.CLEAR_RESTEER_CYCLES", self.model.mispredict_resteer)
+        self.recovery_busy_until = max(self.recovery_busy_until, recovery_end)
+        self.pmu.add("INT_MISC.RECOVERY_CYCLES", recovery_end - redirect_cycle)
+        self.pmu.add("INT_MISC.RECOVERY_CYCLES_ANY", recovery_end - redirect_cycle)
+        self.pmu.add("RESOURCE_STALLS.ANY", recovery_end - redirect_cycle)
+        self.pmu.add(
+            "de_dis_dispatch_token_stalls2.retire_token_stall",
+            recovery_end - redirect_cycle,
+        )
+        self.core.disruptions.append((ctx.resolve_cycle, recovery_end))
+        self.events.redirects.append(
+            RedirectEvent(
+                branch_seq=ctx.trigger_seq,
+                branch_pc=self.records[ctx.trigger_seq].pc,
+                resolve_cycle=ctx.resolve_cycle,
+                redirect_cycle=redirect_cycle,
+                recovery_end=recovery_end,
+                wrong_path_uops=wrong_uops,
+                nested_in_transient=nested,
+                kind=ctx.branch_kind,
+            )
+        )
+        self.contexts = [c for c in self.contexts if c.trigger_seq < ctx.trigger_seq]
+        for enclosing in self.contexts:
+            if enclosing.kind == "fault":
+                enclosing.nested_clears += 1
+        if nested:
+            # The undocumented Skylake event BR_MISP_EXEC.INDIRECT counts
+            # up exactly when a clear happens *inside* a transient window
+            # (Table 3's 0 -> 1 rows); we model the observed behaviour.
+            self.pmu.add("BR_MISP_EXEC.INDIRECT")
+        self.pc = ctx.resume_pc
+        self.force_resolve = False
+
+    def _resolve_fault(self, ctx: _SpecContext) -> None:
+        fault = ctx.fault
+        assert fault is not None
+        transient_uops = self._live_transient_uops(ctx.trigger_seq)
+        flush_start = max(ctx.resolve_cycle, self.recovery_busy_until)
+        drain = self.model.fault_flush_base + int(
+            self.model.flush_drain_per_uop * transient_uops
+        )
+        drain += self.model.nested_clear_flush_penalty * ctx.nested_clears
+        flush_end = flush_start + drain
+
+        self._squash_after(ctx.trigger_seq)
+        if ctx.suppression == "tsx":
+            assert ctx.tsx is not None
+            resume_cycle = flush_end + self.model.tsx_abort_latency
+            self._unwind_stores(ctx.tsx.undo_index)
+            self.spec.restore(ctx.tsx.regs)
+            # The aborted transaction and everything above it are gone.
+            self.tsx_stack = ctx.snapshot.tsx_stack[: ctx.tsx_index]
+            resume_pc = ctx.tsx.fallback_pc
+        else:
+            resume_cycle = flush_end + self.model.signal_dispatch_latency
+            self._restore(ctx.snapshot)
+            resume_pc = ctx.resume_pc
+
+        self.reg_ready = {}
+        self.store_ready = {}
+        self.flag_ready = resume_cycle
+        self.serialize_until = resume_cycle
+        self.max_ready = resume_cycle
+        self.retire_cursor = max(self.retire_cursor, resume_cycle)
+        self.retire_slots = 0
+        self.recovery_busy_until = flush_end
+        self.frontend.block_until(resume_cycle, resteer=True)
+        # The post-flush refetch is one resteer's worth of frontend stall.
+        self.pmu.add("INT_MISC.CLEAR_RESTEER_CYCLES", self.model.mispredict_resteer)
+        self.pmu.add("MACHINE_CLEARS.COUNT")
+        self.pmu.add("INT_MISC.RECOVERY_CYCLES", drain)
+        self.pmu.add("INT_MISC.RECOVERY_CYCLES_ANY", drain)
+        self.pmu.add("RESOURCE_STALLS.ANY", max(0, flush_end - ctx.resolve_cycle))
+        self.pmu.add(
+            "de_dis_dispatch_token_stalls2.retire_token_stall",
+            max(0, flush_end - ctx.resolve_cycle),
+        )
+        self.core.disruptions.append((flush_start, resume_cycle))
+        self.events.flushes.append(
+            FlushEvent(
+                fault_seq=ctx.trigger_seq,
+                fault_pc=self.records[ctx.trigger_seq].pc,
+                fault_kind=fault.kind.value,
+                fault_cycle=ctx.resolve_cycle,
+                flush_start=flush_start,
+                flush_end=flush_end,
+                drained_uops=transient_uops,
+                nested_clears=ctx.nested_clears,
+                suppression=ctx.suppression,
+                resume_pc=resume_pc,
+            )
+        )
+        self.contexts = []
+        self.pc = resume_pc
+        self.force_resolve = False
+
+    # -- the main loop -------------------------------------------------------------
+
+    def execute(self) -> RunResult:
+        instruction_budget = self.max_instructions
+        while not self.halted:
+            instruction_budget -= 1
+            if instruction_budget < 0:
+                raise SimulationError(
+                    f"instruction budget exhausted at pc={self.pc:#x} "
+                    f"(possible runaway program)"
+                )
+            ctx = self._earliest_context()
+            # Allocation cannot proceed while the recovery state machine is
+            # busy (INT_MISC.RECOVERY_CYCLES is exactly this stall) -- the
+            # mechanism that makes a wrong-path drain visible in the ToTE.
+            fetch_floor = max(
+                self.frontend.delivery_floor, self.serialize_until, self.recovery_busy_until
+            )
+            off_program = not self.program.contains_address(self.pc)
+            if ctx is not None and (
+                self.force_resolve or off_program or fetch_floor >= ctx.resolve_cycle
+            ):
+                self._resolve(ctx)
+                continue
+            if off_program:
+                raise SimulationError(f"fetch left the program at {self.pc:#x}")
+
+            instruction = self.program.fetch(self.pc)
+
+            earliest = fetch_floor
+            occupancy_earliest = self._occupancy_earliest(earliest, instruction.uop_count)
+            if occupancy_earliest is None:
+                if ctx is not None:
+                    self._resolve(ctx)
+                    continue
+                raise SimulationError("ROB deadlock outside speculation")
+            if occupancy_earliest > earliest:
+                self.pmu.add("RESOURCE_STALLS.ANY", occupancy_earliest - earliest)
+                self.pmu.add(
+                    "de_dis_dispatch_token_stalls2.retire_token_stall",
+                    occupancy_earliest - earliest,
+                )
+                earliest = occupancy_earliest
+            if ctx is not None and earliest >= ctx.resolve_cycle:
+                self._resolve(ctx)
+                continue
+
+            delivery = self.frontend.deliver(
+                self.pc, instruction, earliest, user=self.user, transient=bool(self.contexts)
+            )
+            if ctx is not None and delivery.cycle >= ctx.resolve_cycle:
+                # The flush kills the frontend before this delivery lands.
+                self._resolve(ctx)
+                continue
+
+            record = UopRecord(
+                seq=len(self.records),
+                pc=self.pc,
+                instruction=instruction,
+                dispatch_cycle=delivery.cycle,
+                source=delivery.source,
+                transient=bool(self.contexts),
+            )
+            self.records.append(record)
+            self.dispatched_uops += record.uop_count
+            self.pmu.add("UOPS_ISSUED.ANY", record.uop_count)
+            self.dispatch_cycles.add(delivery.cycle)
+
+            handler = _OP_HANDLERS.get(instruction.op)
+            if handler is None:
+                raise SimulationError(f"no handler for {instruction.op}")
+            self.pc = record.pc + INSTRUCTION_SIZE  # fall-through default;
+            #                                         branch handlers override
+            handler(self, record, instruction, record.dispatch_cycle)
+            self.max_ready = max(self.max_ready, record.ready_cycle)
+
+            if (
+                not record.transient
+                and record.fault is None
+                and record.retire_cycle is None
+                and not self.halted
+            ):
+                self._commit_retire(record)
+
+        self._pmu_epilogue(self.end_cycle)
+        return RunResult(
+            start_cycle=self.start_cycle,
+            end_cycle=self.end_cycle,
+            instructions_retired=self.retired_instructions,
+            uops_issued=self.dispatched_uops,
+            regs=self.spec.copy(),
+            halted=self.halted,
+            events=self.events,
+            faults=self.faults,
+        )
+
+    def _commit_retire(self, record: UopRecord) -> None:
+        retire = max(record.ready_cycle + 1, self.retire_cursor)
+        if retire == self.retire_cursor:
+            if self.retire_slots + record.uop_count > self.model.retire_width:
+                retire += 1
+                self.retire_slots = record.uop_count
+            else:
+                self.retire_slots += record.uop_count
+        else:
+            self.retire_slots = record.uop_count
+        self.retire_cursor = retire
+        record.retire_cycle = retire
+        self.retired_instructions += 1
+        self.pmu.add("UOPS_RETIRED.RETIRE_SLOTS", record.uop_count)
+
+    # -- per-instruction semantics ---------------------------------------------
+
+    def _write_dest(self, record: UopRecord, name: str, value: int) -> None:
+        self.spec.write(name, value)
+        self.reg_ready[name] = record.ready_cycle
+
+    def _op_mov_ri(self, record, instruction, dispatch):
+        start = self._port_start(UopClass.ALU, dispatch)
+        record.start_cycle = start
+        record.ready_cycle = start + 1
+        value = instruction.imm if instruction.imm is not None else instruction.target_addr
+        self._write_dest(record, instruction.dst, value & MASK64)
+
+    def _op_mov_rr(self, record, instruction, dispatch):
+        start = self._port_start(UopClass.ALU, max(dispatch, self._reg_time(instruction.src)))
+        record.start_cycle = start
+        record.ready_cycle = start + 1
+        self._write_dest(record, instruction.dst, self.spec.read(instruction.src))
+
+    def _op_lea(self, record, instruction, dispatch):
+        mem = instruction.mem
+        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        start = self._port_start(UopClass.ALU, deps)
+        record.start_cycle = start
+        record.ready_cycle = start + 1
+        self._write_dest(record, instruction.dst, mem.effective_address(self.spec.read))
+
+    def _op_alu(self, record, instruction, dispatch):
+        op = instruction.op
+        left = self.spec.read(instruction.dst)
+        right = (
+            self.spec.read(instruction.src)
+            if instruction.src is not None
+            else (instruction.imm & MASK64)
+        )
+        deps = max(
+            dispatch,
+            self._reg_time(instruction.dst),
+            self._reg_time(instruction.src) if instruction.src else dispatch,
+        )
+        start = self._port_start(UopClass.ALU, deps)
+        record.start_cycle = start
+        record.ready_cycle = start + 1
+
+        carry = False
+        if op is Op.ADD:
+            result = left + right
+            carry = result > MASK64
+        elif op in (Op.SUB, Op.CMP):
+            result = left - right
+            carry = left < right
+        elif op in (Op.AND, Op.TEST):
+            result = left & right
+        elif op is Op.OR:
+            result = left | right
+        elif op is Op.XOR:
+            result = left ^ right
+        elif op is Op.SHL:
+            result = left << (right & 63)
+        elif op is Op.SHR:
+            result = left >> (right & 63)
+        else:  # pragma: no cover - decoder guarantees coverage
+            raise SimulationError(f"ALU op {op} unhandled")
+        result &= MASK64
+        self.spec.set_alu_flags(result, carry=carry)
+        self.flag_ready = record.ready_cycle
+        if op not in (Op.CMP, Op.TEST):
+            self._write_dest(record, instruction.dst, result)
+
+    def _op_nop(self, record, instruction, dispatch):
+        record.start_cycle = dispatch
+        record.ready_cycle = dispatch
+
+    def _op_fence(self, record, instruction, dispatch):
+        start = max(dispatch, self.max_ready)
+        record.start_cycle = start
+        record.ready_cycle = start + instruction.info.base_latency
+        if self.contexts:
+            # A fence inside an unresolved speculation can never complete:
+            # it orders against *retirement* of older operations, and the
+            # faulting/mispredicted op ahead of it will never retire.
+            # Issue stays plugged until the window resolves -- the paper's
+            # Figure 4 mechanism ("the not-trigger path will encounter a
+            # fence, which hinders the issuance of subsequent uops").
+            self.serialize_until = max(
+                self.serialize_until,
+                max(ctx.resolve_cycle for ctx in self.contexts) + 1,
+            )
+        else:
+            self.serialize_until = record.ready_cycle
+
+    def _op_rdtsc(self, record, instruction, dispatch):
+        start = self._port_start(UopClass.SYSTEM, max(dispatch, self.max_ready))
+        record.start_cycle = start
+        record.ready_cycle = start + instruction.info.base_latency
+        self.serialize_until = record.ready_cycle
+        self._write_dest(record, "rax", start)
+        self.spec.write("rdx", 0)
+        self.reg_ready["rdx"] = record.ready_cycle
+
+    def _op_syscall(self, record, instruction, dispatch):
+        start = max(dispatch, self.max_ready, self.serialize_until)
+        record.start_cycle = start
+        record.ready_cycle = start + instruction.info.base_latency
+        self.serialize_until = record.ready_cycle
+        if self.core.syscall_handler is not None:
+            self.core.syscall_handler(self.spec)
+            for name in ("rax", "rbx", "rcx", "rdx", "rsi", "rdi"):
+                self.reg_ready[name] = record.ready_cycle
+
+    def _op_hlt(self, record, instruction, dispatch):
+        record.start_cycle = dispatch
+        record.ready_cycle = dispatch + 1
+        if self.contexts:
+            # A transient hlt cannot stop the machine; dispatch just has
+            # nothing more to do until the window resolves.
+            self.force_resolve = True
+            return
+        self._commit_retire(record)
+        self.halted = True
+        self.end_cycle = record.retire_cycle
+
+    def _op_prefetch(self, record, instruction, dispatch):
+        mem = instruction.mem
+        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        start = self._port_start(UopClass.LOAD, deps)
+        va = mem.effective_address(self.spec.read)
+        latency = self.mmu.prefetch(
+            va, user=self.user, now=start, thread_id=self.core.thread_id
+        )
+        record.start_cycle = start
+        record.ready_cycle = start + max(1, latency)
+        record.memory_va = va
+        record.memory_latency = latency
+
+    def _op_clflush(self, record, instruction, dispatch):
+        mem = instruction.mem
+        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        start = self._port_start(UopClass.STORE, deps)
+        va = mem.effective_address(self.spec.read)
+        self.mmu.clflush(va, user=self.user)
+        record.start_cycle = start
+        record.ready_cycle = start + instruction.info.base_latency
+        record.memory_va = va
+
+    def _op_load(self, record, instruction, dispatch):
+        mem = instruction.mem
+        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        start = self._port_start(UopClass.LOAD, deps)
+        va = mem.effective_address(self.spec.read)
+        start = max(start, self.store_ready.get(va, self.start_cycle))
+        access = self.mmu.data_access(
+            va,
+            write=False,
+            size=1 if instruction.op is Op.LOAD_BYTE else 8,
+            user=self.user,
+            now=start,
+            thread_id=self.core.thread_id,
+        )
+        record.start_cycle = start
+        record.ready_cycle = start + max(1, access.latency)
+        record.memory_va = va
+        record.memory_latency = access.latency
+        record.cache_hit_level = access.hit_level
+        if not access.tlb_hit:
+            self.pmu.add("DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK")
+        if access.walk is not None:
+            self.pmu.add("DTLB_LOAD_MISSES.WALK_ACTIVE", access.walk.latency)
+        if access.fault is not None:
+            self._handle_fault(record, access.fault, access)
+            return
+        if access.hit_level != "L1":
+            self.pmu.add("MEM_LOAD_RETIRED.L1_MISS")
+        if access.hit_level == "DRAM":
+            self.pmu.add("LONGEST_LAT_CACHE.MISS")
+        self._write_dest(record, instruction.dst, access.value)
+
+    def _op_store(self, record, instruction, dispatch):
+        mem = instruction.mem
+        value = (
+            self.spec.read(instruction.src)
+            if instruction.src is not None
+            else (instruction.imm & MASK64)
+        )
+        deps = max(
+            dispatch,
+            self._reg_time(mem.base),
+            self._reg_time(mem.index),
+            self._reg_time(instruction.src) if instruction.src else dispatch,
+        )
+        start = self._port_start(UopClass.STORE, deps)
+        va = mem.effective_address(self.spec.read)
+        old = self.mmu.peek_raw_bytes(va, 8)
+        access = self.mmu.data_access(
+            va,
+            write=True,
+            value=value,
+            size=8,
+            user=self.user,
+            now=start,
+            thread_id=self.core.thread_id,
+        )
+        record.start_cycle = start
+        record.ready_cycle = start + max(1, access.latency)
+        record.memory_va = va
+        record.memory_latency = access.latency
+        if access.fault is not None:
+            self._handle_fault(record, access.fault, access)
+            return
+        assert old is not None
+        self.undo_log.append((va, old))
+        self.store_ready[va] = record.ready_cycle
+
+    def _op_jmp(self, record, instruction, dispatch):
+        start = self._port_start(UopClass.BRANCH, dispatch)
+        record.start_cycle = start
+        record.ready_cycle = start + 1
+        record.is_branch = True
+        record.actual_target = instruction.target_addr
+        self.bpu.btb.update(record.pc, instruction.target_addr)
+        self.pmu.add("bp_l1_btb_correct")
+        self.pc = instruction.target_addr
+
+    def _op_jcc(self, record, instruction, dispatch):
+        taken_target = instruction.target_addr
+        fallthrough = record.pc + INSTRUCTION_SIZE
+        predicted_taken, _ = self.bpu.predict_conditional(record.pc, taken_target)
+        start = self._port_start(UopClass.BRANCH, max(dispatch, self.flag_ready))
+        record.start_cycle = start
+        record.ready_cycle = start + 1
+        record.is_branch = True
+        actual_taken = instruction.cond.evaluate(
+            self.spec.read_flag("zf"),
+            self.spec.read_flag("cf"),
+            self.spec.read_flag("sf"),
+            self.spec.read_flag("of"),
+        )
+        record.predicted_taken = predicted_taken
+        record.actual_taken = actual_taken
+        record.predicted_target = taken_target if predicted_taken else fallthrough
+        record.actual_target = taken_target if actual_taken else fallthrough
+        record.mispredicted = self.bpu.resolve_conditional(
+            record.pc, predicted_taken, actual_taken
+        )
+        if actual_taken:
+            self.bpu.btb.update(record.pc, taken_target)
+        if record.mispredicted:
+            self.pmu.add("BR_MISP_EXEC.ALL_BRANCHES")
+            self.contexts.append(
+                _SpecContext(
+                    kind="branch",
+                    trigger_seq=record.seq,
+                    resolve_cycle=record.ready_cycle,
+                    resume_pc=record.actual_target,
+                    snapshot=self._snapshot(),
+                    branch_kind="conditional",
+                )
+            )
+            self.pc = record.predicted_target
+        else:
+            self.pc = record.actual_target
+
+    def _op_call(self, record, instruction, dispatch):
+        return_address = record.pc + INSTRUCTION_SIZE
+        rsp = (self.spec.read("rsp") - 8) & MASK64
+        deps = max(dispatch, self._reg_time("rsp"))
+        start = self._port_start(UopClass.BRANCH, deps)
+        old = self.mmu.peek_raw_bytes(rsp, 8)
+        access = self.mmu.data_access(
+            rsp,
+            write=True,
+            value=return_address,
+            size=8,
+            user=self.user,
+            now=start,
+            thread_id=self.core.thread_id,
+        )
+        record.start_cycle = start
+        record.ready_cycle = start + max(1, access.latency)
+        record.is_branch = True
+        record.actual_target = instruction.target_addr
+        record.memory_va = rsp
+        if access.fault is not None:
+            self._handle_fault(record, access.fault, access)
+            return
+        assert old is not None
+        self.undo_log.append((rsp, old))
+        self.store_ready[rsp] = record.ready_cycle
+        self.spec.write("rsp", rsp)
+        self.reg_ready["rsp"] = record.ready_cycle
+        self.bpu.on_call(return_address, instruction.target_addr, record.pc)
+        self.pc = instruction.target_addr
+
+    def _op_ret(self, record, instruction, dispatch):
+        rsp = self.spec.read("rsp")
+        deps = max(dispatch, self._reg_time("rsp"))
+        start = self._port_start(UopClass.LOAD, deps)
+        start = max(start, self.store_ready.get(rsp, self.start_cycle))
+        access = self.mmu.data_access(
+            rsp, write=False, user=self.user, now=start, thread_id=self.core.thread_id
+        )
+        record.start_cycle = start
+        record.ready_cycle = start + max(1, access.latency)
+        record.is_branch = True
+        record.memory_va = rsp
+        record.memory_latency = access.latency
+        if access.fault is not None:
+            self._handle_fault(record, access.fault, access)
+            return
+        actual_target = access.value
+        predicted = self.bpu.predict_return()
+        record.actual_target = actual_target
+        record.predicted_target = predicted
+        self.spec.write("rsp", (rsp + 8) & MASK64)
+        self.reg_ready["rsp"] = record.ready_cycle
+        if predicted == actual_target:
+            self.pmu.add("bp_l1_btb_correct")
+            self.pc = actual_target
+            return
+        record.mispredicted = True
+        self.pmu.add("BR_MISP_EXEC.ALL_BRANCHES")
+        self.pmu.add("BR_MISP_EXEC.INDIRECT")
+        self.contexts.append(
+            _SpecContext(
+                kind="branch",
+                trigger_seq=record.seq,
+                resolve_cycle=record.ready_cycle,
+                resume_pc=actual_target,
+                snapshot=self._snapshot(),
+                branch_kind="return" if predicted is not None else "underflow",
+            )
+        )
+        if predicted is not None:
+            self.pc = predicted  # transient fetch down the stale RSB path
+        else:
+            # Underflow: nothing to fetch down; stall until the redirect.
+            self.pc = record.pc
+            self.force_resolve = True
+
+    def _op_xbegin(self, record, instruction, dispatch):
+        start = max(dispatch, self.serialize_until)
+        record.start_cycle = start
+        record.ready_cycle = start + instruction.info.base_latency
+        if not self.model.has_tsx:
+            raise SimulationError(
+                f"{self.model.name} has no TSX; use signal-handler suppression"
+            )
+        self.tsx_stack.append(
+            _TsxContext(
+                xbegin_seq=record.seq,
+                fallback_pc=instruction.target_addr,
+                regs=self.spec.snapshot(),
+                undo_index=len(self.undo_log),
+            )
+        )
+
+    def _op_xend(self, record, instruction, dispatch):
+        start = max(dispatch, self.serialize_until)
+        record.start_cycle = start
+        record.ready_cycle = start + instruction.info.base_latency
+        if not self.tsx_stack:
+            raise SimulationError("xend outside a transaction")
+        self.tsx_stack.pop()
+
+    # -- fault plumbing -----------------------------------------------------------
+
+    def _handle_fault(self, record: UopRecord, fault: Fault, access) -> None:
+        record.fault = fault
+        self.faults.append(fault)
+        snapshot_pre_fault = self._snapshot()
+        forwarded = self._transient_forward(fault, access)
+        record.transient_value = forwarded
+        if (
+            record.instruction.op in (Op.LOAD, Op.LOAD_BYTE)
+            and record.instruction.dst is not None
+        ):
+            self._write_dest(record, record.instruction.dst, forwarded)
+        if self.contexts:
+            # Fault inside an unresolved speculation: it can never retire,
+            # so it never raises; the enclosing squash disposes of it.
+            return
+        if self.tsx_stack:
+            suppression = "tsx"
+            resume_pc = self.tsx_stack[-1].fallback_pc
+            tsx = self.tsx_stack[-1]
+            tsx_index = len(self.tsx_stack) - 1
+        elif self.core.signal_handler_pc is not None:
+            suppression = "signal"
+            resume_pc = self.core.signal_handler_pc
+            tsx = None
+            tsx_index = -1
+        else:
+            raise SimulationError(
+                f"unhandled fault {fault.kind.value} at {fault.va:#x} "
+                f"(no transaction, no signal handler)"
+            )
+        fault_cycle = (
+            max(record.ready_cycle + 1, self.retire_cursor) + self.model.fault_raise_delay
+        )
+        self.contexts.append(
+            _SpecContext(
+                kind="fault",
+                trigger_seq=record.seq,
+                resolve_cycle=fault_cycle,
+                resume_pc=resume_pc,
+                snapshot=snapshot_pre_fault,
+                suppression=suppression,
+                fault=fault,
+                tsx=tsx,
+                tsx_index=tsx_index,
+            )
+        )
+
+    def _transient_forward(self, fault: Fault, access) -> int:
+        """What a vulnerable pipeline forwards to dependents of a faulting
+        access: the real data (Meltdown), a stale LFB byte (MDS), or zero
+        on fixed silicon."""
+        if (
+            self.model.meltdown_vulnerable
+            and fault.kind in (FaultKind.PROTECTION, FaultKind.WRITE_PROTECT)
+            and access.paddr is not None
+            and access.was_cached
+        ):
+            value = self.mmu.peek_physical(fault.va)
+            return value if value is not None else 0
+        if self.model.mds_vulnerable:
+            stale = self.mmu.lfb.sample_stale(fault.va & 63)
+            if stale is not None:
+                return stale
+        return 0
+
+    # -- PMU epilogue ----------------------------------------------------------------
+
+    def _pmu_epilogue(self, end_cycle: int) -> None:
+        span = max(1, end_cycle - self.start_cycle)
+        exec_intervals = []
+        mem_intervals = []
+        inflight_intervals = []
+        for record in self.records:
+            if record.ready_cycle > record.start_cycle:
+                exec_intervals.append((record.start_cycle, record.ready_cycle))
+            inflight_intervals.append(
+                (record.dispatch_cycle, max(record.ready_cycle, record.dispatch_cycle + 1))
+            )
+            if record.instruction.info.is_load and record.memory_va is not None:
+                mem_intervals.append((record.start_cycle, record.ready_cycle))
+        covered_exec = _union_length(exec_intervals, self.start_cycle, end_cycle)
+        covered_mem = _union_length(mem_intervals, self.start_cycle, end_cycle)
+        covered_inflight = _union_length(inflight_intervals, self.start_cycle, end_cycle)
+        idle = max(0, span - covered_exec)
+        self.pmu.add("UOPS_EXECUTED.CORE_CYCLES_NONE", idle)
+        self.pmu.add("UOPS_EXECUTED.STALL_CYCLES", idle)
+        self.pmu.add("CYCLE_ACTIVITY.STALLS_TOTAL", idle)
+        self.pmu.add("CYCLE_ACTIVITY.CYCLES_MEM_ANY", covered_mem)
+        self.pmu.add("RS_EVENTS.EMPTY_CYCLES", max(0, span - covered_inflight))
+        issue_idle = max(0, span - len(self.dispatch_cycles))
+        self.pmu.add("UOPS_ISSUED.STALL_CYCLES", issue_idle)
+        self.pmu.add("de_dis_uop_queue_empty_di0", issue_idle)
+        self.pmu.add(
+            "ITLB_MISSES.WALK_ACTIVE", self.mmu.iside_walk_cycles - self.iside_walk_base
+        )
+
+
+def _union_length(intervals: List[Tuple[int, int]], lo: int, hi: int) -> int:
+    """Total length of the union of *intervals*, clipped to [lo, hi]."""
+    clipped = sorted(
+        (max(lo, start), min(hi, end))
+        for start, end in intervals
+        if end > lo and start < hi
+    )
+    total = 0
+    current_start: Optional[int] = None
+    current_end = lo
+    for start, end in clipped:
+        if current_start is None:
+            current_start, current_end = start, end
+        elif start <= current_end:
+            current_end = max(current_end, end)
+        else:
+            total += current_end - current_start
+            current_start, current_end = start, end
+    if current_start is not None:
+        total += current_end - current_start
+    return total
+
+
+_OP_HANDLERS: Dict[Op, Callable] = {
+    Op.MOV_RI: _RunEngine._op_mov_ri,
+    Op.MOV_RR: _RunEngine._op_mov_rr,
+    Op.LEA: _RunEngine._op_lea,
+    Op.ADD: _RunEngine._op_alu,
+    Op.SUB: _RunEngine._op_alu,
+    Op.AND: _RunEngine._op_alu,
+    Op.OR: _RunEngine._op_alu,
+    Op.XOR: _RunEngine._op_alu,
+    Op.SHL: _RunEngine._op_alu,
+    Op.SHR: _RunEngine._op_alu,
+    Op.CMP: _RunEngine._op_alu,
+    Op.TEST: _RunEngine._op_alu,
+    Op.NOP: _RunEngine._op_nop,
+    Op.PREFETCH: _RunEngine._op_prefetch,
+    Op.MFENCE: _RunEngine._op_fence,
+    Op.LFENCE: _RunEngine._op_fence,
+    Op.SFENCE: _RunEngine._op_fence,
+    Op.RDTSC: _RunEngine._op_rdtsc,
+    Op.RDTSCP: _RunEngine._op_rdtsc,
+    Op.SYSCALL: _RunEngine._op_syscall,
+    Op.HLT: _RunEngine._op_hlt,
+    Op.CLFLUSH: _RunEngine._op_clflush,
+    Op.LOAD: _RunEngine._op_load,
+    Op.LOAD_BYTE: _RunEngine._op_load,
+    Op.STORE: _RunEngine._op_store,
+    Op.JMP: _RunEngine._op_jmp,
+    Op.JCC: _RunEngine._op_jcc,
+    Op.CALL: _RunEngine._op_call,
+    Op.RET: _RunEngine._op_ret,
+    Op.XBEGIN: _RunEngine._op_xbegin,
+    Op.XEND: _RunEngine._op_xend,
+}

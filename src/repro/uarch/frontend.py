@@ -1,0 +1,173 @@
+"""The frontend: uop delivery from DSB, MITE or the microcode sequencer.
+
+The paper's Table 3 shows the IDQ picture changing when a transient Jcc
+triggers: fewer uops from the DSB, more from MITE, fewer from the MS, and
+extra resteer cycles.  Those effects come from this model: a resteer
+redirects fetch to a line that has usually fallen out of the DSB, forcing
+the slower MITE path, and a blocked frontend delivers fewer microcoded
+uops before the flush.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction
+from repro.memory.mmu import Mmu
+from repro.uarch.config import CpuModel
+from repro.uarch.pmu import PmuCounters
+
+#: Instruction-fetch line size in bytes (matches ICACHE_16B granularity).
+FETCH_LINE = 16
+
+
+@dataclass
+class Delivery:
+    """When and whence one instruction's uops were delivered."""
+
+    cycle: int
+    source: str  # "dsb" | "mite" | "ms"
+    uops: int
+    fetch_stall: int
+
+
+class Frontend:
+    """Delivers decoded uops to the allocator with cycle accounting."""
+
+    def __init__(self, model: CpuModel, mmu: Mmu, pmu: PmuCounters) -> None:
+        self.model = model
+        self.mmu = mmu
+        self.pmu = pmu
+        self._dsb: OrderedDict = OrderedDict()  # line -> True, LRU
+        self._clock = 0
+        self._slots_used = 0
+        self._block_until = 0
+        self._last_line = -1
+        self._last_source = "dsb"
+        # Distinct-cycle sets are too heavy for long runs; we count
+        # transitions instead (each new allocation cycle counts once).
+        self._counted_cycle = -1
+
+    @property
+    def delivery_floor(self) -> int:
+        """Soonest cycle the next delivery could land (lower bound)."""
+        return max(self._clock, self._block_until)
+
+    def reset_clock(self, cycle: int = 0) -> None:
+        """Reset delivery timing (new program run)."""
+        self._clock = cycle
+        self._slots_used = 0
+        self._block_until = cycle
+        self._last_line = -1
+        self._counted_cycle = -1
+
+    def block_until(self, cycle: int, resteer: bool = False) -> None:
+        """Stall delivery until *cycle* (redirect, flush, serialisation).
+
+        With ``resteer=True`` the *target* line is treated as a fresh
+        fetch (the DSB read pointer was clobbered).  Resteer-cycle PMU
+        accounting is done by the core at the resolution site, where the
+        resteer penalty is known.
+        """
+        if cycle > self._block_until:
+            self._block_until = cycle
+        if resteer:
+            self._last_line = -1
+
+    def dsb_contains(self, pc: int) -> bool:
+        """Whether the fetch line holding *pc* is in the uop cache."""
+        return (pc // FETCH_LINE) in self._dsb
+
+    def prime_dsb(self, pc: int) -> None:
+        """Pre-insert *pc*'s line (warmed-up loop assumption in tests)."""
+        self._dsb_insert(pc // FETCH_LINE)
+
+    def _dsb_insert(self, line: int) -> None:
+        if line in self._dsb:
+            self._dsb.move_to_end(line)
+            return
+        if len(self._dsb) >= self.model.dsb_lines:
+            self._dsb.popitem(last=False)
+        self._dsb[line] = True
+
+    def deliver(
+        self,
+        pc: int,
+        instruction: Instruction,
+        earliest: int,
+        user: bool = True,
+        transient: bool = False,
+    ) -> Delivery:
+        """Deliver *instruction*'s uops; returns the allocation cycle.
+
+        *earliest* is the soonest the allocator could accept them (resource
+        stalls computed by the core).  Delivery is in program-fetch order,
+        so the internal clock only moves forward.
+        """
+        start = max(self._clock, self._block_until, earliest)
+        fetch_stall = 0
+        info = instruction.info
+
+        line = pc // FETCH_LINE
+        if line != self._last_line:
+            fetch = self.mmu.instruction_fetch(pc, user=user, now=start)
+            l1i_latency = self.model.l1i.latency
+            if fetch.latency > l1i_latency:
+                fetch_stall = fetch.latency - l1i_latency
+                self.pmu.add("ICACHE_16B.IFDATA_STALL", fetch_stall)
+                start += fetch_stall
+            if fetch.tlb_hit:
+                self.pmu.add("bp_l1_tlb_fetch_hit")
+            self.pmu.add("ic_fw32")
+            if self._dsb_lookup(line):
+                source = "dsb"
+            else:
+                source = "mite"
+                start += self.model.mite_line_penalty
+                self._dsb_insert(line)
+            self._last_line = line
+            self._last_source = source
+        else:
+            source = self._last_source
+
+        if info.microcoded:
+            if source != "ms":
+                start += self.model.ms_switch_penalty
+            self.pmu.add("IDQ.MS_UOPS", info.uop_count)
+            if self._last_source == "dsb":
+                self.pmu.add("IDQ.MS_DSB_CYCLES")
+            else:
+                self.pmu.add("IDQ.MS_MITE_UOPS", info.uop_count)
+            source = "ms"
+        elif source == "dsb":
+            self.pmu.add("IDQ.DSB_UOPS", info.uop_count)
+        # (plain MITE uop counts are visible through the cycle counters)
+
+        # Width-limited allocation: issue_width uops per cycle.
+        if start > self._clock:
+            self._clock = start
+            self._slots_used = 0
+        for _ in range(info.uop_count):
+            if self._slots_used >= self.model.issue_width:
+                self._clock += 1
+                self._slots_used = 0
+            self._slots_used += 1
+        cycle = self._clock
+
+        if cycle != self._counted_cycle:
+            self._counted_cycle = cycle
+            if source == "dsb":
+                self.pmu.add("IDQ.DSB_CYCLES_ANY")
+                if info.uop_count >= self.model.issue_width:
+                    self.pmu.add("IDQ.DSB_CYCLES_OK")
+            elif source == "mite":
+                self.pmu.add("IDQ.ALL_MITE_CYCLES_ANY_UOPS")
+
+        return Delivery(cycle=cycle, source=source, uops=info.uop_count, fetch_stall=fetch_stall)
+
+    def _dsb_lookup(self, line: int) -> bool:
+        if line in self._dsb:
+            self._dsb.move_to_end(line)
+            return True
+        return False

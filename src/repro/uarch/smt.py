@@ -1,0 +1,121 @@
+"""Simultaneous multithreading: two logical threads on one physical core.
+
+Section 4.4 of the paper builds a covert channel out of *pipeline flushes*:
+the Trojan thread triggers (and suppresses) a page fault to send a ``1``,
+and the spy thread's nop loop slows down because the flush and its
+recovery occupy shared frontend/allocation resources.
+
+Model: the two threads share the physical core's MMU (so LFB leakage
+across threads also works) but run on separate :class:`Core` timing
+engines; every disruption window the Trojan produces (flushes, mispredict
+recoveries, signal dispatches) is replayed onto the spy's timeline as
+stolen dispatch slots.  That is an abstraction of SMT arbitration -- a
+disrupting thread monopolises allocation during clears -- and it is the
+part of the paper's mechanism the covert channel actually uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.memory.mmu import Mmu
+from repro.uarch.config import CpuModel
+from repro.uarch.core import Core, RunResult, SimulationError
+
+
+@dataclass
+class SmtRunResult:
+    """Outcome of one co-scheduled pair of runs."""
+
+    trojan: RunResult
+    spy: RunResult
+    spy_effective_cycles: int
+    disruption_cycles: int
+
+
+class SmtCore:
+    """A physical core exposing two logical threads.
+
+    Thread 0 is the Trojan/sender, thread 1 the spy/receiver.  Both share
+    one :class:`~repro.memory.mmu.Mmu` (same caches, TLBs and line fill
+    buffers -- the ZombieLoad cross-thread channel needs exactly that).
+    """
+
+    def __init__(self, model: CpuModel, mmu: Mmu) -> None:
+        if not model.smt:
+            raise SimulationError(f"{model.name} has SMT disabled")
+        self.model = model
+        self.mmu = mmu
+        self.thread0 = Core(model, mmu, thread_id=0)
+        self.thread1 = Core(model, mmu, thread_id=1)
+        # Share one PMU bank: SMT counters are core-scoped on real parts.
+        self.thread1.pmu = self.thread0.pmu
+        self.thread1.frontend.pmu = self.thread0.pmu
+        #: Fraction of dispatch bandwidth the spy loses inside a
+        #: disruption window (flush recovery monopolises allocation).
+        self.disruption_steal = 0.9
+
+    @property
+    def pmu(self):
+        return self.thread0.pmu
+
+    def run_pair(
+        self,
+        trojan_program: Program,
+        spy_program: Program,
+        trojan_regs: Optional[dict] = None,
+        spy_regs: Optional[dict] = None,
+        align_clocks: bool = True,
+    ) -> SmtRunResult:
+        """Run the Trojan and the spy as co-resident threads.
+
+        The Trojan runs first on its own timing engine, accumulating
+        disruption windows; the spy's run is then stretched by the overlap
+        between its busy period and those windows.  Returns both results
+        plus the spy's *effective* (stretched) cycle count -- the quantity
+        the §4.4 receiver thresholds.
+        """
+        if align_clocks:
+            start = max(self.thread0.global_cycle, self.thread1.global_cycle)
+            self.thread0.global_cycle = start
+            self.thread1.global_cycle = start
+        self.thread0.disruptions = []
+        trojan_result = self.thread0.run(trojan_program, regs=trojan_regs)
+        spy_result = self.thread1.run(spy_program, regs=spy_regs)
+        overlap = _overlap_cycles(
+            self.thread0.disruptions, spy_result.start_cycle, spy_result.end_cycle
+        )
+        stretch = int(overlap * self.disruption_steal)
+        effective = spy_result.cycles + stretch
+        self.thread1.global_cycle += stretch
+        return SmtRunResult(
+            trojan=trojan_result,
+            spy=spy_result,
+            spy_effective_cycles=effective,
+            disruption_cycles=overlap,
+        )
+
+
+def _overlap_cycles(windows: List[Tuple[int, int]], start: int, end: int) -> int:
+    """Cycles of [start, end) covered by the union of *windows*."""
+    if not windows:
+        return 0
+    clipped = sorted(
+        (max(start, lo), min(end, hi)) for lo, hi in windows if hi > start and lo < end
+    )
+    total = 0
+    cur_lo: Optional[int] = None
+    cur_hi = start
+    for lo, hi in clipped:
+        if cur_lo is None:
+            cur_lo, cur_hi = lo, hi
+        elif lo <= cur_hi:
+            cur_hi = max(cur_hi, hi)
+        else:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+    if cur_lo is not None:
+        total += cur_hi - cur_lo
+    return total

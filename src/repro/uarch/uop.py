@@ -1,0 +1,90 @@
+"""In-flight uop records and the pipeline events the tracer collects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.memory.mmu import Fault
+
+
+@dataclass
+class UopRecord:
+    """One dispatched instruction (its uops are accounted as a group).
+
+    Timestamps are simulator cycles: ``dispatch_cycle`` is allocation into
+    the backend, ``start_cycle`` is issue to a port, ``ready_cycle`` is
+    completion, ``retire_cycle`` is commitment (``None`` for uops that were
+    squashed and never retired -- the transient ones).
+    """
+
+    seq: int
+    pc: int
+    instruction: Instruction
+    dispatch_cycle: int
+    source: str = "dsb"  # frontend delivery path: dsb | mite | ms
+    start_cycle: int = 0
+    ready_cycle: int = 0
+    retire_cycle: Optional[int] = None
+
+    transient: bool = False  # dispatched under an unresolved speculation
+    squashed: bool = False
+    fault: Optional[Fault] = None
+    #: the value a vulnerable pipeline forwarded despite the fault
+    transient_value: Optional[int] = None
+
+    # Branch bookkeeping
+    is_branch: bool = False
+    predicted_taken: Optional[bool] = None
+    predicted_target: Optional[int] = None
+    actual_taken: Optional[bool] = None
+    actual_target: Optional[int] = None
+    mispredicted: bool = False
+
+    # Memory bookkeeping
+    memory_va: Optional[int] = None
+    memory_latency: int = 0
+    cache_hit_level: str = ""
+
+    @property
+    def uop_count(self) -> int:
+        return self.instruction.uop_count
+
+
+@dataclass(frozen=True)
+class RedirectEvent:
+    """A branch-mispredict redirect (possibly nested in a transient window)."""
+
+    branch_seq: int
+    branch_pc: int
+    resolve_cycle: int
+    redirect_cycle: int
+    recovery_end: int
+    wrong_path_uops: int
+    nested_in_transient: bool
+    kind: str  # "conditional" | "return" | "underflow"
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """A retired-fault pipeline flush (the transient window's end)."""
+
+    fault_seq: int
+    fault_pc: int
+    fault_kind: str
+    fault_cycle: int
+    flush_start: int
+    flush_end: int
+    drained_uops: int
+    nested_clears: int
+    suppression: str  # "tsx" | "signal"
+    resume_pc: int
+
+
+@dataclass
+class RunEvents:
+    """All pipeline events of one run, for Figures 3 and 4."""
+
+    redirects: list = field(default_factory=list)
+    flushes: list = field(default_factory=list)

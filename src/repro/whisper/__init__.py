@@ -1,0 +1,58 @@
+"""Whisper: the transient-execution-timing (TET) side channel.
+
+This package is the paper's contribution, built on the simulator
+substrates:
+
+* :mod:`repro.whisper.gadgets` -- the assembly gadget builders (Figure 1a,
+  Listing 1, Listing 2 and the ZombieLoad variant).
+* :mod:`repro.whisper.analysis` -- the argmax/argmin batch decoders and
+  the bimodal ToTE classifier TET-KASLR uses.
+* :mod:`repro.whisper.channel` -- TET-CC, the covert channel (§3.2, §4.1).
+* :mod:`repro.whisper.attacks` -- TET-MD, TET-ZBL, TET-RSB, TET-KASLR.
+* :mod:`repro.whisper.smt_channel` -- the SMT flush covert channel (§4.4).
+* :mod:`repro.whisper.taxonomy` -- the side-channel comparison of Table 1.
+"""
+
+from repro.whisper.analysis import (
+    ArgExtremeDecoder,
+    ByteScanResult,
+    classify_bimodal,
+)
+from repro.whisper.attacks.kaslr import KaslrBreakResult, TetKaslr
+from repro.whisper.attacks.meltdown import TetMeltdown
+from repro.whisper.attacks.spectre_rsb import TetSpectreRsb
+from repro.whisper.attacks.spectre_v1 import TetSpectreV1
+from repro.whisper.attacks.zombieload import TetZombieload
+from repro.whisper.calibration import ChannelCalibration, calibrate_channel
+from repro.whisper.channel import ChannelStats, TetCovertChannel
+from repro.whisper.exploit import ExploitPlan, KernelExploitPlanner
+from repro.whisper.fast_channel import BinarySearchChannel
+from repro.whisper.gadgets import GadgetBuilder, Suppression
+from repro.whisper.smt_channel import SmtChannelStats, SmtCovertChannel
+from repro.whisper.taxonomy import TABLE1_ROWS, AttackClass, render_table1
+
+__all__ = [
+    "ArgExtremeDecoder",
+    "AttackClass",
+    "BinarySearchChannel",
+    "ByteScanResult",
+    "ChannelCalibration",
+    "ChannelStats",
+    "ExploitPlan",
+    "KernelExploitPlanner",
+    "calibrate_channel",
+    "GadgetBuilder",
+    "KaslrBreakResult",
+    "SmtChannelStats",
+    "SmtCovertChannel",
+    "Suppression",
+    "TABLE1_ROWS",
+    "TetCovertChannel",
+    "TetKaslr",
+    "TetMeltdown",
+    "TetSpectreRsb",
+    "TetSpectreV1",
+    "TetZombieload",
+    "classify_bimodal",
+    "render_table1",
+]

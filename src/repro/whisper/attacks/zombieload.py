@@ -1,0 +1,127 @@
+"""TET-ZombieLoad (§4.3.2): MDS sampling through the TET channel.
+
+The victim (another process / SMT sibling) handles its secret, leaving the
+line in the fill buffers.  The attacker's faulting load gets a stale LFB
+byte forwarded (no address control -- the classic ZombieLoad *sampling*
+limitation) and jumps over a nop sled when it matches the test value.
+The match therefore *shortens* the transient window ("it is interesting
+that the ToTE becomes shorter if the Jcc is triggered", §4.3.2), and the
+decoder is the argmin variant.
+
+The attacker chooses the byte *offset within the line* by faulting at an
+address with the same line offset, as the real attack does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.whisper.analysis import ArgExtremeDecoder, ByteScanResult
+from repro.whisper.attacks.meltdown import LeakResult
+from repro.whisper.gadgets import GadgetBuilder, Suppression
+
+#: The faulting region: the (unmapped) null page, offset-addressable so the
+#: attacker can steer the line offset of the assist.
+NULL_PAGE = 0x0
+
+
+class TetZombieload:
+    """The TET-ZBL attack bound to one machine."""
+
+    def __init__(
+        self,
+        machine,
+        batches: int = 7,
+        sled: int = 32,
+        values: Sequence[int] = range(256),
+        suppression: Optional[Suppression] = None,
+    ) -> None:
+        self.machine = machine
+        self.batches = batches
+        self.values = list(values)
+        self.builder = GadgetBuilder(machine, suppression=suppression)
+        self.program = self.builder.zombieload(sled=sled)
+        self.decoder = ArgExtremeDecoder("min")
+        #: The victim's working buffer (line-aligned user page).
+        self.victim_va = machine.alloc_data()
+        self._victim_secret = b""
+        self._victim_process = None
+        self.samples_per_probe = 1
+        self._warmed = False
+
+    def install_victim_secret(self, secret: bytes) -> None:
+        """Give the victim process its secret (at most one cache line --
+        ZombieLoad samples whole lines; longer secrets need per-line
+        leaking, see :meth:`leak`)."""
+        if len(secret) > 64:
+            raise ValueError("victim secret must fit one cache line (64 B)")
+        self._victim_secret = bytes(secret)
+        self.machine.write_data(self.victim_va, self._victim_secret)
+
+    def attach_victim(self, victim) -> None:
+        """Leak from a real :class:`~repro.sim.victim.VictimProcess`
+        instead of the abstract victim-store helper: its worker loop runs
+        on a sibling core with its own address space, and only the shared
+        line fill buffers carry the secret across.
+
+        The victim's own working set competes for LFB entries (its
+        pressure lines are zero-filled), so this mode switches to the
+        integrate-then-argmin decoder and filters the zero byte out of
+        the candidate set -- the dominant-value filtering every real MDS
+        proof of concept performs."""
+        self._victim_process = victim
+        self._victim_secret = victim.secret
+        self.decoder = ArgExtremeDecoder("min", statistic="mean")
+        self.values = [value for value in self.values if value != 0]
+        # Several faulting loads per test value, keeping the fastest:
+        # the assist samples rotating fill-buffer entries, so repeated
+        # sampling is how real MDS PoCs catch the line they want.
+        self.samples_per_probe = 3
+
+    def victim_activity(self) -> None:
+        """The victim touches its secret, refreshing the fill buffers."""
+        if self._victim_process is not None:
+            self._victim_process.work(iterations=len(self._victim_secret))
+            return
+        self.machine.victim_store(self.victim_va, self._victim_secret, thread_id=1)
+
+    def scan_offset(self, offset: int) -> ByteScanResult:
+        """Sample the stale byte at line *offset* (0..63)."""
+        if not self._warmed:
+            for _ in range(4):  # shed cold-code noise
+                self.machine.run(self.program, regs={"r13": NULL_PAGE, "r9": 256})
+            self._warmed = True
+        totes = {test: [] for test in self.values}
+        for _ in range(self.batches):
+            self.victim_activity()
+            for test in self.values:
+                samples = []
+                for _ in range(self.samples_per_probe):
+                    result = self.machine.run(
+                        self.program,
+                        regs={"r13": NULL_PAGE + (offset & 63), "r9": test},
+                    )
+                    samples.append(
+                        result.regs.read("r15") - result.regs.read("r14")
+                    )
+                totes[test].append(min(samples))
+        return self.decoder.decode(totes)
+
+    def leak(self, length: Optional[int] = None) -> LeakResult:
+        """Sample the victim's secret line byte-by-byte."""
+        if not self._victim_secret:
+            raise RuntimeError("no victim secret installed; call install_victim_secret")
+        if length is None:
+            length = len(self._victim_secret)
+        start_cycle = self.machine.core.global_cycle
+        scans = [self.scan_offset(index) for index in range(length)]
+        cycles = self.machine.core.global_cycle - start_cycle
+        seconds = self.machine.seconds(cycles)
+        return LeakResult(
+            data=bytes(scan.value for scan in scans),
+            expected=self._victim_secret[:length],
+            cycles=cycles,
+            seconds=seconds,
+            bytes_per_second=length / seconds if seconds else float("inf"),
+            scans=scans,
+        )

@@ -1,0 +1,104 @@
+"""TET-CC: the transient-execution-timing covert channel (§3.2, §4.1).
+
+The sender's byte is architecturally visible to the gadget (it is a covert
+*channel*, not a leak): for each test value, the Figure 1a gadget opens a
+transient window with a faulting null-pointer load and executes a Jcc that
+triggers only when the test value matches.  The receiver recovers the byte
+from the argmax of the ToTE scan -- no cache probing, no shared-state
+flushing, nothing but two ``rdtsc`` reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.whisper.analysis import ArgExtremeDecoder, ByteScanResult, error_rate
+from repro.whisper.gadgets import GadgetBuilder, Suppression
+
+#: The paper's faulting address: ``*(char*)(0x0)``.
+NULL_POINTER = 0x0
+
+
+@dataclass
+class ChannelStats:
+    """Transmission statistics, the §4.1 reporting format."""
+
+    payload_length: int
+    received: bytes
+    error_rate: float
+    cycles: int
+    seconds: float
+    bytes_per_second: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.payload_length} B in {self.seconds * 1e3:.3f} ms simulated "
+            f"-> {self.bytes_per_second:,.0f} B/s, error rate {self.error_rate:.2%}"
+        )
+
+
+class TetCovertChannel:
+    """The TET covert channel on one machine."""
+
+    def __init__(
+        self,
+        machine,
+        batches: int = 3,
+        values: Sequence[int] = range(256),
+        suppression: Optional[Suppression] = None,
+        statistic: str = "vote",
+    ) -> None:
+        self.machine = machine
+        self.batches = batches
+        self.values = list(values)
+        self.builder = GadgetBuilder(machine, suppression=suppression)
+        self.program = self.builder.figure1()
+        self.sender_page = machine.alloc_data()
+        self.decoder = ArgExtremeDecoder("max", statistic=statistic)
+        self._warmed = False
+
+    def _warm_up(self) -> None:
+        """Shed cold-code noise before the first measured scan."""
+        for _ in range(4):
+            self.machine.run(
+                self.program,
+                regs={"r12": self.sender_page, "r13": NULL_POINTER, "r9": 256},
+            )
+        self._warmed = True
+
+    def scan_byte(self) -> ByteScanResult:
+        """One full test-value scan of whatever the sender page holds."""
+        if not self._warmed:
+            self._warm_up()
+        totes = {test: [] for test in self.values}
+        for _ in range(self.batches):
+            for test in self.values:
+                result = self.machine.run(
+                    self.program,
+                    regs={"r12": self.sender_page, "r13": NULL_POINTER, "r9": test},
+                )
+                start = result.regs.read("r14")
+                end = result.regs.read("r15")
+                totes[test].append(end - start)
+        return self.decoder.decode(totes)
+
+    def send_byte(self, value: int) -> ByteScanResult:
+        """Sender writes *value*; receiver scans and decodes it."""
+        self.machine.write_data(self.sender_page, bytes([value & 0xFF]) + b"\x00" * 7)
+        return self.scan_byte()
+
+    def transmit(self, payload: bytes) -> ChannelStats:
+        """Send *payload* byte-by-byte; return the §4.1 statistics."""
+        start_cycle = self.machine.core.global_cycle
+        received = bytes(self.send_byte(value).value for value in payload)
+        cycles = self.machine.core.global_cycle - start_cycle
+        seconds = self.machine.seconds(cycles)
+        return ChannelStats(
+            payload_length=len(payload),
+            received=received,
+            error_rate=error_rate(payload, received),
+            cycles=cycles,
+            seconds=seconds,
+            bytes_per_second=len(payload) / seconds if seconds else float("inf"),
+        )

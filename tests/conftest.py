@@ -1,0 +1,74 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, CacheHierarchy
+from repro.memory.mmu import Mmu
+from repro.memory.paging import AddressSpace, PageSize
+from repro.memory.physical import PhysicalMemory
+from repro.sim.machine import Machine
+
+
+def small_hierarchy(dram_latency: int = 180) -> CacheHierarchy:
+    """A compact hierarchy for memory-subsystem unit tests."""
+    return CacheHierarchy(
+        CacheGeometry("L1", 4 * 1024, 4, 4),
+        CacheGeometry("L1I", 4 * 1024, 4, 4),
+        CacheGeometry("L2", 32 * 1024, 8, 12),
+        CacheGeometry("LLC", 256 * 1024, 8, 42),
+        dram_latency=dram_latency,
+    )
+
+
+def make_mmu(fill_tlb_on_fault: bool = True):
+    """A fresh MMU with one user page and one supervisor page mapped.
+
+    Returns (mmu, space, addresses) where addresses is a dict with
+    ``user``, ``kernel`` (mapped supervisor 2 MiB page) and ``unmapped``.
+    """
+    physical = PhysicalMemory()
+    hierarchy = small_hierarchy()
+    space = AddressSpace("test")
+    space.map_page(0x10000, 0x20000, user=True)
+    space.map_page(
+        0xFFFF_FFFF_8100_0000,
+        0x40000000,
+        size=PageSize.SIZE_2M,
+        user=False,
+        global_=True,
+        tag="kernel",
+    )
+    mmu = Mmu(physical, hierarchy, fill_tlb_on_faulting_access=fill_tlb_on_fault)
+    mmu.set_address_space(space)
+    addresses = {
+        "user": 0x10000,
+        "kernel": 0xFFFF_FFFF_8100_0000,
+        "unmapped": 0xFFFF_FFFF_9000_0000,
+    }
+    return mmu, space, addresses
+
+
+@pytest.fixture
+def machine():
+    """A default vulnerable Intel machine with a fixed seed."""
+    return Machine("i7-7700", seed=1234)
+
+
+@pytest.fixture
+def fixed_machine():
+    """A Meltdown/MDS-fixed Intel machine (Comet Lake)."""
+    return Machine("i9-10980XE", seed=1234)
+
+
+@pytest.fixture
+def amd_machine():
+    """A Zen 3 machine: no TSX, permission-checked TLB fills."""
+    return Machine("ryzen-5600G", seed=1234)
+
+
+def run_source(machine_obj: Machine, source: str, regs=None, **kwargs):
+    """Assemble+load+run a snippet; return the RunResult."""
+    program = machine_obj.load_program(source)
+    return machine_obj.run(program, regs=regs, **kwargs)

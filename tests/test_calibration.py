@@ -1,0 +1,71 @@
+"""Tests for the channel self-calibration layer."""
+
+import math
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.whisper.calibration import ChannelCalibration, calibrate_channel
+from repro.whisper.channel import TetCovertChannel
+
+
+def make_channel(noise_amplitude=0, seed=281):
+    machine = Machine("i7-7700", seed=seed, noise_amplitude=noise_amplitude)
+    return TetCovertChannel(machine, batches=1)
+
+
+class TestCalibrationMeasurement:
+    def test_clean_channel_has_clear_signal(self):
+        calibration = calibrate_channel(make_channel(), samples=8)
+        assert calibration.delta > 4
+        assert calibration.noise == 0
+        assert calibration.snr == math.inf
+        assert calibration.usable()
+
+    def test_clean_channel_needs_one_batch(self):
+        calibration = calibrate_channel(make_channel(), samples=8)
+        assert calibration.recommended_batches() == 1
+
+    def test_noisy_channel_measures_noise(self):
+        calibration = calibrate_channel(make_channel(noise_amplitude=6), samples=16)
+        assert calibration.noise > 0
+        assert calibration.snr < math.inf
+
+    def test_noisier_channel_needs_more_batches(self):
+        mild = calibrate_channel(make_channel(noise_amplitude=4), samples=16)
+        harsh = calibrate_channel(make_channel(noise_amplitude=16), samples=16)
+        assert harsh.recommended_batches() >= mild.recommended_batches()
+        assert harsh.recommended_batches() > 1
+
+    def test_calibration_does_not_break_subsequent_use(self):
+        channel = make_channel()
+        calibrate_channel(channel, samples=4)
+        assert channel.send_byte(0x41).value == 0x41
+
+
+class TestCalibrationMath:
+    def test_flat_channel_rejected(self):
+        flat = ChannelCalibration(100, 0, 100, 0, 8)
+        assert not flat.usable()
+        with pytest.raises(ValueError):
+            flat.recommended_batches()
+
+    def test_batches_formula(self):
+        # delta 8, noise 8, z=3.5 -> n >= 2 * (3.5)^2 = 24.5 -> 25
+        calibration = ChannelCalibration(100, 8, 108, 8, 8)
+        assert calibration.recommended_batches() == 25
+
+    def test_batches_scale_with_z(self):
+        calibration = ChannelCalibration(100, 8, 108, 8, 8)
+        assert calibration.recommended_batches(z=7.0) > calibration.recommended_batches(z=3.5)
+
+    def test_recommendation_closes_the_loop(self):
+        """Calibrate a noisy channel, decode with the recommendation and
+        the mean statistic: the payload must come through."""
+        machine = Machine("i7-7700", seed=282, noise_amplitude=5)
+        probe_channel = TetCovertChannel(machine, batches=1)
+        calibration = calibrate_channel(probe_channel, samples=16)
+        batches = min(12, calibration.recommended_batches())
+        channel = TetCovertChannel(machine, batches=batches, statistic="mean")
+        stats = channel.transmit(b"ok")
+        assert stats.error_rate == 0.0

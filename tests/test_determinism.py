@@ -1,0 +1,78 @@
+"""Whole-system determinism: same seed, same everything.
+
+The reproduction's claims are only auditable if every experiment replays
+bit-for-bit.  These tests re-run representative experiments on freshly
+built machines with identical seeds and require identical outcomes --
+including the PMU counters and the cycle-exact timings.
+"""
+
+from repro.sim.machine import Machine
+from repro.whisper.attacks.kaslr import TetKaslr
+from repro.whisper.attacks.meltdown import TetMeltdown
+from repro.whisper.channel import TetCovertChannel
+
+
+def test_identical_runs_produce_identical_cycles():
+    def run():
+        machine = Machine("i7-7700", seed=77)
+        program = machine.load_program("""
+    mov rcx, 20
+top:
+    add rax, 3
+    sub rcx, 1
+    cmp rcx, 0
+    jne top
+    hlt
+""")
+        results = [machine.run(program) for _ in range(3)]
+        return [(r.cycles, r.regs.read("rax")) for r in results]
+
+    assert run() == run()
+
+
+def test_identical_machines_have_identical_kaslr_layouts():
+    first = Machine("i9-10980XE", seed=31337)
+    second = Machine("i9-10980XE", seed=31337)
+    assert first.kernel.layout.base == second.kernel.layout.base
+    assert first.kernel.layout.symbols == second.kernel.layout.symbols
+
+
+def test_different_seeds_randomise_the_layout():
+    bases = {Machine("i7-7700", seed=s).kernel.layout.base for s in range(8)}
+    assert len(bases) > 4
+
+
+def test_channel_transmission_replays_exactly():
+    def run():
+        machine = Machine("i7-7700", seed=88)
+        channel = TetCovertChannel(machine, batches=2)
+        stats = channel.transmit(b"det")
+        return stats.received, stats.cycles
+
+    assert run() == run()
+
+
+def test_attack_replays_including_pmu_state():
+    def run():
+        machine = Machine("i7-7700", seed=99, secret=b"REPLAY")
+        result = TetMeltdown(machine, batches=2).leak(length=3)
+        return result.data, result.cycles, machine.pmu.read("UOPS_ISSUED.ANY")
+
+    assert run() == run()
+
+
+def test_kaslr_break_replays_exactly():
+    def run():
+        machine = Machine("i9-10980XE", seed=55, kpti=True)
+        result = TetKaslr(machine).break_kaslr_kpti()
+        return result.found_base, result.cycles, tuple(sorted(result.totes_by_slot.items()))
+
+    assert run() == run()
+
+
+def test_tote_timeline_is_monotone_across_runs():
+    machine = Machine("i7-7700", seed=66)
+    program = machine.load_program("rdtsc\nmov r14, rax\nhlt")
+    stamps = [machine.run(program).regs.read("r14") for _ in range(5)]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 5

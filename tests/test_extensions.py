@@ -1,0 +1,199 @@
+"""Tests for the extension features: prefetch/EntryBleed, the §3.2 Jcc
+conjecture, defense interactions, and transient-rollback properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.entrybleed import EntryBleedKaslr
+from repro.isa.opcodes import Cond, Op
+from repro.sim.machine import Machine
+from repro.whisper.attacks.meltdown import TetMeltdown
+from tests.conftest import run_source
+
+
+class TestPrefetch:
+    def test_assembles(self, machine):
+        program = machine.load_program("prefetch [r13]\nhlt")
+        assert program.instructions[0].op is Op.PREFETCH
+
+    def test_never_faults(self, machine):
+        machine.clear_signal_handler()
+        result = run_source(machine, "prefetch [r13]\nhlt", regs={"r13": 0})
+        assert result.halted and not result.faults
+
+    def test_fills_cache_for_permitted_address(self, machine):
+        data = machine.alloc_data()
+        machine.flush_caches()
+        run_source(machine, f"mov r13, {hex(data)}\nprefetch [r13]\nhlt")
+        assert machine.hierarchy.data_resident(machine.mmu.translate_peek(data))
+
+    def test_fills_tlb_for_kernel_address_on_intel(self, machine):
+        kernel_va = machine.kernel.layout.base
+        machine.flush_tlb(charge_cycles=False)
+        run_source(machine, f"mov r13, {hex(kernel_va)}\nprefetch [r13]\nhlt")
+        assert machine.mmu.dtlb.lookup(kernel_va) is not None
+
+    def test_does_not_fill_tlb_for_kernel_address_on_amd(self, amd_machine):
+        kernel_va = amd_machine.kernel.layout.base
+        amd_machine.flush_tlb(charge_cycles=False)
+        run_source(
+            amd_machine, f"mov r13, {hex(kernel_va)}\nprefetch [r13]\nhlt"
+        )
+        assert amd_machine.mmu.dtlb.lookup(kernel_va) is None
+
+    def test_does_not_read_kernel_data_into_cache(self, machine):
+        """A supervisor page's *data* must not be prefetched by user code."""
+        kernel_va = machine.kernel.secret_va
+        machine.flush_caches()
+        run_source(machine, f"mov r13, {hex(kernel_va)}\nprefetch [r13]\nhlt")
+        assert not machine.hierarchy.data_resident(machine.kernel.secret_paddr())
+
+
+class TestEntryBleedBaseline:
+    def test_breaks_kpti(self):
+        machine = Machine("i9-10980XE", seed=121, kpti=True)
+        assert EntryBleedKaslr(machine).break_kaslr().success
+
+    def test_syscall_leaves_trampoline_hot(self):
+        machine = Machine("i9-10980XE", seed=122, kpti=True)
+        machine.flush_tlb(charge_cycles=False)
+        machine.do_syscall()
+        trampoline = machine.kernel.layout.trampoline_va
+        assert machine.mmu.dtlb.lookup(trampoline) is not None
+
+    def test_fails_under_flare(self):
+        """FLARE was built to stop the prefetch family -- and does."""
+        machine = Machine("i9-10980XE", seed=123, kpti=True, flare=True)
+        assert not EntryBleedKaslr(machine).break_kaslr().success
+
+    def test_works_on_amd_unlike_tet(self):
+        """The syscall's TLB fill is architectural, so EntryBleed does not
+        need fill-on-fault -- a real contrast with TET-KASLR on Zen 3."""
+        machine = Machine("ryzen-5600G", seed=124, kpti=True)
+        assert EntryBleedKaslr(machine).break_kaslr().success
+
+
+class TestJccConjecture:
+    """§3.2: 'We believe that all the conditional jump instructions of
+    x86 chips could be exploited' -- testable on the simulator."""
+
+    @pytest.mark.parametrize("cond", list(Cond))
+    def test_every_condition_code_carries_the_channel(self, cond):
+        machine = Machine("i7-7700", seed=131)
+        # A gadget whose Jcc direction depends on r9 (0 -> flags set one
+        # way, 1 -> the other); inside a transient window.
+        source = f"""
+    mov rax, r9
+    cmp rax, 1              ; sets flags from r9
+    rdtsc
+    mov r14, rax
+    xbegin out
+    mov r8, [r13]           ; open the window
+    j{cond.value} target
+    nop
+target:
+    nop
+out:
+    rdtsc
+    mov r15, rax
+    hlt
+"""
+        program = machine.load_program(source)
+        tote = lambda r9: machine.run(program, regs={"r13": 0, "r9": r9}).regs.read(
+            "r15"
+        ) - machine.run(program, regs={"r13": 0, "r9": r9}).regs.read("r14")
+        # Flags after `cmp r9, 1`: zf = (r9 == 1), cf = sf = (r9 < 1).
+        taken = {r9: cond.evaluate(r9 == 1, r9 < 1, r9 < 1, False) for r9 in (0, 1)}
+        if taken[0] == taken[1]:
+            pytest.skip(f"{cond} direction independent of r9 in this gadget")
+        # Train toward r9=0's direction, then flip: the flip mispredicts
+        # inside the window and must shift the ToTE.
+        def measured(r9):
+            result = machine.run(program, regs={"r13": 0, "r9": r9})
+            return result.regs.read("r15") - result.regs.read("r14")
+
+        for _ in range(6):
+            measured(0)
+        quiet = measured(0)
+        for _ in range(3):
+            measured(0)
+        loud = measured(1)
+        assert loud != quiet, f"j{cond.value} produced no timing difference"
+
+
+class TestDefenseInteractions:
+    def test_kpti_stops_tet_meltdown(self):
+        """§6.2: 'For TET-MD ... the KPTI ... [is] efficient mitigation'.
+
+        With KPTI the kernel secret is simply unmapped in the user table:
+        the faulting load is a not-present fault and nothing forwards."""
+        machine = Machine("i7-7700", seed=141, kpti=True, secret=b"SAFE")
+        attack = TetMeltdown(machine, batches=2)
+        result = attack.leak(length=3)
+        assert not result.success
+
+    def test_kpti_machine_still_leaks_via_rsb(self):
+        """KPTI does nothing for same-address-space transient leaks."""
+        from repro.whisper.attacks.spectre_rsb import TetSpectreRsb
+
+        machine = Machine("i7-7700", seed=142, kpti=True)
+        attack = TetSpectreRsb(machine)
+        attack.install_secret(b"RSB")
+        assert attack.leak().success
+
+    def test_flare_full_coverage_also_falls_to_cr3_variant(self):
+        from repro.whisper.attacks.kaslr import TetKaslr
+
+        machine = Machine(
+            "i9-10980XE", seed=143, kpti=True, flare=True, flare_coverage="full"
+        )
+        assert TetKaslr(machine).break_kaslr_flare().success
+
+
+@st.composite
+def transient_body(draw):
+    """A random transient block: arithmetic, stores, branches, nops."""
+    lines = []
+    count = draw(st.integers(1, 10))
+    for index in range(count):
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            lines.append(f"    mov rbx, {draw(st.integers(0, 1 << 30))}")
+        elif choice == 1:
+            lines.append(f"    add rcx, {draw(st.integers(0, 999))}")
+        elif choice == 2:
+            lines.append("    nop")
+        elif choice == 3:
+            lines.append("    mov [r12], rbx")  # transient store
+        else:
+            label = f"t{index}"
+            lines.append(f"    cmp rcx, {draw(st.integers(0, 3))}")
+            lines.append(f"    jne {label}")
+            lines.append(f"{label}:")
+    return "\n".join(lines)
+
+
+@settings(max_examples=25, deadline=None)
+@given(transient_body())
+def test_transient_rollback_is_total(body):
+    """Whatever happens inside the window, architectural state after the
+    abort equals the state before the faulting load."""
+    machine = Machine("i7-7700", seed=151)
+    scratch = machine.alloc_data()
+    machine.write_data(scratch, b"\xaa" * 8)
+    source = f"""
+    mov r12, {hex(scratch)}
+    mov rbx, 1
+    mov rcx, 2
+    xbegin out
+    mov rax, [r13]          ; faults: everything below is transient
+{body}
+out:
+    hlt
+"""
+    program = machine.load_program(source)
+    result = machine.run(program, regs={"r13": 0})
+    assert result.regs.read("rbx") == 1
+    assert result.regs.read("rcx") == 2
+    assert machine.read_data(scratch, 8) == b"\xaa" * 8

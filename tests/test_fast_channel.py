@@ -1,0 +1,86 @@
+"""Tests for TET-CC-BS, the binary-search channel extension."""
+
+import random
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.whisper.channel import TetCovertChannel
+from repro.whisper.fast_channel import BinarySearchChannel, _PhtMirror
+
+
+class TestPhtMirror:
+    def test_mirrors_the_bimodal_reset_state(self):
+        mirror = _PhtMirror()
+        assert mirror.predict() is False  # weakly not-taken
+
+    def test_training_matches_hardware_semantics(self):
+        mirror = _PhtMirror()
+        mirror.update(True)
+        mirror.update(True)
+        assert mirror.predict() is True
+        mirror.update(False)
+        assert mirror.predict() is True  # 3 -> 2, still taken
+        mirror.update(False)
+        assert mirror.predict() is False
+
+    def test_saturation(self):
+        mirror = _PhtMirror()
+        for _ in range(10):
+            mirror.update(True)
+        assert mirror.counter == 3
+        for _ in range(10):
+            mirror.update(False)
+        assert mirror.counter == 0
+
+
+class TestBinarySearchChannel:
+    @pytest.fixture
+    def channel(self):
+        return BinarySearchChannel(Machine("i7-7700", seed=181))
+
+    def test_boundary_bytes(self, channel):
+        for value in (0, 1, 127, 128, 254, 255):
+            assert channel.send_byte(value) == value
+
+    def test_random_bytes(self, channel):
+        rng = random.Random(9)
+        for _ in range(24):
+            value = rng.randrange(256)
+            assert channel.send_byte(value) == value
+
+    def test_eight_probes_per_byte(self, channel):
+        before = channel.machine.core.global_cycle
+        channel.machine.write_data(channel.sender_page, b"\x5a")
+        outcome_count = 0
+        lo, hi = 0, 256
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if channel.probe(mid).below:
+                hi = mid
+            else:
+                lo = mid
+            outcome_count += 1
+        assert lo == 0x5A
+        assert outcome_count == 8
+
+    def test_transmit_payload(self, channel):
+        stats = channel.transmit(b"binary")
+        assert stats.received == b"binary"
+        assert stats.error_rate == 0.0
+
+    def test_much_faster_than_linear_scan(self):
+        fast_machine = Machine("i7-7700", seed=182)
+        slow_machine = Machine("i7-7700", seed=182)
+        payload = b"xy"
+        fast = BinarySearchChannel(fast_machine).transmit(payload)
+        slow = TetCovertChannel(slow_machine, batches=3).transmit(payload)
+        assert fast.received == slow.received == payload
+        assert fast.bytes_per_second > 20 * slow.bytes_per_second
+
+    def test_mirror_stays_synchronised_over_long_runs(self, channel):
+        """The receiver's PHT model must never drift from the hardware."""
+        rng = random.Random(10)
+        for _ in range(40):
+            value = rng.randrange(256)
+            assert channel.send_byte(value) == value

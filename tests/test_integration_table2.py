@@ -1,0 +1,76 @@
+"""Integration: the attack × CPU success matrix of Table 2, at test scale.
+
+Each cell runs the real attack end-to-end on a freshly booted machine and
+checks the ✓/✗ verdict against the paper.  Benchmarks regenerate the full
+table; here a short secret keeps the suite fast.
+"""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.whisper.attacks.kaslr import TetKaslr
+from repro.whisper.attacks.meltdown import TetMeltdown
+from repro.whisper.attacks.spectre_rsb import TetSpectreRsb
+from repro.whisper.attacks.zombieload import TetZombieload
+from repro.whisper.channel import TetCovertChannel
+
+#: Table 2, transcribed: (cpu, attack) -> expected success.  "?" cells
+#: (not verified in the paper) are omitted here and reported by the bench.
+TABLE2 = {
+    ("i7-6700", "TET-CC"): True,
+    ("i7-6700", "TET-MD"): True,
+    ("i7-6700", "TET-ZBL"): True,
+    ("i7-6700", "TET-RSB"): True,
+    ("i7-6700", "TET-KASLR"): True,
+    ("i7-7700", "TET-CC"): True,
+    ("i7-7700", "TET-MD"): True,
+    ("i7-7700", "TET-ZBL"): True,
+    ("i7-7700", "TET-RSB"): True,
+    ("i7-7700", "TET-KASLR"): True,
+    ("i9-10980XE", "TET-CC"): True,
+    ("i9-10980XE", "TET-MD"): False,
+    ("i9-10980XE", "TET-ZBL"): False,
+    ("i9-10980XE", "TET-KASLR"): True,
+    ("i9-13900K", "TET-CC"): True,
+    ("i9-13900K", "TET-MD"): False,
+    ("i9-13900K", "TET-ZBL"): False,
+    ("i9-13900K", "TET-RSB"): True,
+    ("ryzen-5600G", "TET-CC"): True,
+    ("ryzen-5600G", "TET-MD"): False,
+    ("ryzen-5600G", "TET-ZBL"): False,
+    ("ryzen-5600G", "TET-KASLR"): False,
+    # Table 2 lists the 5600G and 5900 as one Zen 3 row.
+    ("ryzen-5900", "TET-CC"): True,
+    ("ryzen-5900", "TET-MD"): False,
+    ("ryzen-5900", "TET-KASLR"): False,
+}
+
+SECRET = b"T2"
+
+
+def run_cell(cpu: str, attack: str) -> bool:
+    machine = Machine(cpu, seed=2024, secret=SECRET)
+    if attack == "TET-CC":
+        channel = TetCovertChannel(machine, batches=3)
+        return channel.transmit(SECRET).error_rate == 0.0
+    if attack == "TET-MD":
+        return TetMeltdown(machine, batches=3).leak(length=len(SECRET)).success
+    if attack == "TET-ZBL":
+        zbl = TetZombieload(machine, batches=5)
+        zbl.install_victim_secret(SECRET)
+        return zbl.leak().success
+    if attack == "TET-RSB":
+        rsb = TetSpectreRsb(machine)
+        rsb.install_secret(SECRET)
+        return rsb.leak().success
+    if attack == "TET-KASLR":
+        return TetKaslr(machine).break_kaslr().success
+    raise ValueError(attack)
+
+
+@pytest.mark.parametrize("cpu,attack", sorted(TABLE2))
+def test_table2_cell(cpu, attack):
+    expected = TABLE2[(cpu, attack)]
+    assert run_cell(cpu, attack) == expected, (
+        f"{attack} on {cpu}: expected {'✓' if expected else '✗'}"
+    )

@@ -1,0 +1,237 @@
+"""Unit and property tests for the two-pass assembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.assembler import AssemblyError, assemble, parse_immediate, parse_memref
+from repro.isa.instructions import MemRef
+from repro.isa.opcodes import Cond, Op
+from repro.isa.program import INSTRUCTION_SIZE
+
+
+class TestImmediates:
+    def test_decimal(self):
+        assert parse_immediate("42") == 42
+
+    def test_hex(self):
+        assert parse_immediate("0xFF") == 255
+
+    def test_binary(self):
+        assert parse_immediate("0b101") == 5
+
+    def test_negative(self):
+        assert parse_immediate("-7") == -7
+
+    def test_char_literal(self):
+        assert parse_immediate("'S'") == ord("S")
+
+    def test_garbage_returns_none(self):
+        assert parse_immediate("rax") is None
+
+
+class TestMemRef:
+    def test_base_only(self):
+        assert parse_memref("[rax]") == MemRef(base="rax")
+
+    def test_base_plus_disp(self):
+        assert parse_memref("[rbx + 0x10]") == MemRef(base="rbx", disp=0x10)
+
+    def test_negative_disp(self):
+        assert parse_memref("[rbx - 8]") == MemRef(base="rbx", disp=-8)
+
+    def test_base_index_scale_disp(self):
+        ref = parse_memref("[rax + rcx*8 + 4]")
+        assert ref == MemRef(base="rax", index="rcx", scale=8, disp=4)
+
+    def test_two_plain_registers(self):
+        ref = parse_memref("[rax + rbx]")
+        assert ref.base == "rax" and ref.index == "rbx" and ref.scale == 1
+
+    def test_absolute_address(self):
+        assert parse_memref("[0xffffffff81000000]") == MemRef(disp=0xFFFFFFFF81000000)
+
+    def test_not_a_memref(self):
+        assert parse_memref("rax") is None
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_memref("[foo]")
+
+    def test_three_registers_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_memref("[rax + rbx + rcx]")
+
+    def test_effective_address(self):
+        ref = MemRef(base="rax", index="rbx", scale=4, disp=-8)
+        values = {"rax": 0x1000, "rbx": 3}
+        assert ref.effective_address(values.__getitem__) == 0x1000 + 12 - 8
+
+
+class TestAssembleBasics:
+    def test_mov_immediate(self):
+        program = assemble("mov rax, 5")
+        assert program.instructions[0].op is Op.MOV_RI
+        assert program.instructions[0].imm == 5
+
+    def test_mov_register(self):
+        program = assemble("mov rax, rbx")
+        assert program.instructions[0].op is Op.MOV_RR
+
+    def test_mov_label_address(self):
+        program = assemble("mov rax, @end\nend: hlt")
+        instruction = program.instructions[0]
+        assert instruction.op is Op.MOV_RI
+        assert instruction.target_addr == program.label_address("end")
+
+    def test_load_from_memory(self):
+        program = assemble("mov rax, [rbx + 8]")
+        assert program.instructions[0].op is Op.LOAD
+
+    def test_loadb(self):
+        program = assemble("loadb rax, [rbx]")
+        assert program.instructions[0].op is Op.LOAD_BYTE
+
+    def test_store_register(self):
+        program = assemble("mov [rbx], rax")
+        assert program.instructions[0].op is Op.STORE
+        assert program.instructions[0].src == "rax"
+
+    def test_store_immediate(self):
+        program = assemble("mov [rbx], 7")
+        assert program.instructions[0].imm == 7
+
+    def test_two_memory_operands_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("mov [rax], [rbx]")
+
+    def test_alu_with_immediate(self):
+        program = assemble("add rax, 3")
+        assert program.instructions[0].op is Op.ADD
+
+    def test_cmp_char(self):
+        program = assemble("cmp rax, 'S'")
+        assert program.instructions[0].imm == ord("S")
+
+    def test_zero_operand_forms(self):
+        source = "nop\nmfence\nlfence\nrdtsc\nret\nhlt\nsyscall\nxend"
+        program = assemble(source)
+        ops = [instruction.op for instruction in program.instructions]
+        assert ops == [
+            Op.NOP, Op.MFENCE, Op.LFENCE, Op.RDTSC, Op.RET, Op.HLT, Op.SYSCALL, Op.XEND,
+        ]
+
+    def test_clflush(self):
+        program = assemble("clflush [rax + 8]")
+        assert program.instructions[0].op is Op.CLFLUSH
+
+    def test_clflush_requires_memory(self):
+        with pytest.raises(AssemblyError):
+            assemble("clflush rax")
+
+    def test_lea(self):
+        program = assemble("lea rax, [rbx + rcx*2]")
+        assert program.instructions[0].op is Op.LEA
+
+
+class TestBranches:
+    def test_conditional_aliases(self):
+        program = assemble("target:\nje target\njz target\njne target\njnz target\njc target\njb target")
+        conds = [instruction.cond for instruction in program.instructions]
+        assert conds == [Cond.E, Cond.E, Cond.NE, Cond.NE, Cond.C, Cond.C]
+
+    def test_all_condition_codes_assemble(self):
+        lines = ["t:"] + [f"j{cond.value} t" for cond in Cond]
+        program = assemble("\n".join(lines))
+        assert len(program.instructions) == len(Cond)
+
+    def test_forward_and_backward_labels(self):
+        program = assemble("""
+start:
+    jmp forward
+forward:
+    jne start
+""")
+        assert program.instructions[0].target_addr == program.label_address("forward")
+        assert program.instructions[1].target_addr == program.label_address("start")
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(KeyError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_label_with_instruction_on_same_line(self):
+        program = assemble("start: nop")
+        assert program.labels["start"] == 0
+
+    def test_xbegin_takes_label(self):
+        program = assemble("xbegin out\nout: hlt")
+        assert program.instructions[0].op is Op.XBEGIN
+        assert program.instructions[0].target_addr == program.label_address("out")
+
+    def test_call(self):
+        program = assemble("call fn\nfn: ret")
+        assert program.instructions[0].op is Op.CALL
+
+
+class TestErrorsAndComments:
+    def test_comments_are_stripped(self):
+        program = assemble("nop ; this is a comment\n# full-line comment\nnop")
+        assert len(program.instructions) == 2
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus rax")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate rax, rbx")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("nop rax")
+
+    def test_empty_source_is_empty_program(self):
+        assert len(assemble("")) == 0
+
+
+class TestProgramAddressing:
+    def test_addresses_are_sequential(self):
+        program = assemble("nop\nnop\nnop", base=0x1000)
+        assert [program.address_of_index(i) for i in range(3)] == [
+            0x1000, 0x1000 + INSTRUCTION_SIZE, 0x1000 + 2 * INSTRUCTION_SIZE,
+        ]
+
+    def test_fetch_by_address(self):
+        program = assemble("mov rax, 1\nhlt", base=0x2000)
+        assert program.fetch(0x2000).op is Op.MOV_RI
+        assert program.fetch(0x2004).op is Op.HLT
+
+    def test_contains_address(self):
+        program = assemble("nop\nnop", base=0x3000)
+        assert program.contains_address(0x3000)
+        assert program.contains_address(0x3004)
+        assert not program.contains_address(0x3008)
+        assert not program.contains_address(0x3002)  # misaligned
+        assert not program.contains_address(0x2FFC)
+
+    def test_listing_contains_labels(self):
+        listing = assemble("loop:\n    jmp loop").listing()
+        assert "loop:" in listing
+        assert "jmp" in listing
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31))
+def test_immediate_roundtrip_through_assembly(value):
+    program = assemble(f"mov rax, {value}")
+    assert program.instructions[0].imm == value
+
+
+@given(st.integers(0, 100), st.integers(0, 100))
+def test_label_resolution_is_position_independent(before, after):
+    source = "\n".join(["nop"] * before + ["here:"] + ["nop"] * (after + 1) + ["jmp here"])
+    program = assemble(source)
+    assert program.instructions[-1].target_addr == program.address_of_index(before)

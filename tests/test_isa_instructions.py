@@ -1,0 +1,122 @@
+"""Unit tests for the Instruction and MemRef value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.instructions import Instruction, MemRef
+from repro.isa.opcodes import Cond, Op
+from repro.isa.program import Program
+
+
+class TestMemRefDisplay:
+    def test_base_only(self):
+        assert str(MemRef(base="rax")) == "[rax]"
+
+    def test_base_and_disp(self):
+        assert str(MemRef(base="rax", disp=8)) == "[rax + 0x8]"
+
+    def test_negative_disp(self):
+        assert str(MemRef(base="rax", disp=-8)) == "[rax + -0x8]"
+
+    def test_scaled_index(self):
+        assert "rcx*4" in str(MemRef(base="rax", index="rcx", scale=4))
+
+    def test_absolute(self):
+        assert str(MemRef(disp=0x1000)) == "[0x1000]"
+
+
+class TestEffectiveAddress:
+    def test_wraps_to_64_bits(self):
+        ref = MemRef(base="rax", disp=10)
+        values = {"rax": (1 << 64) - 4}
+        assert ref.effective_address(values.__getitem__) == 6
+
+    def test_all_components(self):
+        ref = MemRef(base="rax", index="rbx", scale=2, disp=-3)
+        values = {"rax": 100, "rbx": 5}
+        assert ref.effective_address(values.__getitem__) == 107
+
+    def test_no_base(self):
+        ref = MemRef(index="rbx", scale=8)
+        values = {"rbx": 2}
+        assert ref.effective_address(values.__getitem__) == 16
+
+
+class TestInstruction:
+    def test_info_delegation(self):
+        assert Instruction(Op.LOAD, dst="rax", mem=MemRef(base="rbx")).is_memory
+        assert Instruction(Op.JCC, cond=Cond.E, target="x").is_branch
+        assert not Instruction(Op.NOP).is_branch
+
+    def test_uop_count(self):
+        assert Instruction(Op.NOP).uop_count == 1
+        assert Instruction(Op.MFENCE).uop_count == 2
+
+    def test_with_target_addr_preserves_fields(self):
+        original = Instruction(Op.JCC, cond=Cond.NE, target="loop", comment="x")
+        resolved = original.with_target_addr(0x400008)
+        assert resolved.target_addr == 0x400008
+        assert resolved.cond is Cond.NE
+        assert resolved.target == "loop"
+        assert resolved.comment == "x"
+
+    def test_str_jcc_uses_condition(self):
+        text = str(Instruction(Op.JCC, cond=Cond.NE, target="loop"))
+        assert text.startswith("jne")
+
+    def test_str_mov_imm(self):
+        assert str(Instruction(Op.MOV_RI, dst="rax", imm=5)) == "mov_ri rax, 5"
+
+    def test_str_large_imm_hex(self):
+        assert "0x100" in str(Instruction(Op.MOV_RI, dst="rax", imm=0x100))
+
+    def test_equality_ignores_comment(self):
+        a = Instruction(Op.NOP, comment="one")
+        b = Instruction(Op.NOP, comment="two")
+        assert a == b
+
+    def test_frozen(self):
+        instruction = Instruction(Op.NOP)
+        with pytest.raises(AttributeError):
+            instruction.op = Op.HLT
+
+
+class TestProgramEdges:
+    def test_unresolved_label_raises_at_construction(self):
+        with pytest.raises(KeyError):
+            Program([Instruction(Op.JMP, target="missing")], labels={})
+
+    def test_end_address(self):
+        program = Program([Instruction(Op.NOP)] * 3, base=0x1000)
+        assert program.end_address == 0x100C
+
+    def test_label_at_end_is_allowed(self):
+        program = Program(
+            [Instruction(Op.JMP, target="end"), Instruction(Op.NOP)],
+            labels={"end": 2},
+            base=0,
+        )
+        assert program.instructions[0].target_addr == 8
+
+    def test_index_of_misaligned_address_raises(self):
+        program = Program([Instruction(Op.NOP)], base=0x1000)
+        with pytest.raises(IndexError):
+            program.index_of_address(0x1002)
+
+    def test_iteration(self):
+        program = Program([Instruction(Op.NOP), Instruction(Op.HLT)], base=0)
+        assert [i.op for i in program] == [Op.NOP, Op.HLT]
+
+
+@given(
+    st.integers(0, 2**48),
+    st.integers(0, 2**20),
+    st.integers(1, 8),
+    st.integers(-(2**16), 2**16),
+)
+def test_effective_address_formula(base_value, index_value, scale, disp):
+    ref = MemRef(base="rax", index="rbx", scale=scale, disp=disp)
+    values = {"rax": base_value, "rbx": index_value}
+    expected = (base_value + index_value * scale + disp) & ((1 << 64) - 1)
+    assert ref.effective_address(values.__getitem__) == expected

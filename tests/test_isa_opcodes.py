@@ -1,0 +1,103 @@
+"""Unit tests for opcode metadata and condition-code evaluation."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import COND_ALIASES, OP_INFO, Cond, Op, UopClass
+
+
+class TestOpInfoTable:
+    def test_every_opcode_has_info(self):
+        for op in Op:
+            assert op in OP_INFO, f"{op} missing from OP_INFO"
+
+    def test_loads_are_marked(self):
+        assert OP_INFO[Op.LOAD].is_load
+        assert OP_INFO[Op.LOAD_BYTE].is_load
+        assert OP_INFO[Op.RET].is_load  # ret pops the return address
+
+    def test_stores_are_marked(self):
+        assert OP_INFO[Op.STORE].is_store
+        assert OP_INFO[Op.CALL].is_store  # call pushes the return address
+
+    def test_branches_are_marked(self):
+        for op in (Op.JMP, Op.JCC, Op.CALL, Op.RET):
+            assert OP_INFO[op].is_branch
+
+    def test_fences_serialise(self):
+        for op in (Op.MFENCE, Op.LFENCE, Op.SFENCE):
+            assert OP_INFO[op].serialising
+
+    def test_microcoded_ops(self):
+        for op in (Op.MFENCE, Op.CLFLUSH, Op.RDTSC, Op.SYSCALL):
+            assert OP_INFO[op].microcoded
+
+    def test_uop_counts_positive(self):
+        for op, info in OP_INFO.items():
+            assert info.uop_count >= 1, f"{op} has no uops"
+
+    def test_latencies_positive(self):
+        for op, info in OP_INFO.items():
+            assert info.base_latency >= 1
+
+    def test_port_classes_are_sane(self):
+        assert OP_INFO[Op.ADD].uop_class is UopClass.ALU
+        assert OP_INFO[Op.LOAD].uop_class is UopClass.LOAD
+        assert OP_INFO[Op.JCC].uop_class is UopClass.BRANCH
+
+
+class TestConditions:
+    def test_e_is_zf(self):
+        assert Cond.E.evaluate(True, False, False, False)
+        assert not Cond.E.evaluate(False, False, False, False)
+
+    def test_ne_is_not_zf(self):
+        assert Cond.NE.evaluate(False, False, False, False)
+
+    def test_c_is_cf(self):
+        assert Cond.C.evaluate(False, True, False, False)
+        assert not Cond.NC.evaluate(False, True, False, False)
+
+    def test_signed_less(self):
+        assert Cond.L.evaluate(False, False, True, False)  # SF != OF
+        assert not Cond.L.evaluate(False, False, True, True)
+
+    def test_signed_greater(self):
+        assert Cond.G.evaluate(False, False, False, False)
+        assert not Cond.G.evaluate(True, False, False, False)  # ZF kills G
+
+    def test_le_is_complement_of_g(self):
+        for zf, sf, of in itertools.product([False, True], repeat=3):
+            g = Cond.G.evaluate(zf, False, sf, of)
+            le = Cond.LE.evaluate(zf, False, sf, of)
+            assert g != le
+
+    def test_ge_is_complement_of_l(self):
+        for zf, sf, of in itertools.product([False, True], repeat=3):
+            assert Cond.GE.evaluate(zf, False, sf, of) != Cond.L.evaluate(zf, False, sf, of)
+
+    def test_aliases_point_at_real_conditions(self):
+        assert COND_ALIASES["z"] is Cond.E
+        assert COND_ALIASES["nz"] is Cond.NE
+        assert COND_ALIASES["b"] is Cond.C
+
+
+@given(
+    st.sampled_from(list(Cond)),
+    st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+)
+def test_every_condition_evaluates_to_bool(cond, zf, cf, sf, of):
+    assert isinstance(cond.evaluate(zf, cf, sf, of), bool)
+
+
+@given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+def test_complementary_pairs_disagree(zf, cf, sf, of):
+    pairs = [
+        (Cond.E, Cond.NE), (Cond.C, Cond.NC), (Cond.S, Cond.NS),
+        (Cond.O, Cond.NO), (Cond.L, Cond.GE), (Cond.LE, Cond.G),
+    ]
+    for positive, negative in pairs:
+        assert positive.evaluate(zf, cf, sf, of) != negative.evaluate(zf, cf, sf, of)

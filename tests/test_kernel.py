@@ -1,0 +1,254 @@
+"""Unit tests for the kernel substrate: layout, KASLR, KPTI, FLARE."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.frames import FrameAllocator
+from repro.kernel.kaslr import randomize_layout
+from repro.kernel.kernel import Kernel
+from repro.kernel.layout import (
+    DEFAULT_SYMBOL_OFFSETS,
+    KASLR_ALIGN,
+    KASLR_SLOTS,
+    KERNEL_IMAGE_SIZE,
+    KERNEL_TEXT_RANGE_END,
+    KERNEL_TEXT_RANGE_START,
+    KPTI_TRAMPOLINE_OFFSET,
+    slot_base,
+    slot_of,
+)
+from repro.memory.paging import PageSize
+from repro.memory.physical import PhysicalMemory
+
+
+class TestLayoutConstants:
+    def test_512_slots(self):
+        assert KASLR_SLOTS == 512
+
+    def test_slot_base_roundtrip(self):
+        for slot in (0, 1, 255, 511):
+            assert slot_of(slot_base(slot)) == slot
+
+    def test_slot_base_bounds(self):
+        assert slot_base(0) == KERNEL_TEXT_RANGE_START
+        with pytest.raises(ValueError):
+            slot_base(512)
+        with pytest.raises(ValueError):
+            slot_of(KERNEL_TEXT_RANGE_END)
+
+    def test_range_is_one_gibibyte(self):
+        assert KERNEL_TEXT_RANGE_END - KERNEL_TEXT_RANGE_START == KASLR_SLOTS * KASLR_ALIGN
+
+
+class TestRandomization:
+    def test_seeded_layouts_are_reproducible(self):
+        assert randomize_layout(seed=5).base == randomize_layout(seed=5).base
+
+    def test_different_seeds_usually_differ(self):
+        bases = {randomize_layout(seed=s).base for s in range(24)}
+        assert len(bases) > 12
+
+    def test_kaslr_disabled_puts_kernel_at_slot_zero(self):
+        assert randomize_layout(seed=5, kaslr=False).slot == 0
+
+    def test_image_always_fits_in_range(self):
+        for seed in range(64):
+            layout = randomize_layout(seed=seed)
+            assert layout.base >= KERNEL_TEXT_RANGE_START
+            assert layout.end <= KERNEL_TEXT_RANGE_END
+
+    def test_alignment(self):
+        for seed in range(16):
+            assert randomize_layout(seed=seed).base % KASLR_ALIGN == 0
+
+    def test_trampoline_at_fixed_offset(self):
+        layout = randomize_layout(seed=3)
+        assert layout.trampoline_va == layout.base + KPTI_TRAMPOLINE_OFFSET
+
+
+class TestFgkaslr:
+    def test_pinned_symbols_keep_offsets(self):
+        layout = randomize_layout(seed=9, fgkaslr=True)
+        assert layout.symbols["startup_64"] == DEFAULT_SYMBOL_OFFSETS["startup_64"]
+        assert layout.symbols["entry_SYSCALL_64"] == DEFAULT_SYMBOL_OFFSETS["entry_SYSCALL_64"]
+
+    def test_functions_are_scattered(self):
+        layout = randomize_layout(seed=9, fgkaslr=True)
+        moved = [
+            name for name, offset in layout.symbols.items()
+            if offset != DEFAULT_SYMBOL_OFFSETS[name]
+        ]
+        assert len(moved) >= 3
+
+    def test_without_fgkaslr_offsets_are_canonical(self):
+        layout = randomize_layout(seed=9, fgkaslr=False)
+        assert layout.symbols == DEFAULT_SYMBOL_OFFSETS
+
+    def test_symbol_va_adds_base(self):
+        layout = randomize_layout(seed=9)
+        assert layout.symbol_va("commit_creds") == layout.base + layout.symbols["commit_creds"]
+
+
+class TestFrameAllocator:
+    def test_sequential_allocations_do_not_overlap(self):
+        alloc = FrameAllocator()
+        first = alloc.alloc()
+        second = alloc.alloc()
+        assert second >= first + int(PageSize.SIZE_4K)
+
+    def test_2m_alignment(self):
+        alloc = FrameAllocator()
+        alloc.alloc()  # misalign the cursor
+        huge = alloc.alloc(PageSize.SIZE_2M)
+        assert huge % int(PageSize.SIZE_2M) == 0
+
+    def test_exhaustion_raises(self):
+        alloc = FrameAllocator(start=0, limit=int(PageSize.SIZE_4K))
+        alloc.alloc()
+        with pytest.raises(MemoryError):
+            alloc.alloc()
+
+
+class TestKernelBoot:
+    def test_image_mapped_as_huge_supervisor_pages(self):
+        kernel = Kernel(PhysicalMemory(), seed=1)
+        pte = kernel.kernel_space.lookup(kernel.layout.base)
+        assert pte.page_size == PageSize.SIZE_2M
+        assert not pte.user
+        assert pte.global_
+        assert pte.tag == "kernel-text"
+
+    def test_whole_image_is_mapped(self):
+        kernel = Kernel(PhysicalMemory(), seed=1)
+        for offset in range(0, KERNEL_IMAGE_SIZE, int(PageSize.SIZE_2M)):
+            assert kernel.kernel_space.lookup(kernel.layout.base + offset) is not None
+
+    def test_outside_image_is_unmapped(self):
+        kernel = Kernel(PhysicalMemory(), seed=1)
+        layout = kernel.layout
+        if layout.slot > 0:
+            assert kernel.kernel_space.lookup(layout.base - 0x1000) is None
+        assert kernel.kernel_space.lookup(layout.end + 0x1000) is None
+
+    def test_secret_lands_in_physical_memory(self):
+        physical = PhysicalMemory()
+        kernel = Kernel(physical, seed=1, secret=b"TOPSECRET")
+        assert physical.read_bytes(kernel.secret_paddr(), 9) == b"TOPSECRET"
+
+    def test_secret_readable_through_kernel_mapping(self):
+        physical = PhysicalMemory()
+        kernel = Kernel(physical, seed=1, secret=b"XYZ")
+        pte = kernel.kernel_space.lookup(kernel.secret_va)
+        assert physical.read_bytes(pte.physical_address(kernel.secret_va), 3) == b"XYZ"
+
+
+class TestKpti:
+    def test_user_table_has_only_the_trampoline(self):
+        kernel = Kernel(PhysicalMemory(), seed=2, kpti=True)
+        user = kernel.user_template
+        assert user.lookup(kernel.layout.trampoline_va) is not None
+        assert user.lookup(kernel.layout.base) is None
+        assert user.lookup(kernel.secret_va) is None
+
+    def test_trampoline_is_global_supervisor(self):
+        kernel = Kernel(PhysicalMemory(), seed=2, kpti=True)
+        pte = kernel.user_template.lookup(kernel.layout.trampoline_va)
+        assert pte.global_ and not pte.user
+        assert pte.tag == "kpti-trampoline"
+
+    def test_process_space_derives_from_user_template(self):
+        kernel = Kernel(PhysicalMemory(), seed=2, kpti=True)
+        process = kernel.create_process("p")
+        assert process.space.lookup(kernel.secret_va) is None
+        assert process.space.lookup(kernel.layout.trampoline_va) is not None
+
+    def test_without_kpti_process_sees_kernel_mappings(self):
+        kernel = Kernel(PhysicalMemory(), seed=2, kpti=False)
+        process = kernel.create_process("p")
+        pte = process.space.lookup(kernel.secret_va)
+        assert pte is not None and not pte.user
+
+
+class TestFlare:
+    def test_flare_implies_kpti(self):
+        kernel = Kernel(PhysicalMemory(), seed=3, flare=True)
+        assert kernel.kpti
+
+    def test_dummies_cover_probe_offsets(self):
+        kernel = Kernel(PhysicalMemory(), seed=3, kpti=True, flare=True)
+        user = kernel.user_template
+        for slot in (0, 100, 511):
+            base = slot_base(slot)
+            assert user.lookup(base) is not None
+            assert user.lookup(base + KPTI_TRAMPOLINE_OFFSET) is not None
+
+    def test_real_trampoline_not_replaced_by_dummy(self):
+        kernel = Kernel(PhysicalMemory(), seed=3, kpti=True, flare=True)
+        pte = kernel.user_template.lookup(kernel.layout.trampoline_va)
+        assert pte.tag == "kpti-trampoline"
+
+    def test_dummies_are_nonglobal_nx_shared_frame(self):
+        kernel = Kernel(PhysicalMemory(), seed=3, kpti=True, flare=True)
+        layout = kernel.layout
+        other_slot = (layout.slot + 100) % KASLR_SLOTS
+        dummy = kernel.user_template.lookup(
+            slot_base(other_slot) + KPTI_TRAMPOLINE_OFFSET
+        )
+        assert dummy.tag == "flare-dummy"
+        assert not dummy.global_
+        assert dummy.nx
+
+    def test_full_coverage_mode(self):
+        kernel = Kernel(
+            PhysicalMemory(), seed=3, kpti=True, flare=True, flare_coverage="full"
+        )
+        # Any 4 KiB-aligned address in the range is now mapped.
+        assert kernel.user_template.lookup(slot_base(7) + 0x5000) is not None
+
+    def test_unknown_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel(PhysicalMemory(), seed=3, kpti=True, flare=True, flare_coverage="bogus")
+
+
+class TestProcesses:
+    def test_pids_increment(self):
+        kernel = Kernel(PhysicalMemory(), seed=4)
+        assert kernel.create_process("a").pid == 1
+        assert kernel.create_process("b").pid == 2
+
+    def test_container_flag(self):
+        kernel = Kernel(PhysicalMemory(), seed=4)
+        assert kernel.create_process("c", container=True).container
+
+    def test_user_memory_mapping(self):
+        kernel = Kernel(PhysicalMemory(), seed=4)
+        process = kernel.create_process("p")
+        va = kernel.map_user_memory(process, pages=2)
+        assert process.space.lookup(va).user
+        assert process.space.lookup(va + 0x1000) is not None
+
+    def test_processes_have_independent_spaces(self):
+        kernel = Kernel(PhysicalMemory(), seed=4)
+        first = kernel.create_process("a")
+        second = kernel.create_process("b")
+        va = kernel.map_user_memory(first, pages=1)
+        assert second.space.lookup(va) is None
+
+    def test_signal_registration(self):
+        kernel = Kernel(PhysicalMemory(), seed=4)
+        process = kernel.create_process("p")
+        process.register_signal_handler("SIGSEGV", 0x400100)
+        assert process.signal_handler("SIGSEGV") == 0x400100
+        assert process.signal_handler("SIGINT") is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31))
+def test_layout_invariants_hold_for_any_seed(seed):
+    layout = randomize_layout(seed=seed)
+    assert layout.base % KASLR_ALIGN == 0
+    assert KERNEL_TEXT_RANGE_START <= layout.base < KERNEL_TEXT_RANGE_END
+    assert layout.end <= KERNEL_TEXT_RANGE_END
+    assert layout.contains(layout.secret_va)
+    assert layout.contains(layout.trampoline_va)

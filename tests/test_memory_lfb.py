@@ -1,0 +1,65 @@
+"""Unit tests for the line fill buffers."""
+
+from repro.memory.lfb import LineFillBuffer
+
+
+def line(content: bytes) -> bytes:
+    return content + b"\x00" * (64 - len(content))
+
+
+class TestLfb:
+    def test_empty_sample_is_none(self):
+        assert LineFillBuffer().sample_stale() is None
+
+    def test_sample_returns_recorded_byte(self):
+        lfb = LineFillBuffer()
+        lfb.record_fill(0x1000, line(b"A"), thread_id=0)
+        assert lfb.sample_stale(0) == ord("A")
+
+    def test_offset_selects_byte_within_line(self):
+        lfb = LineFillBuffer()
+        lfb.record_fill(0x1000, line(b"ABCD"), thread_id=0)
+        assert lfb.sample_stale(2) == ord("C")
+
+    def test_capacity_is_bounded(self):
+        lfb = LineFillBuffer(entries=4)
+        for index in range(10):
+            lfb.record_fill(index * 64, line(bytes([index])), 0)
+        assert len(lfb) == 4
+
+    def test_oldest_entries_rotate_out(self):
+        lfb = LineFillBuffer(entries=2)
+        lfb.record_fill(0, line(b"\x01"), 0)
+        lfb.record_fill(64, line(b"\x02"), 0)
+        lfb.record_fill(128, line(b"\x03"), 0)
+        samples = {lfb.sample_stale(0) for _ in range(10)}
+        assert 1 not in samples
+        assert samples <= {2, 3}
+
+    def test_sampling_rotates_through_entries(self):
+        lfb = LineFillBuffer(entries=4)
+        lfb.record_fill(0, line(b"\x01"), 0)
+        lfb.record_fill(64, line(b"\x02"), 0)
+        samples = [lfb.sample_stale(0) for _ in range(4)]
+        assert set(samples) == {1, 2}
+
+    def test_entries_tracked_per_thread(self):
+        lfb = LineFillBuffer()
+        lfb.record_fill(0, line(b"x"), thread_id=0)
+        lfb.record_fill(64, line(b"y"), thread_id=1)
+        assert lfb.entries_from_thread(0) == 1
+        assert lfb.entries_from_thread(1) == 1
+
+    def test_clear(self):
+        lfb = LineFillBuffer()
+        lfb.record_fill(0, line(b"x"), 0)
+        lfb.clear()
+        assert len(lfb) == 0
+        assert lfb.sample_stale() is None
+
+    def test_snapshot_is_immutable_copy(self):
+        lfb = LineFillBuffer()
+        data = bytearray(line(b"S"))
+        lfb.record_fill(0, data, 0)
+        data[0] = 0  # mutate the caller's buffer afterwards
+        assert lfb.sample_stale(0) == ord("S")

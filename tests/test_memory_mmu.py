@@ -1,0 +1,207 @@
+"""Unit tests for the MMU facade: faults, TLB fill policy, latencies."""
+
+import pytest
+
+from repro.memory.mmu import FaultKind
+from tests.conftest import make_mmu
+
+
+class TestSuccessfulAccess:
+    def test_user_load(self):
+        mmu, _, addr = make_mmu()
+        mmu.physical.write_u64(0x20008, 0x1234)
+        result = mmu.data_access(addr["user"] + 8)
+        assert result.ok and result.value == 0x1234
+
+    def test_store_then_load(self):
+        mmu, _, addr = make_mmu()
+        mmu.data_access(addr["user"], write=True, value=0xAB, size=1)
+        result = mmu.data_access(addr["user"], size=1)
+        assert result.value == 0xAB
+
+    def test_second_access_is_tlb_hit_and_faster(self):
+        mmu, _, addr = make_mmu()
+        first = mmu.data_access(addr["user"])
+        second = mmu.data_access(addr["user"])
+        assert not first.tlb_hit and second.tlb_hit
+        assert second.latency < first.latency
+
+    def test_supervisor_can_read_kernel_page(self):
+        mmu, _, addr = make_mmu()
+        result = mmu.data_access(addr["kernel"], user=False)
+        assert result.ok
+
+
+class TestFaults:
+    def test_user_access_to_kernel_page_is_protection_fault(self):
+        mmu, _, addr = make_mmu()
+        result = mmu.data_access(addr["kernel"], user=True)
+        assert result.fault is not None
+        assert result.fault.kind is FaultKind.PROTECTION
+        assert result.fault.address_is_mapped
+
+    def test_unmapped_access_is_not_present_fault(self):
+        mmu, _, addr = make_mmu()
+        result = mmu.data_access(addr["unmapped"])
+        assert result.fault.kind is FaultKind.NOT_PRESENT
+        assert not result.fault.address_is_mapped
+
+    def test_write_to_readonly_page(self):
+        mmu, space, _ = make_mmu()
+        space.map_page(0x30000, 0x50000, writable=False, user=True)
+        result = mmu.data_access(0x30000, write=True, value=1)
+        assert result.fault.kind is FaultKind.WRITE_PROTECT
+
+    def test_faulting_access_has_no_architectural_effect(self):
+        mmu, _, addr = make_mmu()
+        mmu.data_access(addr["kernel"], write=True, value=0xFF, size=1, user=True)
+        assert mmu.physical.read_u8(0x40000000) == 0
+
+    def test_fault_includes_va(self):
+        mmu, _, addr = make_mmu()
+        result = mmu.data_access(addr["unmapped"] + 0x123)
+        assert result.fault.va == addr["unmapped"] + 0x123
+
+
+class TestTlbFillPolicy:
+    """The TET-KASLR root cause: fill-on-faulting-access."""
+
+    def test_intel_fills_tlb_on_protection_fault(self):
+        mmu, _, addr = make_mmu(fill_tlb_on_fault=True)
+        mmu.data_access(addr["kernel"], user=True)
+        second = mmu.data_access(addr["kernel"], user=True)
+        assert second.tlb_hit
+        assert second.latency < 12
+
+    def test_amd_does_not_fill_tlb_on_protection_fault(self):
+        mmu, _, addr = make_mmu(fill_tlb_on_fault=False)
+        mmu.data_access(addr["kernel"], user=True)
+        second = mmu.data_access(addr["kernel"], user=True)
+        assert not second.tlb_hit
+
+    def test_not_present_never_fills_tlb(self):
+        mmu, _, addr = make_mmu(fill_tlb_on_fault=True)
+        mmu.data_access(addr["unmapped"])
+        second = mmu.data_access(addr["unmapped"])
+        assert not second.tlb_hit
+
+    def test_mapped_faster_than_unmapped_on_repeat_probe(self):
+        mmu, _, addr = make_mmu(fill_tlb_on_fault=True)
+        mmu.data_access(addr["kernel"], user=True)
+        mmu.data_access(addr["unmapped"], user=True)
+        mapped = mmu.data_access(addr["kernel"], user=True)
+        unmapped = mmu.data_access(addr["unmapped"], user=True)
+        assert mapped.latency < unmapped.latency
+
+    def test_amd_mapped_and_unmapped_indistinguishable(self):
+        mmu, _, addr = make_mmu(fill_tlb_on_fault=False)
+        # Spaced request times keep walker queueing out of the comparison.
+        mmu.data_access(addr["kernel"], user=True, now=10_000)
+        mmu.data_access(addr["unmapped"], user=True, now=20_000)
+        mapped = mmu.data_access(addr["kernel"], user=True, now=30_000)
+        unmapped = mmu.data_access(addr["unmapped"], user=True, now=40_000)
+        assert abs(mapped.latency - unmapped.latency) <= 2
+
+
+class TestFlushAndSwitch:
+    def test_flush_tlb_forces_walk(self):
+        mmu, _, addr = make_mmu()
+        mmu.data_access(addr["user"])
+        mmu.flush_tlb()
+        assert not mmu.data_access(addr["user"]).tlb_hit
+
+    def test_cr3_switch_keeps_global_entries(self):
+        mmu, space, addr = make_mmu()
+        mmu.data_access(addr["kernel"], user=False)  # global kernel page
+        mmu.data_access(addr["user"])  # non-global user page
+        mmu.set_address_space(space)  # CR3 write
+        assert mmu.data_access(addr["kernel"], user=False).tlb_hit
+        assert not mmu.data_access(addr["user"]).tlb_hit
+
+    def test_invalidate_page(self):
+        mmu, _, addr = make_mmu()
+        mmu.data_access(addr["user"])
+        mmu.invalidate_page(addr["user"])
+        assert not mmu.data_access(addr["user"]).tlb_hit
+
+
+class TestPeeksAndClflush:
+    def test_peek_physical_reads_through_permissions(self):
+        mmu, _, addr = make_mmu()
+        mmu.physical.write_u8(0x40000000, 0x53)
+        assert mmu.peek_physical(addr["kernel"]) == 0x53
+
+    def test_peek_unmapped_is_none(self):
+        mmu, _, addr = make_mmu()
+        assert mmu.peek_physical(addr["unmapped"]) is None
+
+    def test_peek_has_no_cache_side_effect(self):
+        mmu, _, addr = make_mmu()
+        mmu.peek_physical(addr["user"])
+        assert mmu.data_access(addr["user"]).hit_level == "DRAM"
+
+    def test_poke_raw_roundtrip(self):
+        mmu, _, addr = make_mmu()
+        mmu.poke_raw_bytes(addr["user"], b"hello")
+        assert mmu.peek_raw_bytes(addr["user"], 5) == b"hello"
+
+    def test_poke_unmapped_raises(self):
+        mmu, _, addr = make_mmu()
+        with pytest.raises(ValueError):
+            mmu.poke_raw_bytes(addr["unmapped"], b"x")
+
+    def test_clflush_evicts(self):
+        mmu, _, addr = make_mmu()
+        mmu.data_access(addr["user"])
+        assert mmu.clflush(addr["user"]) is True
+        assert mmu.data_access(addr["user"]).hit_level == "DRAM"
+
+    def test_clflush_unmapped_is_noop(self):
+        mmu, _, addr = make_mmu()
+        assert mmu.clflush(addr["unmapped"]) is False
+
+
+class TestInstructionFetch:
+    def test_fetch_from_user_code(self):
+        mmu, space, _ = make_mmu()
+        space.map_page(0x400000, 0x60000, user=True)
+        result = mmu.instruction_fetch(0x400000)
+        assert result.fault is None
+
+    def test_fetch_from_nx_page_faults(self):
+        mmu, space, _ = make_mmu()
+        space.map_page(0x500000, 0x70000, user=True, nx=True)
+        result = mmu.instruction_fetch(0x500000)
+        assert result.fault.kind is FaultKind.NX
+
+    def test_walk_accounting_split_by_side(self):
+        mmu, space, addr = make_mmu()
+        space.map_page(0x400000, 0x60000, user=True)
+        mmu.instruction_fetch(0x400000)
+        mmu.data_access(addr["user"])
+        assert mmu.iside_walks == 1
+        assert mmu.dside_walks == 1
+        assert mmu.iside_walk_cycles > 0
+        assert mmu.dside_walk_cycles > 0
+
+
+class TestLfbIntegration:
+    def test_dram_fill_records_lfb_entry(self):
+        mmu, _, addr = make_mmu()
+        before = len(mmu.lfb)
+        mmu.data_access(addr["user"])
+        assert len(mmu.lfb) == before + 1
+
+    def test_l1_hit_does_not_record(self):
+        mmu, _, addr = make_mmu()
+        mmu.data_access(addr["user"])
+        count = len(mmu.lfb)
+        mmu.data_access(addr["user"])
+        assert len(mmu.lfb) == count
+
+    def test_lfb_snapshot_contains_line_data(self):
+        mmu, _, addr = make_mmu()
+        mmu.physical.write_bytes(0x20000, b"SECRET")
+        mmu.data_access(addr["user"])
+        stale = mmu.lfb.sample_stale(0)
+        assert stale == ord("S")

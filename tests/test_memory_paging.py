@@ -1,0 +1,157 @@
+"""Unit and property tests for the 4-level page tables."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.paging import AddressSpace, PageSize
+
+KERNEL_VA = 0xFFFF_FFFF_8000_0000
+
+
+class TestMapping:
+    def test_lookup_unmapped_is_none(self):
+        space = AddressSpace()
+        assert space.lookup(0x1000) is None
+
+    def test_map_and_lookup_4k(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000)
+        pte = space.lookup(0x5123)
+        assert pte is not None
+        assert pte.physical_address(0x5123) == 0x9123
+
+    def test_map_and_lookup_2m(self):
+        space = AddressSpace()
+        space.map_page(KERNEL_VA, 0x4000_0000, size=PageSize.SIZE_2M)
+        pte = space.lookup(KERNEL_VA + 0x12_3456)
+        assert pte is not None
+        assert pte.page_size == PageSize.SIZE_2M
+        assert pte.physical_address(KERNEL_VA + 0x12_3456) == 0x4012_3456
+
+    def test_va_truncated_to_page_boundary(self):
+        space = AddressSpace()
+        space.map_page(0x5FFF, 0x9000)
+        assert space.lookup(0x5000) is not None
+
+    def test_unmap(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000)
+        assert space.unmap(0x5000) is True
+        assert space.lookup(0x5000) is None
+        assert space.unmap(0x5000) is False
+
+    def test_flags_preserved(self):
+        space = AddressSpace()
+        space.map_page(0x7000, 0xA000, writable=False, user=True, global_=True, nx=True, tag="x")
+        pte = space.lookup(0x7000)
+        assert (pte.writable, pte.user, pte.global_, pte.nx, pte.tag) == (
+            False, True, True, True, "x",
+        )
+
+    def test_remap_replaces(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000)
+        space.map_page(0x5000, 0xB000)
+        assert space.lookup(0x5000).physical_address(0x5000) == 0xB000
+
+    def test_adjacent_pages_do_not_collide(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000)
+        space.map_page(0x6000, 0xC000)
+        assert space.lookup(0x5000).physical_address(0x5000) == 0x9000
+        assert space.lookup(0x6000).physical_address(0x6000) == 0xC000
+
+    def test_mapped_ranges_count(self):
+        space = AddressSpace()
+        for index in range(5):
+            space.map_page(0x10000 + index * 0x1000, 0x20000)
+        assert space.mapped_ranges_count() == 5
+
+
+class TestWalkPath:
+    def test_full_walk_for_4k_page(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000)
+        steps, pte = space.walk_path(0x5000)
+        assert pte is not None
+        assert len(steps) == 4
+        assert steps[-1].is_leaf and steps[-1].present
+
+    def test_three_level_walk_for_2m_page(self):
+        space = AddressSpace()
+        space.map_page(KERNEL_VA, 0x4000_0000, size=PageSize.SIZE_2M)
+        steps, pte = space.walk_path(KERNEL_VA)
+        assert pte is not None
+        assert len(steps) == 3
+
+    def test_unmapped_walk_terminates_at_missing_level(self):
+        space = AddressSpace()
+        steps, pte = space.walk_path(0x5000)
+        assert pte is None
+        assert len(steps) == 1  # PML4 entry absent
+
+    def test_unmapped_sibling_walks_deep(self):
+        space = AddressSpace()
+        space.map_page(KERNEL_VA, 0x4000_0000, size=PageSize.SIZE_2M)
+        # Same PD, different entry: the walk descends to the PD level.
+        steps, pte = space.walk_path(KERNEL_VA + 0x20_0000)
+        assert pte is None
+        assert len(steps) == 3
+
+    def test_entry_paddrs_are_unique_per_level(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000)
+        steps, _ = space.walk_path(0x5000)
+        assert len({step.entry_paddr for step in steps}) == len(steps)
+
+
+class TestClone:
+    def test_clone_preserves_mappings(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000, tag="orig")
+        clone = space.clone_shared()
+        assert clone.lookup(0x5000).tag == "orig"
+
+    def test_clone_is_independent(self):
+        space = AddressSpace()
+        space.map_page(0x5000, 0x9000)
+        clone = space.clone_shared()
+        clone.unmap(0x5000)
+        assert space.lookup(0x5000) is not None
+        assert clone.lookup(0x5000) is None
+
+    def test_clone_new_mappings_do_not_leak_back(self):
+        space = AddressSpace()
+        clone = space.clone_shared()
+        clone.map_page(0x8000, 0xF000)
+        assert space.lookup(0x8000) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**35), st.integers(0, 2**30)),
+        min_size=1,
+        max_size=24,
+        unique_by=lambda pair: pair[0] >> 12,
+    )
+)
+def test_many_mappings_all_resolve(pairs):
+    space = AddressSpace()
+    for va, pa in pairs:
+        space.map_page(va, pa)
+    for va, pa in pairs:
+        pte = space.lookup(va)
+        assert pte is not None
+        page_va = va & ~0xFFF
+        assert pte.physical_address(page_va) == pa & ~0xFFF
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**40))
+def test_walk_path_agrees_with_lookup(va):
+    space = AddressSpace()
+    space.map_page(0x12345000, 0x400000)
+    steps, walk_pte = space.walk_path(va)
+    assert walk_pte == space.lookup(va)
+    assert 1 <= len(steps) <= 4

@@ -1,0 +1,83 @@
+"""Unit and property tests for sparse physical memory."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.physical import PAGE_SIZE, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_fresh_memory_reads_zero(self):
+        mem = PhysicalMemory()
+        assert mem.read_bytes(0x1234, 16) == b"\x00" * 16
+
+    def test_byte_roundtrip(self):
+        mem = PhysicalMemory()
+        mem.write_u8(0x100, 0xAB)
+        assert mem.read_u8(0x100) == 0xAB
+
+    def test_u64_roundtrip(self):
+        mem = PhysicalMemory()
+        mem.write_u64(0x200, 0x0123456789ABCDEF)
+        assert mem.read_u64(0x200) == 0x0123456789ABCDEF
+
+    def test_u64_is_little_endian(self):
+        mem = PhysicalMemory()
+        mem.write_u64(0x300, 0x0102030405060708)
+        assert mem.read_bytes(0x300, 8) == bytes([8, 7, 6, 5, 4, 3, 2, 1])
+
+    def test_write_across_frame_boundary(self):
+        mem = PhysicalMemory()
+        addr = PAGE_SIZE - 3
+        mem.write_bytes(addr, b"ABCDEF")
+        assert mem.read_bytes(addr, 6) == b"ABCDEF"
+
+    def test_frames_allocated_lazily(self):
+        mem = PhysicalMemory()
+        assert mem.allocated_frames == 0
+        mem.write_u8(0x10_0000, 1)
+        assert mem.allocated_frames == 1
+        mem.read_u8(0x90_0000)  # reads also materialise (zeroed) frames
+        assert mem.allocated_frames == 2
+
+    def test_sparse_far_addresses(self):
+        mem = PhysicalMemory()
+        mem.write_u64(0xFFFF_FFFF_F000, 99)
+        assert mem.read_u64(0xFFFF_FFFF_F000) == 99
+
+    def test_u8_write_masks_value(self):
+        mem = PhysicalMemory()
+        mem.write_u8(0, 0x1FF)
+        assert mem.read_u8(0) == 0xFF
+
+
+@given(
+    st.integers(0, 2**40),
+    st.binary(min_size=1, max_size=3 * PAGE_SIZE),
+)
+def test_write_read_roundtrip_any_span(addr, data):
+    mem = PhysicalMemory()
+    mem.write_bytes(addr, data)
+    assert mem.read_bytes(addr, len(data)) == data
+
+
+@given(
+    st.integers(0, 2**30),
+    st.binary(min_size=1, max_size=64),
+    st.binary(min_size=1, max_size=64),
+)
+def test_disjoint_writes_do_not_interfere(addr, first, second):
+    mem = PhysicalMemory()
+    far = addr + len(first) + 10_000
+    mem.write_bytes(addr, first)
+    mem.write_bytes(far, second)
+    assert mem.read_bytes(addr, len(first)) == first
+    assert mem.read_bytes(far, len(second)) == second
+
+
+@given(st.integers(0, 2**30), st.binary(min_size=2, max_size=128))
+def test_overlapping_write_wins(addr, data):
+    mem = PhysicalMemory()
+    mem.write_bytes(addr, b"\xff" * len(data))
+    mem.write_bytes(addr, data)
+    assert mem.read_bytes(addr, len(data)) == data

@@ -1,0 +1,118 @@
+"""Unit and property tests for the TLBs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.paging import PageSize, Pte
+from repro.memory.tlb import SplitTlb, Tlb
+
+
+def pte(pfn=1, global_=False, size=PageSize.SIZE_4K):
+    return Pte(pfn=pfn, global_=global_, page_size=size)
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb("T", 16, 4, PageSize.SIZE_4K)
+        assert tlb.lookup(0x5000) is None
+        tlb.fill(0x5000, pte())
+        entry = tlb.lookup(0x5123)  # same page
+        assert entry is not None
+
+    def test_different_pages_are_different_entries(self):
+        tlb = Tlb("T", 16, 4, PageSize.SIZE_4K)
+        tlb.fill(0x5000, pte(pfn=5))
+        assert tlb.lookup(0x6000) is None
+
+    def test_invalidate(self):
+        tlb = Tlb("T", 16, 4, PageSize.SIZE_4K)
+        tlb.fill(0x5000, pte())
+        assert tlb.invalidate(0x5000) is True
+        assert tlb.lookup(0x5000) is None
+
+    def test_flush_clears_everything(self):
+        tlb = Tlb("T", 16, 4, PageSize.SIZE_4K)
+        tlb.fill(0x5000, pte())
+        tlb.fill(0x6000, pte())
+        tlb.flush()
+        assert tlb.resident_entries == 0
+
+    def test_flush_keep_global(self):
+        tlb = Tlb("T", 16, 4, PageSize.SIZE_4K)
+        tlb.fill(0x5000, pte(global_=True))
+        tlb.fill(0x6000, pte(global_=False))
+        tlb.flush(keep_global=True)
+        assert tlb.lookup(0x5000) is not None
+        assert tlb.lookup(0x6000) is None
+
+    def test_capacity_respected(self):
+        tlb = Tlb("T", 8, 2, PageSize.SIZE_4K)
+        for index in range(64):
+            tlb.fill(index * 0x1000, pte())
+        assert tlb.resident_entries <= 8
+
+    def test_lru_within_set(self):
+        tlb = Tlb("T", 2, 2, PageSize.SIZE_4K)  # 1 set, 2 ways
+        tlb.fill(0x1000, pte(pfn=1))
+        tlb.fill(0x2000, pte(pfn=2))
+        tlb.lookup(0x1000)  # refresh
+        tlb.fill(0x3000, pte(pfn=3))
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.lookup(0x2000) is None
+
+    def test_2m_page_granularity(self):
+        tlb = Tlb("T", 16, 4, PageSize.SIZE_2M)
+        tlb.fill(0x4020_0000, pte(size=PageSize.SIZE_2M))
+        assert tlb.lookup(0x4020_0000 + 0x1F_FFFF) is not None
+
+
+class TestSplitTlb:
+    def test_fill_routes_by_page_size(self):
+        split = SplitTlb("D")
+        split.fill(0x5000, pte())
+        split.fill(0x4000_0000, pte(size=PageSize.SIZE_2M))
+        assert split.tlb_4k.resident_entries == 1
+        assert split.tlb_2m.resident_entries == 1
+
+    def test_lookup_checks_both_arrays(self):
+        split = SplitTlb("D")
+        split.fill(0x4000_0000, pte(size=PageSize.SIZE_2M))
+        assert split.lookup(0x4010_0000) is not None
+
+    def test_invalidate_hits_both(self):
+        split = SplitTlb("D")
+        split.fill(0x5000, pte())
+        split.invalidate(0x5000)
+        assert split.lookup(0x5000) is None
+
+    def test_flush_keep_global(self):
+        split = SplitTlb("D")
+        split.fill(0x5000, pte(global_=True))
+        split.fill(0x6000, pte())
+        split.flush(keep_global=True)
+        assert split.lookup(0x5000) is not None
+        assert split.lookup(0x6000) is None
+
+    def test_hit_counters(self):
+        split = SplitTlb("D")
+        split.fill(0x5000, pte())
+        split.lookup(0x5000)
+        assert split.hits >= 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 2**28), min_size=1, max_size=100))
+def test_fill_then_lookup_most_recent_always_hits(vas):
+    tlb = Tlb("T", 64, 4, PageSize.SIZE_4K)
+    for va in vas:
+        tlb.fill(va, pte())
+        assert tlb.lookup(va) is not None
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 2**28), min_size=1, max_size=200), st.integers(2, 64))
+def test_capacity_invariant(vas, entries):
+    tlb = Tlb("T", entries, 2, PageSize.SIZE_4K)
+    for va in vas:
+        tlb.fill(va, pte())
+    assert tlb.resident_entries <= max(1, entries // 2) * 2

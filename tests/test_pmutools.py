@@ -1,0 +1,138 @@
+"""Functional tests for the Figure 2 PMU pipeline."""
+
+import pytest
+
+from repro.pmutools.collector import OnlineCollector
+from repro.pmutools.differential import DifferentialFilter
+from repro.pmutools.events import counter_groups, prepare_events
+from repro.pmutools.pipeline import PmuPipeline
+from repro.pmutools.report import answers_by_domain, render_table3
+from repro.pmutools.scenarios import (
+    TetCcScenario,
+    TetKaslrScenario,
+    TetMdScenario,
+    TransientFlowScenario,
+)
+from repro.sim.machine import Machine
+from repro.uarch.config import cpu_model
+
+
+class TestPreparation:
+    def test_intel_and_amd_event_sets_differ(self):
+        intel = prepare_events(cpu_model("i7-7700"))
+        amd = prepare_events(cpu_model("ryzen-5600G"))
+        assert {e.name for e in intel}.isdisjoint({e.name for e in amd})
+
+    def test_domain_filter(self):
+        events = prepare_events(cpu_model("i7-7700"), domains=["memory"])
+        assert events
+        assert all(event.domain == "memory" for event in events)
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_events(cpu_model("i7-7700"), domains=["quantum"])
+
+    def test_counter_groups_partition(self):
+        events = prepare_events(cpu_model("i7-7700"))
+        groups = counter_groups(events, group_size=4)
+        assert sum(len(group) for group in groups) == len(events)
+        assert all(len(group) <= 4 for group in groups)
+
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError):
+            counter_groups([], group_size=0)
+
+
+class TestCollection:
+    def test_collects_means_for_all_events(self):
+        machine = Machine("i7-7700", seed=71)
+        scenario = TetCcScenario(machine)
+        events = prepare_events(machine.model)
+        collection = OnlineCollector(iterations=4).collect(scenario, events)
+        assert set(collection.means) == {event.name for event in events}
+        assert collection.iterations == 4
+
+    def test_condition_names_propagated(self):
+        machine = Machine("i9-10980XE", seed=72)
+        scenario = TetKaslrScenario(machine)
+        events = prepare_events(machine.model, domains=["memory"])
+        collection = OnlineCollector(iterations=2).collect(scenario, events)
+        assert collection.condition_names == ("unmapped", "mapped")
+
+
+class TestDifferentialFilter:
+    def test_sensitive_events_survive(self):
+        machine = Machine("i7-7700", seed=73)
+        report = PmuPipeline(OnlineCollector(iterations=6)).analyze(TetCcScenario(machine))
+        names = {event.name for event in report.survivors}
+        assert "BR_MISP_EXEC.ALL_BRANCHES" in names
+        assert "INT_MISC.RECOVERY_CYCLES" in names
+
+    def test_insensitive_events_rejected(self):
+        machine = Machine("i7-7700", seed=73)
+        report = PmuPipeline(OnlineCollector(iterations=6)).analyze(TetCcScenario(machine))
+        assert len(report.rejected) > len(report.survivors)
+
+    def test_survivors_sorted_by_difference(self):
+        machine = Machine("i7-7700", seed=74)
+        report = PmuPipeline(OnlineCollector(iterations=4)).analyze(TetCcScenario(machine))
+        differences = [abs(event.difference) for event in report.survivors]
+        assert differences == sorted(differences, reverse=True)
+
+    def test_thresholds_configurable(self):
+        machine = Machine("i7-7700", seed=75)
+        strict = PmuPipeline(
+            OnlineCollector(iterations=4), DifferentialFilter(absolute_threshold=50)
+        ).analyze(TetCcScenario(machine))
+        lax = PmuPipeline(
+            OnlineCollector(iterations=4), DifferentialFilter(absolute_threshold=0.1)
+        ).analyze(TetCcScenario(machine))
+        assert len(strict.survivors) <= len(lax.survivors)
+
+
+class TestScenarios:
+    def test_md_scenario_shows_mispredict_on_trigger(self):
+        machine = Machine("i7-7700", seed=76)
+        report = PmuPipeline(OnlineCollector(iterations=6)).analyze(TetMdScenario(machine))
+        row = next(r for r in report.rows if r.event == "BR_MISP_EXEC.ALL_BRANCHES")
+        assert row.condition1 > row.condition0
+
+    def test_kaslr_scenario_walk_active_matches_table3_shape(self):
+        machine = Machine("i9-10980XE", seed=77)
+        report = PmuPipeline(OnlineCollector(iterations=6)).analyze(
+            TetKaslrScenario(machine)
+        )
+        row = next(r for r in report.rows if r.event == "DTLB_LOAD_MISSES.WALK_ACTIVE")
+        # Table 3: unmapped 62, mapped 0 -- unmapped walks dominate.
+        assert row.condition0 > row.condition1
+
+    def test_transient_flow_scenario_runs(self):
+        machine = Machine("i7-6700", seed=78)
+        report = PmuPipeline(OnlineCollector(iterations=4)).analyze(
+            TransientFlowScenario(machine, sled=0)
+        )
+        assert report.prepared_events > 0
+
+    def test_amd_scenario_uses_amd_events(self):
+        machine = Machine("ryzen-5600G", seed=79)
+        report = PmuPipeline(OnlineCollector(iterations=6)).analyze(TetCcScenario(machine))
+        assert all(event.name == event.name.lower() for event in report.survivors)
+
+
+class TestReporting:
+    def test_render_contains_header_and_rows(self):
+        machine = Machine("i7-7700", seed=80)
+        report = PmuPipeline(OnlineCollector(iterations=4)).analyze(TetCcScenario(machine))
+        text = report.render()
+        assert "CPU & Scene" in text
+        assert "i7-7700" in text
+
+    def test_empty_rows_render(self):
+        assert "no condition-sensitive" in render_table3([])
+
+    def test_domain_grouping(self):
+        machine = Machine("i7-7700", seed=81)
+        report = PmuPipeline(OnlineCollector(iterations=4)).analyze(TetCcScenario(machine))
+        domains = answers_by_domain(report.rows)
+        assert set(domains) >= {"frontend", "backend", "memory"}
+        assert domains["backend"]  # recovery/stall evidence exists

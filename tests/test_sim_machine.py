@@ -1,0 +1,134 @@
+"""Unit tests for the Machine harness."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.sim.timing import measure_tote, summarize, tote_from_result
+from tests.conftest import run_source
+
+
+class TestConstruction:
+    def test_model_by_key_or_object(self):
+        from repro.uarch.config import cpu_model
+
+        by_key = Machine("i7-6700", seed=1)
+        by_object = Machine(cpu_model("i7-6700"), seed=1)
+        assert by_key.model is by_object.model
+
+    def test_mmu_inherits_tlb_fill_policy(self):
+        intel = Machine("i7-7700", seed=1)
+        amd = Machine("ryzen-5600G", seed=1)
+        assert intel.mmu.fill_tlb_on_faulting_access
+        assert not amd.mmu.fill_tlb_on_faulting_access
+
+    def test_kernel_options_forwarded(self):
+        machine = Machine("i7-7700", seed=1, kpti=True, flare=True)
+        assert machine.kernel.kpti and machine.kernel.flare
+
+    def test_container_process(self):
+        machine = Machine("i7-7700", seed=1, container=True)
+        assert machine.process.container
+
+    def test_custom_secret(self):
+        machine = Machine("i7-7700", seed=1, secret=b"mine")
+        assert machine.kernel.secret == b"mine"
+
+
+class TestProgramLoading:
+    def test_programs_get_distinct_bases(self, machine):
+        first = machine.load_program("nop\nhlt")
+        second = machine.load_program("nop\nhlt")
+        assert first.base != second.base
+
+    def test_code_pages_are_mapped(self, machine):
+        program = machine.load_program("nop\nhlt")
+        assert machine.process.space.lookup(program.base) is not None
+
+    def test_large_program_maps_enough_pages(self, machine):
+        program = machine.load_program("nop\n" * 2000 + "hlt")
+        assert machine.process.space.lookup(program.end_address - 4) is not None
+
+
+class TestDataHelpers:
+    def test_alloc_write_read(self, machine):
+        va = machine.alloc_data()
+        machine.write_data(va, b"hello")
+        assert machine.read_data(va, 5) == b"hello"
+
+    def test_read_unmapped_raises(self, machine):
+        with pytest.raises(ValueError):
+            machine.read_data(0xDEAD0000, 4)
+
+    def test_allocations_are_distinct(self, machine):
+        assert machine.alloc_data() != machine.alloc_data()
+
+
+class TestVictimHelpers:
+    def test_warm_kernel_secret_caches_the_line(self, machine):
+        machine.warm_kernel_secret()
+        paddr = machine.kernel.secret_paddr()
+        assert machine.hierarchy.data_resident(paddr)
+
+    def test_victim_touch_works_under_kpti(self):
+        machine = Machine("i7-7700", seed=1, kpti=True)
+        machine.warm_kernel_secret()  # must switch to the kernel table
+        assert machine.hierarchy.data_resident(machine.kernel.secret_paddr())
+        # ... and switch back.
+        assert machine.mmu.space is machine.process.space
+
+    def test_victim_store_fills_lfb(self, machine):
+        va = machine.alloc_data()
+        machine.victim_store(va, b"S", thread_id=1)
+        machine.victim_store(va, b"S", thread_id=1)  # refresh even when hot
+        assert machine.mmu.lfb.entries_from_thread(1) >= 2
+
+
+class TestAttackerPrimitives:
+    def test_flush_tlb_charges_cycles(self, machine):
+        before = machine.core.global_cycle
+        machine.flush_tlb()
+        assert machine.core.global_cycle > before
+
+    def test_flush_tlb_uncharged_variant(self, machine):
+        before = machine.core.global_cycle
+        machine.flush_tlb(charge_cycles=False)
+        assert machine.core.global_cycle == before
+
+    def test_syscall_roundtrip_flushes_nonglobal_only(self, machine):
+        data = machine.alloc_data()
+        machine.mmu.data_access(data)  # non-global user entry
+        machine.mmu.data_access(machine.kernel.secret_va, user=False)  # global
+        machine.syscall_roundtrip()
+        assert not machine.mmu.data_access(data).tlb_hit
+        assert machine.mmu.data_access(machine.kernel.secret_va, user=False).tlb_hit
+
+    def test_seconds_uses_model_clock(self, machine):
+        assert machine.seconds(machine.model.nominal_ghz * 1e9) == pytest.approx(1.0)
+
+
+class TestTimingHelpers:
+    def test_tote_convention(self, machine):
+        result = run_source(machine, "rdtsc\nmov r14, rax\nnop\nrdtsc\nmov r15, rax\nhlt")
+        sample = tote_from_result(result)
+        assert sample.tote == sample.end_cycle - sample.start_cycle
+        assert sample.tote > 0
+
+    def test_tote_requires_convention(self, machine):
+        result = run_source(machine, "mov r14, 100\nmov r15, 10\nhlt")
+        with pytest.raises(ValueError):
+            tote_from_result(result)
+
+    def test_measure_tote_repeats(self, machine):
+        program = machine.load_program(
+            "rdtsc\nmov r14, rax\nnop\nrdtsc\nmov r15, rax\nhlt"
+        )
+        samples = measure_tote(machine, program, repeats=5)
+        assert len(samples) == 5
+
+    def test_summarize(self, machine):
+        program = machine.load_program(
+            "rdtsc\nmov r14, rax\nnop\nrdtsc\nmov r15, rax\nhlt"
+        )
+        stats = summarize(measure_tote(machine, program, repeats=4))
+        assert stats["n"] == 4
+        assert stats["min"] <= stats["median"] <= stats["max"]

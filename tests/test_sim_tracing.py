@@ -1,0 +1,132 @@
+"""Unit tests for trace analysis (Figures 3 and 4 machinery)."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.tracing import (
+    control_flow_graph,
+    delivery_source_histogram,
+    frontend_trace,
+    path_summary,
+    transient_uop_count,
+)
+from tests.conftest import run_source
+
+
+def traced(machine, source, regs=None):
+    return run_source(machine, source, regs=regs, record_trace=True)
+
+
+class TestFrontendTrace:
+    def test_untraced_run_raises(self, machine):
+        result = run_source(machine, "nop\nhlt")
+        with pytest.raises(ValueError):
+            frontend_trace(result)
+
+    def test_trace_entries_in_dispatch_order(self, machine):
+        result = traced(machine, "mov rax, 1\nadd rax, 1\nhlt")
+        entries = frontend_trace(result)
+        assert [entry.mnemonic.split()[0] for entry in entries] == ["mov_ri", "add", "hlt"]
+        cycles = [entry.cycle for entry in entries]
+        assert cycles == sorted(cycles)
+
+    def test_sources_recorded(self, machine):
+        program = machine.load_program("nop\nnop\nhlt")
+        machine.run(program)  # warm: lines enter the DSB
+        result = machine.run(program, record_trace=True)
+        entries = frontend_trace(result)
+        assert any(entry.source == "dsb" for entry in entries)
+
+    def test_histogram_sums_uops(self, machine):
+        result = traced(machine, "nop\nmfence\nhlt")
+        histogram = delivery_source_histogram(result)
+        assert sum(histogram.values()) == result.uops_issued
+
+
+class TestCfg:
+    def test_straight_line_graph_is_a_path(self, machine):
+        result = traced(machine, "mov rax, 1\nadd rax, 1\nhlt")
+        graph = control_flow_graph(result)
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == 3
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_loop_creates_back_edge(self, machine):
+        result = traced(machine, """
+    mov rcx, 3
+top:
+    sub rcx, 1
+    cmp rcx, 0
+    jne top
+    hlt
+""")
+        graph = control_flow_graph(result)
+        assert not nx.is_directed_acyclic_graph(graph)
+
+    def test_transient_paths_annotated(self, machine):
+        result = traced(machine, """
+    rdtsc
+    xbegin out
+    mov rax, [r13]
+    mov rbx, 7
+out:
+    hlt
+""", regs={"r13": 0})
+        graph = control_flow_graph(result)
+        transient_nodes = [
+            node for node, data in graph.nodes(data=True) if data["transient_visits"]
+        ]
+        assert transient_nodes
+
+    def test_edge_counts(self, machine):
+        result = traced(machine, """
+    mov rcx, 2
+top:
+    sub rcx, 1
+    cmp rcx, 0
+    jne top
+    hlt
+""")
+        graph = control_flow_graph(result)
+        back_edges = [
+            (u, v) for u, v, data in graph.edges(data=True) if v < u and data["committed"]
+        ]
+        assert back_edges
+
+
+class TestPathSummary:
+    def test_counts_squashed_uops(self, machine):
+        result = traced(machine, """
+    xbegin out
+    mov rax, [r13]
+    mov rbx, 1
+    mov rcx, 2
+out:
+    hlt
+""", regs={"r13": 0})
+        assert transient_uop_count(result) >= 2
+        summary = path_summary(result)
+        assert summary["flushes"] == 1
+        assert summary["uops_squashed"] <= summary["uops_issued"]
+
+    def test_nested_redirect_counted(self, machine):
+        data = machine.alloc_data()
+        machine.write_data(data, b"\x05")
+        source = f"""
+    mov rbx, {hex(data)}
+    loadb rdi, [rbx]
+    xbegin out
+    mov rax, [r13]
+    cmp rdi, r9
+    je t
+    nop
+t:
+    nop
+out:
+    hlt
+"""
+        program = machine.load_program(source)
+        for _ in range(4):
+            machine.run(program, regs={"r13": 0, "r9": 1})
+        result = machine.run(program, regs={"r13": 0, "r9": 5}, record_trace=True)
+        assert path_summary(result)["nested_redirects"] >= 1

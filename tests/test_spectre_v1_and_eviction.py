@@ -1,0 +1,110 @@
+"""Tests for TET-Spectre-V1 and the realistic TLB-eviction primitive."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.whisper.attacks.kaslr import TetKaslr
+from repro.whisper.attacks.spectre_v1 import TetSpectreV1
+
+
+class TestTetSpectreV1:
+    def test_leaks_the_out_of_bounds_secret(self):
+        machine = Machine("i7-7700", seed=211)
+        attack = TetSpectreV1(machine)
+        attack.install_secret(b"OOBDATA")
+        result = attack.leak(length=5)
+        assert result.data == b"OOBDA"
+        assert result.success
+
+    def test_works_without_tsx(self):
+        """Two branch speculations, no fault: TSX-less CPUs included."""
+        machine = Machine("i9-13900K", seed=212)
+        attack = TetSpectreV1(machine)
+        attack.install_secret(b"RL")
+        assert attack.leak().data == b"RL"
+
+    def test_works_on_amd(self):
+        """v1 is a pure branch-predictor attack: Zen 3 is vulnerable too
+        (conditional-branch speculation is universal)."""
+        machine = Machine("ryzen-5600G", seed=213)
+        attack = TetSpectreV1(machine)
+        attack.install_secret(b"ZEN")
+        assert attack.leak().data == b"ZEN"
+
+    def test_in_bounds_accesses_are_architecturally_fine(self):
+        machine = Machine("i7-7700", seed=214)
+        attack = TetSpectreV1(machine)
+        attack.install_secret(b"X")
+        result = attack._run(5, 256)
+        assert result.halted and not result.faults
+
+    def test_oob_access_is_never_architectural(self):
+        """The bounds check holds architecturally: the OOB load only ever
+        runs transiently (squashed)."""
+        machine = Machine("i7-7700", seed=215)
+        attack = TetSpectreV1(machine)
+        attack.install_secret(b"X")
+        for _ in range(4):
+            attack._train_in_bounds()
+        result = machine.run(
+            attack.program,
+            regs={
+                "r10": attack.array_va,
+                "r11": attack.length_va,
+                "rdi": attack._oob_index(0),
+                "r9": 256,
+            },
+            record_trace=True,
+        )
+        oob_loads = [
+            r for r in result.records
+            if str(r.instruction).startswith("loadb") and r.memory_va == attack.secret_va
+        ]
+        assert oob_loads and all(r.squashed for r in oob_loads)
+
+    def test_leak_requires_secret(self):
+        machine = Machine("i7-7700", seed=216)
+        with pytest.raises(RuntimeError):
+            TetSpectreV1(machine).leak()
+
+
+class TestRealisticTlbEviction:
+    def test_eviction_actually_evicts(self):
+        machine = Machine("i9-10980XE", seed=221)
+        kernel_va = machine.kernel.layout.base
+        machine.mmu.data_access(kernel_va, user=False)  # fill (2M global)
+        assert machine.mmu.dtlb.lookup(kernel_va) is not None
+        machine.evict_tlb_realistic()
+        assert machine.mmu.dtlb.lookup(kernel_va) is None
+
+    def test_eviction_charges_cycles(self):
+        machine = Machine("i9-10980XE", seed=222)
+        before = machine.core.global_cycle
+        spent = machine.evict_tlb_realistic()
+        assert spent > 0
+        assert machine.core.global_cycle == before + spent
+
+    def test_eviction_sets_built_once(self):
+        machine = Machine("i9-10980XE", seed=223)
+        machine.build_tlb_eviction_sets()
+        count = len(machine._eviction_pages_4k)
+        machine.build_tlb_eviction_sets()
+        assert len(machine._eviction_pages_4k) == count
+
+    def test_kaslr_with_realistic_eviction_still_breaks(self):
+        machine = Machine("i9-10980XE", seed=224, kpti=True)
+        result = TetKaslr(machine, eviction="sets").break_kaslr_kpti()
+        assert result.success
+
+    def test_realistic_eviction_costs_more(self):
+        fast_machine = Machine("i9-10980XE", seed=225, kpti=True)
+        slow_machine = Machine("i9-10980XE", seed=225, kpti=True)
+        fast = TetKaslr(fast_machine, eviction="direct").break_kaslr_kpti()
+        slow = TetKaslr(slow_machine, eviction="sets").break_kaslr_kpti()
+        assert slow.success and fast.success
+        assert slow.cycles > 2 * fast.cycles
+
+    def test_invalid_eviction_mode_rejected(self):
+        machine = Machine("i9-10980XE", seed=226)
+        with pytest.raises(ValueError):
+            TetKaslr(machine, eviction="magic")

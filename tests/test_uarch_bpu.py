@@ -1,0 +1,145 @@
+"""Unit tests for branch prediction: PHT, BTB, RSB."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.bpu import (
+    BranchPredictor,
+    BranchTargetBuffer,
+    PatternHistoryTable,
+    ReturnStackBuffer,
+)
+
+
+class TestPht:
+    def test_initial_prediction_is_not_taken(self):
+        assert PatternHistoryTable().predict(0x400000) is False
+
+    def test_learns_taken_after_two_updates(self):
+        pht = PatternHistoryTable()
+        pht.update(0x400000, True)
+        pht.update(0x400000, True)
+        assert pht.predict(0x400000) is True
+
+    def test_saturates_and_recovers(self):
+        pht = PatternHistoryTable()
+        for _ in range(10):
+            pht.update(0x400000, True)
+        pht.update(0x400000, False)
+        assert pht.predict(0x400000) is True  # 3 -> 2, still taken
+        pht.update(0x400000, False)
+        assert pht.predict(0x400000) is False
+
+    def test_distinct_branches_are_independent(self):
+        pht = PatternHistoryTable()
+        pht.update(0x400000, True)
+        pht.update(0x400000, True)
+        assert pht.predict(0x400100) is False
+
+    def test_gshare_history_changes_index(self):
+        pht = PatternHistoryTable(history_bits=4)
+        pht.update(0x400000, True)
+        pht.update(0x400000, True)
+        # With nonzero history the same PC may map elsewhere; just check
+        # the structure stays consistent (no exceptions, bool output).
+        assert isinstance(pht.predict(0x400000), bool)
+
+
+class TestBtb:
+    def test_unknown_pc_predicts_none(self):
+        assert BranchTargetBuffer().predict(0x400000) is None
+
+    def test_update_then_predict(self):
+        btb = BranchTargetBuffer()
+        btb.update(0x400000, 0x401000)
+        assert btb.predict(0x400000) == 0x401000
+
+    def test_tag_mismatch_on_alias(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(0x400000, 0x401000)
+        aliasing_pc = 0x400000 + 16 * 4
+        assert btb.predict(aliasing_pc) is None
+
+    def test_correct_counter(self):
+        btb = BranchTargetBuffer()
+        btb.predict(0x400000)  # cold miss
+        btb.update(0x400000, 0x401000)
+        btb.predict(0x400000)  # hit
+        assert btb.correct == 1 and btb.lookups == 2
+
+
+class TestRsb:
+    def test_push_pop_lifo(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(0x1000)
+        rsb.push(0x2000)
+        assert rsb.pop_prediction() == 0x2000
+        assert rsb.pop_prediction() == 0x1000
+
+    def test_underflow_returns_none(self):
+        assert ReturnStackBuffer().pop_prediction() is None
+
+    def test_overflow_drops_oldest(self):
+        rsb = ReturnStackBuffer(depth=2)
+        rsb.push(1)
+        rsb.push(2)
+        rsb.push(3)
+        assert rsb.pop_prediction() == 3
+        assert rsb.pop_prediction() == 2
+        assert rsb.pop_prediction() is None
+
+    def test_clear(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(1)
+        rsb.clear()
+        assert len(rsb) == 0
+
+
+class TestBranchPredictor:
+    def test_resolve_counts_mispredicts(self):
+        bpu = BranchPredictor()
+        predicted, _ = bpu.predict_conditional(0x400000, 0x400100)
+        mispredicted = bpu.resolve_conditional(0x400000, predicted, not predicted)
+        assert mispredicted is True
+        assert bpu.conditional_mispredicts == 1
+
+    def test_correct_prediction_not_counted(self):
+        bpu = BranchPredictor()
+        predicted, _ = bpu.predict_conditional(0x400000, 0x400100)
+        assert bpu.resolve_conditional(0x400000, predicted, predicted) is False
+        assert bpu.conditional_mispredicts == 0
+
+    def test_call_pushes_rsb_and_trains_btb(self):
+        bpu = BranchPredictor()
+        bpu.on_call(return_address=0x400004, target=0x500000, pc=0x400000)
+        assert bpu.predict_return() == 0x400004
+        assert bpu.btb.predict(0x400000) == 0x500000
+
+    def test_stale_rsb_entry_is_the_spectre_v5_setup(self):
+        """The Listing 1 trick: the RSB top no longer matches the stack."""
+        bpu = BranchPredictor()
+        bpu.on_call(return_address=0x400004, target=0x500000, pc=0x400000)
+        architectural_return = 0x600000  # overwritten on the stack
+        predicted = bpu.predict_return()
+        assert predicted == 0x400004
+        assert predicted != architectural_return
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.booleans(), min_size=8, max_size=64))
+def test_pht_converges_on_constant_direction(history):
+    pht = PatternHistoryTable()
+    direction = history[0]
+    for _ in range(4):
+        pht.update(0x400000, direction)
+    assert pht.predict(0x400000) is direction
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 2**48), min_size=1, max_size=32))
+def test_rsb_matches_a_plain_stack_up_to_depth(addresses):
+    rsb = ReturnStackBuffer(depth=64)
+    for address in addresses:
+        rsb.push(address)
+    for address in reversed(addresses):
+        assert rsb.pop_prediction() == address

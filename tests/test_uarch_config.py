@@ -1,0 +1,90 @@
+"""Unit tests for the CPU model catalogue (Table 2's machines)."""
+
+import pytest
+
+from repro.uarch.config import CPU_MODELS, cpu_model
+
+
+class TestCatalogue:
+    def test_all_five_machines_present(self):
+        # Table 2 lists five rows (the two Ryzen parts share one row).
+        assert set(CPU_MODELS) == {
+            "i7-6700", "i7-7700", "i9-10980XE", "i9-13900K",
+            "ryzen-5600G", "ryzen-5900",
+        }
+
+    def test_lookup_by_key_and_name(self):
+        assert cpu_model("i7-7700").microarch == "Kaby Lake"
+        assert cpu_model("Intel Core i7-7700") is cpu_model("i7-7700")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            cpu_model("i9-9999K")
+
+    def test_vendors(self):
+        assert cpu_model("i7-6700").vendor == "intel"
+        assert cpu_model("ryzen-5600G").vendor == "amd"
+
+
+class TestVulnerabilityFlags:
+    """These flags *are* Table 2's ✓/✗ pattern."""
+
+    def test_skylake_kabylake_fully_vulnerable(self):
+        for key in ("i7-6700", "i7-7700"):
+            model = cpu_model(key)
+            assert model.meltdown_vulnerable
+            assert model.mds_vulnerable
+            assert model.fill_tlb_on_fault
+            assert model.has_tsx
+
+    def test_comet_lake_is_meltdown_fixed_but_tlb_vulnerable(self):
+        model = cpu_model("i9-10980XE")
+        assert not model.meltdown_vulnerable
+        assert not model.mds_vulnerable
+        assert model.fill_tlb_on_fault
+
+    def test_raptor_lake_has_no_tsx(self):
+        assert not cpu_model("i9-13900K").has_tsx
+
+    def test_zen3_checks_permissions_before_tlb_fill(self):
+        for key in ("ryzen-5600G", "ryzen-5900"):
+            model = cpu_model(key)
+            assert not model.fill_tlb_on_fault
+            assert not model.meltdown_vulnerable
+            assert not model.mds_vulnerable
+            assert not model.has_tsx
+
+
+class TestParameters:
+    def test_pipeline_geometry_sane(self):
+        for model in CPU_MODELS.values():
+            assert model.issue_width >= 4
+            assert model.rob_size >= 96
+            assert model.retire_width >= model.issue_width - 2
+
+    def test_latency_relationships(self):
+        for model in CPU_MODELS.values():
+            assert model.l1d.latency < model.l2.latency < model.llc.latency
+            assert model.llc.latency < model.dram_latency
+            assert model.tsx_abort_latency < model.signal_dispatch_latency
+
+    def test_seconds_conversion(self):
+        model = cpu_model("i7-7700")  # 3.6 GHz
+        assert model.seconds(3_600_000_000) == pytest.approx(1.0)
+
+    def test_cache_geometries_tuple(self):
+        l1d, l1i, l2, llc = cpu_model("i7-6700").cache_geometries()
+        assert l1d.size_bytes == l1i.size_bytes == 32 * 1024
+        assert llc.size_bytes > l2.size_bytes > l1d.size_bytes
+
+    def test_raptor_lake_is_wider(self):
+        raptor = cpu_model("i9-13900K")
+        skylake = cpu_model("i7-6700")
+        assert raptor.issue_width > skylake.issue_width
+        assert raptor.rob_size > skylake.rob_size
+        assert raptor.nominal_ghz > skylake.nominal_ghz
+
+    def test_table2_metadata_recorded(self):
+        model = cpu_model("i9-10980XE")
+        assert model.microcode == "0x5003303"
+        assert model.kernel == "5.15.0-72"

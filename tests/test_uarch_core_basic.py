@@ -1,0 +1,353 @@
+"""Functional tests for the out-of-order core: committed-path semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.registers import MASK64
+from repro.uarch.core import SimulationError
+from tests.conftest import run_source
+
+
+class TestArithmetic:
+    def test_mov_and_add(self, machine):
+        result = run_source(machine, "mov rax, 7\nadd rax, 3\nhlt")
+        assert result.regs.read("rax") == 10
+
+    def test_sub_and_flags(self, machine):
+        result = run_source(machine, "mov rax, 5\nsub rax, 5\nhlt")
+        assert result.regs.read("rax") == 0
+        assert result.regs.read_flag("zf") is True
+
+    def test_sub_borrow_sets_carry(self, machine):
+        result = run_source(machine, "mov rax, 1\nsub rax, 2\nhlt")
+        assert result.regs.read("rax") == MASK64
+        assert result.regs.read_flag("cf") is True
+
+    def test_logic_ops(self, machine):
+        result = run_source(machine, """
+    mov rax, 0xF0
+    mov rbx, 0x0F
+    or rax, rbx
+    mov rcx, 0xFF
+    and rcx, 0x0F
+    mov rdx, 0xFF
+    xor rdx, rdx
+    hlt
+""")
+        assert result.regs.read("rax") == 0xFF
+        assert result.regs.read("rcx") == 0x0F
+        assert result.regs.read("rdx") == 0
+
+    def test_shifts(self, machine):
+        result = run_source(machine, "mov rax, 3\nshl rax, 4\nmov rbx, 0x100\nshr rbx, 4\nhlt")
+        assert result.regs.read("rax") == 48
+        assert result.regs.read("rbx") == 16
+
+    def test_add_wraps_64_bits(self, machine):
+        result = run_source(machine, f"mov rax, {MASK64}\nadd rax, 2\nhlt")
+        assert result.regs.read("rax") == 1
+        assert result.regs.read_flag("cf") is True
+
+    def test_cmp_does_not_write_dest(self, machine):
+        result = run_source(machine, "mov rax, 9\ncmp rax, 4\nhlt")
+        assert result.regs.read("rax") == 9
+
+    def test_lea(self, machine):
+        result = run_source(machine, "mov rbx, 0x100\nmov rcx, 4\nlea rax, [rbx + rcx*8 + 2]\nhlt")
+        assert result.regs.read("rax") == 0x100 + 32 + 2
+
+
+class TestControlFlow:
+    def test_taken_conditional(self, machine):
+        result = run_source(machine, """
+    mov rax, 1
+    cmp rax, 1
+    je good
+    mov rbx, 99
+good:
+    hlt
+""")
+        assert result.regs.read("rbx") == 0
+
+    def test_not_taken_conditional(self, machine):
+        result = run_source(machine, """
+    mov rax, 1
+    cmp rax, 2
+    je skip
+    mov rbx, 42
+skip:
+    hlt
+""")
+        assert result.regs.read("rbx") == 42
+
+    def test_loop_counts_correctly(self, machine):
+        result = run_source(machine, """
+    mov rcx, 10
+    mov rax, 0
+loop:
+    add rax, 3
+    sub rcx, 1
+    cmp rcx, 0
+    jne loop
+    hlt
+""")
+        assert result.regs.read("rax") == 30
+        assert result.regs.read("rcx") == 0
+
+    def test_unconditional_jmp(self, machine):
+        result = run_source(machine, """
+    jmp over
+    mov rax, 1
+over:
+    mov rbx, 2
+    hlt
+""")
+        assert result.regs.read("rax") == 0
+        assert result.regs.read("rbx") == 2
+
+    def test_signed_conditions(self, machine):
+        result = run_source(machine, """
+    mov rax, 3
+    cmp rax, 5
+    jl less
+    mov rbx, 1
+less:
+    mov rcx, 7
+    hlt
+""")
+        assert result.regs.read("rbx") == 0
+        assert result.regs.read("rcx") == 7
+
+    def test_mispredicted_branch_still_correct(self, machine):
+        # Alternate directions so the predictor keeps mispredicting.
+        source = """
+    mov rax, r9
+    cmp rax, 0
+    je zero_path
+    mov rbx, 111
+    jmp out
+zero_path:
+    mov rbx, 222
+out:
+    hlt
+"""
+        program = machine.load_program(source)
+        for value, expected in [(0, 222), (1, 111), (0, 222), (1, 111)]:
+            result = machine.run(program, regs={"r9": value})
+            assert result.regs.read("rbx") == expected
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self, machine):
+        data = machine.alloc_data()
+        result = run_source(machine, f"""
+    mov rbx, {hex(data)}
+    mov rax, 0x55AA
+    mov [rbx + 8], rax
+    mov rcx, [rbx + 8]
+    hlt
+""")
+        assert result.regs.read("rcx") == 0x55AA
+
+    def test_loadb_reads_one_byte(self, machine):
+        data = machine.alloc_data()
+        machine.write_data(data, b"\xEF\xBE\xAD\xDE")
+        result = run_source(machine, f"mov rbx, {hex(data)}\nloadb rax, [rbx]\nhlt")
+        assert result.regs.read("rax") == 0xEF
+
+    def test_store_commits_to_memory(self, machine):
+        data = machine.alloc_data()
+        run_source(machine, f"mov rbx, {hex(data)}\nmov rax, 0x77\nmov [rbx], rax\nhlt")
+        assert machine.read_data(data, 1) == b"\x77"
+
+    def test_cached_load_is_faster(self, machine):
+        data = machine.alloc_data()
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    rdtsc
+    mov r14, rax
+    mov rcx, [rbx]
+    rdtsc
+    mov r15, rax
+    hlt
+""")
+        first = machine.run(program)
+        second = machine.run(program)
+        tote = lambda r: r.regs.read("r15") - r.regs.read("r14")
+        assert tote(second) < tote(first)
+
+    def test_clflush_makes_reload_slow_again(self, machine):
+        data = machine.alloc_data()
+        timed = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    rdtsc
+    mov r14, rax
+    mov rcx, [rbx]
+    rdtsc
+    mov r15, rax
+    hlt
+""")
+        flusher = machine.load_program(f"mov rbx, {hex(data)}\nclflush [rbx]\nhlt")
+        machine.run(timed)
+        warm = machine.run(timed)
+        machine.run(flusher)
+        cold = machine.run(timed)
+        tote = lambda r: r.regs.read("r15") - r.regs.read("r14")
+        assert tote(cold) > tote(warm)
+
+
+class TestCallRet:
+    def test_call_ret_roundtrip(self, machine):
+        stack = machine.alloc_data(2)
+        result = run_source(machine, f"""
+    mov rsp, {hex(stack + 0x1800)}
+    call fn
+    mov rbx, 5
+    hlt
+fn:
+    mov rax, 9
+    ret
+""", regs={})
+        assert result.regs.read("rax") == 9
+        assert result.regs.read("rbx") == 5
+
+    def test_nested_calls(self, machine):
+        stack = machine.alloc_data(2)
+        result = run_source(machine, f"""
+    mov rsp, {hex(stack + 0x1800)}
+    call outer
+    hlt
+outer:
+    add rax, 1
+    call inner
+    add rax, 4
+    ret
+inner:
+    add rax, 2
+    ret
+""")
+        assert result.regs.read("rax") == 7
+
+    def test_rsp_balanced_after_call_ret(self, machine):
+        stack = machine.alloc_data(2)
+        top = stack + 0x1800
+        result = run_source(machine, f"""
+    mov rsp, {hex(top)}
+    call fn
+    hlt
+fn:
+    ret
+""")
+        assert result.regs.read("rsp") == top
+
+
+class TestTimingPrimitives:
+    def test_rdtsc_monotone_within_run(self, machine):
+        result = run_source(machine, "rdtsc\nmov r14, rax\nrdtsc\nmov r15, rax\nhlt")
+        assert result.regs.read("r15") > result.regs.read("r14")
+
+    def test_rdtsc_monotone_across_runs(self, machine):
+        program = machine.load_program("rdtsc\nmov r14, rax\nhlt")
+        first = machine.run(program).regs.read("r14")
+        second = machine.run(program).regs.read("r14")
+        assert second > first
+
+    def test_rdtsc_clobbers_rdx(self, machine):
+        result = run_source(machine, "mov rdx, 5\nrdtsc\nhlt")
+        assert result.regs.read("rdx") == 0
+
+    def test_fences_execute(self, machine):
+        result = run_source(machine, "mfence\nlfence\nsfence\nmov rax, 1\nhlt")
+        assert result.regs.read("rax") == 1
+
+    def test_nops_retire(self, machine):
+        result = run_source(machine, "nop\n" * 20 + "hlt")
+        assert result.instructions_retired == 21
+
+
+class TestRunMechanics:
+    def test_halt_stops_the_run(self, machine):
+        result = run_source(machine, "hlt\nmov rax, 1\nhlt")
+        assert result.halted
+        assert result.regs.read("rax") == 0
+
+    def test_instruction_budget_enforced(self, machine):
+        program = machine.load_program("spin: jmp spin")
+        with pytest.raises(SimulationError, match="budget"):
+            machine.run(program, max_instructions=100)
+
+    def test_run_off_program_raises(self, machine):
+        program = machine.load_program("nop\nnop")  # no hlt
+        with pytest.raises(SimulationError, match="left the program"):
+            machine.run(program)
+
+    def test_initial_registers_applied(self, machine):
+        result = run_source(machine, "mov rbx, rax\nhlt", regs={"rax": 77})
+        assert result.regs.read("rbx") == 77
+
+    def test_uops_issued_counted(self, machine):
+        result = run_source(machine, "mov rax, 1\nadd rax, 1\nhlt")
+        assert result.uops_issued >= 3
+
+    def test_trace_recording(self, machine):
+        result = run_source(machine, "mov rax, 1\nhlt", record_trace=True)
+        assert result.records is not None
+        assert [str(r.instruction) for r in result.records][0].startswith("mov")
+
+
+REG_POOL = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi"]
+OPS = ["mov", "add", "sub", "and", "or", "xor"]
+
+
+@st.composite
+def straight_line_program(draw):
+    lines = []
+    count = draw(st.integers(2, 20))
+    for _ in range(count):
+        op = draw(st.sampled_from(OPS))
+        dst = draw(st.sampled_from(REG_POOL))
+        if draw(st.booleans()):
+            src = draw(st.sampled_from(REG_POOL))
+            lines.append(f"{op} {dst}, {src}")
+        else:
+            imm = draw(st.integers(0, 2**32))
+            lines.append(f"{op} {dst}, {imm}")
+    return lines
+
+
+def python_oracle(lines):
+    regs = {name: 0 for name in REG_POOL}
+
+    def value(token):
+        return regs[token] if token in regs else int(token, 0)
+
+    for line in lines:
+        op, rest = line.split(None, 1)
+        dst, src = [part.strip() for part in rest.split(",")]
+        if op == "mov":
+            regs[dst] = value(src)
+        elif op == "add":
+            regs[dst] = (regs[dst] + value(src)) & MASK64
+        elif op == "sub":
+            regs[dst] = (regs[dst] - value(src)) & MASK64
+        elif op == "and":
+            regs[dst] &= value(src)
+        elif op == "or":
+            regs[dst] |= value(src)
+        elif op == "xor":
+            regs[dst] ^= value(src)
+    return regs
+
+
+@settings(max_examples=40, deadline=None)
+@given(straight_line_program())
+def test_core_matches_python_oracle(lines):
+    """The OoO timing machinery must never change architectural results."""
+    from repro.sim.machine import Machine
+
+    machine = Machine("i7-7700", seed=99)
+    result = run_source(machine, "\n".join(lines) + "\nhlt")
+    expected = python_oracle(lines)
+    for name, value in expected.items():
+        assert result.regs.read(name) == value, f"{name} diverged"

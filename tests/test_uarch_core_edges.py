@@ -1,0 +1,248 @@
+"""Edge cases of the speculation machinery: nesting, faulting stores,
+back-to-back windows, and interactions between suppression mechanisms."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.uarch.core import SimulationError
+from tests.conftest import run_source
+
+
+class TestNestedTsx:
+    def test_nested_transactions_commit(self, machine):
+        data = machine.alloc_data()
+        run_source(machine, f"""
+    mov rbx, {hex(data)}
+    xbegin outer_out
+    mov rax, 1
+    xbegin inner_out
+    mov rax, 2
+    mov [rbx], rax
+    xend
+inner_out:
+    xend
+outer_out:
+    hlt
+""")
+        assert machine.read_data(data, 1) == b"\x02"
+
+    def test_fault_in_inner_transaction_aborts_to_inner_fallback(self, machine):
+        program = machine.load_program("""
+    xbegin outer_out
+    mov rax, 1
+    xbegin inner_out
+    mov rbx, [r13]       ; faults
+    xend
+inner_out:
+    mov rcx, 7           ; inner fallback path
+    xend
+outer_out:
+    hlt
+""")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.regs.read("rcx") == 7
+        # The abort rolled back to the *inner* xbegin: the outer
+        # transaction's rax write (before the inner xbegin) survives.
+        assert result.regs.read("rax") == 1
+
+    def test_back_to_back_windows(self, machine):
+        program = machine.load_program("""
+    xbegin first_out
+    mov rax, [r13]
+    xend
+first_out:
+    add rsi, 1
+    xbegin second_out
+    mov rbx, [r13]
+    xend
+second_out:
+    add rsi, 1
+    hlt
+""")
+        result = machine.run(program, regs={"r13": 0}, record_trace=True)
+        assert result.regs.read("rsi") == 2
+        assert len(result.events.flushes) == 2
+
+
+class TestFaultingNonLoads:
+    def test_faulting_store_is_suppressed(self, machine):
+        program = machine.load_program("""
+    xbegin out
+    mov rax, 5
+    mov [r13], rax       ; store to the null page: faults
+    xend
+out:
+    hlt
+""")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.halted
+        assert result.faults[0].kind.value == "not_present"
+
+    def test_store_to_kernel_page_is_protection_fault(self, machine):
+        program = machine.load_program("""
+    xbegin out
+    mov rax, 5
+    mov [r13], rax
+    xend
+out:
+    hlt
+""")
+        result = machine.run(
+            program, regs={"r13": machine.kernel.layout.base}
+        )
+        assert result.faults[0].kind.value == "protection"
+        # Nothing reached kernel memory.
+        pte = machine.kernel.kernel_space.lookup(machine.kernel.layout.base)
+        assert machine.physical.read_u8(pte.physical_address(machine.kernel.layout.base)) == 0
+
+    def test_faulting_call_push(self, machine):
+        """A call with rsp pointing at an unmapped page faults on the push."""
+        program = machine.load_program("""
+    xbegin out
+    call fn
+fn:
+    nop
+    xend
+out:
+    hlt
+""")
+        result = machine.run(program, regs={"rsp": 0x10})  # null page
+        assert result.halted
+        assert result.faults
+
+
+class TestSignalAndTsxInteraction:
+    def test_tsx_takes_precedence_over_handler(self, machine):
+        program = machine.load_program("""
+    xbegin fallback
+    mov rax, [r13]
+    xend
+fallback:
+    mov rbx, 1
+    hlt
+handler:
+    mov rbx, 2
+    hlt
+""")
+        machine.set_signal_handler(program, "handler")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.regs.read("rbx") == 1  # the transaction fallback won
+
+    def test_handler_used_outside_transactions(self, machine):
+        program = machine.load_program("""
+    mov rax, [r13]
+    nop
+handler:
+    mov rbx, 2
+    hlt
+""")
+        machine.set_signal_handler(program, "handler")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.regs.read("rbx") == 2
+
+    def test_repeated_faults_through_one_handler(self, machine):
+        program = machine.load_program("""
+    add rcx, 1
+    mov rax, [r13]       ; faults every pass
+    nop
+handler:
+    cmp rcx, 3
+    jne again
+    hlt
+again:
+    add rcx, 1
+    mov rax, [r13]
+    nop
+    hlt
+""")
+        machine.set_signal_handler(program, "handler")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.halted
+        assert len(result.faults) >= 2
+
+
+class TestWindowInteractions:
+    def test_mispredict_before_the_window_does_not_leak_into_it(self, machine):
+        """An architectural mispredict resolved before xbegin must not
+        change the fault context's nested-clear count."""
+        program = machine.load_program("""
+    mov rax, r9
+    cmp rax, 1
+    je taken
+    nop
+taken:
+    xbegin out
+    mov rbx, [r13]
+    nop
+out:
+    hlt
+""")
+        machine.run(program, regs={"r13": 0, "r9": 0})
+        machine.run(program, regs={"r13": 0, "r9": 0})
+        result = machine.run(program, regs={"r13": 0, "r9": 1}, record_trace=True)
+        assert result.events.flushes[0].nested_clears == 0
+
+    def test_two_nested_clears_in_one_window(self, machine):
+        data = machine.alloc_data()
+        machine.write_data(data, b"\x05")
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    loadb rdi, [rbx]
+    xbegin out
+    mov rax, [r13]
+    cmp rdi, r9
+    je first_target
+    nop
+first_target:
+    cmp rdi, r10
+    je second_target
+    nop
+second_target:
+    nop
+out:
+    hlt
+""")
+        for _ in range(4):
+            machine.run(program, regs={"r13": 0, "r9": 1, "r10": 1})
+        result = machine.run(
+            program, regs={"r13": 0, "r9": 5, "r10": 5}, record_trace=True
+        )
+        assert result.events.flushes[0].nested_clears == 2
+
+    def test_deeper_nesting_lengthens_the_window(self, machine):
+        """Each nested clear adds its serialisation penalty to the ToTE."""
+        data = machine.alloc_data()
+        machine.write_data(data, b"\x05")
+        source = f"""
+    mov rbx, {hex(data)}
+    loadb rdi, [rbx]
+    rdtsc
+    mov r14, rax
+    xbegin out
+    mov rax, [r13]
+    cmp rdi, r9
+    je t1
+    nop
+t1:
+    cmp rdi, r10
+    je t2
+    nop
+t2:
+    nop
+out:
+    rdtsc
+    mov r15, rax
+    hlt
+"""
+        program = machine.load_program(source)
+        tote = lambda r: r.regs.read("r15") - r.regs.read("r14")
+        for _ in range(6):
+            machine.run(program, regs={"r13": 0, "r9": 1, "r10": 1})
+        zero = tote(machine.run(program, regs={"r13": 0, "r9": 1, "r10": 1}))
+        for _ in range(3):
+            machine.run(program, regs={"r13": 0, "r9": 1, "r10": 1})
+        one = tote(machine.run(program, regs={"r13": 0, "r9": 5, "r10": 1}))
+        for _ in range(3):
+            machine.run(program, regs={"r13": 0, "r9": 1, "r10": 1})
+        two = tote(machine.run(program, regs={"r13": 0, "r9": 5, "r10": 5}))
+        assert zero < one < two

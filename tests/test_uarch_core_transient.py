@@ -1,0 +1,260 @@
+"""Transient-execution semantics: suppression, rollback, side effects.
+
+These tests pin down the properties Whisper is built on: transient work
+never reaches architectural state, *does* leave microarchitectural
+residue, and its timing is observable from outside the window.
+"""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.uarch.core import SimulationError
+from tests.conftest import run_source
+
+
+def tsx_gadget(machine, body, prologue=""):
+    """Wrap *body* in the standard rdtsc/xbegin scaffolding."""
+    return machine.load_program(f"""
+{prologue}
+    rdtsc
+    mov r14, rax
+    xbegin out
+{body}
+    xend
+out:
+    rdtsc
+    mov r15, rax
+    hlt
+""")
+
+
+class TestTsxSuppression:
+    def test_fault_in_transaction_resumes_at_fallback(self, machine):
+        program = tsx_gadget(machine, "    mov rax, [r13]")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.halted
+        assert len(result.faults) == 1
+
+    def test_transaction_without_fault_commits(self, machine):
+        data = machine.alloc_data()
+        program = tsx_gadget(machine, f"""
+    mov rbx, {hex(data)}
+    mov rax, 123
+    mov [rbx], rax
+""")
+        machine.run(program)
+        assert machine.read_data(data, 1) == b"\x7b"
+
+    def test_aborted_transaction_rolls_back_registers(self, machine):
+        program = machine.load_program("""
+    mov rax, 1
+    xbegin out
+    mov rax, 999
+    mov rbx, [r13]       ; faults -> abort
+    xend
+out:
+    hlt
+""")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.regs.read("rax") == 1
+
+    def test_aborted_transaction_rolls_back_stores(self, machine):
+        data = machine.alloc_data()
+        machine.write_data(data, b"\x11")
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    xbegin out
+    mov rax, 0x99
+    mov [rbx], rax       ; transactional store
+    mov rcx, [r13]       ; faults -> abort
+    xend
+out:
+    hlt
+""")
+        machine.run(program, regs={"r13": 0})
+        assert machine.read_data(data, 1) == b"\x11"
+
+    def test_xend_outside_transaction_raises(self, machine):
+        program = machine.load_program("xend\nhlt")
+        with pytest.raises(SimulationError, match="xend"):
+            machine.run(program)
+
+    def test_tsx_unavailable_on_amd(self, amd_machine):
+        program = amd_machine.load_program("xbegin out\nout: hlt")
+        with pytest.raises(SimulationError, match="TSX"):
+            amd_machine.run(program)
+
+
+class TestSignalSuppression:
+    def test_fault_dispatches_to_handler(self, machine):
+        program = machine.load_program("""
+    mov rax, [r13]       ; faults
+    mov rbx, 1           ; never reached architecturally
+handler:
+    mov rcx, 2
+    hlt
+""")
+        machine.set_signal_handler(program, "handler")
+        result = machine.run(program, regs={"r13": 0})
+        assert result.regs.read("rcx") == 2
+        assert result.regs.read("rbx") == 0
+
+    def test_unhandled_fault_raises(self, machine):
+        machine.clear_signal_handler()
+        program = machine.load_program("mov rax, [r13]\nhlt")
+        with pytest.raises(SimulationError, match="unhandled fault"):
+            machine.run(program, regs={"r13": 0})
+
+    def test_signal_costs_more_than_tsx(self, machine):
+        tsx = tsx_gadget(machine, "    mov rax, [r13]")
+        signal = machine.load_program("""
+    rdtsc
+    mov r14, rax
+    mov rbx, [r13]
+handler:
+    rdtsc
+    mov r15, rax
+    hlt
+""")
+        machine.set_signal_handler(signal, "handler")
+        tote = lambda r: r.regs.read("r15") - r.regs.read("r14")
+        # Warm both paths, then compare.
+        for _ in range(3):
+            machine.run(tsx, regs={"r13": 0})
+            machine.run(signal, regs={"r13": 0})
+        tsx_time = tote(machine.run(tsx, regs={"r13": 0}))
+        signal_time = tote(machine.run(signal, regs={"r13": 0}))
+        assert signal_time > tsx_time
+
+
+class TestTransientSideEffects:
+    def test_transient_load_fills_the_cache(self, machine):
+        """The basis of every Flush+Reload attack -- and real behaviour."""
+        data = machine.alloc_data()
+        probe = machine.alloc_data()
+        program = tsx_gadget(machine, f"""
+    mov rbx, {hex(probe)}
+    mov rax, [r13]       ; faults; everything below is transient
+    mov rcx, [rbx]       ; transient probe access
+""")
+        machine.flush_caches()
+        paddr = machine.mmu.translate_peek(probe)
+        assert not machine.hierarchy.data_resident(paddr)
+        machine.run(program, regs={"r13": 0})
+        assert machine.hierarchy.data_resident(paddr)
+        del data
+
+    def test_transient_writes_never_reach_memory(self, machine):
+        data = machine.alloc_data()
+        machine.write_data(data, b"\x42")
+        program = tsx_gadget(machine, f"""
+    mov rbx, {hex(data)}
+    mov rax, [r13]       ; faults first (older in program order)
+    mov rcx, 0x99
+    mov [rbx], rcx       ; transient store
+""")
+        machine.run(program, regs={"r13": 0})
+        assert machine.read_data(data, 1) == b"\x42"
+
+    def test_transient_execution_trains_the_predictor(self, machine):
+        """Speculative PHT update: transient branches leave BPU state."""
+        before = machine.core.bpu.pht._table.copy()
+        program = tsx_gadget(machine, """
+    mov rax, [r13]
+    cmp rbx, 1
+    je somewhere
+somewhere:
+    nop
+""")
+        machine.run(program, regs={"r13": 0, "rbx": 1})
+        assert machine.core.bpu.pht._table != before
+
+    def test_mapped_faulting_probe_fills_tlb(self, machine):
+        """The TET-KASLR primitive at core level."""
+        kernel_va = machine.kernel.secret_va
+        program = tsx_gadget(machine, "    mov rax, [r13]")
+        machine.flush_tlb(charge_cycles=False)
+        machine.run(program, regs={"r13": kernel_va})
+        assert machine.mmu.dtlb.lookup(kernel_va) is not None
+
+    def test_unmapped_faulting_probe_does_not_fill_tlb(self, machine):
+        unmapped = machine.kernel.layout.base - 0x200000
+        program = tsx_gadget(machine, "    mov rax, [r13]")
+        machine.flush_tlb(charge_cycles=False)
+        machine.run(program, regs={"r13": unmapped})
+        assert machine.mmu.dtlb.lookup(unmapped) is None
+
+
+class TestTransientWindowEvents:
+    def test_flush_event_reported(self, machine):
+        program = tsx_gadget(machine, "    mov rax, [r13]\n    nop\n    nop")
+        result = machine.run(program, regs={"r13": 0}, record_trace=True)
+        assert len(result.events.flushes) == 1
+        flush = result.events.flushes[0]
+        assert flush.suppression == "tsx"
+        assert flush.flush_end >= flush.flush_start
+
+    def test_transient_records_are_squashed(self, machine):
+        program = tsx_gadget(machine, "    mov rax, [r13]\n    mov rbx, 7")
+        result = machine.run(program, regs={"r13": 0}, record_trace=True)
+        squashed = [r for r in result.records if r.squashed]
+        assert any(str(r.instruction) == "mov_ri rbx, 7" for r in squashed)
+
+    def test_nested_transient_mispredict_is_a_nested_clear(self, machine):
+        data = machine.alloc_data()
+        machine.write_data(data, b"\x05")
+        program = tsx_gadget(
+            machine,
+            """
+    mov rax, [r13]       ; open the window
+    cmp rbx, 5           ; rbx is 5 -> je taken
+    je target
+    nop
+target:
+    nop
+""",
+        )
+        # Train not-taken first so the final run mispredicts.
+        for _ in range(4):
+            machine.run(program, regs={"r13": 0, "rbx": 4})
+        result = machine.run(program, regs={"r13": 0, "rbx": 5}, record_trace=True)
+        assert result.events.flushes[0].nested_clears >= 1
+        assert any(e.nested_in_transient for e in result.events.redirects)
+
+    def test_transient_window_bounded_by_rob(self, machine):
+        body = "    mov rax, [r13]\n" + "    nop\n" * 600
+        program = tsx_gadget(machine, body)
+        result = machine.run(program, regs={"r13": 0}, record_trace=True)
+        flush = result.events.flushes[0]
+        assert flush.drained_uops <= machine.model.rob_size
+
+
+class TestMeltdownForwarding:
+    def test_vulnerable_core_forwards_cached_kernel_data(self, machine):
+        machine.warm_kernel_secret()
+        secret_byte = machine.kernel.secret[0]
+        program = tsx_gadget(machine, "    loadb r8, [r13]\n    nop")
+        result = machine.run(
+            program, regs={"r13": machine.kernel.secret_va}, record_trace=True
+        )
+        faulting = [r for r in result.records if r.fault is not None]
+        assert faulting[0].transient_value == secret_byte
+
+    def test_fixed_core_forwards_zero(self, fixed_machine):
+        fixed_machine.warm_kernel_secret()
+        program = tsx_gadget(fixed_machine, "    loadb r8, [r13]\n    nop")
+        result = fixed_machine.run(
+            program, regs={"r13": fixed_machine.kernel.secret_va}, record_trace=True
+        )
+        faulting = [r for r in result.records if r.fault is not None]
+        assert faulting[0].transient_value == 0
+
+    def test_uncached_secret_is_not_forwarded(self, machine):
+        machine.flush_caches()
+        machine.mmu.lfb.clear()
+        program = tsx_gadget(machine, "    loadb r8, [r13]\n    nop")
+        result = machine.run(
+            program, regs={"r13": machine.kernel.secret_va}, record_trace=True
+        )
+        faulting = [r for r in result.records if r.fault is not None]
+        assert faulting[0].transient_value == 0

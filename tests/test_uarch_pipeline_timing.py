@@ -1,0 +1,225 @@
+"""Timing-behaviour tests for the pipeline model itself.
+
+The channel's credibility rests on the pipeline behaving like a pipeline:
+dependency chains serialise, independent work overlaps, ports saturate,
+the ROB fills, stores forward to loads.  These tests pin those behaviours
+down with traced runs.
+"""
+
+import pytest
+
+from repro.sim.machine import Machine
+from tests.conftest import run_source
+
+
+def tote(result):
+    return result.regs.read("r15") - result.regs.read("r14")
+
+
+def timed(body: str) -> str:
+    return f"""
+    rdtsc
+    mov r14, rax
+{body}
+    rdtsc
+    mov r15, rax
+    hlt
+"""
+
+
+class TestDependencyChains:
+    def test_serial_chain_slower_than_parallel(self, machine):
+        chain = "\n".join("    add rax, 1" for _ in range(24))
+        parallel = "\n".join(
+            f"    add {reg}, 1"
+            for _ in range(4)
+            for reg in ("rax", "rbx", "rcx", "rsi", "rdi", "rbp")
+        )
+        chain_program = machine.load_program(timed(chain))
+        parallel_program = machine.load_program(timed(parallel))
+        for _ in range(2):  # warm code
+            machine.run(chain_program)
+            machine.run(parallel_program)
+        chain_time = tote(machine.run(chain_program))
+        parallel_time = tote(machine.run(parallel_program))
+        assert chain_time > parallel_time
+
+    def test_load_dependent_add_waits(self, machine):
+        data = machine.alloc_data()
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    mov rcx, [rbx]
+    add rcx, 1
+    hlt
+""")
+        result = machine.run(program, record_trace=True)
+        load = next(r for r in result.records if str(r.instruction).startswith("load"))
+        add = next(r for r in result.records if str(r.instruction).startswith("add"))
+        assert add.start_cycle >= load.ready_cycle
+
+    def test_independent_work_overlaps_a_load(self, machine):
+        data = machine.alloc_data()
+        machine.flush_caches()
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    mov rcx, [rbx]          ; DRAM-cold load
+    add rsi, 1              ; independent
+    add rdi, 1              ; independent
+    hlt
+""")
+        result = machine.run(program, record_trace=True)
+        load = next(r for r in result.records if str(r.instruction).startswith("load"))
+        adds = [r for r in result.records if str(r.instruction).startswith("add")]
+        assert all(add.ready_cycle < load.ready_cycle for add in adds)
+
+
+class TestPortContention:
+    def test_load_ports_saturate(self, machine):
+        """With 2 load ports, 8 independent loads issue over >= 4 cycles."""
+        pages = [machine.alloc_data() for _ in range(8)]
+        setup = "\n".join(
+            f"    mov {reg}, {hex(va)}"
+            for reg, va in zip(("rax", "rbx", "rcx", "rsi", "rdi", "rbp", "r8", "r9"), pages)
+        )
+        loads = "\n".join(
+            f"    mov r10, [{reg}]"
+            for reg in ("rax", "rbx", "rcx", "rsi", "rdi", "rbp", "r8", "r9")
+        )
+        program = machine.load_program(setup + "\n" + loads + "\nhlt")
+        machine.run(program)  # warm
+        result = machine.run(program, record_trace=True)
+        starts = sorted(
+            r.start_cycle for r in result.records if str(r.instruction).startswith("load")
+        )
+        span = starts[-1] - starts[0]
+        assert span >= (8 // machine.model.load_ports) - 1
+
+    def test_alu_wider_than_load(self, machine):
+        assert machine.model.alu_ports > machine.model.load_ports
+
+
+class TestRobPressure:
+    def test_rob_full_stalls_allocation(self):
+        """A DRAM-cold load at the head plus >ROB-size independent adds
+        must trip the resource-stall counter.  A small-ROB variant keeps
+        the experiment frontend-independent."""
+        import dataclasses
+
+        from repro.uarch.config import cpu_model
+
+        model = dataclasses.replace(cpu_model("i7-7700"), rob_size=64)
+        machine = Machine(model, seed=1234)
+        data = machine.alloc_data()
+        adds = "\n".join("    add rsi, 1" for _ in range(192))
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    mov rcx, [rbx]
+{adds}
+    hlt
+""")
+        machine.run(program)  # warm the code so the frontend keeps up
+        machine.mmu.clflush(data)  # only the head load goes to DRAM
+        before = machine.pmu.read("RESOURCE_STALLS.ANY")
+        machine.run(program)
+        assert machine.pmu.read("RESOURCE_STALLS.ANY") > before
+
+    def test_execution_correct_under_rob_pressure(self, machine):
+        count = machine.model.rob_size + 50
+        adds = "\n".join("    add rsi, 1" for _ in range(count))
+        result = run_source(machine, adds + "\nhlt")
+        assert result.regs.read("rsi") == count
+
+
+class TestStoreToLoadForwarding:
+    def test_load_sees_in_flight_store_value(self, machine):
+        data = machine.alloc_data()
+        result = run_source(machine, f"""
+    mov rbx, {hex(data)}
+    mov rax, 0x1234
+    mov [rbx], rax
+    mov rcx, [rbx]
+    hlt
+""")
+        assert result.regs.read("rcx") == 0x1234
+
+    def test_load_waits_for_the_store(self, machine):
+        data = machine.alloc_data()
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    mov rcx, [rbx]          ; slow: makes the store's data late
+    mov [rbx + 8], rcx
+    mov rsi, [rbx + 8]      ; must wait for the store
+    hlt
+""")
+        machine.flush_caches()
+        result = machine.run(program, record_trace=True)
+        store = next(r for r in result.records if str(r.instruction).startswith("store"))
+        dependent = [r for r in result.records if r.memory_va == store.memory_va]
+        load_after = dependent[-1]
+        assert load_after.start_cycle >= store.ready_cycle
+
+
+class TestSerialization:
+    def test_lfence_orders_dispatch(self, machine):
+        program = machine.load_program(timed("    lfence\n    add rax, 1"))
+        machine.run(program)
+        result = machine.run(program, record_trace=True)
+        fence = next(r for r in result.records if str(r.instruction) == "lfence")
+        add = next(r for r in result.records if str(r.instruction).startswith("add"))
+        assert add.dispatch_cycle >= fence.ready_cycle
+
+    def test_rdtsc_waits_for_older_work(self, machine):
+        data = machine.alloc_data()
+        machine.flush_caches()
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    mov rcx, [rbx]          ; DRAM-cold
+    rdtsc
+    mov r14, rax
+    hlt
+""")
+        result = machine.run(program, record_trace=True)
+        load = next(r for r in result.records if str(r.instruction).startswith("load"))
+        stamp = next(r for r in result.records if str(r.instruction) == "rdtsc")
+        assert stamp.start_cycle >= load.ready_cycle
+
+
+class TestRetirement:
+    def test_retirement_is_in_order(self, machine):
+        data = machine.alloc_data()
+        machine.flush_caches()
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    mov rcx, [rbx]          ; slow
+    add rsi, 1              ; fast but younger
+    hlt
+""")
+        result = machine.run(program, record_trace=True)
+        retires = [r.retire_cycle for r in result.records if r.retire_cycle is not None]
+        assert retires == sorted(retires)
+
+    def test_fast_younger_op_retires_after_slow_older_op(self, machine):
+        data = machine.alloc_data()
+        machine.flush_caches()
+        program = machine.load_program(f"""
+    mov rbx, {hex(data)}
+    mov rcx, [rbx]
+    add rsi, 1
+    hlt
+""")
+        result = machine.run(program, record_trace=True)
+        load = next(r for r in result.records if str(r.instruction).startswith("load"))
+        add = next(r for r in result.records if str(r.instruction).startswith("add"))
+        assert add.ready_cycle < load.ready_cycle  # executed earlier...
+        assert add.retire_cycle >= load.retire_cycle  # ...retired no earlier
+
+    def test_retire_width_bounds_throughput(self, machine):
+        nops = "\n".join("    nop" for _ in range(64))
+        program = machine.load_program(nops + "\nhlt")
+        machine.run(program)
+        result = machine.run(program, record_trace=True)
+        retire_cycles = [r.retire_cycle for r in result.records if r.retire_cycle]
+        per_cycle = {}
+        for cycle in retire_cycles:
+            per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+        assert max(per_cycle.values()) <= machine.model.retire_width

@@ -1,0 +1,80 @@
+"""Unit tests for the SMT core model (§4.4's substrate)."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.uarch.core import SimulationError
+from repro.uarch.smt import SmtCore, _overlap_cycles
+from repro.whisper.gadgets import GadgetBuilder
+
+
+class TestOverlap:
+    def test_no_windows(self):
+        assert _overlap_cycles([], 0, 100) == 0
+
+    def test_full_containment(self):
+        assert _overlap_cycles([(10, 20)], 0, 100) == 10
+
+    def test_clipping(self):
+        assert _overlap_cycles([(90, 150)], 0, 100) == 10
+        assert _overlap_cycles([(0, 50)], 40, 100) == 10
+
+    def test_merging_overlapping_windows(self):
+        assert _overlap_cycles([(10, 30), (20, 40)], 0, 100) == 30
+
+    def test_disjoint_windows_sum(self):
+        assert _overlap_cycles([(10, 20), (50, 60)], 0, 100) == 20
+
+    def test_window_outside_range(self):
+        assert _overlap_cycles([(200, 300)], 0, 100) == 0
+
+
+class TestSmtCore:
+    def test_requires_smt_model(self):
+        machine = Machine("i7-7700", seed=5)
+        smt = machine.smt()
+        assert isinstance(smt, SmtCore)
+
+    def test_threads_share_the_mmu(self):
+        machine = Machine("i7-7700", seed=5)
+        smt = machine.smt()
+        assert smt.thread0.mmu is smt.thread1.mmu
+
+    def test_threads_share_one_pmu(self):
+        machine = Machine("i7-7700", seed=5)
+        smt = machine.smt()
+        assert smt.thread0.pmu is smt.thread1.pmu
+
+    def test_faulting_trojan_slows_the_spy(self):
+        machine = Machine("i7-7700", seed=5)
+        smt = machine.smt()
+        builder = GadgetBuilder(machine)
+        spy = builder.nop_loop(iterations=48)
+        faulty = builder.fault_burst(faults=4)
+        idle = builder.idle_loop(iterations=192)
+        # Warm up.
+        for _ in range(2):
+            smt.run_pair(idle, spy)
+            smt.run_pair(faulty, spy, trojan_regs={"r13": 0})
+        quiet = smt.run_pair(idle, spy)
+        noisy = smt.run_pair(faulty, spy, trojan_regs={"r13": 0})
+        assert noisy.spy_effective_cycles > quiet.spy_effective_cycles
+        assert noisy.disruption_cycles > 0
+
+    def test_disruption_never_negative(self):
+        machine = Machine("i7-7700", seed=6)
+        smt = machine.smt()
+        builder = GadgetBuilder(machine)
+        spy = builder.nop_loop(iterations=16)
+        idle = builder.idle_loop(iterations=16)
+        outcome = smt.run_pair(idle, spy)
+        assert outcome.disruption_cycles >= 0
+        assert outcome.spy_effective_cycles >= outcome.spy.cycles
+
+    def test_zombieload_sees_sibling_lfb_entries(self):
+        """Cross-thread leak path: the sibling's fills are sampleable."""
+        machine = Machine("i7-7700", seed=7)
+        victim_va = machine.alloc_data()
+        machine.victim_store(victim_va, b"\xc3", thread_id=1)
+        assert machine.mmu.lfb.entries_from_thread(1) >= 1
+        assert machine.mmu.lfb.sample_stale(0) is not None

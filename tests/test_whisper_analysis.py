@@ -1,0 +1,135 @@
+"""Unit and property tests for the decoders and classifiers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.whisper.analysis import (
+    ArgExtremeDecoder,
+    argsort_votes,
+    bit_error_rate,
+    classify_bimodal,
+    error_rate,
+    throughput_bytes_per_second,
+)
+
+
+class TestArgExtremeDecoder:
+    def test_argmax_finds_planted_peak(self):
+        totes = {test: [100, 100] for test in range(8)}
+        totes[5] = [130, 131]
+        result = ArgExtremeDecoder("max").decode(totes)
+        assert result.value == 5
+        assert result.confidence == 1.0
+
+    def test_argmin_finds_planted_dip(self):
+        totes = {test: [100, 100] for test in range(8)}
+        totes[3] = [80, 82]
+        result = ArgExtremeDecoder("min").decode(totes)
+        assert result.value == 3
+
+    def test_majority_vote_across_batches(self):
+        totes = {test: [100, 100, 100] for test in range(4)}
+        totes[1] = [140, 90, 140]  # wins 2 of 3 batches
+        totes[2] = [90, 141, 90]
+        result = ArgExtremeDecoder("max").decode(totes)
+        assert result.value == 1
+        assert result.confidence == pytest.approx(2 / 3)
+
+    def test_votes_recorded(self):
+        totes = {0: [100], 1: [120]}
+        result = ArgExtremeDecoder("max").decode(totes)
+        assert result.votes == {1: 1}
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ArgExtremeDecoder("median")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            ArgExtremeDecoder("max").decode({})
+
+    def test_ragged_batches_rejected(self):
+        with pytest.raises(ValueError):
+            ArgExtremeDecoder("max").decode({0: [1, 2], 1: [1]})
+
+
+class TestClassifyBimodal:
+    def test_two_clusters_split_at_gap(self):
+        samples = {0: 10, 1: 11, 2: 60, 3: 62}
+        threshold, is_low = classify_bimodal(samples)
+        assert 11 < threshold < 60
+        assert is_low == {0: True, 1: True, 2: False, 3: False}
+
+    def test_single_value_all_low(self):
+        threshold, is_low = classify_bimodal({0: 5, 1: 5})
+        assert all(is_low.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_bimodal({})
+
+    def test_single_outlier_isolated(self):
+        samples = {index: 100 for index in range(10)}
+        samples[7] = 20
+        _, is_low = classify_bimodal(samples)
+        assert is_low[7] and sum(is_low.values()) == 1
+
+
+class TestRates:
+    def test_error_rate_zero_for_identical(self):
+        assert error_rate(b"abc", b"abc") == 0.0
+
+    def test_error_rate_counts_mismatches(self):
+        assert error_rate(b"abcd", b"abXd") == 0.25
+
+    def test_error_rate_counts_length_mismatch(self):
+        assert error_rate(b"abcd", b"ab") == 0.5
+
+    def test_error_rate_empty(self):
+        assert error_rate(b"", b"") == 0.0
+
+    def test_bit_error_rate(self):
+        assert bit_error_rate([1, 0, 1], [1, 1, 1]) == pytest.approx(1 / 3)
+
+    def test_throughput(self):
+        # 1000 bytes in 1e9 cycles at 1 GHz = 1 second -> 1000 B/s.
+        assert throughput_bytes_per_second(1000, 10**9, 1.0) == pytest.approx(1000)
+
+    def test_throughput_rejects_nonpositive_cycles(self):
+        with pytest.raises(ValueError):
+            throughput_bytes_per_second(1, 0, 1.0)
+
+    def test_argsort_votes(self):
+        assert argsort_votes({1: 5, 2: 9, 3: 1}, top=2) == [(2, 9), (1, 5)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(0, 255),
+    st.integers(1, 5),
+    st.integers(5, 50),
+)
+def test_decoder_always_recovers_a_clean_signal(secret, batches, delta):
+    totes = {test: [100] * batches for test in range(256)}
+    totes[secret] = [100 + delta] * batches
+    result = ArgExtremeDecoder("max").decode(totes)
+    assert result.value == secret
+    assert result.confidence == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(st.integers(0, 100), st.integers(0, 10_000), min_size=1))
+def test_classify_bimodal_threshold_separates(samples):
+    threshold, is_low = classify_bimodal(samples)
+    for key, value in samples.items():
+        assert is_low[key] == (value <= threshold)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_error_rate_bounded(sent, received):
+    rate = error_rate(sent, received)
+    assert 0.0 <= rate <= 1.0
+    if sent == received:
+        assert rate == 0.0

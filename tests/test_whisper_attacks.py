@@ -1,0 +1,149 @@
+"""Functional tests for TET-MD, TET-ZBL and TET-RSB."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.whisper.attacks.meltdown import TetMeltdown
+from repro.whisper.attacks.spectre_rsb import TetSpectreRsb
+from repro.whisper.attacks.zombieload import TetZombieload
+
+
+class TestTetMeltdown:
+    def test_leaks_the_kernel_secret(self):
+        machine = Machine("i7-7700", seed=41, secret=b"KernelBytes")
+        attack = TetMeltdown(machine, batches=3)
+        result = attack.leak(length=6)
+        assert result.data == b"Kernel"
+        assert result.success
+        assert result.error_rate == 0.0
+
+    def test_leak_at_offset(self):
+        machine = Machine("i7-7700", seed=41, secret=b"ABCDEFGH")
+        attack = TetMeltdown(machine, batches=3)
+        result = attack.leak(va=machine.kernel.secret_va + 2, length=3)
+        assert result.data == b"CDE"
+
+    def test_fails_on_meltdown_fixed_cpu(self):
+        machine = Machine("i9-10980XE", seed=41, secret=b"NOPELEAK")
+        attack = TetMeltdown(machine, batches=2)
+        result = attack.leak(length=4)
+        assert not result.success
+
+    def test_fails_on_amd(self):
+        machine = Machine("ryzen-5600G", seed=41, secret=b"NOPELEAK")
+        attack = TetMeltdown(machine, batches=2)
+        result = attack.leak(length=3)
+        assert not result.success
+
+    def test_stats_populated(self):
+        machine = Machine("i7-7700", seed=41)
+        attack = TetMeltdown(machine, batches=2)
+        result = attack.leak(length=2)
+        assert result.cycles > 0 and result.seconds > 0
+        assert len(result.scans) == 2
+        assert "B/s" in str(result)
+
+    def test_longer_tote_at_the_match(self):
+        """TET-MD's sign: the trigger makes the window LONGER (§4.3.1)."""
+        machine = Machine("i7-7700", seed=42, secret=b"Q")
+        attack = TetMeltdown(machine, batches=3)
+        scan = attack.scan_byte(machine.kernel.secret_va)
+        secret = ord("Q")
+        match_tote = max(scan.totes_by_test[secret])
+        other = [
+            max(samples)
+            for test, samples in scan.totes_by_test.items()
+            if test != secret
+        ]
+        assert match_tote > max(other) - 1  # it wins the argmax
+
+
+class TestTetZombieload:
+    def test_leaks_the_victim_line(self):
+        machine = Machine("i7-7700", seed=43)
+        attack = TetZombieload(machine, batches=5)
+        attack.install_victim_secret(b"InFlight")
+        result = attack.leak()
+        assert result.data == b"InFlight"
+        assert result.success
+
+    def test_fails_on_mds_fixed_cpu(self):
+        machine = Machine("i9-10980XE", seed=43)
+        attack = TetZombieload(machine, batches=3)
+        attack.install_victim_secret(b"NOPE")
+        result = attack.leak()
+        assert not result.success
+
+    def test_secret_must_fit_one_line(self):
+        machine = Machine("i7-7700", seed=43)
+        attack = TetZombieload(machine)
+        with pytest.raises(ValueError):
+            attack.install_victim_secret(b"x" * 65)
+
+    def test_leak_requires_installed_secret(self):
+        machine = Machine("i7-7700", seed=43)
+        with pytest.raises(RuntimeError):
+            TetZombieload(machine).leak()
+
+    def test_shorter_tote_at_the_match(self):
+        """TET-ZBL's sign: the trigger makes the window SHORTER (§4.3.2)."""
+        machine = Machine("i7-7700", seed=44)
+        attack = TetZombieload(machine, batches=3)
+        attack.install_victim_secret(b"W")
+        scan = attack.scan_offset(0)
+        assert scan.value == ord("W")
+        match_tote = min(scan.totes_by_test[ord("W")])
+        others = [
+            min(samples)
+            for test, samples in scan.totes_by_test.items()
+            if test != ord("W")
+        ]
+        assert match_tote < min(others) + 1  # it wins the argmin
+
+
+class TestTetSpectreRsb:
+    def test_leaks_the_sandboxed_secret(self):
+        machine = Machine("i9-13900K", seed=45)
+        attack = TetSpectreRsb(machine)
+        attack.install_secret(b"Sandboxed")
+        result = attack.leak(length=6)
+        assert result.data == b"Sandbo"
+        assert result.success
+
+    def test_works_without_tsx(self):
+        """TET-RSB needs no fault suppression at all (no fault happens)."""
+        machine = Machine("i9-13900K", seed=45)
+        assert not machine.model.has_tsx
+        attack = TetSpectreRsb(machine)
+        attack.install_secret(b"Z")
+        assert attack.leak().data == b"Z"
+
+    def test_works_on_skylake(self):
+        machine = Machine("i7-6700", seed=45)
+        attack = TetSpectreRsb(machine)
+        attack.install_secret(b"OK")
+        assert attack.leak().data == b"OK"
+
+    def test_leak_requires_installed_secret(self):
+        machine = Machine("i9-13900K", seed=45)
+        with pytest.raises(RuntimeError):
+            TetSpectreRsb(machine).leak()
+
+    def test_single_batch_suffices(self):
+        """The paper reports <0.1% error with plain argmax (Listing 1)."""
+        machine = Machine("i9-13900K", seed=46)
+        attack = TetSpectreRsb(machine, batches=1)
+        attack.install_secret(b"\x00\x7f\xff")
+        result = attack.leak()
+        assert result.error_rate == 0.0
+
+    def test_rsb_faster_than_meltdown(self):
+        """§4.1's ordering: TET-RSB is the fastest TET attack."""
+        rsb_machine = Machine("i7-7700", seed=47, secret=b"AB")
+        md_machine = Machine("i7-7700", seed=47, secret=b"AB")
+        rsb = TetSpectreRsb(rsb_machine)
+        rsb.install_secret(b"AB")
+        md = TetMeltdown(md_machine)
+        rsb_result = rsb.leak()
+        md_result = md.leak(length=2)
+        assert rsb_result.bytes_per_second > md_result.bytes_per_second

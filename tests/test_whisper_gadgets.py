@@ -1,0 +1,134 @@
+"""Unit tests for the gadget builders."""
+
+import pytest
+
+from repro.isa.opcodes import Op
+from repro.sim.machine import Machine
+from repro.whisper.gadgets import RESUME_LABEL, GadgetBuilder, Suppression
+
+
+class TestBuilderSetup:
+    def test_default_suppression_follows_tsx_availability(self, machine, amd_machine):
+        assert GadgetBuilder(machine).suppression is Suppression.TSX
+        assert GadgetBuilder(amd_machine).suppression is Suppression.SIGNAL
+
+    def test_explicit_tsx_on_amd_rejected(self, amd_machine):
+        with pytest.raises(ValueError, match="TSX"):
+            GadgetBuilder(amd_machine, suppression=Suppression.TSX)
+
+    def test_signal_mode_registers_handler(self, machine):
+        builder = GadgetBuilder(machine, suppression=Suppression.SIGNAL)
+        program = builder.figure1()
+        assert getattr(program, "signal_handler_pc", None) == program.label_address(
+            RESUME_LABEL
+        )
+
+
+class TestGadgetShapes:
+    def test_figure1_has_fault_jcc_and_timestamps(self, machine):
+        program = GadgetBuilder(machine).figure1()
+        ops = [instruction.op for instruction in program]
+        assert ops.count(Op.RDTSC) == 2
+        assert Op.JCC in ops
+        assert Op.XBEGIN in ops and Op.XEND in ops
+
+    def test_meltdown_compares_the_transient_register(self, machine):
+        program = GadgetBuilder(machine).meltdown()
+        compares = [i for i in program if i.op is Op.CMP]
+        assert compares[0].dst == "r8"  # the faulting load's destination
+
+    def test_figure1_compares_the_architectural_register(self, machine):
+        program = GadgetBuilder(machine).figure1()
+        compares = [i for i in program if i.op is Op.CMP]
+        assert compares[0].dst == "rbx"
+
+    def test_zombieload_sled_length(self, machine):
+        short = GadgetBuilder(machine).zombieload(sled=4)
+        long = GadgetBuilder(machine).zombieload(sled=40)
+        nops = lambda p: sum(1 for i in p if i.op is Op.NOP)
+        assert nops(long) - nops(short) == 36
+
+    def test_zombieload_jcc_skips_forward(self, machine):
+        program = GadgetBuilder(machine).zombieload(sled=8)
+        jcc = next(i for i in program if i.op is Op.JCC)
+        assert jcc.target == "zbl_end"
+
+    def test_rsb_contains_the_listing1_ingredients(self, machine):
+        program = GadgetBuilder(machine).spectre_rsb()
+        ops = [instruction.op for instruction in program]
+        for op in (Op.CALL, Op.RET, Op.CLFLUSH, Op.JCC, Op.LOAD_BYTE):
+            assert op in ops
+        # The movabs of the overwritten return target.
+        mov_label = [i for i in program if i.op is Op.MOV_RI and i.target]
+        assert mov_label and mov_label[0].target == "rsb_final"
+
+    def test_kaslr_probe_shape(self, machine):
+        program = GadgetBuilder(machine).kaslr_probe()
+        ops = [instruction.op for instruction in program]
+        assert Op.MFENCE in ops
+        assert Op.LOAD in ops
+        assert Op.JCC in ops
+
+    def test_signal_variants_have_no_tsx(self, machine):
+        builder = GadgetBuilder(machine, suppression=Suppression.SIGNAL)
+        for program in (builder.figure1(), builder.meltdown(), builder.zombieload()):
+            ops = {instruction.op for instruction in program}
+            assert Op.XBEGIN not in ops and Op.XEND not in ops
+
+
+class TestGadgetsRun:
+    """Every gadget must run to completion and honour the r14/r15 pact."""
+
+    def run_ok(self, machine, program, regs):
+        result = machine.run(program, regs=regs)
+        assert result.halted
+        assert result.regs.read("r15") >= result.regs.read("r14") >= 0
+        return result
+
+    def test_figure1_runs(self, machine):
+        page = machine.alloc_data()
+        program = GadgetBuilder(machine).figure1()
+        self.run_ok(machine, program, {"r12": page, "r13": 0, "r9": 7})
+
+    def test_meltdown_runs(self, machine):
+        program = GadgetBuilder(machine).meltdown()
+        self.run_ok(machine, program, {"r13": machine.kernel.secret_va, "r9": 7})
+
+    def test_zombieload_runs(self, machine):
+        program = GadgetBuilder(machine).zombieload()
+        self.run_ok(machine, program, {"r13": 0, "r9": 7})
+
+    def test_rsb_runs(self, machine):
+        stack = machine.alloc_data(2)
+        secret = machine.alloc_data()
+        program = GadgetBuilder(machine).spectre_rsb()
+        self.run_ok(
+            machine, program, {"rsp": stack + 0x1800, "r12": secret, "r9": 7}
+        )
+
+    def test_kaslr_probe_runs_on_mapped_and_unmapped(self, machine):
+        program = GadgetBuilder(machine).kaslr_probe()
+        self.run_ok(machine, program, {"r13": machine.kernel.layout.base, "r9": 256})
+        self.run_ok(machine, program, {"r13": 0xFFFF_FFFF_BFFF_0000, "r9": 256})
+
+    def test_signal_variants_run_on_amd(self, amd_machine):
+        builder = GadgetBuilder(amd_machine)
+        page = amd_machine.alloc_data()
+        program = builder.figure1()
+        result = amd_machine.run(program, regs={"r12": page, "r13": 0, "r9": 1})
+        assert result.halted
+
+    def test_nop_loop_timed(self, machine):
+        program = GadgetBuilder(machine).nop_loop(iterations=8)
+        result = machine.run(program)
+        assert result.regs.read("r15") > result.regs.read("r14")
+
+    def test_fault_burst_produces_flushes(self, machine):
+        program = GadgetBuilder(machine).fault_burst(faults=3)
+        result = machine.run(program, regs={"r13": 0}, record_trace=True)
+        assert len(result.events.flushes) == 3
+
+    def test_idle_loop_produces_no_flushes(self, machine):
+        program = GadgetBuilder(machine).idle_loop(iterations=16)
+        result = machine.run(program, record_trace=True)
+        assert len(result.events.flushes) == 0

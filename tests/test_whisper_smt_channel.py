@@ -1,0 +1,116 @@
+"""Functional tests for the §4.4 SMT covert channel."""
+
+import random
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.whisper.smt_channel import MODES, SmtChannelStats, SmtCovertChannel
+
+
+class TestModes:
+    def test_known_modes(self):
+        assert set(MODES) == {"reliable", "secsmt"}
+
+    def test_unknown_mode_rejected(self, machine):
+        with pytest.raises(ValueError):
+            SmtCovertChannel(machine, mode="turbo")
+
+
+class TestReliableMode:
+    def test_roundtrip_random_bits(self):
+        machine = Machine("i7-7700", seed=61)
+        channel = SmtCovertChannel(machine, mode="reliable")
+        rng = random.Random(8)
+        bits = [rng.randint(0, 1) for _ in range(24)]
+        stats = channel.transmit(bits)
+        assert stats.bits_received == bits
+        assert stats.error_rate == 0.0
+
+    def test_all_ones_and_all_zeros(self):
+        machine = Machine("i7-7700", seed=62)
+        channel = SmtCovertChannel(machine, mode="reliable")
+        assert channel.transmit([1] * 8).bits_received == [1] * 8
+        assert channel.transmit([0] * 8).bits_received == [0] * 8
+
+    def test_byte_interface(self):
+        machine = Machine("i7-7700", seed=63)
+        channel = SmtCovertChannel(machine, mode="reliable")
+        stats = channel.transmit_bytes(b"\xa5")
+        assert stats.bits_sent == 8
+        assert stats.bits_received == [1, 0, 1, 0, 0, 1, 0, 1]
+
+    def test_stats_shape(self):
+        machine = Machine("i7-7700", seed=64)
+        channel = SmtCovertChannel(machine, mode="reliable")
+        stats = channel.transmit([1, 0])
+        assert isinstance(stats, SmtChannelStats)
+        assert stats.cycles > 0 and stats.seconds > 0
+        assert len(stats.samples) == 2
+        assert "bit error rate" in str(stats)
+
+
+class TestSecSmtMode:
+    def test_fast_mode_is_faster(self):
+        machine = Machine("i7-7700", seed=65)
+        reliable = SmtCovertChannel(machine, mode="reliable")
+        fast = SmtCovertChannel(machine, mode="secsmt")
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        slow_stats = reliable.transmit(bits)
+        fast_stats = fast.transmit(bits)
+        assert fast_stats.bytes_per_second > slow_stats.bytes_per_second
+
+    def test_fast_mode_error_never_worse_than_half(self):
+        """The paper's SecSMT config trades accuracy for rate (28% error);
+        in the noise-free simulator it should stay clearly below chance."""
+        machine = Machine("i7-7700", seed=66)
+        channel = SmtCovertChannel(machine, mode="secsmt")
+        rng = random.Random(9)
+        bits = [rng.randint(0, 1) for _ in range(32)]
+        stats = channel.transmit(bits)
+        assert stats.error_rate < 0.5
+
+
+class TestRepetitionCoding:
+    """The paper's future work: 'speed up with high accuracy'."""
+
+    def test_repetition_must_be_odd(self, machine):
+        with pytest.raises(ValueError):
+            SmtCovertChannel(machine, repetition=2)
+        with pytest.raises(ValueError):
+            SmtCovertChannel(machine, repetition=0)
+
+    def test_repetition_roundtrip(self):
+        machine = Machine("i7-7700", seed=69)
+        channel = SmtCovertChannel(machine, mode="secsmt", repetition=3)
+        bits = [1, 0, 0, 1, 1, 0, 1, 0]
+        stats = channel.transmit(bits)
+        assert stats.bits_received == bits
+        assert stats.error_rate == 0.0
+
+    def test_repetition_costs_rate(self):
+        machine = Machine("i7-7700", seed=70)
+        plain = SmtCovertChannel(machine, mode="secsmt", repetition=1)
+        coded = SmtCovertChannel(machine, mode="secsmt", repetition=3)
+        bits = [1, 0] * 4
+        plain_stats = plain.transmit(bits)
+        coded_stats = coded.transmit(bits)
+        assert coded_stats.bytes_per_second < plain_stats.bytes_per_second
+
+
+class TestSignalSeparation:
+    def test_one_symbols_are_slower_than_zero_symbols(self):
+        machine = Machine("i7-7700", seed=67)
+        channel = SmtCovertChannel(machine, mode="reliable")
+        stats = channel.transmit([1, 0, 1, 0, 1, 0])
+        ones = [s for s, b in zip(stats.samples, [1, 0, 1, 0, 1, 0]) if b]
+        zeros = [s for s, b in zip(stats.samples, [1, 0, 1, 0, 1, 0]) if not b]
+        assert min(ones) > max(zeros)
+
+    def test_threshold_lies_between_symbol_clusters(self):
+        machine = Machine("i7-7700", seed=68)
+        channel = SmtCovertChannel(machine, mode="reliable")
+        stats = channel.transmit([1, 0, 1, 0])
+        ones = [s for s, b in zip(stats.samples, [1, 0, 1, 0]) if b]
+        zeros = [s for s, b in zip(stats.samples, [1, 0, 1, 0]) if not b]
+        assert max(zeros) < stats.threshold < min(ones)

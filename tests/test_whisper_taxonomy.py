@@ -1,0 +1,64 @@
+"""Unit tests for the Table 1 taxonomy."""
+
+from repro.whisper.taxonomy import (
+    TABLE1_ROWS,
+    AttackClass,
+    render_table1,
+    transient_only_classes,
+)
+
+
+class TestRows:
+    def test_tet_rows_are_this_paper(self):
+        tet_rows = [row for row in TABLE1_ROWS if row.this_paper]
+        assert len(tet_rows) == 2
+        assert all(row.transient_only for row in tet_rows)
+
+    def test_tet_rows_are_stateless(self):
+        """§3.3's claim: TET SCAs are stateless AND transient-only."""
+        for row in TABLE1_ROWS:
+            if row.this_paper:
+                assert not row.stateful
+
+    def test_only_tet_is_transient_only(self):
+        """The novelty claim: the first transient-only covert channel."""
+        for row in TABLE1_ROWS:
+            assert row.transient_only == row.this_paper
+
+    def test_flush_reload_is_direct_stateful(self):
+        cache = next(row for row in TABLE1_ROWS if "Flush+Reload" in row.example)
+        assert cache.direct and cache.stateful
+
+    def test_binoculars_is_indirect_stateless(self):
+        row = next(row for row in TABLE1_ROWS if "Binoculars" in row.example)
+        assert not row.direct and not row.stateful
+
+    def test_direct_and_indirect_tet_split(self):
+        direct = next(r for r in TABLE1_ROWS if r.this_paper and r.direct)
+        indirect = next(r for r in TABLE1_ROWS if r.this_paper and not r.direct)
+        assert "TET-MD" in direct.example
+        assert "TET-KASLR" in indirect.example
+
+
+class TestRendering:
+    def test_render_contains_quadrants(self):
+        table = render_table1()
+        assert "Direct" in table and "Indirect" in table
+        assert "Transient-Only" in table
+
+    def test_render_mentions_all_examples(self):
+        table = render_table1()
+        for row in TABLE1_ROWS:
+            first_example = row.example.split(",")[0].strip()
+            assert first_example in table
+
+    def test_transient_only_helper(self):
+        classes = transient_only_classes()
+        assert {c.example for c in classes} == {
+            "TET-MD, TET-ZBL, TET-RSB",
+            "TET-KASLR",
+        }
+
+    def test_custom_rows(self):
+        rows = [AttackClass("X", "XAttack", direct=True, stateful=True, transient_only=False)]
+        assert "XAttack" in render_table1(rows)
