@@ -14,8 +14,11 @@
 import statistics
 
 from benchmarks.conftest import banner, emit
+from repro.runtime import TrialPool
 from repro.sim.machine import Machine
 from repro.whisper.attacks.kaslr import TetKaslr
+
+POOL_WORKERS = 4
 
 
 def run_all():
@@ -34,6 +37,13 @@ def run_all():
     results["docker i9-10980XE"] = TetKaslr(machine).break_kaslr_kpti()
     machine = Machine("ryzen-5600G", seed=457)
     results["amd ryzen-5600G"] = TetKaslr(machine).break_kaslr()
+    # The first KPTI run again, fanned across the trial pool: must find
+    # the same base as its serial twin (same machine spec, same seed).
+    machine = Machine("i9-10980XE", seed=452, kpti=True)
+    with TrialPool(workers=POOL_WORKERS) as pool:
+        results["kpti pooled (4 workers)"] = TetKaslr(
+            machine, pool=pool
+        ).break_kaslr_kpti()
     return results
 
 
@@ -68,3 +78,6 @@ def test_section45_breaking_kaslr(benchmark):
     assert results["flare i9-10980XE"].success
     assert results["docker i9-10980XE"].success
     assert not results["amd ryzen-5600G"].success
+    pooled = results["kpti pooled (4 workers)"]
+    assert pooled.success
+    assert pooled.found_base == kpti_runs[0].found_base

@@ -32,6 +32,25 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="KASLR/boot seed")
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan trials across N worker processes (0 = classic serial "
+        "path; results are identical at any worker count)",
+    )
+
+
+def _trial_pool(args):
+    """A TrialPool for ``--workers N``, or None for the legacy path."""
+    if getattr(args, "workers", 0) <= 0:
+        return None
+    from repro.runtime import TrialPool
+
+    return TrialPool(workers=args.workers)
+
+
 def _machine(args, **kwargs) -> Machine:
     return Machine(args.cpu, seed=args.seed, **kwargs)
 
@@ -42,9 +61,14 @@ def cmd_demo(args) -> int:
     machine = _machine(args)
     secret = args.byte & 0xFF
     print(f"machine: {machine.model.name}; sending byte {secret:#04x}")
-    channel = TetCovertChannel(machine, batches=args.batches)
-    machine.write_data(channel.sender_page, bytes([secret]))
-    scan = channel.scan_byte()
+    pool = _trial_pool(args)
+    try:
+        channel = TetCovertChannel(machine, batches=args.batches, pool=pool)
+        machine.write_data(channel.sender_page, bytes([secret]))
+        scan = channel.scan_byte()
+    finally:
+        if pool is not None:
+            pool.close()
     print()
     print(tote_scan_plot(scan.totes_by_test, highlight=secret))
     print()
@@ -57,17 +81,22 @@ def cmd_demo(args) -> int:
 def cmd_send(args) -> int:
     machine = _machine(args)
     payload = args.message.encode()
-    if args.fast:
-        from repro.whisper.fast_channel import BinarySearchChannel
+    pool = _trial_pool(args)
+    try:
+        if args.fast:
+            from repro.whisper.fast_channel import BinarySearchChannel
 
-        channel = BinarySearchChannel(machine)
-        label = "TET-CC-BS (binary search)"
-    else:
-        from repro.whisper import TetCovertChannel
+            channel = BinarySearchChannel(machine)
+            label = "TET-CC-BS (binary search)"
+        else:
+            from repro.whisper import TetCovertChannel
 
-        channel = TetCovertChannel(machine, batches=args.batches)
-        label = "TET-CC (linear scan)"
-    stats = channel.transmit(payload)
+            channel = TetCovertChannel(machine, batches=args.batches, pool=pool)
+            label = "TET-CC (linear scan)"
+        stats = channel.transmit(payload)
+    finally:
+        if pool is not None:
+            pool.close()
     print(f"{label} on {machine.model.name}")
     print(f"sent     : {payload!r}")
     print(f"received : {stats.received!r}")
@@ -95,7 +124,12 @@ def cmd_kaslr(args) -> int:
     machine = _machine(
         args, kpti=args.kpti, flare=args.flare, container=args.container
     )
-    result = TetKaslr(machine).break_auto()
+    pool = _trial_pool(args)
+    try:
+        result = TetKaslr(machine, pool=pool).break_auto()
+    finally:
+        if pool is not None:
+            pool.close()
     print(f"TET-KASLR on {machine.model.name} "
           f"(kpti={args.kpti}, flare={args.flare}, container={args.container})")
     print(result)
@@ -178,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(demo)
     demo.add_argument("--byte", type=lambda s: int(s, 0), default=0x53)
     demo.add_argument("--batches", type=int, default=5)
+    _add_workers_arg(demo)
     demo.set_defaults(func=cmd_demo)
 
     send = sub.add_parser("send", help="transmit a message through TET-CC")
@@ -185,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("message", nargs="?", default="whisper")
     send.add_argument("--batches", type=int, default=3)
     send.add_argument("--fast", action="store_true", help="binary-search mode")
+    _add_workers_arg(send)
     send.set_defaults(func=cmd_send)
 
     leak = sub.add_parser("leak", help="TET-Meltdown the kernel secret")
@@ -199,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     kaslr.add_argument("--kpti", action="store_true")
     kaslr.add_argument("--flare", action="store_true")
     kaslr.add_argument("--container", action="store_true")
+    _add_workers_arg(kaslr)
     kaslr.set_defaults(func=cmd_kaslr)
 
     matrix = sub.add_parser("matrix", help="the Table 2 attack x CPU matrix")

@@ -1,0 +1,44 @@
+"""repro.runtime -- the parallel trial-execution engine.
+
+Whisper's attacks are statistical sampling campaigns: thousands of
+independent gadget trials whose ToTE measurements are decoded in
+aggregate.  This package turns that shape into throughput:
+
+* :class:`MachineSpec` -- a frozen, picklable machine recipe with
+  deterministic per-trial seed derivation (:func:`derive_seed`);
+* :class:`TrialPool` -- fans trials across worker processes (serial
+  fallback included) with bit-identical results at any worker count;
+* :mod:`repro.runtime.tasks` -- the worker-side trial functions for the
+  TET-CC byte scan and the TET-KASLR probe sweep.
+
+See ``docs/RUNTIME.md`` for the architecture and a worked example.
+"""
+
+from repro.runtime.pool import (
+    ProcessExecutor,
+    SerialExecutor,
+    TrialPool,
+    default_workers,
+)
+from repro.runtime.spec import MachineSpec, derive_seed
+from repro.runtime.tasks import (
+    ChannelTrial,
+    KaslrTrial,
+    TrialResult,
+    run_channel_trial,
+    run_kaslr_trial,
+)
+
+__all__ = [
+    "ChannelTrial",
+    "KaslrTrial",
+    "MachineSpec",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TrialPool",
+    "TrialResult",
+    "default_workers",
+    "derive_seed",
+    "run_channel_trial",
+    "run_kaslr_trial",
+]

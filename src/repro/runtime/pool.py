@@ -1,0 +1,126 @@
+"""The trial pool: fan independent gadget trials across worker processes.
+
+Every Whisper attack is a statistical sampling campaign -- thousands of
+independent gadget trials whose results are aggregated by a decoder or a
+classifier.  :class:`TrialPool` runs those trials either in-process
+(:class:`SerialExecutor`) or across ``multiprocessing`` workers
+(:class:`ProcessExecutor`), behind one interface:
+
+* trial functions are module-level callables taking one picklable
+  payload (see :mod:`repro.runtime.tasks`);
+* results come back in payload order, regardless of scheduling;
+* each worker builds its machines from :class:`~repro.runtime.MachineSpec`
+  recipes, caches them, and calls :meth:`Machine.reset_uarch` at the top
+  of every trial -- so a trial's outcome depends only on its payload,
+  never on which worker ran it or what ran there before.
+
+That last property is the determinism contract: ``TrialPool(workers=1)``
+and ``TrialPool(workers=8)`` produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence
+
+__all__ = ["TrialPool", "SerialExecutor", "ProcessExecutor", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this host (``os.cpu_count``)."""
+    return os.cpu_count() or 1
+
+
+class SerialExecutor:
+    """Runs trials in the calling process.  The reference executor: the
+    parallel path must match its output bit for bit."""
+
+    workers = 1
+
+    def map(self, fn: Callable, payloads: Iterable) -> List:
+        return [fn(payload) for payload in payloads]
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessExecutor:
+    """Runs trials across a persistent ``multiprocessing.Pool``.
+
+    The pool is created lazily on first :meth:`map` and reused across
+    calls, so a multi-byte transmission pays the worker start-up cost
+    once.  ``fork`` is preferred (workers inherit loaded modules and any
+    already-built machine contexts); where it is unavailable the default
+    start method is used and workers rebuild their contexts on demand.
+    """
+
+    def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
+        if workers < 2:
+            raise ValueError("ProcessExecutor needs at least 2 workers")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                context = multiprocessing.get_context()
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable, payloads: Iterable) -> List:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        chunk = self.chunk_size
+        if chunk is None:
+            # Large enough to amortise IPC, small enough to load-balance.
+            chunk = max(1, len(payloads) // (self.workers * 4) or 1)
+        return self._ensure_pool().map(fn, payloads, chunksize=chunk)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class TrialPool:
+    """The public face: pick an executor by worker count.
+
+    ``workers <= 1`` (or unpicklable hosts) selects the serial executor;
+    anything above fans out across processes.  Usable as a context
+    manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
+        self.workers = max(1, int(workers))
+        if self.workers == 1:
+            self.executor = SerialExecutor()
+        else:
+            self.executor = ProcessExecutor(self.workers, chunk_size=chunk_size)
+
+    def map(self, fn: Callable, payloads: Sequence) -> List:
+        """Run *fn* over *payloads*; results in payload order."""
+        return self.executor.map(fn, payloads)
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "TrialPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"TrialPool(workers={self.workers})"

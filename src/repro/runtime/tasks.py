@@ -1,0 +1,146 @@
+"""Worker-side trial functions: one gadget campaign step per call.
+
+These are the module-level callables a :class:`~repro.runtime.TrialPool`
+dispatches.  Each takes one frozen, picklable payload, looks up (or
+builds) a per-process machine context keyed by the payload's
+:class:`~repro.runtime.MachineSpec`, resets the machine's
+microarchitecture, and runs its trial from that clean slate.
+
+The reset-at-trial-start discipline is what makes results independent of
+scheduling: a trial sees a just-booted timing profile whether it is the
+first ever run on a freshly forked worker or the ten-thousandth on a
+long-lived one, and its ambient-noise stream is derived from
+``(spec.seed, trial_index)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.spec import MachineSpec
+
+#: The paper's faulting address for window-opening loads.
+NULL_POINTER = 0x0
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """What one trial hands back to the coordinator."""
+
+    totes: Tuple[int, ...]
+    #: Simulated cycles this trial consumed (from a zeroed counter).
+    cycles: int
+
+
+# -- TET-CC byte-scan trials ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChannelTrial:
+    """Probe one test value of a TET-CC byte scan, *batches* times."""
+
+    spec: MachineSpec
+    byte: int
+    test: int
+    batches: int
+    trial_index: int
+    warmup: int = 2
+    suppression: Optional[str] = None  # "tsx" | "signal" | None (model default)
+
+
+_channel_contexts: Dict[Tuple[MachineSpec, Optional[str]], tuple] = {}
+
+
+def _channel_context(spec: MachineSpec, suppression: Optional[str]):
+    key = (spec, suppression)
+    context = _channel_contexts.get(key)
+    if context is None:
+        from repro.whisper.gadgets import GadgetBuilder, Suppression
+
+        machine = spec.build()
+        builder = GadgetBuilder(
+            machine,
+            suppression=Suppression(suppression) if suppression else None,
+        )
+        program = builder.figure1()
+        sender_page = machine.alloc_data()
+        context = (machine, program, sender_page)
+        _channel_contexts[key] = context
+    return context
+
+
+def run_channel_trial(trial: ChannelTrial) -> TrialResult:
+    """One TET-CC trial: warm the gadget, then time *batches* probes.
+
+    The warm-up runs use the can-never-match test value 256, training the
+    gadget's Jcc exactly as the serial scan's non-matching neighbours do,
+    so a matching probe mispredicts and lengthens the window.
+    """
+    machine, program, sender_page = _channel_context(trial.spec, trial.suppression)
+    machine.reset_uarch(noise_seed=trial.spec.trial_seed(trial.trial_index))
+    machine.write_data(sender_page, bytes([trial.byte & 0xFF]) + b"\x00" * 7)
+    totes: List[int] = []
+    warm_regs = {"r12": sender_page, "r13": NULL_POINTER, "r9": 256}
+    probe_regs = {"r12": sender_page, "r13": NULL_POINTER, "r9": trial.test}
+    for _ in range(trial.batches):
+        machine.run_many(program, [warm_regs] * trial.warmup)
+        result = machine.run(program, regs=probe_regs)
+        totes.append(result.regs.read("r15") - result.regs.read("r14"))
+    return TrialResult(totes=tuple(totes), cycles=machine.core.global_cycle)
+
+
+# -- TET-KASLR probe trials ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KaslrTrial:
+    """Double-probe one candidate kernel address."""
+
+    spec: MachineSpec
+    va: int
+    cr3_switch: bool
+    trial_index: int
+    eviction: str = "direct"
+    warm_probes: int = 1
+    suppression: Optional[str] = None
+
+
+_kaslr_contexts: Dict[Tuple[MachineSpec, str, Optional[str]], object] = {}
+
+
+def _kaslr_context(spec: MachineSpec, eviction: str, suppression: Optional[str]):
+    key = (spec, eviction, suppression)
+    attack = _kaslr_contexts.get(key)
+    if attack is None:
+        from repro.whisper.attacks.kaslr import TetKaslr
+        from repro.whisper.gadgets import Suppression
+
+        attack = TetKaslr(
+            spec.build(),
+            suppression=Suppression(suppression) if suppression else None,
+            eviction=eviction,
+        )
+        _kaslr_contexts[key] = attack
+    return attack
+
+
+def run_kaslr_trial(trial: KaslrTrial) -> TrialResult:
+    """One TET-KASLR trial: warm probes on a known-unmapped reference,
+    then the timed double-probe of the candidate."""
+    from repro.kernel.layout import KERNEL_TEXT_RANGE_START
+
+    attack = _kaslr_context(trial.spec, trial.eviction, trial.suppression)
+    machine = attack.machine
+    machine.reset_uarch(noise_seed=trial.spec.trial_seed(trial.trial_index))
+    reference = KERNEL_TEXT_RANGE_START - 0x200000
+    for _ in range(trial.warm_probes):
+        attack.probe_tote(reference, cr3_switch=trial.cr3_switch)
+    tote = attack.probe_tote(trial.va, cr3_switch=trial.cr3_switch)
+    return TrialResult(totes=(tote,), cycles=machine.core.global_cycle)
+
+
+def clear_worker_contexts() -> None:
+    """Drop all cached machines (tests that need cold workers)."""
+    _channel_contexts.clear()
+    _kaslr_contexts.clear()

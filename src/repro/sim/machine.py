@@ -9,7 +9,7 @@ so it is cache-hot.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.isa.assembler import assemble
 from repro.isa.program import INSTRUCTION_SIZE, Program
@@ -44,6 +44,21 @@ class Machine:
         noise_amplitude: int = 0,
     ) -> None:
         self.model = cpu_model(model) if isinstance(model, str) else model
+        #: The resolved constructor arguments, kept so a picklable
+        #: :class:`repro.runtime.MachineSpec` can be recovered from a live
+        #: machine (``MachineSpec.of(machine)``) and rebuilt in a worker.
+        self.init_args = dict(
+            model=self.model.name,
+            kaslr=kaslr,
+            kpti=kpti,
+            flare=flare,
+            fgkaslr=fgkaslr,
+            seed=seed,
+            flare_coverage=flare_coverage,
+            secret=secret,
+            container=container,
+            noise_amplitude=noise_amplitude,
+        )
         self.physical = PhysicalMemory()
         l1d, l1i, l2, llc = self.model.cache_geometries()
         self.hierarchy = CacheHierarchy(l1d, l1i, l2, llc, dram_latency=self.model.dram_latency)
@@ -66,9 +81,10 @@ class Machine:
                 ways_2m=4,
             ),
         )
+        self._noise_seed = (seed or 0) ^ 0x5EED
         if noise_amplitude:
             # Ambient OS noise: seeded, so noisy experiments still replay.
-            self.mmu.set_noise(noise_amplitude, seed=(seed or 0) ^ 0x5EED)
+            self.mmu.set_noise(noise_amplitude, seed=self._noise_seed)
         self.process: Process = self.kernel.create_process("attacker", container=container)
         self.mmu.set_address_space(self.process.space)
         self.core = Core(self.model, self.mmu)
@@ -121,6 +137,52 @@ class Machine:
             record_trace=record_trace,
             max_instructions=max_instructions,
         )
+
+    def run_many(
+        self,
+        program: Program,
+        reg_sets: Sequence[Dict[str, int]],
+        entry: Optional[int] = None,
+        max_instructions: int = 200_000,
+    ) -> List[RunResult]:
+        """Run *program* once per register set, in order.
+
+        The batched single-process trial primitive: the signal handler is
+        installed once, then the core runs back-to-back on one continuing
+        cycle timeline -- exactly equivalent to calling :meth:`run` in a
+        loop, minus the per-call setup.
+        """
+        handler_pc = getattr(program, "signal_handler_pc", None)
+        if handler_pc is not None:
+            self.core.signal_handler_pc = handler_pc
+        return [
+            self.core.run(
+                program,
+                regs=regs,
+                entry=entry,
+                user=True,
+                max_instructions=max_instructions,
+            )
+            for regs in reg_sets
+        ]
+
+    def reset_uarch(self, noise_seed: Optional[int] = None) -> None:
+        """Flush every timing-relevant structure back to boot state.
+
+        Caches, TLBs, LFBs, paging-structure cache, branch predictor,
+        frontend (DSB), PMU counters, cycle counter, signal handler --
+        everything microarchitectural.  Architectural state (kernel, page
+        tables, mapped programs, memory contents) survives, so a pooled
+        worker can reuse one machine across independent trials instead of
+        re-booting a kernel per trial.  *noise_seed* reseeds the ambient
+        noise stream (defaults to the boot-time seed), giving each trial
+        a jitter sequence that depends only on the seed handed to it.
+        """
+        self.core.reset_uarch()
+        self.mmu.reset_uarch(
+            noise_seed=self._noise_seed if noise_seed is None else noise_seed
+        )
+        self._smt = None
 
     # -- memory helpers -----------------------------------------------------------
 

@@ -135,6 +135,21 @@ class Core:
         #: SMT resources: flushes, recoveries, signal dispatches (§4.4).
         self.disruptions: List[Tuple[int, int]] = []
 
+    def reset_uarch(self) -> None:
+        """Restore the core to a just-booted timing profile.
+
+        Fresh predictor state, empty frontend (DSB included), zeroed PMU
+        bank, cycle counter back at zero, no signal handler, no recorded
+        disruptions.  Paired with :meth:`Mmu.reset_uarch` this makes a
+        reused machine time-indistinguishable from a freshly built one.
+        """
+        self.pmu.reset()
+        self.bpu = BranchPredictor()
+        self.frontend = Frontend(self.model, self.mmu, self.pmu)
+        self.global_cycle = 0
+        self.signal_handler_pc = None
+        self.disruptions = []
+
     def run(
         self,
         program: Program,

@@ -118,6 +118,15 @@ class PmuCounters:
         """Copy of all current values."""
         return dict(self._counts)
 
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        """Overwrite every counter with a prior :meth:`snapshot`.
+
+        Lets a caller run throwaway work (warm-up trials) without the
+        counters remembering it: snapshot, run, restore.
+        """
+        for name in self._counts:
+            self._counts[name] = snapshot.get(name, 0)
+
     def delta(self, baseline: Dict[str, int]) -> Dict[str, int]:
         """Per-event difference against a prior :meth:`snapshot`."""
         return {name: value - baseline.get(name, 0) for name, value in self._counts.items()}

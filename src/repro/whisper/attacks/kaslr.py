@@ -81,6 +81,7 @@ class TetKaslr:
         machine,
         suppression: Optional[Suppression] = None,
         eviction: str = "direct",
+        pool=None,
     ) -> None:
         if eviction not in ("direct", "sets"):
             raise ValueError(f"eviction must be 'direct' or 'sets', not {eviction!r}")
@@ -88,6 +89,9 @@ class TetKaslr:
         self.eviction = eviction
         self.builder = GadgetBuilder(machine, suppression=suppression)
         self.program = self.builder.kaslr_probe()
+        self.pool = pool
+        self._trial_counter = 0
+        self._spec = None
 
     # -- the probe primitive ------------------------------------------------------
 
@@ -157,13 +161,18 @@ class TetKaslr:
 
     def _scan(self, offset: int, cr3_switch: bool, strategy: str) -> KaslrBreakResult:
         start_cycle = self.machine.core.global_cycle
-        # Warm the gadget's code paths so slot 0 is not an outlier.
-        for _ in range(3):
-            self.probe_tote(KERNEL_TEXT_RANGE_START - 0x200000, cr3_switch=cr3_switch)
-        totes: Dict[int, int] = {}
-        for slot in range(KASLR_SLOTS):
-            va = slot_base(slot) + offset
-            totes[slot] = self.probe_tote(va, cr3_switch=cr3_switch)
+        if self.pool is not None:
+            totes = self._sweep_pooled(offset, cr3_switch)
+        else:
+            # Warm the gadget's code paths so slot 0 is not an outlier.
+            for _ in range(3):
+                self.probe_tote(
+                    KERNEL_TEXT_RANGE_START - 0x200000, cr3_switch=cr3_switch
+                )
+            totes = {}
+            for slot in range(KASLR_SLOTS):
+                va = slot_base(slot) + offset
+                totes[slot] = self.probe_tote(va, cr3_switch=cr3_switch)
         threshold, is_low = classify_bimodal(totes)
         mapped = sorted(slot for slot, low in is_low.items() if low)
         # Degenerate classification (all candidates look the same) means
@@ -183,3 +192,33 @@ class TetKaslr:
             totes_by_slot=totes,
             mapped_slots=mapped,
         )
+
+    def _sweep_pooled(self, offset: int, cr3_switch: bool) -> Dict[int, int]:
+        """Fan the 512-slot sweep across the trial pool, one slot per trial.
+
+        Each trial warms its worker machine with a probe of a known
+        unmapped reference before the timed double-probe, so the first
+        trial on a fresh worker behaves like the thousandth.  Summed
+        per-trial cycles are charged to this machine's timeline.
+        """
+        from repro.runtime.spec import MachineSpec
+        from repro.runtime.tasks import KaslrTrial, run_kaslr_trial
+
+        if self._spec is None:
+            self._spec = MachineSpec.of(self.machine)
+        trials = []
+        for slot in range(KASLR_SLOTS):
+            trials.append(
+                KaslrTrial(
+                    spec=self._spec,
+                    va=slot_base(slot) + offset,
+                    cr3_switch=cr3_switch,
+                    trial_index=self._trial_counter,
+                    eviction=self.eviction,
+                    suppression=self.builder.suppression.value,
+                )
+            )
+            self._trial_counter += 1
+        outcomes = self.pool.map(run_kaslr_trial, trials)
+        self.machine.core.global_cycle += sum(o.cycles for o in outcomes)
+        return {slot: outcome.totes[0] for slot, outcome in enumerate(outcomes)}

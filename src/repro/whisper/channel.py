@@ -6,6 +6,14 @@ transient window with a faulting null-pointer load and executes a Jcc that
 triggers only when the test value matches.  The receiver recovers the byte
 from the argmax of the ToTE scan -- no cache probing, no shared-state
 flushing, nothing but two ``rdtsc`` reads.
+
+Scans run in one of two modes:
+
+* **serial** (default): every probe runs on this machine, on one
+  continuous cycle timeline, exactly as a single-threaded attacker would;
+* **pooled**: pass a :class:`~repro.runtime.TrialPool` and each test
+  value becomes an independent trial fanned across worker processes,
+  with per-trial seeds derived so any worker count decodes identically.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ class TetCovertChannel:
         values: Sequence[int] = range(256),
         suppression: Optional[Suppression] = None,
         statistic: str = "vote",
+        pool=None,
     ) -> None:
         self.machine = machine
         self.batches = batches
@@ -56,31 +65,82 @@ class TetCovertChannel:
         self.program = self.builder.figure1()
         self.sender_page = machine.alloc_data()
         self.decoder = ArgExtremeDecoder("max", statistic=statistic)
+        self.pool = pool
         self._warmed = False
+        #: Monotone trial counter: every pooled trial across the lifetime
+        #: of this channel gets a distinct, order-independent seed index.
+        self._trial_counter = 0
+        self._spec = None
 
     def _warm_up(self) -> None:
-        """Shed cold-code noise before the first measured scan."""
-        for _ in range(4):
-            self.machine.run(
-                self.program,
-                regs={"r12": self.sender_page, "r13": NULL_POINTER, "r9": 256},
-            )
+        """Shed cold-code noise before the first measured scan.
+
+        Warm-up runs advance the cycle timeline (time passes) but leave
+        no trace in the PMU bank: counters are restored afterwards, so a
+        measured scan's PMU deltas reflect only measured work.
+        """
+        baseline = self.machine.pmu.snapshot()
+        self.machine.run_many(
+            self.program,
+            [{"r12": self.sender_page, "r13": NULL_POINTER, "r9": 256}] * 4,
+        )
+        self.machine.pmu.restore(baseline)
         self._warmed = True
 
     def scan_byte(self) -> ByteScanResult:
         """One full test-value scan of whatever the sender page holds."""
+        if self.pool is not None:
+            return self._scan_byte_pooled()
         if not self._warmed:
             self._warm_up()
         totes = {test: [] for test in self.values}
         for _ in range(self.batches):
-            for test in self.values:
-                result = self.machine.run(
-                    self.program,
-                    regs={"r12": self.sender_page, "r13": NULL_POINTER, "r9": test},
-                )
+            results = self.machine.run_many(
+                self.program,
+                [
+                    {"r12": self.sender_page, "r13": NULL_POINTER, "r9": test}
+                    for test in self.values
+                ],
+            )
+            for test, result in zip(self.values, results):
                 start = result.regs.read("r14")
                 end = result.regs.read("r15")
                 totes[test].append(end - start)
+        return self.decoder.decode(totes)
+
+    def _scan_byte_pooled(self) -> ByteScanResult:
+        """Fan the scan across the trial pool: one trial per test value.
+
+        Each trial runs on a worker-owned machine reset to a just-booted
+        profile, so results are bit-identical at any worker count.  The
+        summed per-trial cycle cost is charged to this machine's timeline
+        (the simulated work is the same; only the wall clock shrinks).
+        """
+        from repro.runtime.spec import MachineSpec
+        from repro.runtime.tasks import ChannelTrial, run_channel_trial
+
+        if self._spec is None:
+            self._spec = MachineSpec.of(self.machine)
+        byte = self.machine.read_data(self.sender_page, 1)[0]
+        trials = []
+        for test in self.values:
+            trials.append(
+                ChannelTrial(
+                    spec=self._spec,
+                    byte=byte,
+                    test=test,
+                    batches=self.batches,
+                    trial_index=self._trial_counter,
+                    suppression=self.builder.suppression.value,
+                )
+            )
+            self._trial_counter += 1
+        outcomes = self.pool.map(run_channel_trial, trials)
+        totes = {
+            test: list(outcome.totes)
+            for test, outcome in zip(self.values, outcomes)
+        }
+        self.machine.core.global_cycle += sum(o.cycles for o in outcomes)
         return self.decoder.decode(totes)
 
     def send_byte(self, value: int) -> ByteScanResult:
@@ -89,7 +149,13 @@ class TetCovertChannel:
         return self.scan_byte()
 
     def transmit(self, payload: bytes) -> ChannelStats:
-        """Send *payload* byte-by-byte; return the §4.1 statistics."""
+        """Send *payload* byte-by-byte; return the §4.1 statistics.
+
+        Warm-up happens before the clock starts: the measured cycle count
+        (and hence the B/s figure) covers only the scans themselves.
+        """
+        if self.pool is None and not self._warmed:
+            self._warm_up()
         start_cycle = self.machine.core.global_cycle
         received = bytes(self.send_byte(value).value for value in payload)
         cycles = self.machine.core.global_cycle - start_cycle
@@ -100,5 +166,5 @@ class TetCovertChannel:
             error_rate=error_rate(payload, received),
             cycles=cycles,
             seconds=seconds,
-            bytes_per_second=len(payload) / seconds if seconds else float("inf"),
+            bytes_per_second=len(payload) / seconds if seconds > 0 else 0.0,
         )

@@ -1,0 +1,232 @@
+"""Property-based tests for the §4.3.1 decoder (ArgExtremeDecoder).
+
+Runs under Hypothesis when it is installed; a seeded-``random`` fallback
+exercises the same properties (fewer cases, fixed seed) when it is not,
+so the suite never gains a hard dependency.
+
+The properties:
+
+* a test value whose samples dominate every other by more than the noise
+  bound is always decoded, in both ``vote`` and ``mean`` statistics;
+* argmin mode is the mirror image of argmax;
+* exact ties break deterministically (insertion order), so decoding is a
+  pure function of its input;
+* confidence is the exact fraction of batches that voted for the winner;
+* ragged or empty inputs raise instead of mis-decoding.
+"""
+
+import random
+
+import pytest
+
+from repro.whisper.analysis import ArgExtremeDecoder
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_HYPOTHESIS = False
+
+
+BASELINE = 270  # a typical non-matching ToTE; exact value is irrelevant
+
+
+def make_scan(winner, tests, batches, margin, noise, rng):
+    """A synthetic ToTE scan: *winner* beats the rest by > *margin*
+    while every sample jitters by at most *noise* (< margin / 2)."""
+    totes = {}
+    for test in tests:
+        signal = margin if test == winner else 0
+        totes[test] = [
+            BASELINE + signal + rng.randint(-noise, noise) for _ in range(batches)
+        ]
+    return totes
+
+
+def check_argmax_recovers_winner(winner, tests, batches, margin, noise, rng):
+    totes = make_scan(winner, tests, batches, margin, noise, rng)
+    for statistic in ("vote", "mean"):
+        result = ArgExtremeDecoder("max", statistic=statistic).decode(totes)
+        assert result.value == winner, (statistic, totes)
+        if statistic == "vote":
+            assert result.confidence == 1.0
+
+
+def check_argmin_mirrors_argmax(winner, tests, batches, margin, noise, rng):
+    totes = make_scan(winner, tests, batches, margin, noise, rng)
+    flipped = {
+        test: [2 * BASELINE - sample for sample in samples]
+        for test, samples in totes.items()
+    }
+    assert ArgExtremeDecoder("min").decode(flipped).value == winner
+
+
+def check_confidence_is_vote_fraction(tests, batches, rng):
+    """With per-batch winners planted explicitly, confidence equals the
+    plant fraction of the most frequent winner."""
+    tests = list(tests)
+    planted = [rng.choice(tests) for _ in range(batches)]
+    totes = {test: [BASELINE] * batches for test in tests}
+    for batch, winner in enumerate(planted):
+        totes[winner][batch] = BASELINE + 50
+    result = ArgExtremeDecoder("max").decode(totes)
+    top_count = max(planted.count(t) for t in set(planted))
+    assert result.value in planted
+    assert result.confidence == pytest.approx(top_count / batches)
+    assert sum(result.votes.values()) == batches
+
+
+class TestSeededProperties:
+    """The fallback driver: same properties, fixed-seed random cases."""
+
+    def test_argmax_recovers_winner(self):
+        rng = random.Random(0xA11CE)
+        for _ in range(50):
+            tests = rng.sample(range(256), rng.randint(2, 32))
+            check_argmax_recovers_winner(
+                winner=rng.choice(tests),
+                tests=tests,
+                batches=rng.randint(1, 9),
+                margin=rng.randint(8, 40),
+                noise=rng.randint(0, 3),
+                rng=rng,
+            )
+
+    def test_argmin_mirrors_argmax(self):
+        rng = random.Random(0xB0B)
+        for _ in range(50):
+            tests = rng.sample(range(256), rng.randint(2, 32))
+            check_argmin_mirrors_argmax(
+                winner=rng.choice(tests),
+                tests=tests,
+                batches=rng.randint(1, 9),
+                margin=rng.randint(8, 40),
+                noise=rng.randint(0, 3),
+                rng=rng,
+            )
+
+    def test_confidence_is_vote_fraction(self):
+        rng = random.Random(0xCAFE)
+        for _ in range(50):
+            check_confidence_is_vote_fraction(
+                tests=rng.sample(range(256), rng.randint(2, 16)),
+                batches=rng.randint(1, 12),
+                rng=rng,
+            )
+
+
+if HAVE_HYPOTHESIS:
+
+    scan_shapes = st.tuples(
+        st.lists(st.integers(0, 255), min_size=2, max_size=32, unique=True),
+        st.integers(1, 9),  # batches
+        st.integers(8, 40),  # margin
+        st.integers(0, 3),  # noise bound (< margin / 2)
+        st.integers(0, 2**32 - 1),  # jitter seed
+    )
+
+    class TestHypothesisProperties:
+        @settings(max_examples=60, deadline=None)
+        @given(shape=scan_shapes, winner_index=st.integers(0, 31))
+        def test_argmax_recovers_winner(self, shape, winner_index):
+            tests, batches, margin, noise, seed = shape
+            check_argmax_recovers_winner(
+                winner=tests[winner_index % len(tests)],
+                tests=tests,
+                batches=batches,
+                margin=margin,
+                noise=noise,
+                rng=random.Random(seed),
+            )
+
+        @settings(max_examples=60, deadline=None)
+        @given(shape=scan_shapes, winner_index=st.integers(0, 31))
+        def test_argmin_mirrors_argmax(self, shape, winner_index):
+            tests, batches, margin, noise, seed = shape
+            check_argmin_mirrors_argmax(
+                winner=tests[winner_index % len(tests)],
+                tests=tests,
+                batches=batches,
+                margin=margin,
+                noise=noise,
+                rng=random.Random(seed),
+            )
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            tests=st.lists(st.integers(0, 255), min_size=2, max_size=16, unique=True),
+            batches=st.integers(1, 12),
+            seed=st.integers(0, 2**32 - 1),
+        )
+        def test_confidence_is_vote_fraction(self, tests, batches, seed):
+            check_confidence_is_vote_fraction(
+                tests=tests, batches=batches, rng=random.Random(seed)
+            )
+
+
+class TestTieBreaking:
+    def test_exact_tie_breaks_by_insertion_order(self):
+        """All-equal samples: the first-inserted test value wins, every
+        time -- decoding is a pure function of the input dict."""
+        totes = {test: [BASELINE, BASELINE] for test in (7, 3, 11)}
+        decoder = ArgExtremeDecoder("max")
+        assert decoder.decode(totes).value == 7
+        assert decoder.decode(totes).value == 7
+
+    def test_tie_between_two_winners_is_deterministic(self):
+        totes = {
+            1: [BASELINE + 10, BASELINE],
+            2: [BASELINE, BASELINE + 10],
+            3: [BASELINE, BASELINE],
+        }
+        results = [ArgExtremeDecoder("max").decode(totes) for _ in range(3)]
+        assert len({r.value for r in results}) == 1
+        assert results[0].confidence == pytest.approx(0.5)
+
+    def test_mean_statistic_tie_is_deterministic(self):
+        totes = {5: [BASELINE] * 3, 9: [BASELINE] * 3}
+        decoder = ArgExtremeDecoder("max", statistic="mean")
+        assert decoder.decode(totes).value == decoder.decode(totes).value == 5
+
+
+class TestVoteVersusMean:
+    def test_agree_on_clean_signal(self):
+        rng = random.Random(42)
+        for _ in range(20):
+            tests = rng.sample(range(256), 16)
+            winner = rng.choice(tests)
+            totes = make_scan(winner, tests, batches=5, margin=20, noise=0, rng=rng)
+            vote = ArgExtremeDecoder("max", statistic="vote").decode(totes)
+            mean = ArgExtremeDecoder("max", statistic="mean").decode(totes)
+            assert vote.value == mean.value == winner
+
+    def test_mean_survives_minority_batch_corruption(self):
+        """One corrupted batch flips a vote but barely moves the mean."""
+        totes = {
+            0x41: [BASELINE + 10, BASELINE + 10, BASELINE + 10],
+            0x42: [BASELINE, BASELINE, BASELINE + 12],
+        }
+        assert ArgExtremeDecoder("max", statistic="mean").decode(totes).value == 0x41
+        vote = ArgExtremeDecoder("max", statistic="vote").decode(totes)
+        assert vote.value == 0x41
+        assert vote.confidence == pytest.approx(2 / 3)
+
+
+class TestInvalidInput:
+    def test_empty_scan_raises(self):
+        with pytest.raises(ValueError):
+            ArgExtremeDecoder("max").decode({})
+
+    def test_ragged_batches_raise(self):
+        with pytest.raises(ValueError, match="ragged"):
+            ArgExtremeDecoder("max").decode({1: [BASELINE], 2: [BASELINE, BASELINE]})
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ArgExtremeDecoder("median")
+
+    def test_bad_statistic_rejected(self):
+        with pytest.raises(ValueError):
+            ArgExtremeDecoder("max", statistic="mode")

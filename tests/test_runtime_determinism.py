@@ -1,0 +1,124 @@
+"""Machine-level determinism: the foundation under the trial pool.
+
+Two freshly built machines with the same spec must be cycle-for-cycle
+interchangeable, and ``Machine.reset_uarch`` must return a used machine
+to its just-booted timing profile -- otherwise worker reuse (one machine,
+thousands of trials) would leak state between trials and parallel runs
+would diverge from serial ones.
+"""
+
+import pytest
+
+from repro.runtime import MachineSpec
+from repro.sim.machine import Machine
+from repro.whisper.channel import NULL_POINTER
+from repro.whisper.gadgets import GadgetBuilder
+
+
+def _tote_trace(machine, program, sender_page, probes=4):
+    """ToTE of *probes* consecutive Figure 1a runs (test value 0x42)."""
+    machine.write_data(sender_page, b"\x42" + b"\x00" * 7)
+    regs = {"r12": sender_page, "r13": NULL_POINTER, "r9": 0x42}
+    traces = []
+    for _ in range(probes):
+        result = machine.run(program, regs=regs)
+        traces.append(result.regs.read("r15") - result.regs.read("r14"))
+    return traces
+
+
+def _fresh_context(seed):
+    machine = Machine("i7-7700", seed=seed)
+    program = GadgetBuilder(machine).figure1()
+    sender_page = machine.alloc_data()
+    return machine, program, sender_page
+
+
+class TestFreshMachineDeterminism:
+    def test_same_seed_same_tote_trace(self):
+        """Two fresh Machine(seed=k) produce identical Figure 1a traces."""
+        a = _tote_trace(*_fresh_context(seed=1234))
+        b = _tote_trace(*_fresh_context(seed=1234))
+        assert a == b
+
+    def test_same_seed_same_cycle_count(self):
+        (ma, pa, sa), (mb, pb, sb) = _fresh_context(7), _fresh_context(7)
+        _tote_trace(ma, pa, sa)
+        _tote_trace(mb, pb, sb)
+        assert ma.core.global_cycle == mb.core.global_cycle
+
+    @pytest.mark.parametrize("model", ["i7-6700", "i9-13900K", "ryzen-5600G"])
+    def test_holds_across_models(self, model):
+        def trace():
+            machine = Machine(model, seed=55)
+            program = GadgetBuilder(machine).figure1()
+            page = machine.alloc_data()
+            return _tote_trace(machine, program, page, probes=3)
+
+        assert trace() == trace()
+
+
+class TestResetUarch:
+    def test_reset_restores_boot_profile(self):
+        """After arbitrary prior work, reset_uarch + rerun reproduces the
+        fresh machine's ToTE trace exactly."""
+        machine, program, sender_page = _fresh_context(seed=1234)
+        boot_trace = _tote_trace(machine, program, sender_page)
+        # Dirty the microarchitecture: more gadget runs, different value.
+        machine.write_data(sender_page, b"\x99" + b"\x00" * 7)
+        for _ in range(5):
+            machine.run(
+                program, regs={"r12": sender_page, "r13": NULL_POINTER, "r9": 0x99}
+            )
+        machine.reset_uarch()
+        assert _tote_trace(machine, program, sender_page) == boot_trace
+
+    def test_reset_zeroes_clock_and_pmu(self):
+        machine, program, sender_page = _fresh_context(seed=9)
+        _tote_trace(machine, program, sender_page)
+        assert machine.core.global_cycle > 0
+        machine.reset_uarch()
+        assert machine.core.global_cycle == 0
+        assert all(count == 0 for count in machine.pmu.snapshot().values())
+
+    def test_reset_clears_walker_backlog(self):
+        """The page walker's busy_until stamp is absolute; a reset must
+        zero it or the first post-reset walk queues behind phantom work."""
+        machine, program, sender_page = _fresh_context(seed=9)
+        _tote_trace(machine, program, sender_page, probes=6)
+        machine.reset_uarch()
+        assert machine.mmu.walker.busy_until == 0
+
+    def test_reset_keeps_architectural_state(self):
+        """Caches flush; memory contents and mappings survive."""
+        machine, program, sender_page = _fresh_context(seed=9)
+        machine.write_data(sender_page, b"\xAB\xCD")
+        machine.reset_uarch()
+        assert machine.read_data(sender_page, 2) == b"\xAB\xCD"
+        # The program stays runnable without remapping.
+        machine.run(program, regs={"r12": sender_page, "r13": NULL_POINTER, "r9": 1})
+
+    def test_reset_is_idempotent_on_fresh_machine(self):
+        machine, program, sender_page = _fresh_context(seed=1234)
+        machine.reset_uarch()
+        fresh = _tote_trace(*_fresh_context(seed=1234))
+        assert _tote_trace(machine, program, sender_page) == fresh
+
+
+class TestSpecDeterminism:
+    def test_spec_built_machines_are_interchangeable(self):
+        spec = MachineSpec(model="i7-7700", seed=321)
+        traces = []
+        for _ in range(2):
+            machine = spec.build()
+            program = GadgetBuilder(machine).figure1()
+            page = machine.alloc_data()
+            traces.append(_tote_trace(machine, program, page, probes=3))
+        assert traces[0] == traces[1]
+
+    def test_trial_seed_is_stable_across_processes(self):
+        """trial_seed is pure arithmetic on (seed, index): no process
+        state involved, so the exact values are part of the contract."""
+        spec = MachineSpec(seed=1234)
+        assert [spec.trial_seed(i) for i in range(3)] == [
+            spec.trial_seed(i) for i in range(3)
+        ]

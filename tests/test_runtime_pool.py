@@ -1,0 +1,129 @@
+"""The TrialPool determinism contract: serial == parallel, bit for bit.
+
+Every test here compares the same campaign run through
+``TrialPool(workers=1)`` (the serial reference executor) and
+``TrialPool(workers=4)`` (real worker processes).  The contract is not
+"statistically similar" -- it is full structural equality of results,
+including every raw ToTE sample, because each trial's outcome is a pure
+function of ``(MachineSpec, payload)``.
+"""
+
+import pytest
+
+from repro.runtime import (
+    ChannelTrial,
+    MachineSpec,
+    ProcessExecutor,
+    SerialExecutor,
+    TrialPool,
+    derive_seed,
+    run_channel_trial,
+)
+from repro.sim.machine import Machine
+from repro.whisper.channel import TetCovertChannel
+
+VALUES = range(48)  # a fast sub-scan; full 256-value scans are marked slow
+
+
+def _scan(workers: int, byte: int = 0x2A):
+    machine = Machine("i7-7700", seed=99)
+    with TrialPool(workers=workers) as pool:
+        channel = TetCovertChannel(machine, batches=2, values=VALUES, pool=pool)
+        return channel.send_byte(byte)
+
+
+class TestExecutorSelection:
+    def test_one_worker_is_serial(self):
+        assert isinstance(TrialPool(workers=1).executor, SerialExecutor)
+
+    def test_many_workers_is_process(self):
+        pool = TrialPool(workers=4)
+        assert isinstance(pool.executor, ProcessExecutor)
+        pool.close()
+
+    def test_workers_floor_is_one(self):
+        assert TrialPool(workers=0).workers == 1
+        assert TrialPool(workers=-3).workers == 1
+
+    def test_context_manager_closes(self):
+        with TrialPool(workers=2) as pool:
+            assert pool.map(len, ["ab", "c"]) == [2, 1]
+        assert pool.executor._pool is None
+
+    def test_empty_payloads(self):
+        with TrialPool(workers=2) as pool:
+            assert pool.map(len, []) == []
+
+
+class TestSerialParallelEquivalence:
+    def test_byte_scan_identical(self):
+        """workers=1 and workers=4 produce the same ByteScanResult --
+        value, confidence, votes, and every raw ToTE sample."""
+        serial = _scan(workers=1)
+        parallel = _scan(workers=4)
+        assert serial.value == parallel.value == 0x2A
+        assert serial.confidence == parallel.confidence
+        assert serial.votes == parallel.votes
+        assert serial.totes_by_test == parallel.totes_by_test
+
+    def test_trial_function_is_pure(self):
+        """The same trial payload yields the same result on repeat runs
+        (the property the pool's scheduling-independence rests on)."""
+        spec = MachineSpec(seed=5)
+        trial = ChannelTrial(spec=spec, byte=0x11, test=0x11, batches=3, trial_index=7)
+        assert run_channel_trial(trial) == run_channel_trial(trial)
+
+    def test_trial_index_controls_noise_stream(self):
+        """Distinct trial indices derive distinct noise seeds."""
+        spec = MachineSpec(seed=5, noise_amplitude=3)
+        seeds = {spec.trial_seed(i) for i in range(64)}
+        assert len(seeds) == 64
+
+    @pytest.mark.slow
+    def test_full_byte_scan_identical(self):
+        machine = Machine("i7-7700", seed=3)
+        with TrialPool(workers=1) as p1:
+            one = TetCovertChannel(machine, batches=3, pool=p1).send_byte(0xC4)
+        machine2 = Machine("i7-7700", seed=3)
+        with TrialPool(workers=4) as p4:
+            four = TetCovertChannel(machine2, batches=3, pool=p4).send_byte(0xC4)
+        assert one == four
+        assert one.value == 0xC4
+
+
+class TestKaslrEquivalence:
+    @pytest.mark.slow
+    def test_kpti_break_identical(self):
+        from repro.whisper.attacks.kaslr import TetKaslr
+
+        results = []
+        for workers in (1, 4):
+            machine = Machine("i7-7700", seed=21, kaslr=True, kpti=True)
+            with TrialPool(workers=workers) as pool:
+                results.append(TetKaslr(machine, pool=pool).break_kaslr_kpti())
+        one, four = results
+        assert one.found_base == four.found_base
+        assert one.totes_by_slot == four.totes_by_slot
+        assert one.mapped_slots == four.mapped_slots
+        assert one.success and four.success
+
+
+class TestSeedDerivation:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(1234, 0) == derive_seed(1234, 0)
+
+    def test_derive_seed_spreads(self):
+        """splitmix64 mixing: nearby (root, index) pairs land far apart."""
+        outs = {derive_seed(root, index) for root in range(4) for index in range(64)}
+        assert len(outs) == 4 * 64
+
+    def test_derive_seed_is_64_bit(self):
+        for index in (0, 1, 2**31, 2**62):
+            assert 0 <= derive_seed(0xDEADBEEF, index) < 2**64
+
+    def test_spec_roundtrip(self):
+        machine = Machine("i9-13900K", seed=42, kaslr=True, kpti=True)
+        spec = MachineSpec.of(machine)
+        rebuilt = spec.build()
+        assert rebuilt.model.name == machine.model.name
+        assert rebuilt.kernel.layout.base == machine.kernel.layout.base

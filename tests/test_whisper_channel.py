@@ -50,6 +50,50 @@ class TestTransmission:
             stats.payload_length / stats.seconds
         )
 
+    def test_empty_payload_reports_zero_throughput(self, machine):
+        """A zero-cycle transmission is 0 B/s, not inf (regression)."""
+        channel = TetCovertChannel(machine, batches=2)
+        stats = channel.transmit(b"")
+        assert stats.cycles == 0
+        assert stats.seconds == 0.0
+        assert stats.bytes_per_second == 0.0
+        assert stats.error_rate == 0.0
+
+
+class TestWarmUp:
+    def test_warm_up_leaves_pmu_untouched(self, machine):
+        """Warm-up advances time but restores every PMU counter, so a
+        measured scan's PMU deltas reflect only measured work."""
+        channel = TetCovertChannel(machine, batches=2)
+        baseline = machine.pmu.snapshot()
+        channel._warm_up()
+        assert machine.pmu.snapshot() == baseline
+        assert machine.core.global_cycle > 0
+
+    def test_transmit_excludes_warmup_cycles(self):
+        """transmit's measured window starts after warm-up: an already
+        warmed channel reports the same cycle count as a cold one."""
+        from repro.sim.machine import Machine
+
+        def run(prewarm):
+            machine = Machine("i7-7700", seed=4242)
+            channel = TetCovertChannel(machine, batches=2, values=range(32))
+            if prewarm:
+                channel._warm_up()
+            return channel.transmit(b"\x05").cycles
+
+        assert run(prewarm=True) == run(prewarm=False)
+
+    def test_warm_up_happens_once(self, machine):
+        channel = TetCovertChannel(machine, batches=2, values=range(16))
+        channel.scan_byte()
+        cycle = machine.core.global_cycle
+        channel.scan_byte()
+        # Second scan costs about the same as the first minus warm-up:
+        # no re-warm, only measured work.
+        assert machine.core.global_cycle > cycle
+        assert channel._warmed
+
 
 class TestAcrossMachines:
     @pytest.mark.parametrize(
