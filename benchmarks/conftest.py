@@ -9,18 +9,25 @@ authors' testbed.
 
 Reproduction output is buffered and dumped after the test summary (so it
 survives pytest's capture) and additionally written to
-``benchmarks/reports/reproduction_report.txt``.
+``benchmarks/reports/reproduction_report.txt``.  Benches that call
+:func:`emit_metric` also feed ``reproduction_report.json`` -- a
+``{section: {metric: value}}`` map -- so the perf trajectory is
+machine-tracked run over run (CI uploads the ``reports/*.json`` files as
+workflow artifacts).
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List
+from typing import Dict, List
 
 _LINES: List[str] = []
+_METRICS: Dict[str, Dict[str, object]] = {}
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 REPORT_PATH = os.path.join(REPORT_DIR, "reproduction_report.txt")
+METRICS_PATH = os.path.join(REPORT_DIR, "reproduction_report.json")
 
 
 def banner(title: str) -> None:
@@ -34,19 +41,34 @@ def emit(text: str = "") -> None:
     _LINES.append(text)
 
 
+def emit_metric(section: str, name: str, value) -> None:
+    """Record one machine-readable metric under *section*.
+
+    *value* must be JSON-serialisable (numbers, strings, booleans,
+    lists); keep the names stable across PRs so the artifact diffs.
+    """
+    _METRICS.setdefault(section, {})[name] = value
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Dump the accumulated reproduction artefacts after the test summary."""
-    if not _LINES:
+    if not _LINES and not _METRICS:
         return
     write = terminalreporter.write_line
-    write("")
-    write("#" * 78)
-    write("#  PAPER REPRODUCTION OUTPUT (tables & figures)")
-    write("#" * 78)
-    for line in _LINES:
-        write(line)
     os.makedirs(REPORT_DIR, exist_ok=True)
-    with open(REPORT_PATH, "w") as handle:
-        handle.write("\n".join(_LINES) + "\n")
-    write("")
-    write(f"(report also written to {REPORT_PATH})")
+    if _LINES:
+        write("")
+        write("#" * 78)
+        write("#  PAPER REPRODUCTION OUTPUT (tables & figures)")
+        write("#" * 78)
+        for line in _LINES:
+            write(line)
+        with open(REPORT_PATH, "w") as handle:
+            handle.write("\n".join(_LINES) + "\n")
+        write("")
+        write(f"(report also written to {REPORT_PATH})")
+    if _METRICS:
+        with open(METRICS_PATH, "w") as handle:
+            json.dump(_METRICS, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        write(f"(metrics written to {METRICS_PATH})")

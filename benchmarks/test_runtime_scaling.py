@@ -12,7 +12,7 @@ records the wall-clock speedup.  Two shapes are asserted:
 
 import time
 
-from benchmarks.conftest import banner, emit
+from benchmarks.conftest import banner, emit, emit_metric
 from repro.runtime import TrialPool, default_workers
 from repro.sim.machine import Machine
 from repro.whisper.channel import TetCovertChannel
@@ -56,6 +56,12 @@ def test_runtime_scaling(benchmark):
         f"speedup at 4 workers: {speedup:.2f}x "
         "(recorded, not asserted: single-CPU CI hosts cannot scale)"
     )
+
+    emit_metric("runtime_scaling", "host_cpus", default_workers())
+    emit_metric("runtime_scaling", "serial_wall_seconds", serial_wall)
+    emit_metric("runtime_scaling", "parallel_wall_seconds", parallel_wall)
+    emit_metric("runtime_scaling", "speedup_4_workers", speedup)
+    emit_metric("runtime_scaling", "error_rate", parallel_stats.error_rate)
 
     # The determinism contract is the hard assertion.
     assert serial_stats.received == parallel_stats.received == PAYLOAD

@@ -14,7 +14,7 @@ byte per batch); rates are payload-size independent.
 
 import random
 
-from benchmarks.conftest import banner, emit
+from benchmarks.conftest import banner, emit, emit_metric
 from repro.runtime import TrialPool
 from repro.sim.machine import Machine
 from repro.whisper.attacks.meltdown import TetMeltdown
@@ -88,6 +88,14 @@ def test_section41_throughput_and_error_rates(benchmark):
         f"{pooled_stats.error_rate:.2%} -- decodes the same payload"
     )
     emit("")
+
+    emit_metric("section41", "tet_cc_bytes_per_second", cc_stats.bytes_per_second)
+    emit_metric("section41", "tet_cc_error_rate", cc_stats.error_rate)
+    emit_metric("section41", "tet_md_bytes_per_second", md_result.bytes_per_second)
+    emit_metric("section41", "tet_md_error_rate", md_result.error_rate)
+    emit_metric("section41", "tet_rsb_bytes_per_second", rsb_result.bytes_per_second)
+    emit_metric("section41", "tet_rsb_error_rate", rsb_result.error_rate)
+    emit_metric("section41", "pooled_error_rate", pooled_stats.error_rate)
 
     # Error bounds from the paper hold with margin.
     assert cc_stats.error_rate < 0.05

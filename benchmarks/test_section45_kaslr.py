@@ -13,7 +13,7 @@
 
 import statistics
 
-from benchmarks.conftest import banner, emit
+from benchmarks.conftest import banner, emit, emit_metric
 from repro.runtime import TrialPool
 from repro.sim.machine import Machine
 from repro.whisper.attacks.kaslr import TetKaslr
@@ -68,6 +68,18 @@ def test_section45_breaking_kaslr(benchmark):
         f"(paper: 0.8829 s, sigma 0.0036 s -- real eviction sets and retries "
         f"dominate there)"
     )
+
+    emit_metric("section45", "kpti_break_seconds_mean", mean_time)
+    emit_metric("section45", "kpti_break_seconds_sigma", sigma)
+    emit_metric(
+        "section45",
+        "plain_success",
+        [bool(results[f"plain {cpu}"].success)
+         for cpu in ("i7-6700", "i7-7700", "i9-10980XE")],
+    )
+    emit_metric("section45", "flare_success", bool(results["flare i9-10980XE"].success))
+    emit_metric("section45", "docker_success", bool(results["docker i9-10980XE"].success))
+    emit_metric("section45", "amd_blind", not results["amd ryzen-5600G"].success)
 
     # Shapes ------------------------------------------------------------------
     for cpu in ("i7-6700", "i7-7700", "i9-10980XE"):

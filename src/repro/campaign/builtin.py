@@ -1,0 +1,98 @@
+"""Built-in campaign definitions for the paper's headline experiments.
+
+Each factory returns a fresh :class:`CampaignSpec` value; specs are pure
+data, so calling a factory twice yields equal specs with equal digests.
+The seeds match the corresponding benchmarks (``benchmarks/test_*``), so
+a campaign's decoded artefacts agree with the bench harness's.
+
+=================  ==========================================================
+name               campaign
+=================  ==========================================================
+``e3-matrix``      Table 2's environment matrix: TET-CC and TET-KASLR across
+                   the paper's CPU grid (Intel Sky Lake through Raptor Lake,
+                   plus AMD Zen 3, where the KASLR oracle goes blind)
+``e8-throughput``  §4.1 covert-channel throughput: a 24-byte random payload
+                   through TET-CC on the i7-7700
+``e9-kaslr``       §4.5 KASLR break: the 512-slot KPTI trampoline sweep on
+                   the i9-10980XE, n=3 boots (the paper's 0.8829 s figure)
+``ci-smoke``       a seconds-sized channel campaign for cache smoke tests
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.campaign.spec import CampaignSpec, channel_cell, kaslr_cell
+from repro.runtime.spec import MachineSpec
+
+#: The CPU grid of Table 2 (the CLI ``matrix`` default).
+MATRIX_CPUS = ("i7-6700", "i7-7700", "i9-10980XE", "i9-13900K", "ryzen-5600G")
+
+
+def e3_environment_matrix() -> CampaignSpec:
+    """Table 2 as a campaign: channel + KASLR sweep per CPU model."""
+    cells = []
+    for cpu in MATRIX_CPUS:
+        machine = MachineSpec(model=cpu, seed=1)
+        cells.append(channel_cell(machine, payload=b"T2", batches=3))
+        cells.append(kaslr_cell(machine, strategy="slot-scan"))
+    return CampaignSpec(name="e3-matrix", cells=tuple(cells))
+
+
+def e8_throughput() -> CampaignSpec:
+    """§4.1 throughput: the bench's 24 random bytes through TET-CC."""
+    payload = bytes(random.Random(414).randrange(256) for _ in range(24))
+    machine = MachineSpec(model="i7-7700", seed=411)
+    return CampaignSpec(
+        name="e8-throughput",
+        cells=(channel_cell(machine, payload=payload, batches=3),),
+    )
+
+
+def e9_kaslr_break() -> CampaignSpec:
+    """§4.5 KPTI break, n=3 boots (seeds 452..454, as in the E9 bench)."""
+    cells = tuple(
+        kaslr_cell(
+            MachineSpec(model="i9-10980XE", seed=452 + boot, kpti=True),
+            strategy="kpti-trampoline",
+        )
+        for boot in range(3)
+    )
+    return CampaignSpec(name="e9-kaslr", cells=cells)
+
+
+def ci_smoke() -> CampaignSpec:
+    """A 32-trial channel campaign: two bytes over a 16-value scan."""
+    machine = MachineSpec(model="i7-7700", seed=7)
+    return CampaignSpec(
+        name="ci-smoke",
+        cells=(
+            channel_cell(
+                machine, payload=b"\x03\x0b", batches=2, values=range(16)
+            ),
+        ),
+    )
+
+
+BUILTIN_CAMPAIGNS: Dict[str, Callable[[], CampaignSpec]] = {
+    "e3-matrix": e3_environment_matrix,
+    "e8-throughput": e8_throughput,
+    "e9-kaslr": e9_kaslr_break,
+    "ci-smoke": ci_smoke,
+}
+
+
+def builtin_campaign(name: str) -> CampaignSpec:
+    """Look up a built-in campaign by name."""
+    try:
+        factory = BUILTIN_CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_CAMPAIGNS))
+        raise KeyError(f"unknown campaign {name!r}; built-ins: {known}") from None
+    return factory()
+
+
+def builtin_names() -> List[str]:
+    return sorted(BUILTIN_CAMPAIGNS)

@@ -1,0 +1,274 @@
+"""Structured campaign run records and their rendered artifacts.
+
+A :class:`CampaignReport` is built purely from ``(spec, expanded refs,
+trial results)`` -- no wall-clock, no cache statistics, no hostnames --
+so the artifact a campaign produces is *byte-identical* whether its
+trials were freshly executed, fully replayed from the store, or any mix.
+Execution provenance (cached vs live counts, wall time) lives in the
+runner's :class:`~repro.campaign.runner.RunStats` instead and is printed,
+never serialised into the artifact.
+
+Two renderings: ``render_text()`` for humans, ``to_json()`` (stable key
+order, fixed indentation) for machines -- the same shape the benchmark
+harness emits as ``BENCH``-style JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro import __version__ as REPRO_VERSION
+from repro.campaign.spec import CampaignSpec, TrialRef
+from repro.campaign.store import canonical_encode, spec_digest
+from repro.kernel.kaslr import randomize_layout
+from repro.runtime.tasks import TrialResult
+from repro.uarch.config import cpu_model
+from repro.whisper.analysis import ArgExtremeDecoder, classify_bimodal, error_rate
+
+
+@dataclass
+class CampaignReport:
+    """The deterministic record of one campaign's results."""
+
+    name: str
+    digest: str
+    version: str
+    cells: List[dict] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """Aggregate counters over all cells (part of the artifact)."""
+        channel_cells = [c for c in self.cells if c["kind"] == "channel"]
+        kaslr_cells = [c for c in self.cells if c["kind"] == "kaslr"]
+        channel_reps = [rep for c in channel_cells for rep in c["reps"]]
+        kaslr_reps = [rep for c in kaslr_cells for rep in c["reps"]]
+        out = {
+            "cells": len(self.cells),
+            "trials": sum(c["trials"] for c in self.cells),
+        }
+        if channel_reps:
+            out["channel"] = {
+                "transmissions": len(channel_reps),
+                "clean": sum(1 for rep in channel_reps if rep["error_rate"] == 0.0),
+                "mean_error_rate": sum(r["error_rate"] for r in channel_reps)
+                / len(channel_reps),
+            }
+        if kaslr_reps:
+            out["kaslr"] = {
+                "sweeps": len(kaslr_reps),
+                "broken": sum(1 for rep in kaslr_reps if rep["success"]),
+            }
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "campaign": self.name,
+            "spec_digest": self.digest,
+            "repro_version": self.version,
+            "summary": self.summary(),
+            "cells": self.cells,
+        }
+
+    def to_json(self) -> str:
+        """The machine-readable artifact (stable bytes for stable inputs)."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write_json(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    def render_text(self) -> str:
+        """The human-readable artifact (also deterministic)."""
+        lines = [
+            f"campaign : {self.name}",
+            f"spec     : {self.digest[:16]} (repro {self.version})",
+            "",
+        ]
+        for cell in self.cells:
+            lines.extend(_render_cell(cell))
+        summary = self.summary()
+        lines.append(
+            f"total    : {summary['cells']} cells, {summary['trials']} trials"
+        )
+        if "channel" in summary:
+            ch = summary["channel"]
+            lines.append(
+                f"channel  : {ch['clean']}/{ch['transmissions']} clean "
+                f"transmissions, mean error {ch['mean_error_rate']:.2%}"
+            )
+        if "kaslr" in summary:
+            ka = summary["kaslr"]
+            lines.append(f"kaslr    : {ka['broken']}/{ka['sweeps']} sweeps broken")
+        return "\n".join(lines) + "\n"
+
+    def write_text(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.render_text())
+
+
+def _render_cell(cell: dict) -> List[str]:
+    head = f"[cell {cell['cell']}] {cell['kind']} on {cell['model']}"
+    lines = [head]
+    if cell["kind"] == "channel":
+        sent = cell["payload"]
+        for rep in cell["reps"]:
+            status = "ok" if rep["error_rate"] == 0.0 else "errors"
+            lines.append(
+                f"  rep {rep['rep']}: sent {sent} received {rep['received']} "
+                f"error {rep['error_rate']:.2%} ({status})"
+            )
+        lines.append(
+            f"  {cell['trials']} trials, {cell['cycles']:,} cycles "
+            f"({cell['seconds']:.6f} s simulated, "
+            f"{cell['bytes_per_second']:,.0f} B/s)"
+        )
+    else:
+        for rep in cell["reps"]:
+            status = "BROKEN" if rep["success"] else "failed"
+            found = rep["found_base"] if rep["found_base"] is not None else "none"
+            lines.append(
+                f"  rep {rep['rep']}: {cell['strategy']} {status}: found {found} "
+                f"(true {rep['true_base']}, {len(rep['mapped_slots'])} mapped slots)"
+            )
+        lines.append(
+            f"  {cell['trials']} trials, {cell['cycles']:,} cycles "
+            f"({cell['seconds']:.6f} s simulated)"
+        )
+    lines.append("")
+    return lines
+
+
+def build_report(
+    spec: CampaignSpec,
+    refs: Sequence[TrialRef],
+    results: Sequence[TrialResult],
+) -> CampaignReport:
+    """Aggregate ordered trial results into the campaign's report.
+
+    *results* must align with *refs* (the expansion order).  The
+    aggregation mirrors the live attacks: channel units decode through
+    :class:`ArgExtremeDecoder`, KASLR sweeps classify through
+    :func:`classify_bimodal` with ground truth recovered from the boot
+    seed -- so a replayed campaign reports exactly what a live run would.
+    """
+    if len(refs) != len(results):
+        raise ValueError(f"{len(refs)} refs but {len(results)} results")
+    report = CampaignReport(
+        name=spec.name, digest=spec_digest(spec), version=REPRO_VERSION
+    )
+    by_cell: Dict[int, List[Tuple[TrialRef, TrialResult]]] = {}
+    for ref, result in zip(refs, results):
+        by_cell.setdefault(ref.cell, []).append((ref, result))
+    for cell_index, cell in enumerate(spec.cells):
+        pairs = by_cell.get(cell_index, [])
+        if cell.kind == "channel":
+            record = _channel_record(cell_index, cell, pairs)
+        else:
+            record = _kaslr_record(cell_index, cell, pairs)
+        report.cells.append(record)
+    return report
+
+
+def _machine_record(machine) -> dict:
+    record = canonical_encode(machine)
+    record.pop("__type__", None)
+    return record
+
+
+def _channel_record(cell_index, cell, pairs) -> dict:
+    payload: bytes = cell.param("payload")
+    decoder = ArgExtremeDecoder("max", statistic=cell.param("statistic", "vote"))
+    cycles = sum(result.cycles for _, result in pairs)
+    by_rep: Dict[int, Dict[str, Dict[int, List[int]]]] = {}
+    for ref, result in pairs:
+        unit_totes = by_rep.setdefault(ref.rep, {}).setdefault(ref.unit, {})
+        unit_totes[ref.coord] = list(result.totes)
+    reps = []
+    for rep in sorted(by_rep):
+        scans = [
+            decoder.decode(by_rep[rep][f"byte{position}"])
+            for position in range(len(payload))
+        ]
+        received = bytes(scan.value for scan in scans)
+        reps.append(
+            {
+                "rep": rep,
+                "received": received.hex(),
+                "error_rate": error_rate(payload, received),
+                "bytes": [
+                    {"value": scan.value, "confidence": scan.confidence}
+                    for scan in scans
+                ],
+            }
+        )
+    model = cell.machine.model
+    seconds = cpu_model(model).seconds(cycles)
+    sent_bytes = len(payload) * max(len(reps), 1)
+    return {
+        "cell": cell_index,
+        "kind": "channel",
+        "model": model,
+        "machine": _machine_record(cell.machine),
+        "payload": payload.hex(),
+        "batches": cell.param("batches", 3),
+        "statistic": cell.param("statistic", "vote"),
+        "test_values": len(cell.param("values", ())),
+        "reps": reps,
+        "trials": len(pairs),
+        "cycles": cycles,
+        "seconds": seconds,
+        "bytes_per_second": sent_bytes / seconds if seconds > 0 else 0.0,
+    }
+
+
+def _kaslr_record(cell_index, cell, pairs) -> dict:
+    from repro.kernel.layout import KASLR_SLOTS, slot_base
+    from repro.whisper.attacks.kaslr import TetKaslr
+
+    machine = cell.machine
+    strategy, _, _ = TetKaslr.resolve_strategy(
+        machine, cell.param("strategy", "auto")
+    )
+    true_base = randomize_layout(
+        seed=machine.seed, kaslr=machine.kaslr, fgkaslr=machine.fgkaslr
+    ).base
+    cycles = sum(result.cycles for _, result in pairs)
+    by_rep: Dict[int, Dict[int, int]] = {}
+    for ref, result in pairs:
+        by_rep.setdefault(ref.rep, {})[ref.coord] = result.totes[0]
+    reps = []
+    for rep in sorted(by_rep):
+        totes = by_rep[rep]
+        threshold, is_low = classify_bimodal(totes)
+        mapped = sorted(slot for slot, low in is_low.items() if low)
+        found = None
+        if 0 < len(mapped) < KASLR_SLOTS:
+            found = slot_base(mapped[0])
+        reps.append(
+            {
+                "rep": rep,
+                "found_base": f"{found:#x}" if found is not None else None,
+                "true_base": f"{true_base:#x}",
+                "success": found == true_base,
+                "mapped_slots": mapped,
+                "threshold": threshold,
+                "probes": 2 * len(totes),
+            }
+        )
+    model = machine.model
+    return {
+        "cell": cell_index,
+        "kind": "kaslr",
+        "model": model,
+        "machine": _machine_record(machine),
+        "strategy": strategy,
+        "eviction": cell.param("eviction", "direct"),
+        "reps": reps,
+        "trials": len(pairs),
+        "cycles": cycles,
+        "seconds": cpu_model(model).seconds(cycles),
+    }

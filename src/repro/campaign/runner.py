@@ -1,0 +1,169 @@
+"""The campaign runner: replay what is cached, execute only the delta.
+
+``CampaignRunner.run()`` expands the spec into its deterministic trial
+list, partitions it against the content-addressed store, fans the
+pending trials across a :class:`~repro.runtime.TrialPool` in fixed-size
+batches, and **checkpoints after every completed batch** by appending the
+batch's results to the store.  Interrupt it anywhere -- Ctrl-C, a killed
+CI job, a crashed host -- and the next ``run()`` picks up from the last
+completed batch; the finished report is bit-identical to an
+uninterrupted run because every trial's result is a pure function of its
+payload.
+
+The runner never writes wall-clock or provenance into the report; those
+live in :class:`RunStats` (``executed`` counts live trials via
+``TrialPool.trials_executed``, ``cached`` counts store replays).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.campaign.report import CampaignReport, build_report
+from repro.campaign.spec import CampaignSpec, TrialRef
+from repro.campaign.store import ResultStore, trial_key
+from repro.runtime.pool import TrialPool
+from repro.runtime.tasks import TrialResult, run_trial
+
+DEFAULT_BATCH_SIZE = 128
+
+
+@dataclass
+class CampaignStatus:
+    """How much of a campaign the store already holds."""
+
+    name: str
+    total: int
+    cached: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.cached
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.total if self.total else 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.cached}/{self.total} trials cached "
+            f"({self.hit_rate:.1%}), {self.pending} pending"
+        )
+
+
+@dataclass
+class RunStats:
+    """Execution provenance for one ``run()`` (never part of the artifact)."""
+
+    total: int
+    cached: int
+    executed: int
+    batches: int
+    wall_seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.total if self.total else 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total} trials: {self.cached} cached ({self.hit_rate:.1%}), "
+            f"{self.executed} executed in {self.batches} batches, "
+            f"{self.wall_seconds:.2f} s wall"
+        )
+
+
+class CampaignRunner:
+    """Bind a spec to a store and an executor."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[ResultStore] = None,
+        pool: Optional[TrialPool] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.spec = spec
+        self.store = store if store is not None else ResultStore()
+        self.pool = pool
+        self.batch_size = batch_size
+        self._progress = progress or (lambda message: None)
+
+    # -- queries ---------------------------------------------------------------
+
+    def _expand(self) -> Tuple[List[TrialRef], List[str]]:
+        refs = self.spec.expand()
+        keys = [trial_key(ref.trial) for ref in refs]
+        return refs, keys
+
+    def status(self) -> CampaignStatus:
+        """Cached/pending accounting without executing anything."""
+        refs, keys = self._expand()
+        cached = self.store.get_many(keys)
+        return CampaignStatus(
+            name=self.spec.name, total=len(refs), cached=len(cached)
+        )
+
+    def collect(self) -> Optional[CampaignReport]:
+        """The report, purely from the store; None if any trial is missing."""
+        refs, keys = self._expand()
+        cached = self.store.get_many(keys)
+        if len(cached) < len(refs):
+            return None
+        return build_report(self.spec, refs, [cached[key] for key in keys])
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> Tuple[CampaignReport, RunStats]:
+        """Execute the delta, checkpointing per batch; return the report.
+
+        Results are assembled in expansion order regardless of which
+        trials came from the store and which ran live, so the report is
+        identical to a cold serial run of the same spec.
+        """
+        start = time.perf_counter()
+        refs, keys = self._expand()
+        cached = self.store.get_many(keys)
+        results: List[Optional[TrialResult]] = [cached.get(key) for key in keys]
+        pending = [index for index, result in enumerate(results) if result is None]
+        executed_before = self.pool.trials_executed if self.pool else 0
+        batches = 0
+        if pending:
+            pool = self.pool if self.pool is not None else TrialPool(workers=1)
+            try:
+                for offset in range(0, len(pending), self.batch_size):
+                    batch = pending[offset : offset + self.batch_size]
+                    outcomes = pool.map(run_trial, [refs[i].trial for i in batch])
+                    # The checkpoint: a batch is durable before the next starts.
+                    self.store.put_many(
+                        (keys[i], outcome) for i, outcome in zip(batch, outcomes)
+                    )
+                    for i, outcome in zip(batch, outcomes):
+                        results[i] = outcome
+                    batches += 1
+                    self._progress(
+                        f"batch {batches}: {min(offset + len(batch), len(pending))}"
+                        f"/{len(pending)} pending trials done"
+                    )
+            finally:
+                if self.pool is None:
+                    pool.close()
+            executed = pool.trials_executed - (
+                executed_before if self.pool is not None else 0
+            )
+        else:
+            executed = 0
+        stats = RunStats(
+            total=len(refs),
+            cached=len(refs) - len(pending),
+            executed=executed,
+            batches=batches,
+            wall_seconds=time.perf_counter() - start,
+        )
+        report = build_report(self.spec, refs, results)
+        return report, stats

@@ -1,0 +1,264 @@
+"""Declarative campaign specifications and their deterministic expansion.
+
+A *campaign* is the unit the paper's evaluation is made of: a grid of
+(machine x attack kind x parameters) cells, each of which samples one
+statistic -- a TET-CC transmission decoded byte-by-byte, or a TET-KASLR
+512-slot sweep classified into mapped/unmapped clusters.  A
+:class:`CampaignSpec` freezes that grid as a value: it is hashable,
+picklable, and expands into the exact same ordered list of trial
+payloads on every host, every time (:meth:`CampaignSpec.expand`).
+
+The expansion delegates to the attacks' own campaign adapters
+(:meth:`TetCovertChannel.campaign_trials`,
+:meth:`TetKaslr.campaign_trials`), so a campaign replay consumes the same
+``(spec.seed, trial_index)`` seed stream a live ``pool=`` run would --
+the property that lets the result store mix cached and freshly executed
+trials without any statistical seam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runtime.spec import MachineSpec
+
+#: Frozen parameter bag: sorted ``(key, value)`` pairs, values hashable.
+Params = Tuple[Tuple[str, object], ...]
+
+_CELL_KINDS = ("channel", "kaslr")
+
+
+def freeze_params(params: Mapping[str, object]) -> Params:
+    """Normalise a parameter mapping into a hashable, ordered tuple.
+
+    Lists and ranges become tuples so cells stay hashable; insertion
+    order is discarded (keys are sorted) so two spellings of the same
+    cell hash identically.
+    """
+    frozen = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, (list, range)):
+            value = tuple(value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid cell: a task kind bound to a machine recipe."""
+
+    kind: str
+    machine: MachineSpec
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CELL_KINDS:
+            raise ValueError(
+                f"cell kind must be one of {_CELL_KINDS}, not {self.kind!r}"
+            )
+
+    def param(self, key: str, default=None):
+        """Look up one parameter (cells are tiny; linear scan is fine)."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+
+def channel_cell(
+    machine: MachineSpec,
+    payload: bytes,
+    batches: int = 3,
+    values: Sequence[int] = range(256),
+    statistic: str = "vote",
+    suppression: Optional[str] = None,
+    repeats: int = 1,
+) -> CampaignCell:
+    """A TET-CC transmission cell: scan and decode *payload* on *machine*."""
+    return CampaignCell(
+        kind="channel",
+        machine=machine,
+        params=freeze_params(
+            dict(
+                payload=bytes(payload),
+                batches=batches,
+                values=values,
+                statistic=statistic,
+                suppression=suppression,
+                repeats=repeats,
+            )
+        ),
+    )
+
+
+def kaslr_cell(
+    machine: MachineSpec,
+    strategy: str = "auto",
+    eviction: str = "direct",
+    suppression: Optional[str] = None,
+    repeats: int = 1,
+) -> CampaignCell:
+    """A TET-KASLR cell: one (or *repeats*) full 512-slot sweeps."""
+    return CampaignCell(
+        kind="kaslr",
+        machine=machine,
+        params=freeze_params(
+            dict(
+                strategy=strategy,
+                eviction=eviction,
+                suppression=suppression,
+                repeats=repeats,
+            )
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class TrialRef:
+    """One expanded trial, addressed inside its campaign.
+
+    ``cell`` indexes into the spec's cell tuple, ``rep`` counts the
+    cell-level repetition, ``unit`` names the aggregation group the
+    decoder consumes (``byte<N>`` for channel cells, ``sweep`` for KASLR
+    cells) and ``coord`` is the decode coordinate inside that group (the
+    test value, or the KASLR slot).
+    """
+
+    cell: int
+    rep: int
+    unit: str
+    coord: int
+    trial: object  # ChannelTrial | KaslrTrial (both frozen, picklable)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A frozen, picklable description of one sampling campaign."""
+
+    name: str
+    cells: Tuple[CampaignCell, ...]
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        machines: Iterable[MachineSpec],
+        kinds: Sequence[str] = ("channel",),
+        **params,
+    ) -> "CampaignSpec":
+        """The cross-product constructor: machines x kinds, shared params.
+
+        Channel cells pick the channel-shaped parameters out of *params*
+        (``payload``, ``batches``, ``values``, ``statistic``, ``repeats``),
+        KASLR cells the sweep-shaped ones (``strategy``, ``eviction``,
+        ``repeats``); unknown keys raise immediately.
+        """
+        channel_keys = {
+            "payload", "batches", "values", "statistic", "suppression", "repeats",
+        }
+        kaslr_keys = {"strategy", "eviction", "suppression", "repeats"}
+        unknown = set(params) - channel_keys - kaslr_keys
+        if unknown:
+            raise ValueError(f"unknown grid parameters: {sorted(unknown)}")
+        cells: List[CampaignCell] = []
+        for machine in machines:
+            for kind in kinds:
+                if kind == "channel":
+                    picked = {k: v for k, v in params.items() if k in channel_keys}
+                    cells.append(channel_cell(machine, **picked))
+                elif kind == "kaslr":
+                    picked = {k: v for k, v in params.items() if k in kaslr_keys}
+                    cells.append(kaslr_cell(machine, **picked))
+                else:
+                    raise ValueError(f"unknown cell kind {kind!r}")
+        return cls(name=name, cells=tuple(cells))
+
+    def expand(self) -> List[TrialRef]:
+        """The deterministic task list: every trial of every cell, in order.
+
+        Trial indices restart at 0 per cell (each cell has its own
+        machine, hence its own seed stream) and advance monotonically
+        across that cell's repeats -- exactly as a live pooled channel or
+        KASLR attack bound to that machine would allocate them.
+        """
+        refs: List[TrialRef] = []
+        for cell_index, cell in enumerate(self.cells):
+            expander = _EXPANDERS[cell.kind]
+            refs.extend(expander(cell_index, cell))
+        return refs
+
+    def trial_count(self) -> int:
+        """How many trials :meth:`expand` yields (without expanding)."""
+        total = 0
+        for cell in self.cells:
+            repeats = cell.param("repeats", 1)
+            if cell.kind == "channel":
+                per_rep = len(cell.param("payload", b"")) * len(
+                    cell.param("values", ())
+                )
+            else:
+                from repro.kernel.layout import KASLR_SLOTS
+
+                per_rep = KASLR_SLOTS
+            total += repeats * per_rep
+        return total
+
+
+def _expand_channel(cell_index: int, cell: CampaignCell) -> List[TrialRef]:
+    from repro.whisper.channel import TetCovertChannel
+
+    payload = cell.param("payload")
+    if not payload:
+        raise ValueError(f"channel cell {cell_index} has an empty payload")
+    refs: List[TrialRef] = []
+    index = 0
+    for rep in range(cell.param("repeats", 1)):
+        pairs, index = TetCovertChannel.campaign_trials(
+            cell.machine,
+            payload,
+            batches=cell.param("batches", 3),
+            values=cell.param("values", tuple(range(256))),
+            suppression=cell.param("suppression"),
+            start_index=index,
+        )
+        for position, trial in pairs:
+            refs.append(
+                TrialRef(
+                    cell=cell_index,
+                    rep=rep,
+                    unit=f"byte{position}",
+                    coord=trial.test,
+                    trial=trial,
+                )
+            )
+    return refs
+
+
+def _expand_kaslr(cell_index: int, cell: CampaignCell) -> List[TrialRef]:
+    from repro.whisper.attacks.kaslr import TetKaslr
+
+    refs: List[TrialRef] = []
+    index = 0
+    for rep in range(cell.param("repeats", 1)):
+        pairs, index = TetKaslr.campaign_trials(
+            cell.machine,
+            strategy=cell.param("strategy", "auto"),
+            eviction=cell.param("eviction", "direct"),
+            suppression=cell.param("suppression"),
+            start_index=index,
+        )
+        for slot, trial in pairs:
+            refs.append(
+                TrialRef(
+                    cell=cell_index, rep=rep, unit="sweep", coord=slot, trial=trial
+                )
+            )
+    return refs
+
+
+_EXPANDERS: Dict[str, object] = {
+    "channel": _expand_channel,
+    "kaslr": _expand_kaslr,
+}

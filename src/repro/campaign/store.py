@@ -1,0 +1,199 @@
+"""The content-addressed result store: trial outcomes keyed by meaning.
+
+Every campaign trial is a pure function of its payload -- that is the
+runtime determinism contract -- so its result can be cached forever under
+a key that names the computation: a SHA-256 over the canonical JSON
+encoding of ``(store format, repro version, trial payload)``.  Any change
+that could change the outcome (CPU model, boot seed, batch count, test
+value, eviction mode, a new repro release) changes the encoding and
+therefore the key; re-running a campaign after an edit replays what is
+still valid and executes only the delta.
+
+On disk the store is one append-only JSONL file, ``results.jsonl`` under
+the store root (default ``.campaigns/``).  Appending after every batch
+is the runner's checkpoint mechanism: an interrupted sweep loses at most
+the in-flight batch.  Loading tolerates a torn tail or corrupted line --
+the damaged record is skipped with a warning and its trial simply
+re-executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import warnings
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro import __version__ as REPRO_VERSION
+from repro.runtime.tasks import TrialResult
+
+#: Bump when the record layout changes; invalidates every cached result.
+STORE_FORMAT = 1
+
+DEFAULT_ROOT = ".campaigns"
+
+
+# -- canonical encoding --------------------------------------------------------
+
+
+def canonical_encode(obj):
+    """Reduce *obj* to a JSON-serialisable canonical form.
+
+    Dataclasses carry their type name (two payload kinds with identical
+    fields must not collide), bytes become hex, tuples become lists.
+    The encoding is total over everything a campaign spec or trial
+    payload contains.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            field.name: canonical_encode(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        return {"__type__": type(obj).__name__, **fields}
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": bytes(obj).hex()}
+    if isinstance(obj, (tuple, list)):
+        return [canonical_encode(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): canonical_encode(value) for key, value in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonically encode {type(obj).__name__}")
+
+
+def _digest(payload) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def trial_key(trial, version: str = REPRO_VERSION) -> str:
+    """The content address of one trial's result.
+
+    Keyed by the full trial payload plus the repro version: a new release
+    may change simulator timing, so cached results never leak across
+    versions.
+    """
+    return _digest(
+        {
+            "format": STORE_FORMAT,
+            "version": version,
+            "trial": canonical_encode(trial),
+        }
+    )
+
+
+def spec_digest(spec) -> str:
+    """A stable fingerprint of a whole campaign spec (for reports)."""
+    return _digest(
+        {"format": STORE_FORMAT, "version": REPRO_VERSION, "spec": canonical_encode(spec)}
+    )
+
+
+# -- the on-disk store ---------------------------------------------------------
+
+
+class ResultStore:
+    """Append-only JSONL store of ``key -> TrialResult`` records."""
+
+    def __init__(self, root: str = DEFAULT_ROOT) -> None:
+        self.root = root
+        self.path = os.path.join(root, "results.jsonl")
+        self._index: Optional[Dict[str, TrialResult]] = None
+
+    # -- loading ---------------------------------------------------------------
+
+    def _load(self) -> Dict[str, TrialResult]:
+        if self._index is not None:
+            return self._index
+        index: Dict[str, TrialResult] = {}
+        if os.path.exists(self.path):
+            with open(self.path, "r") as handle:
+                for lineno, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = self._parse_line(line, lineno)
+                    if record is not None:
+                        key, result = record
+                        index[key] = result
+        self._index = index
+        return index
+
+    def _parse_line(self, line: str, lineno: int):
+        try:
+            record = json.loads(line)
+            key = record["key"]
+            result = record["result"]
+            totes = tuple(int(t) for t in result["totes"])
+            cycles = int(result["cycles"])
+        except (ValueError, KeyError, TypeError) as exc:
+            warnings.warn(
+                f"{self.path}:{lineno}: skipping corrupt store record "
+                f"({type(exc).__name__}: {exc}); its trial will re-execute",
+                stacklevel=2,
+            )
+            return None
+        return key, TrialResult(totes=totes, cycles=cycles)
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[TrialResult]:
+        """The cached result under *key*, or None."""
+        return self._load().get(key)
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, TrialResult]:
+        """All cached results among *keys*."""
+        index = self._load()
+        return {key: index[key] for key in keys if key in index}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, key: str, result: TrialResult) -> None:
+        """Record one result (appends and flushes -- a checkpoint)."""
+        self.put_many([(key, result)])
+
+    def put_many(self, records: Iterable[Tuple[str, TrialResult]]) -> None:
+        """Append a batch of results in one flush (the runner checkpoint)."""
+        records = list(records)
+        if not records:
+            return
+        index = self._load()
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.path, "a") as handle:
+            for key, result in records:
+                handle.write(
+                    json.dumps(
+                        {
+                            "key": key,
+                            "result": {
+                                "totes": list(result.totes),
+                                "cycles": result.cycles,
+                            },
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                index[key] = result
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> int:
+        """Drop every cached result; returns how many were dropped."""
+        dropped = len(self._load())
+        if os.path.exists(self.path):
+            os.remove(self.path)
+        self._index = {}
+        return dropped
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root!r}, {len(self)} records)"

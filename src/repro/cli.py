@@ -2,21 +2,23 @@
 
 A downstream user's fastest route to every headline result:
 
-==========  ============================================================
-command     what it does
-==========  ============================================================
-``demo``    the Figure 1 channel: scan, text plot, decoded byte
-``send``    transmit a message through TET-CC (``--fast`` = TET-CC-BS)
-``leak``    TET-Meltdown against the simulated kernel secret
-``kaslr``   break KASLR (``--kpti`` / ``--flare`` / ``--container``)
-``matrix``  the Table 2 attack x CPU matrix (short secrets)
-``pmu``     the Figure 2 toolset on a chosen scene
-==========  ============================================================
+============  ==========================================================
+command       what it does
+============  ==========================================================
+``demo``      the Figure 1 channel: scan, text plot, decoded byte
+``send``      transmit a message through TET-CC (``--fast`` = TET-CC-BS)
+``leak``      TET-Meltdown against the simulated kernel secret
+``kaslr``     break KASLR (``--kpti`` / ``--flare`` / ``--container``)
+``matrix``    the Table 2 attack x CPU matrix (short secrets)
+``pmu``       the Figure 2 toolset on a chosen scene
+``campaign``  declarative cached sweeps: ``run|status|report|clean|list``
+============  ==========================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -32,14 +34,22 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="KASLR/boot seed")
 
 
-def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _workers_parent() -> argparse.ArgumentParser:
+    """The shared ``--workers`` parent parser.
+
+    Every trial-running subcommand (``demo``, ``send``, ``kaslr``,
+    ``matrix``, ``campaign run``) takes it via ``parents=``, so the flag
+    is spelled and documented once.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--workers",
         type=int,
         default=0,
         help="fan trials across N worker processes (0 = classic serial "
         "path; results are identical at any worker count)",
     )
+    return parent
 
 
 def _trial_pool(args):
@@ -150,29 +160,33 @@ def cmd_matrix(args) -> int:
     cpus = sorted(CPU_MODELS) if args.all_cpus else [
         "i7-6700", "i7-7700", "i9-10980XE", "i9-13900K", "ryzen-5600G",
     ]
+    pool = _trial_pool(args)
     matrix = {}
-    for cpu in cpus:
-        row = {}
-        for attack in attacks:
-            machine = Machine(cpu, seed=args.seed, secret=secret)
-            if attack == "TET-CC":
-                row[attack] = (
-                    TetCovertChannel(machine, batches=3).transmit(secret).error_rate == 0
-                )
-            elif attack == "TET-MD":
-                row[attack] = TetMeltdown(machine, batches=3).leak(length=2).success
-            elif attack == "TET-ZBL":
-                zbl = TetZombieload(machine, batches=5)
-                zbl.install_victim_secret(secret)
-                row[attack] = zbl.leak().success
-            elif attack == "TET-RSB":
-                rsb = TetSpectreRsb(machine)
-                rsb.install_secret(secret)
-                row[attack] = rsb.leak().success
-            else:
-                row[attack] = TetKaslr(machine).break_kaslr().success
-        matrix[cpu] = row
-        print(f"[{cpu}] done", file=sys.stderr)
+    try:
+        for cpu in cpus:
+            row = {}
+            for attack in attacks:
+                machine = Machine(cpu, seed=args.seed, secret=secret)
+                if attack == "TET-CC":
+                    channel = TetCovertChannel(machine, batches=3, pool=pool)
+                    row[attack] = channel.transmit(secret).error_rate == 0
+                elif attack == "TET-MD":
+                    row[attack] = TetMeltdown(machine, batches=3).leak(length=2).success
+                elif attack == "TET-ZBL":
+                    zbl = TetZombieload(machine, batches=5)
+                    zbl.install_victim_secret(secret)
+                    row[attack] = zbl.leak().success
+                elif attack == "TET-RSB":
+                    rsb = TetSpectreRsb(machine)
+                    rsb.install_secret(secret)
+                    row[attack] = rsb.leak().success
+                else:
+                    row[attack] = TetKaslr(machine, pool=pool).break_kaslr().success
+            matrix[cpu] = row
+            print(f"[{cpu}] done", file=sys.stderr)
+    finally:
+        if pool is not None:
+            pool.close()
     print(success_matrix(matrix, row_order=cpus, column_order=attacks))
     return 0
 
@@ -201,26 +215,134 @@ def cmd_pmu(args) -> int:
     return 0
 
 
+def _campaign_store(args):
+    from repro.campaign import ResultStore
+
+    return ResultStore(args.store)
+
+
+def _campaign_spec(name: str):
+    from repro.campaign import builtin_campaign
+
+    return builtin_campaign(name)
+
+
+def _artifact_paths(store_root: str, name: str):
+    base = os.path.join(store_root, name)
+    return os.path.join(base, "report.json"), os.path.join(base, "report.txt")
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import CampaignRunner
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    pool = _trial_pool(args)
+    try:
+        runner = CampaignRunner(
+            spec,
+            store=_campaign_store(args),
+            pool=pool,
+            batch_size=args.batch_size,
+            progress=lambda message: print(f"[{spec.name}] {message}", file=sys.stderr),
+        )
+        report, stats = runner.run()
+    finally:
+        if pool is not None:
+            pool.close()
+    json_path, text_path = _artifact_paths(args.store, spec.name)
+    report.write_json(json_path)
+    report.write_text(text_path)
+    print(report.render_text())
+    print(f"run      : {stats}")
+    print(f"artifacts: {json_path}, {text_path}")
+    if args.require_cached is not None and stats.hit_rate < args.require_cached:
+        print(
+            f"cache hit rate {stats.hit_rate:.1%} below required "
+            f"{args.require_cached:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign import CampaignRunner
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(CampaignRunner(spec, store=_campaign_store(args)).status())
+    return 0
+
+
+def cmd_campaign_report(args) -> int:
+    from repro.campaign import CampaignRunner
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    runner = CampaignRunner(spec, store=_campaign_store(args))
+    report = runner.collect()
+    if report is None:
+        print(runner.status())
+        print("campaign incomplete; `campaign run` executes the delta",
+              file=sys.stderr)
+        return 1
+    json_path, text_path = _artifact_paths(args.store, spec.name)
+    report.write_json(json_path)
+    report.write_text(text_path)
+    print(report.render_text())
+    print(f"artifacts: {json_path}, {text_path}")
+    return 0
+
+
+def cmd_campaign_clean(args) -> int:
+    dropped = _campaign_store(args).clear()
+    print(f"dropped {dropped} cached trial results from {args.store}")
+    return 0
+
+
+def cmd_campaign_list(args) -> int:
+    from repro.campaign import BUILTIN_CAMPAIGNS
+
+    for name in sorted(BUILTIN_CAMPAIGNS):
+        spec = BUILTIN_CAMPAIGNS[name]()
+        doc = (BUILTIN_CAMPAIGNS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name:15} {spec.trial_count():>6} trials  {doc}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Whisper (DAC 2024) reproduction on a simulated CPU",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    workers = _workers_parent()
 
-    demo = sub.add_parser("demo", help="see the Figure 1 channel")
+    demo = sub.add_parser(
+        "demo", parents=[workers], help="see the Figure 1 channel"
+    )
     _add_machine_args(demo)
     demo.add_argument("--byte", type=lambda s: int(s, 0), default=0x53)
     demo.add_argument("--batches", type=int, default=5)
-    _add_workers_arg(demo)
     demo.set_defaults(func=cmd_demo)
 
-    send = sub.add_parser("send", help="transmit a message through TET-CC")
+    send = sub.add_parser(
+        "send", parents=[workers], help="transmit a message through TET-CC"
+    )
     _add_machine_args(send)
     send.add_argument("message", nargs="?", default="whisper")
     send.add_argument("--batches", type=int, default=3)
     send.add_argument("--fast", action="store_true", help="binary-search mode")
-    _add_workers_arg(send)
     send.set_defaults(func=cmd_send)
 
     leak = sub.add_parser("leak", help="TET-Meltdown the kernel secret")
@@ -230,18 +352,67 @@ def build_parser() -> argparse.ArgumentParser:
     leak.add_argument("--kpti", action="store_true")
     leak.set_defaults(func=cmd_leak)
 
-    kaslr = sub.add_parser("kaslr", help="break KASLR")
+    kaslr = sub.add_parser("kaslr", parents=[workers], help="break KASLR")
     _add_machine_args(kaslr)
     kaslr.add_argument("--kpti", action="store_true")
     kaslr.add_argument("--flare", action="store_true")
     kaslr.add_argument("--container", action="store_true")
-    _add_workers_arg(kaslr)
     kaslr.set_defaults(func=cmd_kaslr)
 
-    matrix = sub.add_parser("matrix", help="the Table 2 attack x CPU matrix")
+    matrix = sub.add_parser(
+        "matrix", parents=[workers], help="the Table 2 attack x CPU matrix"
+    )
     matrix.add_argument("--seed", type=int, default=1)
     matrix.add_argument("--all-cpus", action="store_true")
     matrix.set_defaults(func=cmd_matrix)
+
+    campaign = sub.add_parser(
+        "campaign", help="declarative cached sweeps (repro.campaign)"
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(sub_parser):
+        sub_parser.add_argument(
+            "--store",
+            default=".campaigns",
+            help="result-store directory (default: .campaigns)",
+        )
+
+    crun = csub.add_parser(
+        "run", parents=[workers],
+        help="run a campaign (cached trials replay for free)",
+    )
+    crun.add_argument("name", help="built-in campaign name (see `campaign list`)")
+    _campaign_common(crun)
+    crun.add_argument(
+        "--batch-size", type=int, default=128,
+        help="trials per checkpoint batch (default: 128)",
+    )
+    crun.add_argument(
+        "--require-cached", type=float, default=None, metavar="FRACTION",
+        help="exit non-zero if the store hit rate is below FRACTION "
+        "(CI uses 0.9 to police the cache)",
+    )
+    crun.set_defaults(func=cmd_campaign_run)
+
+    cstatus = csub.add_parser("status", help="cached/pending trial accounting")
+    cstatus.add_argument("name")
+    _campaign_common(cstatus)
+    cstatus.set_defaults(func=cmd_campaign_status)
+
+    creport = csub.add_parser(
+        "report", help="render artifacts purely from the store (no execution)"
+    )
+    creport.add_argument("name")
+    _campaign_common(creport)
+    creport.set_defaults(func=cmd_campaign_report)
+
+    cclean = csub.add_parser("clean", help="drop every cached trial result")
+    _campaign_common(cclean)
+    cclean.set_defaults(func=cmd_campaign_clean)
+
+    clist = csub.add_parser("list", help="list built-in campaigns")
+    clist.set_defaults(func=cmd_campaign_list)
 
     pmu = sub.add_parser("pmu", help="the Figure 2 PMU toolset")
     _add_machine_args(pmu)

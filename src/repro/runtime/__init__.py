@@ -27,6 +27,7 @@ from repro.runtime.tasks import (
     TrialResult,
     run_channel_trial,
     run_kaslr_trial,
+    run_trial,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "derive_seed",
     "run_channel_trial",
     "run_kaslr_trial",
+    "run_trial",
 ]

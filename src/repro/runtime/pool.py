@@ -108,10 +108,17 @@ class TrialPool:
             self.executor = SerialExecutor()
         else:
             self.executor = ProcessExecutor(self.workers, chunk_size=chunk_size)
+        #: Trials dispatched through this pool over its lifetime.  Campaign
+        #: reports read it to tell freshly executed trials from store hits
+        #: (a cache replay never touches the pool).
+        self.trials_executed = 0
 
     def map(self, fn: Callable, payloads: Sequence) -> List:
         """Run *fn* over *payloads*; results in payload order."""
-        return self.executor.map(fn, payloads)
+        payloads = list(payloads)
+        results = self.executor.map(fn, payloads)
+        self.trials_executed += len(payloads)
+        return results
 
     def close(self) -> None:
         self.executor.close()

@@ -140,6 +140,20 @@ def run_kaslr_trial(trial: KaslrTrial) -> TrialResult:
     return TrialResult(totes=(tote,), cycles=machine.core.global_cycle)
 
 
+def run_trial(trial) -> TrialResult:
+    """Dispatch any known trial payload to its trial function.
+
+    Campaign batches mix trial kinds (an environment-matrix sweep carries
+    channel scans and KASLR sweeps in one task list), so the pool needs a
+    single module-level callable that routes on payload type.
+    """
+    if isinstance(trial, ChannelTrial):
+        return run_channel_trial(trial)
+    if isinstance(trial, KaslrTrial):
+        return run_kaslr_trial(trial)
+    raise TypeError(f"unknown trial payload type: {type(trial).__name__}")
+
+
 def clear_worker_contexts() -> None:
     """Drop all cached machines (tests that need cold workers)."""
     _channel_contexts.clear()

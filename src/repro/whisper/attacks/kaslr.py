@@ -193,6 +193,68 @@ class TetKaslr:
             mapped_slots=mapped,
         )
 
+    @staticmethod
+    def resolve_strategy(spec, strategy: str = "auto"):
+        """Map a strategy name (and a machine's defenses) to scan shape.
+
+        Returns ``(strategy_name, offset, cr3_switch)`` -- the same
+        resolution :meth:`break_auto` applies to a live machine, but
+        computed from a :class:`~repro.runtime.MachineSpec` so campaign
+        expansion never has to build the machine.
+        """
+        if strategy == "auto":
+            if spec.flare:
+                strategy = "flare-bypass"
+            elif spec.kpti:
+                strategy = "kpti-trampoline"
+            else:
+                strategy = "slot-scan"
+        if strategy == "slot-scan":
+            return strategy, 0, False
+        if strategy == "kpti-trampoline":
+            return strategy, KPTI_TRAMPOLINE_OFFSET, False
+        if strategy == "flare-bypass":
+            return strategy, KPTI_TRAMPOLINE_OFFSET, True
+        raise ValueError(f"unknown KASLR strategy {strategy!r}")
+
+    @classmethod
+    def campaign_trials(
+        cls,
+        spec,
+        strategy: str = "auto",
+        eviction: str = "direct",
+        suppression: Optional[str] = None,
+        start_index: int = 0,
+    ):
+        """The campaign adapter: expand one full sweep into trial payloads.
+
+        Returns ``(pairs, next_index)`` where *pairs* is a list of
+        ``(slot, KaslrTrial)`` covering all 512 candidates under the
+        resolved *strategy*, with trial indices allocated monotonically
+        from *start_index*.
+        """
+        from repro.runtime.tasks import KaslrTrial
+
+        _, offset, cr3_switch = cls.resolve_strategy(spec, strategy)
+        pairs = []
+        index = start_index
+        for slot in range(KASLR_SLOTS):
+            pairs.append(
+                (
+                    slot,
+                    KaslrTrial(
+                        spec=spec,
+                        va=slot_base(slot) + offset,
+                        cr3_switch=cr3_switch,
+                        trial_index=index,
+                        eviction=eviction,
+                        suppression=suppression,
+                    ),
+                )
+            )
+            index += 1
+        return pairs, index
+
     def _sweep_pooled(self, offset: int, cr3_switch: bool) -> Dict[int, int]:
         """Fan the 512-slot sweep across the trial pool, one slot per trial.
 
@@ -202,23 +264,21 @@ class TetKaslr:
         per-trial cycles are charged to this machine's timeline.
         """
         from repro.runtime.spec import MachineSpec
-        from repro.runtime.tasks import KaslrTrial, run_kaslr_trial
+        from repro.runtime.tasks import run_kaslr_trial
 
         if self._spec is None:
             self._spec = MachineSpec.of(self.machine)
-        trials = []
-        for slot in range(KASLR_SLOTS):
-            trials.append(
-                KaslrTrial(
-                    spec=self._spec,
-                    va=slot_base(slot) + offset,
-                    cr3_switch=cr3_switch,
-                    trial_index=self._trial_counter,
-                    eviction=self.eviction,
-                    suppression=self.builder.suppression.value,
-                )
-            )
-            self._trial_counter += 1
+        strategy = "flare-bypass" if cr3_switch else (
+            "kpti-trampoline" if offset == KPTI_TRAMPOLINE_OFFSET else "slot-scan"
+        )
+        pairs, self._trial_counter = self.campaign_trials(
+            self._spec,
+            strategy=strategy,
+            eviction=self.eviction,
+            suppression=self.builder.suppression.value,
+            start_index=self._trial_counter,
+        )
+        trials = [trial for _, trial in pairs]
         outcomes = self.pool.map(run_kaslr_trial, trials)
         self.machine.core.global_cycle += sum(o.cycles for o in outcomes)
         return {slot: outcome.totes[0] for slot, outcome in enumerate(outcomes)}

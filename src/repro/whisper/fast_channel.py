@@ -137,5 +137,5 @@ bs_below:"""
             error_rate=error_rate(payload, received),
             cycles=cycles,
             seconds=seconds,
-            bytes_per_second=len(payload) / seconds if seconds else float("inf"),
+            bytes_per_second=len(payload) / seconds if seconds > 0 else 0.0,
         )

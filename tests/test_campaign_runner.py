@@ -1,0 +1,324 @@
+"""Campaign expansion, replay, resume and the CLI surface.
+
+The campaign determinism contract extends the runtime one: a run that
+mixes store replays with live execution -- including a run interrupted
+mid-sweep and resumed -- produces artifacts *byte-identical* to a cold
+serial run of the same spec.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    builtin_campaign,
+    builtin_names,
+    channel_cell,
+    kaslr_cell,
+    spec_digest,
+    trial_key,
+)
+from repro.campaign.runner import RunStats
+from repro.runtime import MachineSpec, TrialPool
+
+
+def tiny_spec(seed=7, payload=b"\x05", batches=2, values=range(8)) -> CampaignSpec:
+    """8 trials per payload byte: seconds, not minutes."""
+    return CampaignSpec(
+        name="tiny",
+        cells=(
+            channel_cell(
+                MachineSpec(seed=seed), payload=payload, batches=batches,
+                values=values,
+            ),
+        ),
+    )
+
+
+class TestExpansion:
+    def test_expand_is_deterministic(self):
+        spec = tiny_spec()
+        first, second = spec.expand(), spec.expand()
+        assert first == second
+        assert len(first) == spec.trial_count() == 8
+
+    def test_trial_indices_are_monotone_per_cell(self):
+        spec = tiny_spec(payload=b"\x01\x02")
+        indices = [ref.trial.trial_index for ref in spec.expand()]
+        assert indices == list(range(16))
+
+    def test_units_name_payload_positions(self):
+        spec = tiny_spec(payload=b"\x01\x02")
+        units = {ref.unit for ref in spec.expand()}
+        assert units == {"byte0", "byte1"}
+
+    def test_kaslr_cell_expands_all_slots(self):
+        spec = CampaignSpec(
+            name="k", cells=(kaslr_cell(MachineSpec(seed=3, kpti=True)),)
+        )
+        refs = spec.expand()
+        assert len(refs) == 512
+        assert {ref.unit for ref in refs} == {"sweep"}
+        assert [ref.coord for ref in refs] == list(range(512))
+
+    def test_repeats_extend_the_seed_stream(self):
+        spec = CampaignSpec(
+            name="r",
+            cells=(
+                channel_cell(
+                    MachineSpec(seed=7), payload=b"\x05", values=range(8),
+                    repeats=2,
+                ),
+            ),
+        )
+        refs = spec.expand()
+        assert len(refs) == 16
+        assert [ref.trial.trial_index for ref in refs] == list(range(16))
+        assert {ref.rep for ref in refs} == {0, 1}
+
+    def test_grid_cross_product(self):
+        machines = [MachineSpec(seed=1), MachineSpec(seed=2)]
+        spec = CampaignSpec.grid(
+            "g", machines, kinds=("channel", "kaslr"), payload=b"\x01",
+            values=range(4),
+        )
+        assert len(spec.cells) == 4
+        assert [cell.kind for cell in spec.cells] == [
+            "channel", "kaslr", "channel", "kaslr",
+        ]
+
+    def test_grid_rejects_unknown_params(self):
+        with pytest.raises(ValueError, match="unknown grid parameters"):
+            CampaignSpec.grid("g", [MachineSpec()], bogus=1)
+
+    def test_cell_kind_validated(self):
+        from repro.campaign import CampaignCell
+
+        with pytest.raises(ValueError, match="cell kind"):
+            CampaignCell(kind="meltdown", machine=MachineSpec())
+
+
+class TestReplay:
+    def test_second_run_is_pure_replay(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(str(tmp_path))
+        report1, stats1 = CampaignRunner(spec, store=store).run()
+        assert stats1.executed == stats1.total == 8
+        report2, stats2 = CampaignRunner(spec, store=ResultStore(str(tmp_path))).run()
+        assert stats2.executed == 0
+        assert stats2.cached == stats2.total == 8
+        assert stats2.hit_rate == 1.0
+        assert report2.to_json() == report1.to_json()
+        assert report2.render_text() == report1.render_text()
+
+    def test_spec_change_executes_only_the_delta(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        CampaignRunner(tiny_spec(payload=b"\x05"), store=store).run()
+        grown = tiny_spec(payload=b"\x05\x06")
+        _, stats = CampaignRunner(grown, store=store).run()
+        assert stats.cached == 8     # byte0's trials replay
+        assert stats.executed == 8   # byte1's trials are new
+
+    def test_decoded_payload_matches(self, tmp_path):
+        report, _ = CampaignRunner(
+            tiny_spec(payload=b"\x05\x02"), store=ResultStore(str(tmp_path))
+        ).run()
+        cell = report.cells[0]
+        assert cell["reps"][0]["received"] == "0502"
+        assert cell["reps"][0]["error_rate"] == 0.0
+        assert report.summary()["channel"]["clean"] == 1
+
+    def test_corrupt_record_reexecutes_one_trial(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(str(tmp_path))
+        CampaignRunner(spec, store=store).run()
+        lines = open(store.path).read().splitlines()
+        lines[3] = "garbage"
+        open(store.path, "w").write("\n".join(lines) + "\n")
+        fresh = ResultStore(str(tmp_path))
+        with pytest.warns(UserWarning, match="corrupt store record"):
+            _, stats = CampaignRunner(spec, store=fresh).run()
+        assert stats.cached == 7
+        assert stats.executed == 1
+
+    def test_status_and_collect(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(str(tmp_path))
+        runner = CampaignRunner(spec, store=store)
+        status = runner.status()
+        assert status.pending == status.total == 8
+        assert runner.collect() is None
+        runner.run()
+        assert runner.status().hit_rate == 1.0
+        assert runner.collect() is not None
+
+    def test_pooled_run_matches_serial_artifacts(self, tmp_path):
+        spec = tiny_spec()
+        serial_report, _ = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path / "serial"))
+        ).run()
+        with TrialPool(workers=2) as pool:
+            pooled_report, pooled_stats = CampaignRunner(
+                spec, store=ResultStore(str(tmp_path / "pooled")), pool=pool
+            ).run()
+        assert pooled_stats.executed == 8
+        assert pooled_report.to_json() == serial_report.to_json()
+
+
+class InterruptingPool(TrialPool):
+    """A serial pool that dies after *survive* map calls -- a mid-sweep
+    Ctrl-C with deterministic timing."""
+
+    def __init__(self, survive: int) -> None:
+        super().__init__(workers=1)
+        self.survive = survive
+        self.calls = 0
+
+    def map(self, fn, payloads):
+        self.calls += 1
+        if self.calls > self.survive:
+            raise KeyboardInterrupt
+        return super().map(fn, payloads)
+
+
+class TestResume:
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        spec = tiny_spec(payload=b"\x05\x06")  # 16 trials
+        cold_report, _ = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path / "cold"))
+        ).run()
+
+        store = ResultStore(str(tmp_path / "warm"))
+        pool = InterruptingPool(survive=2)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(spec, store=store, pool=pool, batch_size=4).run()
+        # Both completed batches were checkpointed before the interrupt.
+        assert len(ResultStore(str(tmp_path / "warm"))) == 8
+
+        resumed_report, stats = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path / "warm"))
+        ).run()
+        assert stats.cached == 8
+        assert stats.executed == 8
+        assert resumed_report.to_json() == cold_report.to_json()
+        assert resumed_report.render_text() == cold_report.render_text()
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            CampaignRunner(tiny_spec(), batch_size=0)
+
+
+class TestBuiltins:
+    def test_names_and_factories_agree(self):
+        for name in builtin_names():
+            spec = builtin_campaign(name)
+            assert spec.name == name
+            assert spec.trial_count() > 0
+
+    def test_factories_are_pure(self):
+        assert spec_digest(builtin_campaign("e9-kaslr")) == spec_digest(
+            builtin_campaign("e9-kaslr")
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            builtin_campaign("e99-nonsense")
+
+    def test_e9_shape(self):
+        spec = builtin_campaign("e9-kaslr")
+        assert len(spec.cells) == 3
+        assert all(cell.kind == "kaslr" for cell in spec.cells)
+        assert spec.trial_count() == 3 * 512
+
+    def test_expansion_keys_are_disjoint_across_cells(self):
+        """Distinct boot seeds must never share cached results."""
+        refs = builtin_campaign("e9-kaslr").expand()
+        keys = {trial_key(ref.trial) for ref in refs}
+        assert len(keys) == len(refs)
+
+    @pytest.mark.slow
+    def test_e9_acceptance_cache_and_byte_identity(self, tmp_path):
+        """The PR acceptance run: E9 twice back-to-back -- the second run
+        executes 0 live trials and the artifacts match byte for byte."""
+        spec = builtin_campaign("e9-kaslr")
+        with TrialPool(workers=4) as pool:
+            report1, stats1 = CampaignRunner(
+                spec, store=ResultStore(str(tmp_path)), pool=pool
+            ).run()
+        assert stats1.executed == stats1.total == 1536
+        report2, stats2 = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path))
+        ).run()
+        assert stats2.executed == 0
+        assert stats2.hit_rate == 1.0
+        assert report2.to_json() == report1.to_json()
+        assert report2.render_text() == report1.render_text()
+        # And the campaign reproduces the paper's result: all 3 boots broken.
+        assert report1.summary()["kaslr"] == {"sweeps": 3, "broken": 3}
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_campaign_list(self, capsys):
+        assert self.run_cli("campaign", "list") == 0
+        out = capsys.readouterr().out
+        for name in builtin_names():
+            assert name in out
+
+    def test_run_status_report_clean_cycle(self, tmp_path, capsys):
+        store = str(tmp_path)
+        assert self.run_cli("campaign", "status", "ci-smoke", "--store", store) == 0
+        assert "32 pending" in capsys.readouterr().out
+
+        assert self.run_cli(
+            "campaign", "report", "ci-smoke", "--store", store
+        ) == 1  # incomplete
+
+        assert self.run_cli("campaign", "run", "ci-smoke", "--store", store) == 0
+        out = capsys.readouterr().out
+        assert "32 executed" in out or "32 trials: 0 cached" in out
+        assert (tmp_path / "ci-smoke" / "report.json").exists()
+        assert (tmp_path / "ci-smoke" / "report.txt").exists()
+        artifact = json.loads((tmp_path / "ci-smoke" / "report.json").read_text())
+        assert artifact["campaign"] == "ci-smoke"
+        assert artifact["summary"]["trials"] == 32
+
+        assert self.run_cli(
+            "campaign", "run", "ci-smoke", "--store", store,
+            "--require-cached", "0.9",
+        ) == 0
+        assert self.run_cli(
+            "campaign", "report", "ci-smoke", "--store", store
+        ) == 0
+
+        assert self.run_cli("campaign", "clean", "--store", store) == 0
+        assert "dropped 32" in capsys.readouterr().out
+
+    def test_require_cached_fails_cold(self, tmp_path):
+        assert self.run_cli(
+            "campaign", "run", "ci-smoke", "--store", str(tmp_path),
+            "--require-cached", "0.9",
+        ) == 1
+
+    def test_unknown_campaign_exits_2(self, tmp_path):
+        assert self.run_cli(
+            "campaign", "run", "e99-nope", "--store", str(tmp_path)
+        ) == 2
+
+
+class TestRunStats:
+    def test_str_and_hit_rate(self):
+        stats = RunStats(total=10, cached=9, executed=1, batches=1, wall_seconds=0.5)
+        assert stats.hit_rate == 0.9
+        assert "9 cached" in str(stats)
+
+    def test_empty_campaign_hit_rate(self):
+        stats = RunStats(total=0, cached=0, executed=0, batches=0, wall_seconds=0.0)
+        assert stats.hit_rate == 1.0

@@ -1,0 +1,177 @@
+"""The content-addressed store: cache keys name the computation.
+
+The contract under test: a trial's key changes iff something that could
+change its outcome changes (machine model, boot seed, trial count, test
+value, repro version), the JSONL store survives process boundaries, and
+damaged records degrade to a warning plus re-execution -- never a wrong
+result.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    canonical_encode,
+    channel_cell,
+    kaslr_cell,
+    spec_digest,
+    trial_key,
+)
+from repro.runtime import ChannelTrial, MachineSpec, TrialResult
+
+
+def make_trial(**overrides) -> ChannelTrial:
+    spec_fields = dict(model="i7-7700", seed=9)
+    trial_fields = dict(byte=0x41, test=0x41, batches=2, trial_index=3)
+    for key, value in overrides.items():
+        target = spec_fields if key in spec_fields else trial_fields
+        target[key] = value
+    return ChannelTrial(spec=MachineSpec(**spec_fields), **trial_fields)
+
+
+class TestTrialKey:
+    def test_identical_payload_identical_key(self):
+        assert trial_key(make_trial()) == trial_key(make_trial())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"model": "i9-13900K"},  # CPU model
+            {"seed": 10},            # boot seed
+            {"batches": 3},          # trial count
+            {"test": 0x42},          # probed value
+            {"trial_index": 4},      # noise-stream index
+        ],
+    )
+    def test_any_field_change_misses(self, change):
+        assert trial_key(make_trial(**change)) != trial_key(make_trial())
+
+    def test_version_change_misses(self):
+        trial = make_trial()
+        assert trial_key(trial, version="1.0.0") != trial_key(trial, version="9.9.9")
+
+    def test_key_is_hex_sha256(self):
+        key = trial_key(make_trial())
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestCanonicalEncoding:
+    def test_bytes_become_hex(self):
+        assert canonical_encode(b"\x01\xff") == {"__bytes__": "01ff"}
+
+    def test_tuples_and_lists_agree(self):
+        assert canonical_encode((1, 2)) == canonical_encode([1, 2])
+
+    def test_dataclasses_carry_their_type(self):
+        encoded = canonical_encode(MachineSpec(seed=4))
+        assert encoded["__type__"] == "MachineSpec"
+        assert encoded["seed"] == 4
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+
+class TestSpecDigest:
+    def spec(self, seed=5, payload=b"\x07"):
+        return CampaignSpec(
+            name="t",
+            cells=(channel_cell(MachineSpec(seed=seed), payload=payload),),
+        )
+
+    def test_stable(self):
+        assert spec_digest(self.spec()) == spec_digest(self.spec())
+
+    def test_sensitive_to_cells(self):
+        assert spec_digest(self.spec(seed=5)) != spec_digest(self.spec(seed=6))
+        assert spec_digest(self.spec()) != spec_digest(self.spec(payload=b"\x08"))
+
+    def test_kaslr_cells_digest_too(self):
+        spec = CampaignSpec(
+            name="k", cells=(kaslr_cell(MachineSpec(seed=5, kpti=True)),)
+        )
+        assert spec_digest(spec) == spec_digest(spec)
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        result = TrialResult(totes=(10, 20), cycles=300)
+        store.put("k1", result)
+        assert store.get("k1") == result
+        assert "k1" in store
+        assert len(store) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultStore(str(tmp_path)).put("k1", TrialResult(totes=(1,), cycles=2))
+        reloaded = ResultStore(str(tmp_path))
+        assert reloaded.get("k1") == TrialResult(totes=(1,), cycles=2)
+
+    def test_get_many(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put_many(
+            [(f"k{i}", TrialResult(totes=(i,), cycles=i)) for i in range(4)]
+        )
+        found = store.get_many(["k1", "k3", "missing"])
+        assert sorted(found) == ["k1", "k3"]
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("k", TrialResult(totes=(1,), cycles=1))
+        store.put("k", TrialResult(totes=(2,), cycles=2))
+        assert ResultStore(str(tmp_path)).get("k").totes == (2,)
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("k", TrialResult(totes=(1,), cycles=1))
+        assert store.clear() == 1
+        assert len(ResultStore(str(tmp_path))) == 0
+
+    def test_missing_store_is_empty(self, tmp_path):
+        assert len(ResultStore(str(tmp_path / "nowhere"))) == 0
+
+
+class TestCorruptRecords:
+    def fill(self, tmp_path, count=3) -> ResultStore:
+        store = ResultStore(str(tmp_path))
+        store.put_many(
+            [(f"k{i}", TrialResult(totes=(i,), cycles=i)) for i in range(count)]
+        )
+        return store
+
+    def test_corrupt_line_skipped_with_warning(self, tmp_path):
+        store = self.fill(tmp_path)
+        lines = open(store.path).read().splitlines()
+        lines[1] = '{"key": "k1", "result": {"totes": [not json'
+        open(store.path, "w").write("\n".join(lines) + "\n")
+        reloaded = ResultStore(str(tmp_path))
+        with pytest.warns(UserWarning, match="corrupt store record"):
+            assert len(reloaded) == 2
+        assert reloaded.get("k1") is None  # will re-execute
+        assert reloaded.get("k0") is not None
+        assert reloaded.get("k2") is not None
+
+    def test_truncated_tail_skipped_with_warning(self, tmp_path):
+        store = self.fill(tmp_path)
+        text = open(store.path).read()
+        open(store.path, "w").write(text[: len(text) - 20])  # tear the tail
+        reloaded = ResultStore(str(tmp_path))
+        with pytest.warns(UserWarning, match="corrupt store record"):
+            assert len(reloaded) == 2
+
+    def test_wrong_shape_skipped_with_warning(self, tmp_path):
+        store = self.fill(tmp_path, count=1)
+        with open(store.path, "a") as handle:
+            handle.write('{"key": "k9", "result": {"cycles": 1}}\n')  # no totes
+        with pytest.warns(UserWarning, match="corrupt store record"):
+            assert ResultStore(str(tmp_path)).get("k9") is None
+
+    def test_blank_lines_ignored_silently(self, tmp_path):
+        store = self.fill(tmp_path, count=1)
+        with open(store.path, "a") as handle:
+            handle.write("\n\n")
+        assert len(ResultStore(str(tmp_path))) == 1

@@ -69,6 +69,12 @@ class TestBinarySearchChannel:
         assert stats.received == b"binary"
         assert stats.error_rate == 0.0
 
+    def test_transmit_empty_payload(self, channel):
+        stats = channel.transmit(b"")
+        assert stats.received == b""
+        assert stats.bytes_per_second == 0.0
+        assert stats.error_rate == 0.0
+
     def test_much_faster_than_linear_scan(self):
         fast_machine = Machine("i7-7700", seed=182)
         slow_machine = Machine("i7-7700", seed=182)

@@ -54,6 +54,18 @@ class TestExecutorSelection:
         with TrialPool(workers=2) as pool:
             assert pool.map(len, []) == []
 
+    def test_trials_executed_counter(self):
+        """The pool counts dispatched trials (campaign reports use the
+        counter to tell live execution from store replays)."""
+        with TrialPool(workers=1) as pool:
+            assert pool.trials_executed == 0
+            pool.map(len, ["ab", "c"])
+            pool.map(len, ["def"])
+            assert pool.trials_executed == 3
+        with TrialPool(workers=2) as pool:
+            pool.map(len, ["ab", "c", "d"])
+            assert pool.trials_executed == 3
+
 
 class TestSerialParallelEquivalence:
     def test_byte_scan_identical(self):
