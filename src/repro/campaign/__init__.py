@@ -27,7 +27,12 @@ from repro.campaign.builtin import (
     builtin_names,
 )
 from repro.campaign.report import CampaignReport, build_report
-from repro.campaign.runner import CampaignRunner, CampaignStatus, RunStats
+from repro.campaign.runner import (
+    CampaignAborted,
+    CampaignRunner,
+    CampaignStatus,
+    RunStats,
+)
 from repro.campaign.spec import (
     CampaignCell,
     CampaignSpec,
@@ -38,6 +43,7 @@ from repro.campaign.spec import (
 )
 from repro.campaign.store import (
     ResultStore,
+    StoredOutcome,
     canonical_encode,
     spec_digest,
     trial_key,
@@ -45,6 +51,7 @@ from repro.campaign.store import (
 
 __all__ = [
     "BUILTIN_CAMPAIGNS",
+    "CampaignAborted",
     "CampaignCell",
     "CampaignReport",
     "CampaignRunner",
@@ -52,6 +59,7 @@ __all__ = [
     "CampaignStatus",
     "ResultStore",
     "RunStats",
+    "StoredOutcome",
     "TrialRef",
     "build_report",
     "builtin_campaign",

@@ -24,9 +24,9 @@ from repro import __version__ as REPRO_VERSION
 from repro.campaign.spec import CampaignSpec, TrialRef
 from repro.campaign.store import canonical_encode, spec_digest
 from repro.kernel.kaslr import randomize_layout
-from repro.runtime.tasks import TrialResult
+from repro.runtime.tasks import TrialFailure, TrialResult
 from repro.uarch.config import cpu_model
-from repro.whisper.analysis import ArgExtremeDecoder, classify_bimodal, error_rate
+from repro.whisper.analysis import ArgExtremeDecoder, classify_bimodal
 
 
 @dataclass
@@ -47,6 +47,7 @@ class CampaignReport:
         out = {
             "cells": len(self.cells),
             "trials": sum(c["trials"] for c in self.cells),
+            "failures": sum(len(c["failures"]) for c in self.cells),
         }
         if channel_reps:
             out["channel"] = {
@@ -102,12 +103,21 @@ class CampaignReport:
         if "kaslr" in summary:
             ka = summary["kaslr"]
             lines.append(f"kaslr    : {ka['broken']}/{ka['sweeps']} sweeps broken")
+        if summary["failures"]:
+            lines.append(
+                f"failures : {summary['failures']} trials quarantined "
+                f"(see per-cell records)"
+            )
         return "\n".join(lines) + "\n"
 
     def write_text(self, path: str) -> None:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         with open(path, "w") as handle:
             handle.write(self.render_text())
+
+
+#: Per-cell cap on individually rendered failures in the text artifact.
+_RENDERED_FAILURES = 8
 
 
 def _render_cell(cell: dict) -> List[str]:
@@ -138,6 +148,18 @@ def _render_cell(cell: dict) -> List[str]:
             f"  {cell['trials']} trials, {cell['cycles']:,} cycles "
             f"({cell['seconds']:.6f} s simulated)"
         )
+    failures = cell["failures"]
+    if failures:
+        shown = failures[:_RENDERED_FAILURES]
+        lines.append(f"  {len(failures)} quarantined trials:")
+        for failure in shown:
+            faults = ",".join(failure["faults"])
+            lines.append(
+                f"    {failure['label']}: {failure['error']} "
+                f"[{failure['attempts']} attempts: {faults}]"
+            )
+        if len(failures) > len(shown):
+            lines.append(f"    ... and {len(failures) - len(shown)} more")
     lines.append("")
     return lines
 
@@ -154,6 +176,15 @@ def build_report(
     :class:`ArgExtremeDecoder`, KASLR sweeps classify through
     :func:`classify_bimodal` with ground truth recovered from the boot
     seed -- so a replayed campaign reports exactly what a live run would.
+
+    Results may be :class:`~repro.runtime.tasks.TrialFailure` values
+    (trials that failed every retry under a resilience policy).  Failures
+    are excluded from decoding/classification and recorded in each cell's
+    ``failures`` list; a channel byte with no surviving coordinates
+    decodes to ``??`` and counts as an error, a KASLR sweep with no
+    surviving probes reports no found base.  Since failure records are as
+    deterministic as results, the artifact stays byte-identical across
+    worker counts and resumes.
     """
     if len(refs) != len(results):
         raise ValueError(f"{len(refs)} refs but {len(results)} results")
@@ -179,28 +210,70 @@ def _machine_record(machine) -> dict:
     return record
 
 
+def _split_outcomes(pairs):
+    """Partition (ref, outcome) pairs into successes and failure records.
+
+    Failure records are sorted by ``(rep, unit, coord)`` -- never by
+    completion order -- as part of the byte-identity contract.
+    """
+    ok: List[Tuple[TrialRef, TrialResult]] = []
+    failures: List[dict] = []
+    for ref, outcome in pairs:
+        if isinstance(outcome, TrialFailure):
+            failures.append(
+                {
+                    "rep": ref.rep,
+                    "unit": ref.unit,
+                    "coord": ref.coord,
+                    "label": ref.label,
+                    "attempts": outcome.attempts,
+                    "faults": list(outcome.faults),
+                    "error": outcome.error,
+                }
+            )
+        else:
+            ok.append((ref, outcome))
+    failures.sort(key=lambda f: (f["rep"], f["unit"], f["coord"]))
+    return ok, failures
+
+
 def _channel_record(cell_index, cell, pairs) -> dict:
     payload: bytes = cell.param("payload")
     decoder = ArgExtremeDecoder("max", statistic=cell.param("statistic", "vote"))
-    cycles = sum(result.cycles for _, result in pairs)
+    ok, failures = _split_outcomes(pairs)
+    cycles = sum(result.cycles for _, result in ok)
     by_rep: Dict[int, Dict[str, Dict[int, List[int]]]] = {}
-    for ref, result in pairs:
-        unit_totes = by_rep.setdefault(ref.rep, {}).setdefault(ref.unit, {})
+    for ref, _ in pairs:
+        by_rep.setdefault(ref.rep, {})  # a fully-failed rep still reports
+    for ref, result in ok:
+        unit_totes = by_rep[ref.rep].setdefault(ref.unit, {})
         unit_totes[ref.coord] = list(result.totes)
     reps = []
     for rep in sorted(by_rep):
         scans = [
-            decoder.decode(by_rep[rep][f"byte{position}"])
-            for position in range(len(payload))
+            decoder.decode(unit_totes) if unit_totes else None
+            for unit_totes in (
+                by_rep[rep].get(f"byte{position}", {})
+                for position in range(len(payload))
+            )
         ]
-        received = bytes(scan.value for scan in scans)
+        received = "".join(
+            f"{scan.value:02x}" if scan is not None else "??" for scan in scans
+        )
+        errors = sum(
+            1
+            for scan, sent in zip(scans, payload)
+            if scan is None or scan.value != sent
+        )
         reps.append(
             {
                 "rep": rep,
-                "received": received.hex(),
-                "error_rate": error_rate(payload, received),
+                "received": received,
+                "error_rate": errors / len(payload),
                 "bytes": [
                     {"value": scan.value, "confidence": scan.confidence}
+                    if scan is not None
+                    else {"value": None, "confidence": 0.0}
                     for scan in scans
                 ],
             }
@@ -218,6 +291,7 @@ def _channel_record(cell_index, cell, pairs) -> dict:
         "statistic": cell.param("statistic", "vote"),
         "test_values": len(cell.param("values", ())),
         "reps": reps,
+        "failures": failures,
         "trials": len(pairs),
         "cycles": cycles,
         "seconds": seconds,
@@ -236,15 +310,21 @@ def _kaslr_record(cell_index, cell, pairs) -> dict:
     true_base = randomize_layout(
         seed=machine.seed, kaslr=machine.kaslr, fgkaslr=machine.fgkaslr
     ).base
-    cycles = sum(result.cycles for _, result in pairs)
+    ok, failures = _split_outcomes(pairs)
+    cycles = sum(result.cycles for _, result in ok)
     by_rep: Dict[int, Dict[int, int]] = {}
-    for ref, result in pairs:
-        by_rep.setdefault(ref.rep, {})[ref.coord] = result.totes[0]
+    for ref, _ in pairs:
+        by_rep.setdefault(ref.rep, {})  # a fully-failed rep still reports
+    for ref, result in ok:
+        by_rep[ref.rep][ref.coord] = result.totes[0]
     reps = []
     for rep in sorted(by_rep):
         totes = by_rep[rep]
-        threshold, is_low = classify_bimodal(totes)
-        mapped = sorted(slot for slot, low in is_low.items() if low)
+        if totes:
+            threshold, is_low = classify_bimodal(totes)
+            mapped = sorted(slot for slot, low in is_low.items() if low)
+        else:  # every probe in this sweep quarantined
+            threshold, mapped = None, []
         found = None
         if 0 < len(mapped) < KASLR_SLOTS:
             found = slot_base(mapped[0])
@@ -268,6 +348,7 @@ def _kaslr_record(cell_index, cell, pairs) -> dict:
         "strategy": strategy,
         "eviction": cell.param("eviction", "direct"),
         "reps": reps,
+        "failures": failures,
         "trials": len(pairs),
         "cycles": cycles,
         "seconds": cpu_model(model).seconds(cycles),

@@ -13,6 +13,15 @@ payload.
 The runner never writes wall-clock or provenance into the report; those
 live in :class:`RunStats` (``executed`` counts live trials via
 ``TrialPool.trials_executed``, ``cached`` counts store replays).
+
+Under a :class:`~repro.faults.resilience.ResiliencePolicy` the runner
+degrades gracefully instead of dying: trials that fail every retry are
+checkpointed as :class:`~repro.runtime.tasks.TrialFailure` records under
+the same content address their success would have used -- so resume
+replays failures rather than re-poisoning itself -- and the report grows
+a failures section.  ``max_failures`` bounds the damage: once the
+running failure count exceeds it, the runner checkpoints what it has and
+raises :class:`CampaignAborted`.
 """
 
 from __future__ import annotations
@@ -23,11 +32,25 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.campaign.report import CampaignReport, build_report
 from repro.campaign.spec import CampaignSpec, TrialRef
-from repro.campaign.store import ResultStore, trial_key
+from repro.campaign.store import ResultStore, StoredOutcome, trial_key
+from repro.faults.resilience import ResiliencePolicy
 from repro.runtime.pool import TrialPool
-from repro.runtime.tasks import TrialResult, run_trial
+from repro.runtime.tasks import TrialFailure, run_trial
 
 DEFAULT_BATCH_SIZE = 128
+
+
+class CampaignAborted(RuntimeError):
+    """Too many trials failed (see ``max_failures``).
+
+    Raised *after* the current batch's checkpoint, so everything
+    completed -- successes and structured failures alike -- is durable
+    and a later run resumes from it.
+    """
+
+    def __init__(self, message: str, failures: int) -> None:
+        super().__init__(message)
+        self.failures = failures
 
 
 @dataclass
@@ -62,17 +85,22 @@ class RunStats:
     executed: int
     batches: int
     wall_seconds: float
+    #: Trials whose outcome is a :class:`TrialFailure` (replayed or fresh).
+    failures: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.cached / self.total if self.total else 1.0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.total} trials: {self.cached} cached ({self.hit_rate:.1%}), "
             f"{self.executed} executed in {self.batches} batches, "
             f"{self.wall_seconds:.2f} s wall"
         )
+        if self.failures:
+            text += f", {self.failures} failures quarantined"
+        return text
 
 
 class CampaignRunner:
@@ -85,13 +113,23 @@ class CampaignRunner:
         pool: Optional[TrialPool] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         progress: Optional[Callable[[str], None]] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        max_failures: Optional[int] = None,
+        trial_fn: Callable = run_trial,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if max_failures is not None and max_failures < 0:
+            raise ValueError("max_failures must be non-negative (or None)")
         self.spec = spec
         self.store = store if store is not None else ResultStore()
         self.pool = pool
         self.batch_size = batch_size
+        self.policy = policy
+        self.max_failures = max_failures
+        #: The worker-side trial function; overridable so chaos tests can
+        #: sweep campaign-sized grids with a cheap stub.
+        self.trial_fn = trial_fn
         self._progress = progress or (lambda message: None)
 
     # -- queries ---------------------------------------------------------------
@@ -129,27 +167,47 @@ class CampaignRunner:
         start = time.perf_counter()
         refs, keys = self._expand()
         cached = self.store.get_many(keys)
-        results: List[Optional[TrialResult]] = [cached.get(key) for key in keys]
+        results: List[Optional[StoredOutcome]] = [cached.get(key) for key in keys]
         pending = [index for index, result in enumerate(results) if result is None]
+        failures = sum(
+            1 for result in results if isinstance(result, TrialFailure)
+        )
         executed_before = self.pool.trials_executed if self.pool else 0
         batches = 0
         if pending:
             pool = self.pool if self.pool is not None else TrialPool(workers=1)
+            if self.policy is not None:
+                pool.policy = self.policy
             try:
                 for offset in range(0, len(pending), self.batch_size):
                     batch = pending[offset : offset + self.batch_size]
-                    outcomes = pool.map(run_trial, [refs[i].trial for i in batch])
+                    outcomes = pool.map(
+                        self.trial_fn, [refs[i].trial for i in batch]
+                    )
                     # The checkpoint: a batch is durable before the next starts.
                     self.store.put_many(
                         (keys[i], outcome) for i, outcome in zip(batch, outcomes)
                     )
                     for i, outcome in zip(batch, outcomes):
                         results[i] = outcome
+                        if isinstance(outcome, TrialFailure):
+                            failures += 1
                     batches += 1
                     self._progress(
                         f"batch {batches}: {min(offset + len(batch), len(pending))}"
                         f"/{len(pending)} pending trials done"
                     )
+                    if (
+                        self.max_failures is not None
+                        and failures > self.max_failures
+                    ):
+                        # Checkpointed above: the abort loses nothing.
+                        raise CampaignAborted(
+                            f"{self.spec.name}: {failures} trial failures "
+                            f"exceed --max-failures {self.max_failures} "
+                            f"(progress checkpointed; rerun to resume)",
+                            failures=failures,
+                        )
             finally:
                 if self.pool is None:
                     pool.close()
@@ -164,6 +222,7 @@ class CampaignRunner:
             executed=executed,
             batches=batches,
             wall_seconds=time.perf_counter() - start,
+            failures=failures,
         )
         report = build_report(self.spec, refs, results)
         return report, stats

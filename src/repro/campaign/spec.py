@@ -132,6 +132,12 @@ class TrialRef:
     coord: int
     trial: object  # ChannelTrial | KaslrTrial (both frozen, picklable)
 
+    @property
+    def label(self) -> str:
+        """A stable human-readable address (used by report failure
+        records): ``cell0/rep1/byte3@127``."""
+        return f"cell{self.cell}/rep{self.rep}/{self.unit}@{self.coord}"
+
 
 @dataclass(frozen=True)
 class CampaignSpec:

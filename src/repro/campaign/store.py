@@ -12,9 +12,21 @@ still valid and executes only the delta.
 On disk the store is one append-only JSONL file, ``results.jsonl`` under
 the store root (default ``.campaigns/``).  Appending after every batch
 is the runner's checkpoint mechanism: an interrupted sweep loses at most
-the in-flight batch.  Loading tolerates a torn tail or corrupted line --
-the damaged record is skipped with a warning and its trial simply
-re-executes.
+the in-flight batch.  Every record carries a checksum over its body
+(``sum``), so *any* on-disk damage -- a torn tail, a truncated line, a
+single flipped bit inside an otherwise well-formed record -- is detected
+at load time: the damaged record is skipped with a warning and its trial
+simply re-executes.  Corruption can degrade to recomputation, never to a
+silently wrong result (``tests/test_faults_properties.py`` injects
+bit-flips and truncation through :class:`repro.faults.inject.FaultyStore`
+to enforce exactly that).
+
+Stored outcomes are either :class:`~repro.runtime.tasks.TrialResult`
+(``"result"`` records) or :class:`~repro.runtime.tasks.TrialFailure`
+(``"failure"`` records): a trial that failed every retry checkpoints its
+structured failure under the same content address its success would have
+used, which is what lets a resumed campaign replay failures instead of
+re-poisoning itself.
 """
 
 from __future__ import annotations
@@ -24,13 +36,17 @@ import hashlib
 import json
 import os
 import warnings
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro import __version__ as REPRO_VERSION
-from repro.runtime.tasks import TrialResult
+from repro.runtime.tasks import TrialFailure, TrialResult
 
 #: Bump when the record layout changes; invalidates every cached result.
-STORE_FORMAT = 1
+#: Format 2: per-record checksums + structured failure records.
+STORE_FORMAT = 2
+
+#: What a store holds per key.
+StoredOutcome = Union[TrialResult, TrialFailure]
 
 DEFAULT_ROOT = ".campaigns"
 
@@ -91,23 +107,54 @@ def spec_digest(spec) -> str:
     )
 
 
+# -- record encoding -----------------------------------------------------------
+
+
+def _outcome_body(outcome: StoredOutcome) -> dict:
+    """The record body for one stored outcome (result or failure)."""
+    if isinstance(outcome, TrialFailure):
+        return {
+            "failure": {
+                "attempts": outcome.attempts,
+                "faults": list(outcome.faults),
+                "error": outcome.error,
+            }
+        }
+    return {"result": {"totes": list(outcome.totes), "cycles": outcome.cycles}}
+
+
+def _record_sum(key: str, body: dict) -> str:
+    """The record checksum: SHA-256 over key + canonical body, truncated.
+
+    Covers the content address *and* the outcome payload, so any damage
+    that still parses as JSON -- a flipped bit in a stored value, or one
+    in the key that would silently re-home the record under another
+    trial's address -- fails verification at load time instead of
+    replaying a wrong result.
+    """
+    text = json.dumps(
+        {"key": key, **body}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
 # -- the on-disk store ---------------------------------------------------------
 
 
 class ResultStore:
-    """Append-only JSONL store of ``key -> TrialResult`` records."""
+    """Append-only JSONL store of checksummed ``key -> outcome`` records."""
 
     def __init__(self, root: str = DEFAULT_ROOT) -> None:
         self.root = root
         self.path = os.path.join(root, "results.jsonl")
-        self._index: Optional[Dict[str, TrialResult]] = None
+        self._index: Optional[Dict[str, StoredOutcome]] = None
 
     # -- loading ---------------------------------------------------------------
 
-    def _load(self) -> Dict[str, TrialResult]:
+    def _load(self) -> Dict[str, StoredOutcome]:
         if self._index is not None:
             return self._index
-        index: Dict[str, TrialResult] = {}
+        index: Dict[str, StoredOutcome] = {}
         if os.path.exists(self.path):
             with open(self.path, "r") as handle:
                 for lineno, line in enumerate(handle, start=1):
@@ -125,9 +172,28 @@ class ResultStore:
         try:
             record = json.loads(line)
             key = record["key"]
-            result = record["result"]
-            totes = tuple(int(t) for t in result["totes"])
-            cycles = int(result["cycles"])
+            body = {
+                field: record[field]
+                for field in ("result", "failure")
+                if field in record
+            }
+            if len(body) != 1:
+                raise ValueError("record needs exactly one of result/failure")
+            if record["sum"] != _record_sum(key, body):
+                raise ValueError("record checksum mismatch")
+            if "failure" in body:
+                failure = body["failure"]
+                outcome: StoredOutcome = TrialFailure(
+                    attempts=int(failure["attempts"]),
+                    faults=tuple(str(fault) for fault in failure["faults"]),
+                    error=str(failure["error"]),
+                )
+            else:
+                result = body["result"]
+                outcome = TrialResult(
+                    totes=tuple(int(t) for t in result["totes"]),
+                    cycles=int(result["cycles"]),
+                )
         except (ValueError, KeyError, TypeError) as exc:
             warnings.warn(
                 f"{self.path}:{lineno}: skipping corrupt store record "
@@ -135,16 +201,16 @@ class ResultStore:
                 stacklevel=2,
             )
             return None
-        return key, TrialResult(totes=totes, cycles=cycles)
+        return key, outcome
 
     # -- queries ---------------------------------------------------------------
 
-    def get(self, key: str) -> Optional[TrialResult]:
-        """The cached result under *key*, or None."""
+    def get(self, key: str) -> Optional[StoredOutcome]:
+        """The cached outcome under *key* (result or failure), or None."""
         return self._load().get(key)
 
-    def get_many(self, keys: Iterable[str]) -> Dict[str, TrialResult]:
-        """All cached results among *keys*."""
+    def get_many(self, keys: Iterable[str]) -> Dict[str, StoredOutcome]:
+        """All cached outcomes among *keys*."""
         index = self._load()
         return {key: index[key] for key in keys if key in index}
 
@@ -156,34 +222,34 @@ class ResultStore:
 
     # -- writes ----------------------------------------------------------------
 
-    def put(self, key: str, result: TrialResult) -> None:
-        """Record one result (appends and flushes -- a checkpoint)."""
-        self.put_many([(key, result)])
+    def _encode_record(self, key: str, outcome: StoredOutcome) -> str:
+        """One record as its on-disk line (no trailing newline).
 
-    def put_many(self, records: Iterable[Tuple[str, TrialResult]]) -> None:
-        """Append a batch of results in one flush (the runner checkpoint)."""
+        The seam fault injection hooks: :class:`repro.faults.inject.FaultyStore`
+        overrides this to damage the bytes between encoding and disk.
+        """
+        body = _outcome_body(outcome)
+        return json.dumps(
+            {"key": key, **body, "sum": _record_sum(key, body)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def put(self, key: str, outcome: StoredOutcome) -> None:
+        """Record one outcome (appends and flushes -- a checkpoint)."""
+        self.put_many([(key, outcome)])
+
+    def put_many(self, records: Iterable[Tuple[str, StoredOutcome]]) -> None:
+        """Append a batch of outcomes in one flush (the runner checkpoint)."""
         records = list(records)
         if not records:
             return
         index = self._load()
         os.makedirs(self.root, exist_ok=True)
         with open(self.path, "a") as handle:
-            for key, result in records:
-                handle.write(
-                    json.dumps(
-                        {
-                            "key": key,
-                            "result": {
-                                "totes": list(result.totes),
-                                "cycles": result.cycles,
-                            },
-                        },
-                        sort_keys=True,
-                        separators=(",", ":"),
-                    )
-                    + "\n"
-                )
-                index[key] = result
+            for key, outcome in records:
+                handle.write(self._encode_record(key, outcome) + "\n")
+                index[key] = outcome
             handle.flush()
             os.fsync(handle.fileno())
 

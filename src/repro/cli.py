@@ -12,6 +12,8 @@ command       what it does
 ``matrix``    the Table 2 attack x CPU matrix (short secrets)
 ``pmu``       the Figure 2 toolset on a chosen scene
 ``campaign``  declarative cached sweeps: ``run|status|report|clean|list``
+``faults``    the fault-injection layer: ``demo`` proves the
+              determinism-of-failure contract live
 ============  ==========================================================
 """
 
@@ -191,6 +193,18 @@ def cmd_matrix(args) -> int:
     return 0
 
 
+def cmd_faults_demo(args) -> int:
+    from repro.faults.demo import run_demo
+
+    return run_demo(
+        seed=args.seed,
+        rate=args.rate,
+        workers=args.workers,
+        retries=args.retry,
+        campaign=args.campaign,
+    )
+
+
 def cmd_pmu(args) -> int:
     from repro.pmutools import OnlineCollector, PmuPipeline
     from repro.pmutools.scenarios import (
@@ -233,13 +247,18 @@ def _artifact_paths(store_root: str, name: str):
 
 
 def cmd_campaign_run(args) -> int:
-    from repro.campaign import CampaignRunner
+    from repro.campaign import CampaignAborted, CampaignRunner
 
     try:
         spec = _campaign_spec(args.name)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    policy = None
+    if args.retry > 0 or args.max_failures is not None:
+        from repro.faults import ResiliencePolicy
+
+        policy = ResiliencePolicy(max_retries=args.retry)
     pool = _trial_pool(args)
     try:
         runner = CampaignRunner(
@@ -248,8 +267,13 @@ def cmd_campaign_run(args) -> int:
             pool=pool,
             batch_size=args.batch_size,
             progress=lambda message: print(f"[{spec.name}] {message}", file=sys.stderr),
+            policy=policy,
+            max_failures=args.max_failures,
         )
         report, stats = runner.run()
+    except CampaignAborted as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        return 1
     finally:
         if pool is not None:
             pool.close()
@@ -393,6 +417,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if the store hit rate is below FRACTION "
         "(CI uses 0.9 to police the cache)",
     )
+    crun.add_argument(
+        "--retry", type=int, default=0, metavar="N",
+        help="retry each failing trial up to N times before quarantining "
+        "it as a structured failure (0 = classic fail-fast path)",
+    )
+    crun.add_argument(
+        "--max-failures", type=int, default=None, metavar="M",
+        help="abort (after checkpointing) once more than M trials have "
+        "failed every retry; implies the resilient path",
+    )
     crun.set_defaults(func=cmd_campaign_run)
 
     cstatus = csub.add_parser("status", help="cached/pending trial accounting")
@@ -413,6 +447,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     clist = csub.add_parser("list", help="list built-in campaigns")
     clist.set_defaults(func=cmd_campaign_list)
+
+    faults = sub.add_parser(
+        "faults", help="deterministic fault injection (repro.faults)"
+    )
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+    fdemo = fsub.add_parser(
+        "demo",
+        help="inject seeded chaos into a small campaign, serial and "
+        "pooled, and verify byte-identical failure behaviour",
+    )
+    fdemo.add_argument("--seed", type=int, default=7, help="FaultPlan seed")
+    fdemo.add_argument(
+        "--rate", type=float, default=0.25,
+        help="total per-trial fault probability, split evenly over "
+        "raise/hang/garbage/kill (default: 0.25)",
+    )
+    fdemo.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count for the pooled leg (default: 4)",
+    )
+    fdemo.add_argument(
+        "--retry", type=int, default=2,
+        help="retries per trial before quarantine (default: 2)",
+    )
+    fdemo.add_argument(
+        "--campaign", default="ci-smoke",
+        help="built-in campaign to torment (default: ci-smoke)",
+    )
+    fdemo.set_defaults(func=cmd_faults_demo)
 
     pmu = sub.add_parser("pmu", help="the Figure 2 PMU toolset")
     _add_machine_args(pmu)

@@ -1,0 +1,79 @@
+"""``python -m repro faults demo``: the resilience layer, end to end.
+
+Runs the same small campaign twice under one seeded
+:class:`~repro.faults.plan.FaultPlan` -- once serial, once across worker
+processes (where ``kill`` faults genuinely ``os._exit`` their worker) --
+into separate throwaway stores, then checks the determinism-of-failure
+contract on the spot: both runs must produce byte-identical JSON
+artifacts, quarantine lists and fault counters.  Exit status 0 iff they
+do, so the demo doubles as a CI smoke test.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.campaign import CampaignRunner, ResultStore, builtin_campaign
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResiliencePolicy
+from repro.runtime import TrialPool
+
+DEFAULT_CAMPAIGN = "ci-smoke"
+
+
+def run_demo(
+    seed: int = 7,
+    rate: float = 0.25,
+    workers: int = 4,
+    retries: int = 2,
+    campaign: str = DEFAULT_CAMPAIGN,
+    out=print,
+) -> int:
+    spec = builtin_campaign(campaign)
+    plan = FaultPlan.chaos(seed=seed, rate=rate)
+    policy = ResiliencePolicy(max_retries=retries)
+    out(f"campaign : {spec.name} ({spec.trial_count()} trials)")
+    out(f"plan     : chaos(seed={seed}, rate={rate}) -- every trial may "
+        f"raise, hang, return garbage, or kill its worker")
+    out(f"policy   : {retries} retries per trial, garbage validation on")
+    out("")
+    runs = {}
+    with tempfile.TemporaryDirectory(prefix="repro-faults-demo-") as root:
+        for label, count in (("serial", 1), (f"workers={workers}", workers)):
+            store = ResultStore(f"{root}/{label}")
+            with TrialPool(workers=count, policy=policy) as pool:
+                pool.install_faults(plan)
+                runner = CampaignRunner(spec, store=store, pool=pool)
+                report, stats = runner.run()
+                runs[label] = {
+                    "artifact": report.to_json(),
+                    "quarantine": [
+                        (entry.index, entry.attempts, entry.faults, entry.error)
+                        for entry in pool.quarantine
+                    ],
+                    "stats": pool.fault_stats.as_dict(),
+                }
+                out(f"[{label}] {stats}")
+                out(f"[{label}] faults: {pool.fault_stats}")
+    serial, pooled = runs.values()
+    out("")
+    quarantined = serial["quarantine"]
+    if quarantined:
+        out(f"{len(quarantined)} payloads failed every retry:")
+        for index, attempts, faults, error in quarantined:
+            out(f"  trial {index}: {error} [{attempts} attempts: "
+                f"{','.join(faults)}]")
+    else:
+        out("every injected fault was absorbed by retries")
+    checks = {
+        "artifact bytes": serial["artifact"] == pooled["artifact"],
+        "quarantine list": serial["quarantine"] == pooled["quarantine"],
+        "fault counters": serial["stats"] == pooled["stats"],
+    }
+    out("")
+    for name, same in checks.items():
+        out(f"{name:16}: {'identical' if same else 'DIVERGED'}")
+    identical = all(checks.values())
+    out("")
+    out("determinism-of-failure: " + ("HOLDS" if identical else "VIOLATED"))
+    return 0 if identical else 1

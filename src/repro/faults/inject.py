@@ -1,0 +1,202 @@
+"""The injection half: make trials and stores fail on purpose.
+
+:class:`FaultingFn` wraps any worker-side trial function; before each
+call it consults the plan and either lets the trial run, raises
+:class:`InjectedFault`, returns a :class:`HangToken` (a *simulated* hang
+-- the pool treats it as a blown deadline without anyone sleeping),
+returns :class:`GarbageResult` (rejected by the pool's validator), or
+kills its worker outright (``os._exit`` inside a worker process,
+:class:`SimulatedWorkerDeath` on the serial path -- both surface as the
+``worker-lost`` fault category with identical, deterministic messages).
+
+:class:`FaultyStore` and :class:`TornStore` attack the persistence
+layer instead: the former damages record bytes between encoding and
+disk (bit-flips, truncation), the latter dies mid-checkpoint leaving a
+half-written record -- the shapes a killed writer process produces.
+The store's per-record checksums must turn every one of these into a
+re-execution, never a silently wrong replay.
+
+Everything here exists purely for testing; production paths never
+construct a plan.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+from repro.campaign.store import ResultStore, StoredOutcome
+from repro.faults.plan import FaultPlan, payload_fingerprint
+
+
+class InjectedFault(RuntimeError):
+    """The exception an injected ``raise`` fault throws inside a trial."""
+
+
+class SimulatedWorkerDeath(BaseException):
+    """Raised on the serial path where a worker process would have died.
+
+    A ``BaseException`` so that generic ``except Exception`` trial
+    wrappers cannot absorb it -- mirroring how a real ``os._exit`` is
+    unabsorbable.
+    """
+
+
+class SimulatedCrash(BaseException):
+    """The writer process 'dies' mid-checkpoint (:class:`TornStore`)."""
+
+
+def lost_worker_message(payload, attempt: int) -> str:
+    """The canonical ``worker-lost`` failure description.
+
+    Fabricated coordinator-side from the payload value alone, so the
+    serial path (which catches :class:`SimulatedWorkerDeath`) and the
+    process path (which only sees a dead worker) record byte-identical
+    failure text.
+    """
+    return (
+        f"worker lost running payload {payload_fingerprint(payload):#018x} "
+        f"(attempt {attempt})"
+    )
+
+
+@dataclass(frozen=True)
+class HangToken:
+    """What a 'hung' trial returns: a deadline token, not a real stall.
+
+    Real hangs would serialise the test suite behind wall-clock sleeps;
+    the token lets the pool exercise its timeout handling in O(1) time
+    while staying fully deterministic.
+    """
+
+    fingerprint: int
+    attempt: int
+
+    #: Duck-typed marker the pool checks without importing this module.
+    is_hang_token = True
+
+    def describe(self) -> str:
+        return (
+            f"injected hang (payload {self.fingerprint:#018x}, "
+            f"attempt {self.attempt})"
+        )
+
+
+@dataclass(frozen=True)
+class GarbageResult:
+    """A corrupted trial result: bytes that are not a ``TrialResult``."""
+
+    junk: bytes
+
+
+@dataclass(frozen=True)
+class FaultingFn:
+    """A picklable trial-function wrapper that consults a fault plan.
+
+    Installable into either executor (see ``TrialPool.install_faults``):
+    the wrapper travels to worker processes exactly like the function it
+    wraps.  ``main_pid`` pins the coordinator's process id so a ``kill``
+    fault knows whether it may genuinely ``os._exit`` (inside a worker)
+    or must simulate (serial path, where exiting would kill the suite).
+    """
+
+    fn: Callable
+    plan: FaultPlan
+    main_pid: int
+
+    #: Tells the pool's dispatcher to pass the attempt number through.
+    wants_attempt = True
+
+    def __call__(self, payload, attempt: int = 0):
+        kind = self.plan.decide(payload, attempt)
+        if kind is None:
+            return self.fn(payload)
+        fingerprint = payload_fingerprint(payload)
+        if kind == "raise":
+            raise InjectedFault(
+                f"injected raise (payload {fingerprint:#018x}, attempt {attempt})"
+            )
+        if kind == "hang":
+            return HangToken(fingerprint=fingerprint, attempt=attempt)
+        if kind == "garbage":
+            return GarbageResult(junk=fingerprint.to_bytes(8, "big"))
+        # kind == "kill": die the way a crashed worker dies.
+        if os.getpid() != self.main_pid:
+            os._exit(43)
+        raise SimulatedWorkerDeath(lost_worker_message(payload, attempt))
+
+
+# -- store-side injection ------------------------------------------------------
+
+
+class FaultyStore(ResultStore):
+    """A :class:`ResultStore` whose writes rot on the way to disk.
+
+    Corruption happens *after* encoding and *after* the in-memory index
+    update, modelling media damage: the writing process keeps its
+    consistent view and finishes its campaign; the next process to load
+    the store must detect the damage via the record checksums and
+    re-execute the affected trials.
+    """
+
+    def __init__(self, root: str, plan: FaultPlan) -> None:
+        super().__init__(root)
+        self.plan = plan
+        #: ``(key, kind)`` for every record damaged through this store.
+        self.corrupted: List[Tuple[str, str]] = []
+
+    def _encode_record(self, key: str, outcome: StoredOutcome) -> str:
+        line = super()._encode_record(key, outcome)
+        kind = self.plan.decide_store(key)
+        if kind == "bitflip":
+            position = self.plan.corruption_offset(key, len(line))
+            # XOR with 0x02 keeps the damage inside printable ASCII (no
+            # accidental newline = no accidental record split).
+            flipped = chr(ord(line[position]) ^ 0x02)
+            line = line[:position] + flipped + line[position + 1 :]
+            self.corrupted.append((key, "bitflip"))
+        elif kind == "truncate":
+            cut = max(1, len(line) // 3)
+            line = line[: len(line) - cut]
+            self.corrupted.append((key, "truncate"))
+        return line
+
+
+class TornStore(ResultStore):
+    """A store whose writer dies mid-checkpoint.
+
+    Writes ``survive`` whole records, then half of the next record's
+    bytes with no newline -- the torn tail a killed process leaves --
+    and raises :class:`SimulatedCrash`.  The regression contract
+    (``tests/test_faults_chaos.py``): the next run warns, replays every
+    intact record, re-executes the tail, and produces artifacts
+    byte-identical to a never-interrupted run.
+    """
+
+    def __init__(self, root: str, survive: int) -> None:
+        super().__init__(root)
+        if survive < 0:
+            raise ValueError("survive must be non-negative")
+        self.survive = survive
+
+    def put_many(self, records: Iterable[Tuple[str, StoredOutcome]]) -> None:
+        records = list(records)
+        if len(records) <= self.survive:
+            self.survive -= len(records)
+            super().put_many(records)
+            return
+        survived = self.survive
+        super().put_many(records[:survived])
+        victim_key, victim_outcome = records[survived]
+        line = super()._encode_record(victim_key, victim_outcome)
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line[: len(line) // 2])  # no newline: a torn tail
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.survive = 0
+        raise SimulatedCrash(
+            f"writer died mid-checkpoint after {survived} records "
+            f"(torn record {victim_key[:16]})"
+        )

@@ -1,0 +1,149 @@
+"""Deterministic fault plans: seeded chaos you can replay bit for bit.
+
+A :class:`FaultPlan` decides which trials fail, how, and on which
+attempt -- purely as a function of ``(plan seed, payload value,
+attempt)``.  The decision never consults scheduling state: the same plan
+makes the same trial raise on attempt 0 and hang on attempt 1 whether
+the trial runs serially, on worker 3 of 8, or in a resumed campaign.
+That is the determinism-of-failure contract: with a fixed plan seed,
+quarantine lists, retry counts and report failure sections are
+byte-identical across worker counts and resumes
+(``tests/test_faults_chaos.py`` enforces it).
+
+Derivation mirrors the trial-seed scheme
+(:func:`repro.runtime.spec.derive_stream`): splitmix64 over a
+domain-separated root, with the payload folded in through a stable
+64-bit fingerprint.  Because each attempt draws a fresh decision, most
+faulted trials succeed on retry and only payloads unlucky across every
+attempt end up quarantined -- the same long-tail shape real flaky
+hardware produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.runtime.spec import derive_stream
+
+#: Trial-side fault kinds a plan can inject, in decision order.
+TRIAL_FAULTS: Tuple[str, ...] = ("raise", "hang", "garbage", "kill")
+#: Store-side fault kinds (applied to records on their way to disk).
+STORE_FAULTS: Tuple[str, ...] = ("bitflip", "truncate")
+
+_SCALE = float(2**64)
+
+
+def payload_fingerprint(payload) -> int:
+    """A stable 64-bit fingerprint of a trial payload.
+
+    Computed from ``repr`` of the (frozen, value-semantic) payload, so
+    two equal payloads fingerprint identically in every process -- the
+    property that keeps fault decisions independent of scheduling and
+    object identity.
+    """
+    digest = hashlib.sha256(repr(payload).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, picklable recipe for which trials fail and how.
+
+    Rates are per-attempt probabilities; a payload's fate on attempt *n*
+    is drawn from the ``(seed, payload, n)`` stream, so retries of a
+    faulted trial are independent draws and the expected quarantine size
+    is ``sum(rates) ** attempts`` of the campaign.
+    """
+
+    seed: int
+    raise_rate: float = 0.0
+    hang_rate: float = 0.0
+    garbage_rate: float = 0.0
+    kill_rate: float = 0.0
+    bitflip_rate: float = 0.0
+    truncate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "raise_rate", "hang_rate", "garbage_rate", "kill_rate",
+            "bitflip_rate", "truncate_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], not {rate}")
+        if self.raise_rate + self.hang_rate + self.garbage_rate + self.kill_rate > 1.0:
+            raise ValueError("trial fault rates must sum to at most 1")
+        if self.bitflip_rate + self.truncate_rate > 1.0:
+            raise ValueError("store fault rates must sum to at most 1")
+
+    @classmethod
+    def chaos(
+        cls, seed: int, rate: float = 0.12, store_rate: float = 0.0
+    ) -> "FaultPlan":
+        """An even mix of every trial fault, *rate* total per attempt."""
+        each = rate / len(TRIAL_FAULTS)
+        half_store = store_rate / len(STORE_FAULTS)
+        return cls(
+            seed=seed,
+            raise_rate=each,
+            hang_rate=each,
+            garbage_rate=each,
+            kill_rate=each,
+            bitflip_rate=half_store,
+            truncate_rate=half_store,
+        )
+
+    # -- decisions -------------------------------------------------------------
+
+    def _unit(self, domain: str, fingerprint: int, index: int) -> float:
+        """A uniform draw in [0, 1): pure in (seed, domain, fingerprint, index)."""
+        return derive_stream(self.seed ^ fingerprint, index, domain) / _SCALE
+
+    def decide(self, payload, attempt: int) -> Optional[str]:
+        """Which fault (if any) *payload* suffers on *attempt*.
+
+        A pure function of ``(plan, payload value, attempt)`` -- never of
+        the worker, the batch, or what ran before.
+        """
+        draw = self._unit("trial-fault", payload_fingerprint(payload), attempt)
+        edge = 0.0
+        for kind, rate in (
+            ("raise", self.raise_rate),
+            ("hang", self.hang_rate),
+            ("garbage", self.garbage_rate),
+            ("kill", self.kill_rate),
+        ):
+            edge += rate
+            if draw < edge:
+                return kind
+        return None
+
+    def decide_store(self, key: str) -> Optional[str]:
+        """Which corruption (if any) the record under *key* suffers on write."""
+        draw = self._unit("store-fault", payload_fingerprint(key), 0)
+        edge = 0.0
+        for kind, rate in (
+            ("bitflip", self.bitflip_rate),
+            ("truncate", self.truncate_rate),
+        ):
+            edge += rate
+            if draw < edge:
+                return kind
+        return None
+
+    def corruption_offset(self, key: str, span: int) -> int:
+        """A deterministic position inside a *span*-byte record to damage."""
+        return derive_stream(self.seed, payload_fingerprint(key) & 0xFFFF, "store-offset") % max(span, 1)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def injects_trials(self) -> bool:
+        return (self.raise_rate + self.hang_rate + self.garbage_rate
+                + self.kill_rate) > 0.0
+
+    @property
+    def injects_store(self) -> bool:
+        return (self.bitflip_rate + self.truncate_rate) > 0.0

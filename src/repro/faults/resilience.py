@@ -1,0 +1,140 @@
+"""The hardening half: retry policy, seeded backoff, quarantine records.
+
+These are the knobs and ledgers :class:`~repro.runtime.TrialPool` uses
+when a :class:`ResiliencePolicy` is installed.  Everything here is a
+pure value or a pure function -- the retry/backoff schedule depends only
+on ``(seed, attempt)`` and the quarantine entries only on the payloads
+and the fault sequence -- so the resilient serial and resilient pooled
+paths cannot drift apart (``tests/test_faults_properties.py`` pins the
+purity, ``tests/test_faults_chaos.py`` the cross-path identity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.runtime.spec import derive_stream
+from repro.runtime.tasks import TrialResult
+
+#: Never back off longer than this, whatever the attempt count.
+BACKOFF_CAP = 1.0
+
+_SCALE = float(2**64)
+
+
+def backoff_delay(
+    seed: int, attempt: int, base: float = 0.05, cap: float = BACKOFF_CAP
+) -> float:
+    """The seconds to wait before retrying *attempt* -- a pure function.
+
+    Exponential in the attempt number with a seeded half-width jitter:
+    ``min(cap, base * 2**attempt) * (0.5 + u/2)`` where ``u`` is the
+    ``(seed, attempt)`` draw.  Purity (no wall clock, no shared RNG) is
+    what keeps retry schedules identical across worker counts.
+    """
+    if base <= 0.0:
+        return 0.0
+    jitter = derive_stream(seed, attempt, "backoff") / _SCALE
+    return min(cap, base * (2.0 ** attempt)) * (0.5 + jitter / 2.0)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How a :class:`~repro.runtime.TrialPool` survives failing trials.
+
+    ``max_retries`` bounds re-execution (a payload gets ``max_retries +
+    1`` attempts); ``timeout`` is the per-trial wall deadline enforced by
+    the process executor (the serial path honours only simulated hang
+    tokens -- it cannot preempt a running trial); ``backoff_*`` seed the
+    deterministic exponential backoff; ``validate`` rejects anything
+    that is not a :class:`~repro.runtime.tasks.TrialResult` as garbage.
+    """
+
+    max_retries: int = 2
+    timeout: Optional[float] = None
+    backoff_base: float = 0.0
+    backoff_cap: float = BACKOFF_CAP
+    backoff_seed: int = 0
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts a payload gets before quarantine."""
+        return self.max_retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-dispatching after failed *attempt*."""
+        return backoff_delay(
+            self.backoff_seed, attempt, self.backoff_base, self.backoff_cap
+        )
+
+
+def trial_result_validator(value) -> bool:
+    """The default garbage detector: a real :class:`TrialResult` with
+    integer samples and a non-negative cycle count."""
+    return (
+        isinstance(value, TrialResult)
+        and isinstance(value.totes, tuple)
+        and all(isinstance(tote, int) for tote in value.totes)
+        and isinstance(value.cycles, int)
+        and value.cycles >= 0
+    )
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One payload that failed every retry, with its full fault history."""
+
+    #: Position of the payload in the ``map`` call that quarantined it.
+    index: int
+    payload: object
+    attempts: int
+    #: Fault category per failed attempt, in attempt order.
+    faults: Tuple[str, ...]
+    #: The last attempt's failure description.
+    error: str
+
+
+@dataclass
+class FaultStats:
+    """Counters over one pool's lifetime (deterministic under a plan)."""
+
+    retries: int = 0
+    raised: int = 0
+    hangs: int = 0
+    timeouts: int = 0
+    garbage: int = 0
+    workers_lost: int = 0
+    quarantined: int = 0
+
+    _CATEGORY_FIELDS = {
+        "raise": "raised",
+        "hang": "hangs",
+        "timeout": "timeouts",
+        "garbage": "garbage",
+        "worker-lost": "workers_lost",
+    }
+
+    def note(self, category: str) -> None:
+        field = self._CATEGORY_FIELDS.get(category)
+        if field is None:
+            raise ValueError(f"unknown fault category {category!r}")
+        setattr(self, field, getattr(self, field) + 1)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.retries} retries ({self.raised} raised, {self.hangs} hung, "
+            f"{self.timeouts} timed out, {self.garbage} garbage, "
+            f"{self.workers_lost} workers lost), {self.quarantined} quarantined"
+        )

@@ -7,23 +7,30 @@ aggregate.  This package turns that shape into throughput:
 * :class:`MachineSpec` -- a frozen, picklable machine recipe with
   deterministic per-trial seed derivation (:func:`derive_seed`);
 * :class:`TrialPool` -- fans trials across worker processes (serial
-  fallback included) with bit-identical results at any worker count;
+  fallback included) with bit-identical results at any worker count,
+  plus the resilience surface (retries, timeouts, dead-worker respawn,
+  quarantine) driven by :mod:`repro.faults`;
 * :mod:`repro.runtime.tasks` -- the worker-side trial functions for the
   TET-CC byte scan and the TET-KASLR probe sweep.
 
-See ``docs/RUNTIME.md`` for the architecture and a worked example.
+See ``docs/RUNTIME.md`` for the architecture and a worked example, and
+``docs/FAULTS.md`` for the failure model.
 """
 
 from repro.runtime.pool import (
     ProcessExecutor,
     SerialExecutor,
     TrialPool,
+    TrialTimeout,
+    WorkerCrew,
+    WorkerLostError,
     default_workers,
 )
-from repro.runtime.spec import MachineSpec, derive_seed
+from repro.runtime.spec import MachineSpec, derive_seed, derive_stream
 from repro.runtime.tasks import (
     ChannelTrial,
     KaslrTrial,
+    TrialFailure,
     TrialResult,
     run_channel_trial,
     run_kaslr_trial,
@@ -37,9 +44,14 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "TrialPool",
+    "TrialFailure",
     "TrialResult",
+    "TrialTimeout",
+    "WorkerCrew",
+    "WorkerLostError",
     "default_workers",
     "derive_seed",
+    "derive_stream",
     "run_channel_trial",
     "run_kaslr_trial",
     "run_trial",

@@ -3,7 +3,7 @@
 Every Whisper attack is a statistical sampling campaign -- thousands of
 independent gadget trials whose results are aggregated by a decoder or a
 classifier.  :class:`TrialPool` runs those trials either in-process
-(:class:`SerialExecutor`) or across ``multiprocessing`` workers
+(:class:`SerialExecutor`) or across its own crew of worker processes
 (:class:`ProcessExecutor`), behind one interface:
 
 * trial functions are module-level callables taking one picklable
@@ -16,20 +16,180 @@ classifier.  :class:`TrialPool` runs those trials either in-process
 
 That last property is the determinism contract: ``TrialPool(workers=1)``
 and ``TrialPool(workers=8)`` produce bit-identical results.
+
+The pool is also the resilience boundary (see ``docs/FAULTS.md``).  A
+worker that dies mid-trial surfaces as :class:`WorkerLostError` naming
+the payload it took down -- never an opaque hang.  With a
+:class:`~repro.faults.resilience.ResiliencePolicy` installed, the pool
+instead retries failing trials with seeded exponential backoff, enforces
+per-trial deadlines, respawns dead workers, and quarantines payloads
+that fail every retry as :class:`~repro.runtime.tasks.TrialFailure`
+values.  The determinism contract extends to failure: under a
+deterministic fault source, retry counts, quarantine lists and failure
+records are byte-identical at any worker count.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
+import time
+from collections import deque
 from typing import Callable, Iterable, List, Optional, Sequence
 
-__all__ = ["TrialPool", "SerialExecutor", "ProcessExecutor", "default_workers"]
+from repro.runtime.tasks import TrialFailure
+
+__all__ = [
+    "TrialPool",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "WorkerCrew",
+    "WorkerLostError",
+    "TrialTimeout",
+    "default_workers",
+]
+
+#: How often the coordinator checks for dead workers and blown deadlines.
+_POLL_SECONDS = 0.05
 
 
 def default_workers() -> int:
     """A sensible worker count for this host (``os.cpu_count``)."""
     return os.cpu_count() or 1
+
+
+class WorkerLostError(RuntimeError):
+    """A worker process died mid-batch.
+
+    Raised by the unprotected path so callers see *which* payload took
+    the worker down instead of an opaque hang; the resilient path turns
+    the same event into a ``worker-lost`` retry.
+    """
+
+    def __init__(self, payload_index: int, message: str = "") -> None:
+        super().__init__(
+            message or f"worker died while running payload {payload_index}"
+        )
+        self.payload_index = payload_index
+
+
+class TrialTimeout(RuntimeError):
+    """A trial exceeded the policy deadline (kept for API symmetry;
+    the resilient path records timeouts as retries, not raises)."""
+
+
+def _call_trial(fn: Callable, payload, attempt: int):
+    """Dispatch one attempt, passing the attempt number through only to
+    wrappers that ask for it (fault injectors)."""
+    if getattr(fn, "wants_attempt", False):
+        return fn(payload, attempt)
+    return fn(payload)
+
+
+def _classify_ok(value, policy):
+    """Why a returned *value* is unacceptable, or None if it is fine."""
+    if getattr(value, "is_hang_token", False):
+        describe = getattr(value, "describe", None)
+        return ("hang", describe() if describe else "trial returned a hang token")
+    if policy.validate:
+        from repro.faults.resilience import trial_result_validator
+
+        if not trial_result_validator(value):
+            return ("garbage", f"garbage result: {value!r}")
+    return None
+
+
+class _RetryLedger:
+    """Attempt bookkeeping shared by the serial and pooled resilient
+    paths, so failure handling (and therefore report bytes) cannot
+    diverge between them."""
+
+    def __init__(self, payloads: Sequence, policy, stats) -> None:
+        from repro.faults.resilience import QuarantineEntry
+
+        self._entry_type = QuarantineEntry
+        self.payloads = payloads
+        self.policy = policy
+        self.stats = stats
+        self.results: List = [None] * len(payloads)
+        self.done = [False] * len(payloads)
+        self.completed = 0
+        self.faults = {}
+        self.quarantine: List = []
+
+    def accept(self, index: int, value) -> None:
+        if self.done[index]:
+            return
+        self.results[index] = value
+        self.done[index] = True
+        self.completed += 1
+
+    def fail(self, index: int, attempt: int, category: str, message: str):
+        """Record a failed attempt; the next attempt number, or None if
+        the payload is now quarantined."""
+        if self.done[index]:
+            return None
+        history = self.faults.setdefault(index, [])
+        history.append(category)
+        self.stats.note(category)
+        if attempt + 1 < self.policy.attempts:
+            self.stats.retries += 1
+            return attempt + 1
+        self.results[index] = TrialFailure(
+            attempts=attempt + 1, faults=tuple(history), error=message
+        )
+        self.quarantine.append(
+            self._entry_type(
+                index=index,
+                payload=self.payloads[index],
+                attempts=attempt + 1,
+                faults=tuple(history),
+                error=message,
+            )
+        )
+        self.stats.quarantined += 1
+        self.done[index] = True
+        self.completed += 1
+        return None
+
+    def finish(self) -> List:
+        # Quarantine in payload order, whatever order trials completed in
+        # -- part of the byte-identity contract across worker counts.
+        self.quarantine.sort(key=lambda entry: entry.index)
+        return self.results
+
+
+def _map_serial_resilient(fn: Callable, payloads: Sequence, policy, stats):
+    """The in-process resilient loop (reference semantics for the crew)."""
+    from repro.faults.inject import SimulatedWorkerDeath, lost_worker_message
+
+    ledger = _RetryLedger(payloads, policy, stats)
+    pending = deque((index, 0) for index in range(len(payloads)))
+    while pending:
+        index, attempt = pending.popleft()
+        failed = None
+        value = None
+        try:
+            value = _call_trial(fn, payloads[index], attempt)
+        except SimulatedWorkerDeath:
+            failed = ("worker-lost", lost_worker_message(payloads[index], attempt))
+        except Exception as exc:
+            failed = ("raise", f"{type(exc).__name__}: {exc}")
+        else:
+            failed = _classify_ok(value, policy)
+        if failed is None:
+            ledger.accept(index, value)
+            continue
+        next_attempt = ledger.fail(index, attempt, *failed)
+        if next_attempt is not None:
+            delay = policy.delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            # Depth-first: finish a payload's retries before moving on,
+            # mirroring how a human would re-run a flaky experiment.
+            pending.appendleft((index, next_attempt))
+    return ledger
 
 
 class SerialExecutor:
@@ -41,14 +201,226 @@ class SerialExecutor:
     def map(self, fn: Callable, payloads: Iterable) -> List:
         return [fn(payload) for payload in payloads]
 
+    def run_resilient(self, fn: Callable, payloads: Sequence, policy, stats):
+        return _map_serial_resilient(fn, payloads, policy, stats)
+
     def close(self) -> None:
         pass
 
 
-class ProcessExecutor:
-    """Runs trials across a persistent ``multiprocessing.Pool``.
+# -- the worker crew -----------------------------------------------------------
 
-    The pool is created lazily on first :meth:`map` and reused across
+
+def _crew_worker(task_queue, result_conn) -> None:
+    """Worker main loop: pull ``(task_id, fn, payload, attempt)`` tasks,
+    send ``(task_id, status, value)`` outcomes down the private result
+    pipe.  An injected kill fault ``os._exit``\\ s between the pull and
+    the send -- exactly the silence a crashed worker leaves behind."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        task_id, fn, payload, attempt = task
+        try:
+            value = _call_trial(fn, payload, attempt)
+        except Exception as exc:
+            result_conn.send((task_id, "error", f"{type(exc).__name__}: {exc}"))
+        else:
+            result_conn.send((task_id, "ok", value))
+
+
+class _CrewWorker:
+    """One worker process plus its private task queue, private result
+    pipe, and in-flight slot.
+
+    The result path is a one-way pipe with a *single* writer on purpose.
+    A shared result queue would multiplex workers over one pipe behind a
+    shared lock held during the write -- and a worker dying mid-write
+    (a kill fault, an OOM-kill, a hard crash) would take that lock to
+    its grave and wedge every other worker's sends forever.  With one
+    pipe per worker a casualty can only ever corrupt its own channel,
+    which dies (and is replaced) with it.
+    """
+
+    def __init__(self, context, slot: int) -> None:
+        self.slot = slot
+        self.task_queue = context.SimpleQueue()
+        self.result_conn, worker_conn = context.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_crew_worker,
+            args=(self.task_queue, worker_conn),
+            daemon=True,
+        )
+        self.process.start()
+        worker_conn.close()  # the child's end lives in the child now
+        #: ``(task_id, payload_index, attempt, deadline)`` or None when idle.
+        self.task = None
+
+    def send(
+        self, task_id: int, fn: Callable, payload, attempt: int,
+        index: int, timeout: Optional[float],
+    ) -> None:
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        # Record before sending: a worker that dies the instant it picks
+        # the task up must still be attributable to this payload.
+        self.task = (task_id, index, attempt, deadline)
+        self.task_queue.put((task_id, fn, payload, attempt))
+
+    def stop(self) -> None:
+        if self.process.is_alive():
+            try:
+                self.task_queue.put(None)
+            except Exception:  # pragma: no cover - broken pipe on a dead child
+                pass
+            self.process.join(timeout=0.5)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=2.0)
+
+
+class WorkerCrew:
+    """A persistent set of worker processes the coordinator can watch.
+
+    Unlike ``multiprocessing.Pool`` -- which replaces dead workers
+    silently and leaves their in-flight task lost forever (the map call
+    hangs) -- the crew tracks which payload each worker holds, polls
+    liveness and deadlines, and respawns casualties.  That bookkeeping
+    is what makes :class:`WorkerLostError` attribution, per-trial
+    timeouts and dead-worker retry possible.
+    """
+
+    def __init__(self, workers: int, context=None) -> None:
+        if context is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                context = multiprocessing.get_context()
+        self.context = context
+        self.workers = workers
+        self._task_counter = 0
+        self.members = [_CrewWorker(context, slot) for slot in range(workers)]
+
+    def _respawn(self, slot: int) -> None:
+        member = self.members[slot]
+        if member.process.is_alive():
+            member.process.terminate()
+        member.process.join(timeout=2.0)
+        member.result_conn.close()  # anything still in it is untrusted
+        self.members[slot] = _CrewWorker(self.context, slot)
+
+    def run(self, fn: Callable, payloads: Sequence, policy=None, stats=None):
+        """Run *payloads* through the crew.
+
+        Without a policy: returns results in payload order; a worker
+        exception re-raises as ``RuntimeError`` and a worker death as
+        :class:`WorkerLostError` (after respawning, so the crew stays
+        usable).  With a policy: returns the :class:`_RetryLedger` after
+        retrying/timing-out/quarantining per the policy.
+        """
+        payloads = list(payloads)
+        count = len(payloads)
+        ledger = _RetryLedger(payloads, policy, stats) if policy is not None else None
+        results: List = [None] * count
+        completed = 0
+        pending = deque((index, 0) for index in range(count))
+        # Workers abandoned mid-map by a previous exception finish their
+        # stale task eventually; new tasks queue up behind it and stale
+        # results are dropped below by task-id mismatch.
+        for member in self.members:
+            member.task = None
+
+        def fail(index: int, attempt: int, category: str, message: str) -> None:
+            next_attempt = ledger.fail(index, attempt, category, message)
+            if next_attempt is not None:
+                delay = policy.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                pending.append((index, next_attempt))
+
+        def sweep() -> None:
+            """Detect dead workers and blown deadlines between results."""
+            now = time.monotonic()
+            for slot, member in enumerate(self.members):
+                if member.task is None:
+                    if not member.process.is_alive():
+                        self._respawn(slot)
+                    continue
+                task_id, index, attempt, deadline = member.task
+                if not member.process.is_alive():
+                    member.task = None
+                    self._respawn(slot)
+                    if policy is None:
+                        raise WorkerLostError(index)
+                    from repro.faults.inject import lost_worker_message
+
+                    fail(index, attempt, "worker-lost",
+                         lost_worker_message(payloads[index], attempt))
+                elif deadline is not None and now > deadline:
+                    member.task = None
+                    self._respawn(slot)  # the worker is wedged; replace it
+                    fail(index, attempt, "timeout",
+                         f"trial exceeded {policy.timeout:g}s deadline "
+                         f"(attempt {attempt})")
+
+        while (ledger.completed if ledger else completed) < count:
+            for member in self.members:
+                if not pending:
+                    break
+                if member.task is None and member.process.is_alive():
+                    index, attempt = pending.popleft()
+                    self._task_counter += 1
+                    member.send(
+                        self._task_counter, fn, payloads[index], attempt, index,
+                        policy.timeout if policy is not None else None,
+                    )
+            by_conn = {member.result_conn: member for member in self.members}
+            ready = multiprocessing.connection.wait(
+                by_conn.keys(), timeout=_POLL_SECONDS
+            )
+            if not ready:
+                sweep()
+                continue
+            for conn in ready:
+                member = by_conn[conn]
+                try:
+                    task_id, status, value = conn.recv()
+                except (EOFError, OSError):
+                    # The writer died; sweep attributes and respawns.
+                    continue
+                if member.task is None or member.task[0] != task_id:
+                    continue  # stale: a task we already timed out or abandoned
+                _, index, attempt, _ = member.task
+                member.task = None
+                if status == "ok":
+                    if policy is None:
+                        results[index] = value
+                        completed += 1
+                        continue
+                    failed = _classify_ok(value, policy)
+                    if failed is None:
+                        ledger.accept(index, value)
+                    else:
+                        fail(index, attempt, *failed)
+                else:  # status == "error"
+                    if policy is None:
+                        raise RuntimeError(
+                            f"trial payload {index} failed in worker: {value}"
+                        )
+                    fail(index, attempt, "raise", value)
+            sweep()
+        return ledger if ledger is not None else results
+
+    def close(self) -> None:
+        for member in self.members:
+            member.stop()
+            member.result_conn.close()
+        self.members = []
+
+
+class ProcessExecutor:
+    """Runs trials across a persistent :class:`WorkerCrew`.
+
+    The crew is created lazily on first :meth:`map` and reused across
     calls, so a multi-byte transmission pays the worker start-up cost
     once.  ``fork`` is preferred (workers inherit loaded modules and any
     already-built machine contexts); where it is unavailable the default
@@ -59,32 +431,28 @@ class ProcessExecutor:
         if workers < 2:
             raise ValueError("ProcessExecutor needs at least 2 workers")
         self.workers = workers
+        #: Kept for API compatibility; the crew dispatches per payload
+        #: (one simulated trial dwarfs a queue round-trip).
         self.chunk_size = chunk_size
-        self._pool = None
+        self._pool: Optional[WorkerCrew] = None
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> WorkerCrew:
         if self._pool is None:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX hosts
-                context = multiprocessing.get_context()
-            self._pool = context.Pool(processes=self.workers)
+            self._pool = WorkerCrew(self.workers)
         return self._pool
 
     def map(self, fn: Callable, payloads: Iterable) -> List:
         payloads = list(payloads)
         if not payloads:
             return []
-        chunk = self.chunk_size
-        if chunk is None:
-            # Large enough to amortise IPC, small enough to load-balance.
-            chunk = max(1, len(payloads) // (self.workers * 4) or 1)
-        return self._ensure_pool().map(fn, payloads, chunksize=chunk)
+        return self._ensure_pool().run(fn, payloads)
+
+    def run_resilient(self, fn: Callable, payloads: Sequence, policy, stats):
+        return self._ensure_pool().run(fn, payloads, policy=policy, stats=stats)
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.close()
-            self._pool.join()
             self._pool = None
 
     def __del__(self):  # pragma: no cover - GC-timing dependent
@@ -100,9 +468,25 @@ class TrialPool:
     ``workers <= 1`` (or unpicklable hosts) selects the serial executor;
     anything above fans out across processes.  Usable as a context
     manager; :meth:`close` is idempotent.
+
+    With a :class:`~repro.faults.resilience.ResiliencePolicy` as
+    ``policy``, :meth:`map` runs the resilient path: failed trials retry
+    with seeded backoff, payloads that fail every retry land in
+    :attr:`quarantine` and come back as
+    :class:`~repro.runtime.tasks.TrialFailure` results, and
+    :attr:`fault_stats` counts what went wrong.  ``install_faults``
+    (testing only) arms the dispatcher with a deterministic
+    :class:`~repro.faults.plan.FaultPlan`.
     """
 
-    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        policy=None,
+    ) -> None:
+        from repro.faults.resilience import FaultStats
+
         self.workers = max(1, int(workers))
         if self.workers == 1:
             self.executor = SerialExecutor()
@@ -110,14 +494,48 @@ class TrialPool:
             self.executor = ProcessExecutor(self.workers, chunk_size=chunk_size)
         #: Trials dispatched through this pool over its lifetime.  Campaign
         #: reports read it to tell freshly executed trials from store hits
-        #: (a cache replay never touches the pool).
+        #: (a cache replay never touches the pool).  Retries count: each
+        #: re-dispatch is a real execution.
         self.trials_executed = 0
+        #: The resilience policy; None = the classic fail-fast path.
+        self.policy = policy
+        #: Payloads that failed every retry, in payload order per map call.
+        self.quarantine: List = []
+        #: Counters over this pool's lifetime (deterministic under a plan).
+        self.fault_stats = FaultStats()
+        self._fault_plan = None
+
+    def install_faults(self, plan) -> None:
+        """Arm the dispatcher with a :class:`~repro.faults.plan.FaultPlan`
+        (testing only): every subsequent trial consults the plan first."""
+        self._fault_plan = plan
 
     def map(self, fn: Callable, payloads: Sequence) -> List:
-        """Run *fn* over *payloads*; results in payload order."""
+        """Run *fn* over *payloads*; results in payload order.
+
+        Under a policy, entries whose payload exhausted its retries are
+        :class:`~repro.runtime.tasks.TrialFailure` values instead of
+        results -- callers that cannot digest failures should check
+        :attr:`quarantine` afterwards.
+        """
         payloads = list(payloads)
-        results = self.executor.map(fn, payloads)
-        self.trials_executed += len(payloads)
+        if self._fault_plan is not None:
+            from repro.faults.inject import FaultingFn
+
+            fn = FaultingFn(fn, self._fault_plan, os.getpid())
+        if self.policy is None:
+            results = self.executor.map(fn, payloads)
+            self.trials_executed += len(payloads)
+            return results
+        retries_before = self.fault_stats.retries
+        ledger = self.executor.run_resilient(
+            fn, payloads, self.policy, self.fault_stats
+        )
+        results = ledger.finish()
+        self.quarantine.extend(ledger.quarantine)
+        self.trials_executed += len(payloads) + (
+            self.fault_stats.retries - retries_before
+        )
         return results
 
     def close(self) -> None:

@@ -16,6 +16,7 @@ bit-identical ToTE distributions.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -33,6 +34,20 @@ def derive_seed(root: Optional[int], index: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return z ^ (z >> 31)
+
+
+def derive_stream(root: Optional[int], index: int, stream: str) -> int:
+    """:func:`derive_seed` with domain separation.
+
+    Different consumers of the same root seed (trial noise, fault
+    decisions, backoff jitter) must not read the same splitmix64 states,
+    or injecting a fault would perturb the trial it was injected into.
+    The *stream* tag is folded into the root, giving each consumer its
+    own well-separated sequence while staying a pure function of
+    ``(root, index, stream)``.
+    """
+    tag = int.from_bytes(hashlib.sha256(stream.encode()).digest()[:8], "big")
+    return derive_seed(((root or 0) ^ tag) & _MASK64, index)
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,27 @@ class TrialResult:
     cycles: int
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """The structured record of a trial that failed every retry.
+
+    Failures are values, exactly like results: frozen, picklable, and
+    content-addressable, so a campaign can checkpoint them into the
+    result store and a resumed run replays the failure instead of
+    retrying the poisoned trial.  Every field must be deterministic for
+    a deterministic fault source -- the failures section of a campaign
+    report is under the same byte-identity contract as its successes.
+    """
+
+    #: How many attempts were made (initial try + retries).
+    attempts: int
+    #: The fault category observed on each failed attempt, in order
+    #: (``raise`` / ``hang`` / ``timeout`` / ``garbage`` / ``worker-lost``).
+    faults: Tuple[str, ...]
+    #: The last attempt's failure description.
+    error: str
+
+
 # -- TET-CC byte-scan trials ---------------------------------------------------
 
 

@@ -1,0 +1,296 @@
+"""Chaos suite: seeded fault plans against campaign-scale runs.
+
+The determinism-of-failure contract under test: with a fixed
+:class:`FaultPlan` seed, retry counts, quarantine lists, failure records
+and campaign artifacts are *byte-identical* across worker counts and
+across a run interrupted mid-campaign and resumed.  And whatever the
+chaos, a run never deadlocks, never loses a successful result, and a
+torn checkpoint costs at most one batch.
+
+``REPRO_CHAOS_SEED`` selects the plan seed (CI sweeps several fixed
+seeds); the long randomized sweep rides under the ``slow`` marker.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    builtin_campaign,
+    channel_cell,
+    trial_key,
+)
+from repro.faults import (
+    FaultPlan,
+    ResiliencePolicy,
+    SimulatedCrash,
+    TornStore,
+    payload_fingerprint,
+)
+from repro.runtime import MachineSpec, TrialFailure, TrialPool, TrialResult
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "101"))
+
+
+def _stub_trial(trial):
+    """A deterministic stand-in for ``run_trial``: campaign-shaped grids
+    (thousands of refs) sweep in seconds instead of minutes."""
+    fingerprint = payload_fingerprint(trial)
+    return TrialResult(
+        totes=(fingerprint % 997, (fingerprint >> 16) % 997),
+        cycles=fingerprint % 100_000,
+    )
+
+
+def _sleepy_trial(trial):
+    """A genuinely wedged trial (real wall-clock, only used with tiny
+    deadlines) -- everything else returns instantly."""
+    if trial == "slow":
+        time.sleep(30.0)
+    return TrialResult(totes=(1,), cycles=1)
+
+
+def small_real_spec(seed=7) -> CampaignSpec:
+    """16 real trials (2 payload bytes x 8 test values) -- the smallest
+    campaign whose report exercises decode + failure sections."""
+    return CampaignSpec(
+        name="chaos-real",
+        cells=(
+            channel_cell(
+                MachineSpec(seed=seed), payload=b"\x05\x02", batches=2,
+                values=range(8),
+            ),
+        ),
+    )
+
+
+def run_stub_campaign(spec, workers, plan, tmp_path, tag, retries=2,
+                      batch_size=256):
+    """One chaotic stub-trial run; returns everything determinism covers."""
+    store = ResultStore(str(tmp_path / tag))
+    with TrialPool(
+        workers=workers, policy=ResiliencePolicy(max_retries=retries)
+    ) as pool:
+        pool.install_faults(plan)
+        runner = CampaignRunner(
+            spec, store=store, pool=pool, batch_size=batch_size,
+            trial_fn=_stub_trial,
+        )
+        report, stats = runner.run()
+        return {
+            "artifact": report.to_json(),
+            "text": report.render_text(),
+            "quarantine": [
+                (entry.index, entry.attempts, entry.faults, entry.error)
+                for entry in pool.quarantine
+            ],
+            "stats": pool.fault_stats.as_dict(),
+            "failures": stats.failures,
+            "store": store,
+        }
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_campaign_scale_chaos_is_worker_count_invariant(
+        self, tmp_path, workers
+    ):
+        """An e3-matrix-sized grid under seeded chaos: serial and pooled
+        runs agree on every byte -- artifact, quarantine, counters."""
+        spec = builtin_campaign("e3-matrix")
+        plan = FaultPlan.chaos(seed=CHAOS_SEED, rate=0.02)
+        serial = run_stub_campaign(spec, 1, plan, tmp_path, "serial")
+        pooled = run_stub_campaign(spec, workers, plan, tmp_path, f"w{workers}")
+        assert serial["artifact"] == pooled["artifact"]
+        assert serial["text"] == pooled["text"]
+        assert serial["quarantine"] == pooled["quarantine"]
+        assert serial["stats"] == pooled["stats"]
+
+    def test_chaos_never_loses_successful_results(self, tmp_path):
+        """Every trial the chaotic run did NOT quarantine carries exactly
+        the result a fault-free run produces."""
+        spec = builtin_campaign("e3-matrix")
+        plan = FaultPlan.chaos(seed=CHAOS_SEED, rate=0.05)
+        chaotic = run_stub_campaign(spec, 4, plan, tmp_path, "chaotic",
+                                    retries=1)
+        clean_store = ResultStore(str(tmp_path / "clean"))
+        CampaignRunner(
+            spec, store=clean_store, trial_fn=_stub_trial
+        ).run()
+        refs = spec.expand()
+        keys = [trial_key(ref.trial) for ref in refs]
+        chaotic_outcomes = chaotic["store"].get_many(keys)
+        clean_outcomes = clean_store.get_many(keys)
+        assert len(chaotic_outcomes) == len(clean_outcomes) == len(refs)
+        survivors = 0
+        for key in keys:
+            outcome = chaotic_outcomes[key]
+            if isinstance(outcome, TrialFailure):
+                continue
+            assert outcome == clean_outcomes[key]
+            survivors += 1
+        assert survivors == len(refs) - chaotic["failures"]
+        assert survivors > 0
+
+
+class TestTimeouts:
+    def test_wedged_trial_hits_the_deadline_not_the_suite(self, tmp_path):
+        """A genuinely stuck trial is terminated at the policy deadline
+        and quarantined as a timeout -- the run never waits it out."""
+        started = time.monotonic()
+        with TrialPool(
+            workers=2,
+            policy=ResiliencePolicy(max_retries=0, timeout=0.3),
+        ) as pool:
+            results = pool.map(_sleepy_trial, ["a", "slow", "b"])
+        elapsed = time.monotonic() - started
+        assert elapsed < 10.0  # nowhere near the 30 s sleep
+        assert isinstance(results[1], TrialFailure)
+        assert results[1].faults == ("timeout",)
+        assert "deadline" in results[1].error
+        assert results[0] == results[2] == TrialResult(totes=(1,), cycles=1)
+        assert pool.fault_stats.timeouts == 1
+        assert [entry.index for entry in pool.quarantine] == [1]
+
+
+class InterruptingPool(TrialPool):
+    """A pool killed after *survive* map calls -- a deterministic
+    mid-campaign crash (same shape as test_campaign_runner's)."""
+
+    def __init__(self, survive, **kwargs):
+        super().__init__(**kwargs)
+        self.survive = survive
+        self.calls = 0
+
+    def map(self, fn, payloads):
+        self.calls += 1
+        if self.calls > self.survive:
+            raise KeyboardInterrupt
+        return super().map(fn, payloads)
+
+
+class TestAcceptance:
+    def test_fixed_seed_reports_identical_across_workers_and_resume(
+        self, tmp_path
+    ):
+        """The PR acceptance criterion: one FaultPlan seed, three
+        execution shapes -- workers=1, workers=8, and a run killed
+        mid-campaign then resumed -- produce byte-identical reports,
+        including the failures section, over REAL trials."""
+        spec = small_real_spec()
+        # rate=0.7 with 1 retry: some trials all but surely exhaust their
+        # retries, so the failures section is provably part of the identity.
+        plan = FaultPlan.chaos(seed=CHAOS_SEED, rate=0.7)
+        policy = ResiliencePolicy(max_retries=1)
+        artifacts = {}
+        for label, workers in (("w1", 1), ("w8", 8)):
+            store = ResultStore(str(tmp_path / label))
+            with TrialPool(workers=workers, policy=policy) as pool:
+                pool.install_faults(plan)
+                report, stats = CampaignRunner(
+                    spec, store=store, pool=pool
+                ).run()
+            artifacts[label] = (report.to_json(), report.render_text(), stats)
+
+        # Third shape: killed after 2 of 4 batches, resumed pooled.
+        store = ResultStore(str(tmp_path / "resumed"))
+        pool = InterruptingPool(survive=2, workers=1, policy=policy)
+        pool.install_faults(plan)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(spec, store=store, pool=pool, batch_size=4).run()
+        pool.close()
+        assert 0 < len(ResultStore(str(tmp_path / "resumed"))) < 16
+        with TrialPool(workers=8, policy=policy) as pool:
+            pool.install_faults(plan)
+            report, stats = CampaignRunner(
+                spec, store=ResultStore(str(tmp_path / "resumed")), pool=pool,
+                batch_size=4,
+            ).run()
+        artifacts["resumed"] = (report.to_json(), report.render_text(), stats)
+
+        w1, w8, resumed = (
+            artifacts["w1"], artifacts["w8"], artifacts["resumed"],
+        )
+        assert w1[0] == w8[0] == resumed[0]
+        assert w1[1] == w8[1] == resumed[1]
+        # The identity is non-vacuous: failures made it into the artifact.
+        assert w1[2].failures > 0
+        assert '"failures"' in w1[0]
+
+    def test_max_failures_aborts_after_checkpoint(self, tmp_path):
+        from repro.campaign import CampaignAborted
+
+        spec = small_real_spec()
+        plan = FaultPlan.chaos(seed=CHAOS_SEED, rate=0.9)
+        store = ResultStore(str(tmp_path))
+        with TrialPool(
+            workers=1, policy=ResiliencePolicy(max_retries=0)
+        ) as pool:
+            pool.install_faults(plan)
+            with pytest.raises(CampaignAborted) as info:
+                CampaignRunner(
+                    spec, store=store, pool=pool, batch_size=4,
+                    max_failures=0,
+                ).run()
+        assert info.value.failures > 0
+        # Everything before the abort was checkpointed (durable resume).
+        assert len(ResultStore(str(tmp_path))) >= 4
+
+
+class TestTornCheckpoint:
+    def test_torn_checkpoint_loses_at_most_one_batch(self, tmp_path):
+        """Regression: the writer dies mid-batch leaving a torn record;
+        the next run detects it, loses at most that one batch, and ends
+        byte-identical to a never-interrupted run."""
+        spec = small_real_spec()
+        cold, _ = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path / "cold"))
+        ).run()
+
+        torn = TornStore(str(tmp_path / "torn"), survive=5)
+        with pytest.raises(SimulatedCrash):
+            CampaignRunner(spec, store=torn, batch_size=4).run()
+
+        reloaded = ResultStore(str(tmp_path / "torn"))
+        with pytest.warns(UserWarning, match="corrupt store record"):
+            survivors = len(reloaded)
+        # 5 whole records survived the tear; the torn tail is dropped.
+        assert survivors == 5
+        attempted = 8  # two batches of 4 ran before the crash
+        assert attempted - survivors <= 4  # at most one batch lost
+
+        with pytest.warns(UserWarning, match="corrupt store record"):
+            replay, stats = CampaignRunner(
+                spec, store=ResultStore(str(tmp_path / "torn"))
+            ).run()
+        assert stats.cached == 5
+        assert stats.executed == 11
+        assert replay.to_json() == cold.to_json()
+        assert replay.render_text() == cold.render_text()
+
+
+@pytest.mark.slow
+class TestRandomizedSweep:
+    def test_many_seeds_stay_worker_count_invariant(self, tmp_path):
+        """The long sweep: several derived plan seeds, full stub grid,
+        serial vs pooled identity on every one."""
+        import random
+
+        rng = random.Random(CHAOS_SEED)
+        spec = builtin_campaign("e3-matrix")
+        for round_index in range(5):
+            seed = rng.getrandbits(32)
+            plan = FaultPlan.chaos(seed=seed, rate=0.04)
+            serial = run_stub_campaign(
+                spec, 1, plan, tmp_path, f"s{round_index}", retries=1
+            )
+            pooled = run_stub_campaign(
+                spec, 4, plan, tmp_path, f"p{round_index}", retries=1
+            )
+            assert serial["artifact"] == pooled["artifact"], seed
+            assert serial["quarantine"] == pooled["quarantine"], seed
+            assert serial["stats"] == pooled["stats"], seed

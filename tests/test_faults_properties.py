@@ -1,0 +1,231 @@
+"""Property-based tests for the fault-injection layer.
+
+Runs under Hypothesis when it is installed; a seeded-``random`` fallback
+exercises the same properties (fewer cases, fixed seed) when it is not,
+so the suite never gains a hard dependency -- the same arrangement as
+``test_analysis_properties.py``.
+
+The properties:
+
+* the retry/backoff schedule is a pure function of ``(seed, attempt)``
+  and always lands in ``[expected/2, expected]`` where ``expected =
+  min(cap, base * 2**attempt)``;
+* a :class:`FaultPlan` decision is a pure function of ``(plan seed,
+  payload, attempt)`` -- never of scheduling, worker identity, or how
+  often it is asked;
+* the quarantine list is invariant under worker-count permutation;
+* injected store corruption (bit-flips, truncation) is *always* caught
+  by the record checksum path: damaged records drop with a warning,
+  surviving records replay their exact original values.
+"""
+
+import random
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.faults import (
+    TRIAL_FAULTS,
+    FaultPlan,
+    FaultyStore,
+    ResiliencePolicy,
+    backoff_delay,
+)
+from repro.runtime import TrialPool, TrialResult
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_HYPOTHESIS = False
+
+
+# -- shared property checks ----------------------------------------------------
+
+
+def check_backoff_is_pure_and_bounded(seed, attempt, base, cap):
+    first = backoff_delay(seed, attempt, base=base, cap=cap)
+    second = backoff_delay(seed, attempt, base=base, cap=cap)
+    assert first == second  # pure: no clock, no shared RNG
+    expected = min(cap, base * 2**attempt)
+    assert expected / 2 <= first <= expected
+
+
+def check_plan_decision_is_pure(seed, payload, attempt):
+    plan = FaultPlan.chaos(seed=seed, rate=0.5)
+    twin = FaultPlan.chaos(seed=seed, rate=0.5)
+    decision = plan.decide(payload, attempt)
+    assert decision == plan.decide(payload, attempt)
+    assert decision == twin.decide(payload, attempt)  # value semantics
+    assert decision is None or decision in TRIAL_FAULTS
+
+
+def check_store_corruption_always_detected(tmp_path, seed, tag, records=24):
+    """Write through a corrupting store; a fresh load must drop every
+    damaged record with a warning and replay the rest exactly."""
+    plan = FaultPlan(
+        seed=seed, bitflip_rate=0.25, truncate_rate=0.25
+    )
+    faulty = FaultyStore(str(tmp_path / tag), plan)
+    originals = {
+        f"key{i:04d}": TrialResult(totes=(i, i * 7), cycles=i * 100)
+        for i in range(records)
+    }
+    faulty.put_many(sorted(originals.items()))
+    assert faulty.corrupted, "plan was expected to damage some records"
+    damaged = {key for key, _ in faulty.corrupted}
+
+    reloaded = ResultStore(str(tmp_path / tag))
+    with pytest.warns(UserWarning, match="corrupt store record"):
+        survivors = {key: reloaded.get(key) for key in originals
+                     if key in reloaded}
+    for key in damaged:
+        assert key not in survivors  # detected, degraded to re-execution
+    for key, outcome in survivors.items():
+        assert outcome == originals[key]  # never a silently wrong replay
+    assert len(survivors) == records - len(damaged)
+
+
+def _flaky_len(payload):
+    return TrialResult(totes=(len(payload),), cycles=len(payload))
+
+
+def check_quarantine_is_worker_count_invariant(tmp_path, seed, counts=(1, 2, 4)):
+    plan = FaultPlan.chaos(seed=seed, rate=0.45)
+    snapshots = []
+    for workers in counts:
+        with TrialPool(
+            workers=workers, policy=ResiliencePolicy(max_retries=1)
+        ) as pool:
+            pool.install_faults(plan)
+            pool.map(_flaky_len, [f"payload-{i}" for i in range(24)])
+            snapshots.append(
+                (
+                    [
+                        (e.index, e.attempts, e.faults, e.error)
+                        for e in pool.quarantine
+                    ],
+                    pool.fault_stats.as_dict(),
+                )
+            )
+    assert snapshots[0] == snapshots[1] == snapshots[2]
+
+
+# -- plan shape (plain unit properties) ----------------------------------------
+
+
+class TestFaultPlanShape:
+    def test_zero_rates_never_fire(self):
+        plan = FaultPlan(seed=1)
+        assert not plan.injects_trials
+        assert not plan.injects_store
+        assert all(
+            plan.decide(f"p{i}", attempt) is None
+            for i in range(64)
+            for attempt in range(3)
+        )
+
+    def test_total_rate_one_always_fires(self):
+        plan = FaultPlan(seed=2, raise_rate=1.0)
+        assert all(plan.decide(f"p{i}", 0) == "raise" for i in range(32))
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, raise_rate=0.7, hang_rate=0.7)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, garbage_rate=-0.1)
+
+    def test_chaos_mixes_categories(self):
+        plan = FaultPlan.chaos(seed=3, rate=0.8)
+        kinds = {
+            plan.decide(f"p{i}", attempt)
+            for i in range(128)
+            for attempt in range(2)
+        }
+        assert set(TRIAL_FAULTS) <= kinds
+
+    def test_attempts_draw_independently(self):
+        """Per-attempt draws differ -- that is why retries usually clear
+        an injected fault instead of looping on it forever."""
+        plan = FaultPlan.chaos(seed=4, rate=0.5)
+        fates = [
+            tuple(plan.decide(f"p{i}", attempt) for attempt in range(4))
+            for i in range(64)
+        ]
+        assert any(len(set(fate)) > 1 for fate in fates)
+
+    def test_backoff_disabled_by_default_policy(self):
+        assert ResiliencePolicy().delay(0) == 0.0
+        assert backoff_delay(123, 5, base=0.0) == 0.0
+
+
+# -- seeded fallback (always runs) ---------------------------------------------
+
+
+class TestSeededProperties:
+    def test_backoff_schedule(self):
+        rng = random.Random(0xFA171)
+        for _ in range(200):
+            check_backoff_is_pure_and_bounded(
+                seed=rng.getrandbits(64),
+                attempt=rng.randrange(8),
+                base=rng.uniform(0.001, 0.5),
+                cap=rng.uniform(0.5, 2.0),
+            )
+
+    def test_plan_decisions(self):
+        rng = random.Random(0xFA172)
+        for _ in range(200):
+            check_plan_decision_is_pure(
+                seed=rng.getrandbits(64),
+                payload=f"payload-{rng.getrandbits(32)}",
+                attempt=rng.randrange(4),
+            )
+
+    def test_store_corruption_detected(self, tmp_path):
+        rng = random.Random(0xFA173)
+        for round_index in range(6):
+            check_store_corruption_always_detected(
+                tmp_path, seed=rng.getrandbits(64), tag=f"s{round_index}"
+            )
+
+    def test_quarantine_worker_invariance(self, tmp_path):
+        rng = random.Random(0xFA174)
+        for _ in range(3):
+            check_quarantine_is_worker_count_invariant(
+                tmp_path, seed=rng.getrandbits(64)
+            )
+
+
+# -- hypothesis (when available) -----------------------------------------------
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestHypothesisProperties:
+        @given(
+            seed=st.integers(min_value=0, max_value=2**64 - 1),
+            attempt=st.integers(min_value=0, max_value=12),
+            base=st.floats(min_value=0.001, max_value=0.5),
+            cap=st.floats(min_value=0.5, max_value=4.0),
+        )
+        @settings(max_examples=200, deadline=None)
+        def test_backoff_schedule(self, seed, attempt, base, cap):
+            check_backoff_is_pure_and_bounded(seed, attempt, base, cap)
+
+        @given(
+            seed=st.integers(min_value=0, max_value=2**64 - 1),
+            payload=st.text(min_size=0, max_size=40),
+            attempt=st.integers(min_value=0, max_value=6),
+        )
+        @settings(max_examples=200, deadline=None)
+        def test_plan_decisions(self, seed, payload, attempt):
+            check_plan_decision_is_pure(seed, payload, attempt)
+
+        @given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+        @settings(max_examples=10, deadline=None)
+        def test_store_corruption_detected(self, seed, tmp_path_factory):
+            tmp_path = tmp_path_factory.mktemp("faulty")
+            check_store_corruption_always_detected(tmp_path, seed, "h")

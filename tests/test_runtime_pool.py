@@ -8,6 +8,8 @@ including every raw ToTE sample, because each trial's outcome is a pure
 function of ``(MachineSpec, payload)``.
 """
 
+import os
+
 import pytest
 
 from repro.runtime import (
@@ -16,6 +18,7 @@ from repro.runtime import (
     ProcessExecutor,
     SerialExecutor,
     TrialPool,
+    WorkerLostError,
     derive_seed,
     run_channel_trial,
 )
@@ -65,6 +68,45 @@ class TestExecutorSelection:
         with TrialPool(workers=2) as pool:
             pool.map(len, ["ab", "c", "d"])
             assert pool.trials_executed == 3
+
+
+def _exit_on_sentinel(payload):
+    """A trial function whose worker dies -- for real -- on one payload."""
+    if payload == "die":
+        os._exit(43)
+    return len(payload)
+
+
+def _raise_on_sentinel(payload):
+    if payload == "boom":
+        raise ValueError("boom payload")
+    return len(payload)
+
+
+class TestWorkerLoss:
+    def test_worker_death_raises_with_payload_index(self):
+        """A dead worker surfaces as WorkerLostError naming the payload
+        it took down -- never an opaque hang (the multiprocessing.Pool
+        failure mode this crew replaces)."""
+        with TrialPool(workers=2) as pool:
+            with pytest.raises(WorkerLostError) as info:
+                pool.map(_exit_on_sentinel, ["ab", "c", "die", "wxyz"])
+            assert info.value.payload_index == 2
+            assert "payload 2" in str(info.value)
+
+    def test_pool_usable_after_worker_death(self):
+        """The casualty is respawned before the raise, so the same pool
+        keeps working."""
+        with TrialPool(workers=2) as pool:
+            with pytest.raises(WorkerLostError):
+                pool.map(_exit_on_sentinel, ["die", "ab"])
+            assert pool.map(_exit_on_sentinel, ["ab", "c"]) == [2, 1]
+
+    def test_worker_exception_propagates(self):
+        with TrialPool(workers=2) as pool:
+            with pytest.raises(RuntimeError, match="boom payload"):
+                pool.map(_raise_on_sentinel, ["ab", "boom", "c"])
+            assert pool.map(_raise_on_sentinel, ["abc"]) == [3]
 
 
 class TestSerialParallelEquivalence:
