@@ -6,11 +6,14 @@ records the wall-clock speedup.  Two shapes are asserted:
 * **determinism**: the 4-worker scan equals the 1-worker scan, sample
   for sample (the TrialPool contract -- parallelism must be free of
   statistical cost);
-* the speedup is *recorded*, not asserted above 1.0: CI boxes may expose
-  a single CPU, where process fan-out can only pipeline, not parallelise.
+* **speedup > 1.0 -- but only where it is physically possible**: on a
+  multi-CPU host the fan-out must beat the serial path; on a single-CPU
+  host process fan-out can only pipeline, so the assertion is skipped
+  with a logged warning and the measurement is recorded either way.
 """
 
 import time
+import warnings
 
 from benchmarks.conftest import banner, emit, emit_metric
 from repro.runtime import TrialPool, default_workers
@@ -42,8 +45,9 @@ def test_runtime_scaling(benchmark):
     parallel_stats, parallel_wall = results[4]
     speedup = serial_wall / parallel_wall if parallel_wall else float("nan")
 
+    host_cpus = default_workers()
     banner("runtime -- TrialPool scaling (TET-CC byte scan, 4-byte payload)")
-    emit(f"host CPUs: {default_workers()}")
+    emit(f"host CPUs: {host_cpus}")
     emit(f"{'workers':>8} {'wall':>10} {'received':>12} {'error':>8}")
     for workers in WORKER_COUNTS:
         stats, wall = results[workers]
@@ -52,12 +56,15 @@ def test_runtime_scaling(benchmark):
             f"{stats.error_rate:>8.2%}"
         )
     emit("")
-    emit(
-        f"speedup at 4 workers: {speedup:.2f}x "
-        "(recorded, not asserted: single-CPU CI hosts cannot scale)"
-    )
+    if host_cpus == 1:
+        emit(
+            f"speedup at 4 workers: {speedup:.2f}x "
+            "(recorded only: single-CPU host, fan-out cannot scale)"
+        )
+    else:
+        emit(f"speedup at 4 workers: {speedup:.2f}x (asserted > 1.0)")
 
-    emit_metric("runtime_scaling", "host_cpus", default_workers())
+    emit_metric("runtime_scaling", "host_cpus", host_cpus)
     emit_metric("runtime_scaling", "serial_wall_seconds", serial_wall)
     emit_metric("runtime_scaling", "parallel_wall_seconds", parallel_wall)
     emit_metric("runtime_scaling", "speedup_4_workers", speedup)
@@ -68,3 +75,14 @@ def test_runtime_scaling(benchmark):
     assert serial_stats.error_rate == parallel_stats.error_rate == 0.0
     assert serial_stats.cycles == parallel_stats.cycles
     assert speedup > 0
+    if host_cpus == 1:
+        warnings.warn(
+            f"runtime-scaling speedup assertion skipped: host exposes a "
+            f"single CPU (measured {speedup:.2f}x, recorded to the "
+            f"reproduction report)"
+        )
+    else:
+        assert speedup > 1.0, (
+            f"4-worker fan-out must beat serial on a {host_cpus}-CPU host "
+            f"(measured {speedup:.2f}x)"
+        )

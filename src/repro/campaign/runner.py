@@ -157,6 +157,27 @@ class CampaignRunner:
 
     # -- execution -------------------------------------------------------------
 
+    def _batches(self, pending: List[int], refs: List[TrialRef]):
+        """Slice *pending* result indices into dispatch batches.
+
+        Batches never straddle a cell boundary: every trial in a batch
+        shares one (machine, attack, parameters) cell, so a worker keeps
+        a single cached machine context hot for the whole batch and the
+        pool's adaptive chunk estimate averages over homogeneous trials.
+        Batch composition has no effect on results -- each trial is a
+        pure function of its payload -- only on scheduling.
+        """
+        count = len(pending)
+        start = 0
+        for position in range(1, count + 1):
+            if (
+                position == count
+                or position - start == self.batch_size
+                or refs[pending[position]].cell != refs[pending[start]].cell
+            ):
+                yield pending[start:position]
+                start = position
+
     def run(self) -> Tuple[CampaignReport, RunStats]:
         """Execute the delta, checkpointing per batch; return the report.
 
@@ -179,8 +200,8 @@ class CampaignRunner:
             if self.policy is not None:
                 pool.policy = self.policy
             try:
-                for offset in range(0, len(pending), self.batch_size):
-                    batch = pending[offset : offset + self.batch_size]
+                done = 0
+                for batch in self._batches(pending, refs):
                     outcomes = pool.map(
                         self.trial_fn, [refs[i].trial for i in batch]
                     )
@@ -193,8 +214,9 @@ class CampaignRunner:
                         if isinstance(outcome, TrialFailure):
                             failures += 1
                     batches += 1
+                    done += len(batch)
                     self._progress(
-                        f"batch {batches}: {min(offset + len(batch), len(pending))}"
+                        f"batch {batches}: {done}"
                         f"/{len(pending)} pending trials done"
                     )
                     if (

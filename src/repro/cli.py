@@ -14,6 +14,9 @@ command       what it does
 ``campaign``  declarative cached sweeps: ``run|status|report|clean|list``
 ``faults``    the fault-injection layer: ``demo`` proves the
               determinism-of-failure contract live
+``perf``      the hot-path harness: ``profile`` a campaign cell under
+              cProfile, ``bench`` trial throughput against the committed
+              baseline (CI's >30%-regression gate)
 ============  ==========================================================
 """
 
@@ -203,6 +206,35 @@ def cmd_faults_demo(args) -> int:
         retries=args.retry,
         campaign=args.campaign,
     )
+
+
+def cmd_perf_profile(args) -> int:
+    from repro.perf import run_profile
+
+    run_profile(
+        campaign=args.campaign,
+        cell=args.cell,
+        trials=args.trials,
+        sort=args.sort,
+        limit=args.limit,
+    )
+    return 0
+
+
+def cmd_perf_bench(args) -> int:
+    from repro.perf import run_bench
+
+    result = run_bench(
+        campaign=args.campaign,
+        cell=args.cell,
+        trials=args.trials,
+        repeats=args.repeats,
+        quick=args.quick,
+        baseline_path=args.baseline,
+        report_path=args.report,
+        update_baseline=args.update_baseline,
+    )
+    return 1 if result.regressed else 0
 
 
 def cmd_pmu(args) -> int:
@@ -476,6 +508,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="built-in campaign to torment (default: ci-smoke)",
     )
     fdemo.set_defaults(func=cmd_faults_demo)
+
+    perf = sub.add_parser(
+        "perf", help="hot-path profiling and throughput benchmarking"
+    )
+    psub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(sub_parser):
+        sub_parser.add_argument(
+            "--campaign", default="e3-matrix",
+            help="built-in campaign to draw trials from (default: e3-matrix)",
+        )
+        sub_parser.add_argument(
+            "--cell", type=int, default=0,
+            help="cell index inside the campaign (default: 0)",
+        )
+
+    pprofile = psub.add_parser(
+        "profile", help="cProfile a campaign cell's trial hot path"
+    )
+    _perf_common(pprofile)
+    pprofile.add_argument(
+        "--trials", type=int, default=24,
+        help="trials to run under the profiler (default: 24)",
+    )
+    pprofile.add_argument(
+        "--sort", default="tottime",
+        help="pstats sort key (default: tottime)",
+    )
+    pprofile.add_argument(
+        "--limit", type=int, default=25,
+        help="rows of profile output (default: 25)",
+    )
+    pprofile.set_defaults(func=cmd_perf_profile)
+
+    pbench = psub.add_parser(
+        "bench",
+        help="measure trials/second and gate against the committed baseline",
+    )
+    _perf_common(pbench)
+    pbench.add_argument(
+        "--trials", type=int, default=48,
+        help="trials per timed pass (default: 48)",
+    )
+    pbench.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed passes; the best one is reported (default: 5)",
+    )
+    pbench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: at most 16 trials x 3 passes",
+    )
+    pbench.add_argument(
+        "--baseline", default="benchmarks/perf_baseline.json",
+        help="committed baseline path (default: benchmarks/perf_baseline.json)",
+    )
+    pbench.add_argument(
+        "--report", default="benchmarks/reports/reproduction_report.json",
+        help="reproduction-report JSON to merge metrics into "
+        "('' disables the merge)",
+    )
+    pbench.add_argument(
+        "--update-baseline", action="store_true",
+        help="record this measurement as the new baseline instead of "
+        "gating against it",
+    )
+    pbench.set_defaults(func=cmd_perf_bench)
 
     pmu = sub.add_parser("pmu", help="the Figure 2 PMU toolset")
     _add_machine_args(pmu)

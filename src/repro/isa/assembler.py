@@ -264,11 +264,33 @@ def _assemble_line(mnemonic: str, operands: List[str], comment: str) -> Instruct
     raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
 
 
+#: Parse cache: source text -> (instruction tuple, labels).  Instructions
+#: are immutable and :class:`Program` copies the label map, so the parse
+#: may be shared between programs; each :func:`assemble` call still
+#: returns a fresh ``Program`` (target resolution depends on *base*).
+#: Gadget builders re-assemble identical sources once per machine, which
+#: put the parser on campaign warm-up profiles.
+_PARSE_CACHE: Dict[str, Tuple[Tuple[Instruction, ...], Dict[str, int]]] = {}
+_PARSE_CACHE_MAX = 256
+
+
 def assemble(source: str, base: int = 0x400000) -> Program:
     """Assemble *source* text into a :class:`Program` at virtual *base*.
 
     Raises :class:`AssemblyError` with a line number on any syntax error.
     """
+    cached = _PARSE_CACHE.get(source)
+    if cached is None:
+        parsed = _parse(source)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[source] = cached = parsed
+    instructions, labels = cached
+    return Program(list(instructions), labels=labels, base=base, source=source)
+
+
+def _parse(source: str) -> Tuple[Tuple[Instruction, ...], Dict[str, int]]:
+    """Parse *source* into (instructions, labels), base-independent."""
     instructions: List[Instruction] = []
     labels: Dict[str, int] = {}
 
@@ -301,4 +323,4 @@ def assemble(source: str, base: int = 0x400000) -> Program:
         if target_index > len(instructions):
             raise AssemblyError(f"label {label!r} points past end of program")
 
-    return Program(instructions, labels=labels, base=base, source=source)
+    return tuple(instructions), labels

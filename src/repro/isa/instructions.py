@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional
 
 from repro.isa.opcodes import OP_INFO, Cond, Op, OpInfo
@@ -67,9 +68,10 @@ class Instruction:
     #: Source-line comment carried through for traces (purely cosmetic).
     comment: str = field(default="", compare=False)
 
-    @property
+    @cached_property
     def info(self) -> OpInfo:
-        """Static decode metadata for this opcode."""
+        """Static decode metadata for this opcode (cached: the opcode
+        table lookup sat on the core's dispatch path)."""
         return OP_INFO[self.op]
 
     @property

@@ -39,20 +39,25 @@ class Cache:
         self._sets: Dict[int, OrderedDict] = {}
         self.hits = 0
         self.misses = 0
+        # Geometry constants and the (immutable) hit outcome, hoisted off
+        # the per-access path.
+        self._set_count = geometry.sets
+        self._way_count = geometry.ways
+        self.hit_outcome = MemoryAccessOutcome(geometry.latency, geometry.name)
 
     def _set_for(self, paddr: int) -> Tuple[int, int]:
         line = paddr >> LINE_SHIFT
-        return line % self.geometry.sets, line
+        return line % self._set_count, line
 
     def probe(self, paddr: int) -> bool:
         """Whether the line holding *paddr* is present (no state change)."""
-        set_index, line = self._set_for(paddr)
-        return line in self._sets.get(set_index, ())
+        line = paddr >> LINE_SHIFT
+        return line in self._sets.get(line % self._set_count, ())
 
     def touch(self, paddr: int) -> bool:
         """Look up *paddr*; on hit refresh LRU.  Returns hit/miss."""
-        set_index, line = self._set_for(paddr)
-        ways = self._sets.get(set_index)
+        line = paddr >> LINE_SHIFT
+        ways = self._sets.get(line % self._set_count)
         if ways is not None and line in ways:
             ways.move_to_end(line)
             self.hits += 1
@@ -62,13 +67,13 @@ class Cache:
 
     def fill(self, paddr: int) -> Optional[int]:
         """Insert the line holding *paddr*; return evicted line or None."""
-        set_index, line = self._set_for(paddr)
-        ways = self._sets.setdefault(set_index, OrderedDict())
+        line = paddr >> LINE_SHIFT
+        ways = self._sets.setdefault(line % self._set_count, OrderedDict())
         if line in ways:
             ways.move_to_end(line)
             return None
         evicted = None
-        if len(ways) >= self.geometry.ways:
+        if len(ways) >= self._way_count:
             evicted, _ = ways.popitem(last=False)
         ways[line] = True
         return evicted
@@ -127,21 +132,26 @@ class CacheHierarchy:
         self.dram_latency = dram_latency
         #: Total clflush operations (the cache-attack detector's feature).
         self.clflush_count = 0
+        # Outcomes are immutable and fully determined by the hit level, so
+        # one instance per level serves every access.
+        self._l2_outcome = MemoryAccessOutcome(l2.latency, "L2")
+        self._llc_outcome = MemoryAccessOutcome(llc.latency, "LLC")
+        self._dram_outcome = MemoryAccessOutcome(dram_latency, "DRAM")
 
     def _access(self, first_level: Cache, paddr: int) -> MemoryAccessOutcome:
         if first_level.touch(paddr):
-            return MemoryAccessOutcome(first_level.geometry.latency, first_level.geometry.name)
+            return first_level.hit_outcome
         if self.l2.touch(paddr):
             first_level.fill(paddr)
-            return MemoryAccessOutcome(self.l2.geometry.latency, "L2")
+            return self._l2_outcome
         if self.llc.touch(paddr):
             first_level.fill(paddr)
             self.l2.fill(paddr)
-            return MemoryAccessOutcome(self.llc.geometry.latency, "LLC")
+            return self._llc_outcome
         first_level.fill(paddr)
         self.l2.fill(paddr)
         self.llc.fill(paddr)
-        return MemoryAccessOutcome(self.dram_latency, "DRAM")
+        return self._dram_outcome
 
     def data_access(self, paddr: int) -> MemoryAccessOutcome:
         """Access *paddr* through the data side (L1D -> L2 -> LLC -> DRAM)."""

@@ -50,34 +50,82 @@ class Fault:
         return self.kind is not FaultKind.NOT_PRESENT
 
 
-@dataclass
 class AccessResult:
-    """Everything one data access produced."""
+    """Everything one data access produced.
 
-    va: int
-    paddr: Optional[int]
-    value: Optional[int]
-    fault: Optional[Fault]
-    latency: int
-    tlb_hit: bool
-    hit_level: str  # cache level that served the data ("" if faulted)
-    was_cached: bool  # line presence *before* this access
-    walk: Optional[WalkResult] = None
+    A ``__slots__`` class rather than a dataclass: one is allocated per
+    data access, squarely on the simulator's hot path.
+    """
+
+    __slots__ = (
+        "va",
+        "paddr",
+        "value",
+        "fault",
+        "latency",
+        "tlb_hit",
+        "hit_level",
+        "was_cached",
+        "walk",
+    )
+
+    def __init__(
+        self,
+        va: int,
+        paddr: Optional[int],
+        value: Optional[int],
+        fault: Optional[Fault],
+        latency: int,
+        tlb_hit: bool,
+        hit_level: str,
+        was_cached: bool,
+        walk: Optional[WalkResult] = None,
+    ) -> None:
+        self.va = va
+        self.paddr = paddr
+        self.value = value
+        self.fault = fault
+        self.latency = latency
+        self.tlb_hit = tlb_hit
+        self.hit_level = hit_level  # cache level that served the data ("" if faulted)
+        self.was_cached = was_cached  # line presence *before* this access
+        self.walk = walk
 
     @property
     def ok(self) -> bool:
         return self.fault is None
 
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AccessResult(va={self.va:#x}, paddr={self.paddr}, fault={self.fault}, "
+            f"latency={self.latency}, tlb_hit={self.tlb_hit}, hit_level={self.hit_level!r})"
+        )
 
-@dataclass
+
 class FetchResult:
     """Outcome of one instruction-fetch translation + line access."""
 
-    va: int
-    fault: Optional[Fault]
-    latency: int
-    tlb_hit: bool
-    walk: Optional[WalkResult] = None
+    __slots__ = ("va", "fault", "latency", "tlb_hit", "walk")
+
+    def __init__(
+        self,
+        va: int,
+        fault: Optional[Fault],
+        latency: int,
+        tlb_hit: bool,
+        walk: Optional[WalkResult] = None,
+    ) -> None:
+        self.va = va
+        self.fault = fault
+        self.latency = latency
+        self.tlb_hit = tlb_hit
+        self.walk = walk
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FetchResult(va={self.va:#x}, fault={self.fault}, "
+            f"latency={self.latency}, tlb_hit={self.tlb_hit})"
+        )
 
 
 class Mmu:
@@ -225,16 +273,19 @@ class Mmu:
             raise RuntimeError("MMU has no address space installed")
 
         walk = None
+        rng = self._noise_rng
         entry = self.dtlb.lookup(va)
         if entry is not None:
             pte = entry.pte
-            latency = 1 + self._jitter()
+            latency = 1 if rng is None else 1 + rng.randint(0, self._noise_amplitude)
             tlb_hit = True
         else:
             walk = self.walker.walk(self.space, va, now=now)
             self.dside_walks += 1
             self.dside_walk_cycles += walk.latency
-            latency = walk.latency + self._jitter()
+            latency = walk.latency
+            if rng is not None:
+                latency += rng.randint(0, self._noise_amplitude)
             tlb_hit = False
             if walk.pte is None:
                 latency += self.fault_determination_cost
@@ -255,7 +306,13 @@ class Mmu:
                 self.dtlb.fill(va, pte)
 
         paddr = pte.physical_address(va)
-        fault = self._check_permissions(pte, write, user, False, va)
+        # _check_permissions, inlined (data side is the hot path).
+        if user and not pte.user:
+            fault = Fault(FaultKind.PROTECTION, va)
+        elif write and not pte.writable:
+            fault = Fault(FaultKind.WRITE_PROTECT, va)
+        else:
+            fault = None
         if fault is not None:
             latency += self.fault_determination_cost
             return AccessResult(
@@ -341,10 +398,11 @@ class Mmu:
         if self.space is None:
             raise RuntimeError("MMU has no address space installed")
         walk = None
+        rng = self._noise_rng
         entry = self.itlb.lookup(va)
         if entry is not None:
             pte = entry.pte
-            latency = 1 + self._jitter()
+            latency = 1 if rng is None else 1 + rng.randint(0, self._noise_amplitude)
             tlb_hit = True
         else:
             walk = self.walker.walk(self.space, va, now=now)
@@ -356,7 +414,13 @@ class Mmu:
                 return FetchResult(va, Fault(FaultKind.NOT_PRESENT, va), latency, False, walk)
             pte = walk.pte
             self.itlb.fill(va, pte)
-        fault = self._check_permissions(pte, False, user, True, va)
+        # _check_permissions, inlined (instruction fetches dominate).
+        if user and not pte.user:
+            fault = Fault(FaultKind.PROTECTION, va)
+        elif pte.nx:
+            fault = Fault(FaultKind.NX, va)
+        else:
+            fault = None
         if fault is not None:
             return FetchResult(va, fault, latency + self.fault_determination_cost, tlb_hit, walk)
         outcome = self.hierarchy.inst_access(pte.physical_address(va))

@@ -52,8 +52,8 @@ class Pte:
 
     def physical_address(self, va: int) -> int:
         """Translate *va* through this entry."""
-        offset = va & (int(self.page_size) - 1)
-        return (self.pfn * int(PageSize.SIZE_4K)) + offset
+        # IntEnum arithmetic yields plain ints; no coercion needed here.
+        return (self.pfn << 12) + (va & (self.page_size - 1))
 
 
 @dataclass

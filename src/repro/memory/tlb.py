@@ -38,17 +38,19 @@ class Tlb:
         self._sets: Dict[int, OrderedDict] = {}
         self.hits = 0
         self.misses = 0
+        #: Page size in bytes, pre-converted (enum coercion off the hot path).
+        self._page_bytes = int(page_size)
 
     def _vpn(self, va: int) -> int:
-        return va // int(self.page_size)
+        return va // self._page_bytes
 
     def _set_index(self, vpn: int) -> int:
         return vpn % self.sets
 
     def lookup(self, va: int) -> Optional[TlbEntry]:
         """Return the entry translating *va*, refreshing LRU, or ``None``."""
-        vpn = self._vpn(va)
-        ways = self._sets.get(self._set_index(vpn))
+        vpn = va // self._page_bytes
+        ways = self._sets.get(vpn % self.sets)
         if ways is not None and vpn in ways:
             ways.move_to_end(vpn)
             self.hits += 1
@@ -58,8 +60,8 @@ class Tlb:
 
     def fill(self, va: int, pte: Pte) -> None:
         """Install the translation for *va* (evicting LRU if needed)."""
-        vpn = self._vpn(va)
-        ways = self._sets.setdefault(self._set_index(vpn), OrderedDict())
+        vpn = va // self._page_bytes
+        ways = self._sets.setdefault(vpn % self.sets, OrderedDict())
         if vpn in ways:
             ways.move_to_end(vpn)
             ways[vpn] = TlbEntry(vpn, pte, self.page_size)

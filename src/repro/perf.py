@@ -1,0 +1,340 @@
+"""The ``repro perf`` harness: profile and benchmark the trial hot path.
+
+Two entry points, both driven from the CLI (``repro perf profile`` /
+``repro perf bench``) and both aimed at the same question -- *how fast is
+one simulated trial, and where does its time go?*
+
+``profile``
+    Wraps a slice of a built-in campaign cell's trials in ``cProfile``
+    and prints the hottest functions.  This is the tool that found the
+    hot spots the decode cache, the COW snapshots and the PMU fast paths
+    now cover; keeping it a one-liner keeps them found.
+
+``bench``
+    Measures trial throughput (trials/second) on a built-in campaign
+    cell with a best-of-N methodology, normalises it against a
+    pure-Python calibration loop so scores compare across hosts, and
+    gates against a committed baseline (:data:`DEFAULT_BASELINE_PATH`):
+    a normalised score below ``0.7 x`` baseline exits non-zero, which is
+    how CI catches a >30% hot-path regression before it merges.  Metrics
+    merge into ``benchmarks/reports/reproduction_report.json`` next to
+    the paper-reproduction figures.
+
+Throughput is measured best-of-N rather than averaged because a shared
+CI host's noise is one-sided: interference can only make a pass slower,
+never faster, so the fastest repetition is the closest observation of
+the code's true cost.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import os
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "BenchResult",
+    "DEFAULT_BASELINE_PATH",
+    "REGRESSION_FLOOR",
+    "bench_cell",
+    "calibrate_host",
+    "cell_payloads",
+    "load_baseline",
+    "merge_report_metrics",
+    "profile_cell",
+    "run_bench",
+    "run_profile",
+]
+
+#: The committed throughput baseline the regression gate compares against.
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "perf_baseline.json")
+
+#: Where bench metrics merge into the reproduction artefact set.
+DEFAULT_REPORT_PATH = os.path.join(
+    "benchmarks", "reports", "reproduction_report.json"
+)
+
+#: ``bench`` fails when the normalised score drops below this fraction of
+#: the committed baseline (0.7 = a >30% regression).
+REGRESSION_FLOOR = 0.7
+
+#: Default (campaign, cell): the e3 environment-matrix channel cell on the
+#: i7-7700 -- the workload the hot-path acceptance target is defined on.
+DEFAULT_CAMPAIGN = "e3-matrix"
+DEFAULT_CELL = 0
+
+
+def cell_payloads(campaign: str, cell: int, limit: Optional[int] = None) -> List:
+    """The trial payloads of one cell of a built-in campaign, in
+    expansion order (optionally the first *limit* of them)."""
+    from repro.campaign.builtin import builtin_campaign
+
+    spec = builtin_campaign(campaign)
+    if not 0 <= cell < len(spec.cells):
+        raise ValueError(
+            f"campaign {campaign!r} has cells 0..{len(spec.cells) - 1}, "
+            f"not {cell}"
+        )
+    payloads = [ref.trial for ref in spec.expand() if ref.cell == cell]
+    if limit is not None:
+        payloads = payloads[:limit]
+    return payloads
+
+
+def calibrate_host(target_seconds: float = 0.05) -> float:
+    """Millions of pure-Python loop operations per second on this host.
+
+    The loop is fixed, allocation-free arithmetic, so its rate tracks the
+    interpreter-plus-host speed the simulator itself is bound by.
+    Dividing trials/second by this rate gives a score that survives
+    moving the baseline between a laptop and a throttled CI runner.
+    """
+    rounds = 10_000
+    best = float("inf")
+    deadline = time.perf_counter() + target_seconds * 4
+    while time.perf_counter() < deadline:
+        start = time.perf_counter()
+        total = 0
+        for value in range(rounds):
+            total += value * value - (value >> 1)
+        elapsed = time.perf_counter() - start
+        if 0 < elapsed < best:
+            best = elapsed
+    del total
+    return rounds / best / 1e6
+
+
+@dataclass
+class BenchResult:
+    """One ``bench`` measurement plus its baseline verdict."""
+
+    campaign: str
+    cell: int
+    trials: int
+    repeats: int
+    trials_per_second: float
+    calibration_mops: float
+    #: trials/second per calibration Mop/s -- the cross-host score.
+    normalized_score: float
+    #: vs the baseline's recorded pre-overhaul reference (None = no ref).
+    speedup_vs_reference: Optional[float]
+    #: normalised score over the committed baseline's (None = no baseline).
+    baseline_ratio: Optional[float]
+    regressed: bool
+
+    def metrics(self) -> Dict[str, object]:
+        """The JSON-serialisable metric map for the reproduction report."""
+        out: Dict[str, object] = {
+            "campaign": self.campaign,
+            "cell": self.cell,
+            "trials": self.trials,
+            "repeats": self.repeats,
+            "trials_per_second": round(self.trials_per_second, 1),
+            "calibration_mops": round(self.calibration_mops, 2),
+            "normalized_score": round(self.normalized_score, 2),
+            "regressed": self.regressed,
+        }
+        if self.speedup_vs_reference is not None:
+            out["speedup_vs_reference"] = round(self.speedup_vs_reference, 2)
+        if self.baseline_ratio is not None:
+            out["baseline_ratio"] = round(self.baseline_ratio, 2)
+        return out
+
+
+def bench_cell(
+    campaign: str = DEFAULT_CAMPAIGN,
+    cell: int = DEFAULT_CELL,
+    trials: int = 48,
+    repeats: int = 5,
+) -> Dict[str, float]:
+    """Measure trial throughput on one campaign cell, best of *repeats*.
+
+    Runs the cell's first *trials* payloads serially (the pool adds
+    scheduling noise, and the hot path under test is the simulator, not
+    the fan-out), after one untimed warm-up pass that builds the worker
+    context and fills the decode/parse caches the way a long campaign
+    would have.
+    """
+    from repro.runtime.tasks import run_trial
+
+    payloads = cell_payloads(campaign, cell, limit=trials)
+    if not payloads:
+        raise ValueError(f"cell {cell} of {campaign!r} expands to no trials")
+    for payload in payloads[: min(3, len(payloads))]:
+        run_trial(payload)  # warm-up: contexts, caches, code paths
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for payload in payloads:
+            run_trial(payload)
+        elapsed = time.perf_counter() - start
+        if 0 < elapsed < best:
+            best = elapsed
+    return {"trials": len(payloads), "trials_per_second": len(payloads) / best}
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _write_json(path: str, payload: Dict) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def merge_report_metrics(path: str, section: str, metrics: Dict) -> None:
+    """Merge *metrics* into the ``{section: {metric: value}}`` report map
+    the benchmark harness also writes, preserving other sections."""
+    report: Dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            report = {}
+    report.setdefault(section, {}).update(metrics)
+    _write_json(path, report)
+
+
+def run_bench(
+    campaign: str = DEFAULT_CAMPAIGN,
+    cell: int = DEFAULT_CELL,
+    trials: int = 48,
+    repeats: int = 5,
+    quick: bool = False,
+    baseline_path: str = DEFAULT_BASELINE_PATH,
+    report_path: Optional[str] = DEFAULT_REPORT_PATH,
+    update_baseline: bool = False,
+    out=print,
+) -> BenchResult:
+    """The ``repro perf bench`` body; returns the measurement.
+
+    ``quick`` shrinks the workload for CI smoke use (fewer trials and
+    repetitions); the regression gate applies either way.  With
+    ``update_baseline`` the measurement is recorded as the new committed
+    baseline instead of being judged against it (any existing
+    pre-overhaul reference score is carried forward).
+    """
+    if quick:
+        trials = min(trials, 16)
+        repeats = min(repeats, 3)
+    measured = bench_cell(campaign, cell, trials=trials, repeats=repeats)
+    calibration = calibrate_host()
+    rate = measured["trials_per_second"]
+    score = rate / calibration
+
+    baseline = load_baseline(baseline_path)
+    reference_score = baseline.get("reference_normalized_score") if baseline else None
+    baseline_score = baseline.get("normalized_score") if baseline else None
+    if baseline is not None and (
+        baseline.get("campaign"), baseline.get("cell")
+    ) != (campaign, cell):
+        out(
+            f"note: baseline records {baseline.get('campaign')}/cell"
+            f"{baseline.get('cell')}; gate skipped for {campaign}/cell{cell}"
+        )
+        reference_score = baseline_score = None
+
+    speedup = score / reference_score if reference_score else None
+    ratio = score / baseline_score if baseline_score else None
+    regressed = ratio is not None and ratio < REGRESSION_FLOOR
+
+    result = BenchResult(
+        campaign=campaign,
+        cell=cell,
+        trials=int(measured["trials"]),
+        repeats=repeats,
+        trials_per_second=rate,
+        calibration_mops=calibration,
+        normalized_score=score,
+        speedup_vs_reference=speedup,
+        baseline_ratio=ratio,
+        regressed=regressed,
+    )
+
+    out(f"perf bench: {campaign} cell {cell} "
+        f"({result.trials} trials, best of {repeats})")
+    out(f"  trials/second    : {rate:8.1f}")
+    out(f"  host calibration : {calibration:8.2f} Mop/s")
+    out(f"  normalized score : {score:8.2f} trials/s per Mop/s")
+    if speedup is not None:
+        out(f"  vs pre-overhaul  : {speedup:8.2f}x")
+    if ratio is not None:
+        out(f"  vs baseline      : {ratio:8.2f}x "
+            f"(floor {REGRESSION_FLOOR:.2f}x)")
+
+    if update_baseline:
+        record = {
+            "campaign": campaign,
+            "cell": cell,
+            "trials": result.trials,
+            "trials_per_second": round(rate, 1),
+            "calibration_mops": round(calibration, 2),
+            "normalized_score": round(score, 2),
+        }
+        if reference_score is not None:
+            record["reference_normalized_score"] = reference_score
+        _write_json(baseline_path, record)
+        out(f"  baseline updated : {baseline_path}")
+    elif baseline is None:
+        out(f"  no baseline at {baseline_path}; run with --update-baseline "
+            f"to record one")
+
+    if report_path:
+        merge_report_metrics(report_path, "perf_bench", result.metrics())
+        out(f"  metrics merged   : {report_path}")
+
+    if regressed:
+        out(f"REGRESSION: normalized score {score:.2f} is below "
+            f"{REGRESSION_FLOOR:.0%} of baseline {baseline_score:.2f}")
+    return result
+
+
+def profile_cell(
+    campaign: str = DEFAULT_CAMPAIGN,
+    cell: int = DEFAULT_CELL,
+    trials: int = 24,
+) -> cProfile.Profile:
+    """cProfile one campaign cell's first *trials* trials (post warm-up)."""
+    from repro.runtime.tasks import run_trial
+
+    payloads = cell_payloads(campaign, cell, limit=trials)
+    if not payloads:
+        raise ValueError(f"cell {cell} of {campaign!r} expands to no trials")
+    run_trial(payloads[0])  # warm-up outside the profile window
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for payload in payloads:
+        run_trial(payload)
+    profiler.disable()
+    return profiler
+
+
+def run_profile(
+    campaign: str = DEFAULT_CAMPAIGN,
+    cell: int = DEFAULT_CELL,
+    trials: int = 24,
+    sort: str = "tottime",
+    limit: int = 25,
+    out=print,
+) -> None:
+    """The ``repro perf profile`` body: print the hottest functions."""
+    profiler = profile_cell(campaign, cell, trials=trials)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(limit)
+    out(f"perf profile: {campaign} cell {cell} ({trials} trials, "
+        f"sorted by {sort})")
+    out(buffer.getvalue().rstrip())

@@ -53,6 +53,15 @@ __all__ = [
 #: How often the coordinator checks for dead workers and blown deadlines.
 _POLL_SECONDS = 0.05
 
+#: Adaptive chunking aims for at least this much simulated work per pipe
+#: message; below it the queue/pickle round-trip starts to show up on
+#: campaign profiles.
+TARGET_CHUNK_SECONDS = 0.05
+
+#: Ceiling on the adaptive chunk size -- bounds both the work lost when a
+#: chunk's worker dies and the latency before the first result lands.
+MAX_CHUNK = 64
+
 
 def default_workers() -> int:
     """A sensible worker count for this host (``os.cpu_count``)."""
@@ -206,6 +215,47 @@ class SerialExecutor:
 
     def close(self) -> None:
         pass
+
+
+# -- chunked dispatch ----------------------------------------------------------
+
+
+class _ChunkError:
+    """Picklable marker a :class:`_ChunkCall` returns when one payload of
+    its slice raised, carrying enough to re-attribute the failure to the
+    original payload index on the coordinator side."""
+
+    __slots__ = ("offset", "message")
+
+    def __init__(self, offset: int, message: str) -> None:
+        self.offset = offset
+        self.message = message
+
+
+class _ChunkCall:
+    """Run a contiguous slice of payloads in one worker round-trip.
+
+    Used only on the unprotected (no-policy) path: the resilient path
+    keeps per-payload dispatch so retries, deadlines and quarantine stay
+    attributable to single trials.  Results come back as a list in slice
+    order, so flattening chunk results preserves payload order -- the
+    byte-identity contract does not care how payloads were grouped.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, payloads):
+        fn = self.fn
+        results = []
+        for offset, payload in enumerate(payloads):
+            try:
+                results.append(fn(payload))
+            except Exception as exc:
+                return _ChunkError(offset, f"{type(exc).__name__}: {exc}")
+        return results
 
 
 # -- the worker crew -----------------------------------------------------------
@@ -425,15 +475,28 @@ class ProcessExecutor:
     once.  ``fork`` is preferred (workers inherit loaded modules and any
     already-built machine contexts); where it is unavailable the default
     start method is used and workers rebuild their contexts on demand.
+
+    Dispatch granularity adapts to the workload.  The first :meth:`map`
+    on a fresh executor goes per payload (there is no timing estimate
+    yet, and per-payload attribution keeps :class:`WorkerLostError`
+    exact); each map feeds an EWMA of per-payload wall time, and once a
+    payload is cheap enough that queue round-trips matter, later maps
+    group payloads into contiguous chunks targeting
+    :data:`TARGET_CHUNK_SECONDS` of work per message.  An explicit
+    ``chunk_size`` pins the granularity instead.  Chunking never reorders
+    or alters results -- flattened chunk results are byte-identical to
+    per-payload dispatch.
     """
 
     def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
         if workers < 2:
             raise ValueError("ProcessExecutor needs at least 2 workers")
         self.workers = workers
-        #: Kept for API compatibility; the crew dispatches per payload
-        #: (one simulated trial dwarfs a queue round-trip).
+        #: Explicit dispatch granularity; ``None`` selects the adaptive
+        #: heuristic (see class docstring).
         self.chunk_size = chunk_size
+        #: EWMA of seconds of worker compute per payload (None = no data).
+        self._per_payload_est: Optional[float] = None
         self._pool: Optional[WorkerCrew] = None
 
     def _ensure_pool(self) -> WorkerCrew:
@@ -441,11 +504,67 @@ class ProcessExecutor:
             self._pool = WorkerCrew(self.workers)
         return self._pool
 
+    def _pick_chunk(self, count: int) -> int:
+        """Chunk size for a *count*-payload map (1 = per-payload)."""
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        estimate = self._per_payload_est
+        if estimate is None:
+            return 1  # first map: measure before grouping
+        if estimate <= 0:
+            chunk = MAX_CHUNK
+        else:
+            chunk = int(TARGET_CHUNK_SECONDS / estimate)
+        if chunk > MAX_CHUNK:
+            chunk = MAX_CHUNK
+        # Never produce fewer chunks than workers: idle workers cost more
+        # than the round-trips chunking saves.
+        fair_share = count // self.workers
+        if chunk > fair_share:
+            chunk = fair_share
+        return chunk if chunk > 1 else 1
+
+    def _note_wall(self, wall: float, count: int) -> None:
+        # Wall time is parallel time; scale by the workers that could
+        # have been busy to approximate per-payload compute cost.
+        per_payload = wall * min(self.workers, count) / count
+        previous = self._per_payload_est
+        self._per_payload_est = (
+            per_payload if previous is None else 0.5 * previous + 0.5 * per_payload
+        )
+
     def map(self, fn: Callable, payloads: Iterable) -> List:
         payloads = list(payloads)
-        if not payloads:
+        count = len(payloads)
+        if not count:
             return []
-        return self._ensure_pool().run(fn, payloads)
+        crew = self._ensure_pool()
+        chunk = self._pick_chunk(count)
+        if chunk <= 1 or getattr(fn, "wants_attempt", False):
+            # Per-payload dispatch (also for fault-injecting wrappers,
+            # whose plans are keyed to individual dispatches).
+            started = time.monotonic()
+            results = crew.run(fn, payloads)
+            self._note_wall(time.monotonic() - started, count)
+            return results
+        chunks = [payloads[start : start + chunk] for start in range(0, count, chunk)]
+        started = time.monotonic()
+        try:
+            chunk_results = crew.run(_ChunkCall(fn), chunks)
+        except WorkerLostError as error:
+            # Attribute the loss to the chunk's first payload -- the
+            # worker died somewhere in that contiguous slice.
+            raise WorkerLostError(error.payload_index * chunk) from None
+        self._note_wall(time.monotonic() - started, count)
+        results = []
+        for chunk_index, value in enumerate(chunk_results):
+            if isinstance(value, _ChunkError):
+                raise RuntimeError(
+                    f"trial payload {chunk_index * chunk + value.offset} "
+                    f"failed in worker: {value.message}"
+                )
+            results.extend(value)
+        return results
 
     def run_resilient(self, fn: Callable, payloads: Sequence, policy, stats):
         return self._ensure_pool().run(fn, payloads, policy=policy, stats=stats)

@@ -25,6 +25,7 @@ bank so the PMU toolset sees the same picture the paper's Table 3 reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.isa.opcodes import Op, UopClass
@@ -34,10 +35,18 @@ from repro.memory.mmu import Fault, FaultKind, Mmu
 from repro.uarch.bpu import BranchPredictor
 from repro.uarch.config import CpuModel
 from repro.uarch.frontend import Frontend
+from repro.uarch.plan import plan_for
 from repro.uarch.pmu import PmuCounters
 from repro.uarch.uop import FlushEvent, RedirectEvent, RunEvents, UopRecord
 
 MASK64 = (1 << 64) - 1
+
+#: Sentinel for "key was absent" in side-journal undo entries.
+_ABSENT = object()
+
+#: Key for picking the oldest unresolved speculation context (hoisted so
+#: the main loop does not rebuild a lambda per instruction).
+_CTX_RESOLVE_CYCLE = attrgetter("resolve_cycle")
 
 
 class SimulationError(RuntimeError):
@@ -45,47 +54,103 @@ class SimulationError(RuntimeError):
     (unhandled fault, fetch off the program, malformed TSX nesting...)."""
 
 
-@dataclass
 class _Snapshot:
-    """Speculative state captured at a potential squash point."""
+    """Speculative state captured at a potential squash point.
 
-    regs: dict
-    reg_ready: Dict[str, int]
-    flag_ready: int
-    serialize_until: int
-    max_ready: int
-    undo_index: int
-    store_ready: Dict[int, int]
-    #: Copy of the open-transaction stack (a transient ``xend`` pops an
-    #: entry that a squash must bring back).
-    tsx_stack: List["_TsxContext"]
+    Copy-on-write: instead of deep-copying the register file and the
+    readiness maps (the old design -- O(architectural state) per
+    mispredict), a snapshot is two O(1) journal marks plus a handful of
+    scalars.  Restoring replays the journals backwards, so a squash
+    costs what the transient work cost.
+    """
+
+    __slots__ = (
+        "reg_mark",
+        "side_mark",
+        "flag_ready",
+        "serialize_until",
+        "max_ready",
+        "undo_index",
+    )
+
+    def __init__(
+        self,
+        reg_mark: int,
+        side_mark: int,
+        flag_ready: int,
+        serialize_until: int,
+        max_ready: int,
+        undo_index: int,
+    ) -> None:
+        #: Mark into the register file's own undo journal (registers and
+        #: flags -- kept inside :class:`RegisterFile` so external
+        #: mutators like the syscall handler are journaled too).
+        self.reg_mark = reg_mark
+        #: Mark into the engine's side journal (reg_ready / store_ready /
+        #: TSX-stack mutations).
+        self.side_mark = side_mark
+        self.flag_ready = flag_ready
+        self.serialize_until = serialize_until
+        self.max_ready = max_ready
+        self.undo_index = undo_index
 
 
-@dataclass
 class _TsxContext:
     """An open hardware transaction."""
 
-    xbegin_seq: int
-    fallback_pc: int
-    regs: dict
-    undo_index: int
+    __slots__ = ("xbegin_seq", "fallback_pc", "reg_mark", "undo_index")
+
+    def __init__(
+        self, xbegin_seq: int, fallback_pc: int, reg_mark: int, undo_index: int
+    ) -> None:
+        self.xbegin_seq = xbegin_seq
+        self.fallback_pc = fallback_pc
+        #: Register-journal mark at ``xbegin`` (an abort rolls back here).
+        self.reg_mark = reg_mark
+        self.undo_index = undo_index
 
 
-@dataclass
 class _SpecContext:
     """An unresolved speculation: a mispredicted branch or a pending fault."""
 
-    kind: str  # "branch" | "fault"
-    trigger_seq: int
-    resolve_cycle: int
-    resume_pc: int
-    snapshot: _Snapshot
-    branch_kind: str = ""  # conditional | return | underflow
-    suppression: str = ""  # fault contexts: tsx | signal
-    fault: Optional[Fault] = None
-    tsx: Optional[_TsxContext] = None
-    tsx_index: int = -1
-    nested_clears: int = 0
+    __slots__ = (
+        "kind",
+        "trigger_seq",
+        "resolve_cycle",
+        "resume_pc",
+        "snapshot",
+        "branch_kind",
+        "suppression",
+        "fault",
+        "tsx",
+        "tsx_index",
+        "nested_clears",
+    )
+
+    def __init__(
+        self,
+        kind: str,  # "branch" | "fault"
+        trigger_seq: int,
+        resolve_cycle: int,
+        resume_pc: int,
+        snapshot: _Snapshot,
+        branch_kind: str = "",  # conditional | return | underflow
+        suppression: str = "",  # fault contexts: tsx | signal
+        fault: Optional[Fault] = None,
+        tsx: Optional[_TsxContext] = None,
+        tsx_index: int = -1,
+    ) -> None:
+        self.kind = kind
+        self.trigger_seq = trigger_seq
+        self.resolve_cycle = resolve_cycle
+        self.resume_pc = resume_pc
+        self.snapshot = snapshot
+        self.branch_kind = branch_kind
+        self.suppression = suppression
+        self.fault = fault
+        self.tsx = tsx
+        self.tsx_index = tsx_index
+        self.nested_clears = 0
 
 
 @dataclass
@@ -158,14 +223,22 @@ class Core:
         user: bool = True,
         max_instructions: int = 200_000,
         record_trace: bool = False,
+        decode_plan: bool = True,
     ) -> RunResult:
         """Run *program* until ``hlt`` retires or *max_instructions*.
 
         *regs* seeds the architectural register file.  The core's cycle
         counter continues across calls, so ``rdtsc`` values from repeated
         runs form one timeline (the covert-channel receivers rely on it).
+
+        ``decode_plan=True`` (the default) dispatches through the cached
+        :class:`~repro.uarch.plan.DecodedPlan` for this program/model;
+        ``decode_plan=False`` keeps the legacy per-fetch decode path.
+        Both paths produce bit-identical results (the decode-plan
+        property suite asserts it).
         """
-        engine = _RunEngine(self, program, regs or {}, entry, user, max_instructions)
+        plan = plan_for(program, self.model, _OP_HANDLERS) if decode_plan else None
+        engine = _RunEngine(self, program, regs or {}, entry, user, max_instructions, plan)
         result = engine.execute()
         if record_trace:
             result.records = engine.records
@@ -184,6 +257,7 @@ class _RunEngine:
         entry: Optional[int],
         user: bool,
         max_instructions: int,
+        plan=None,
     ) -> None:
         self.core = core
         self.model = core.model
@@ -194,6 +268,7 @@ class _RunEngine:
         self.program = program
         self.user = user
         self.max_instructions = max_instructions
+        self.plan = plan
 
         self.start_cycle = core.global_cycle
         self.frontend.reset_clock(self.start_cycle)
@@ -214,6 +289,16 @@ class _RunEngine:
         self.tsx_stack: List[_TsxContext] = []
         self.undo_log: List[Tuple[int, bytes]] = []
         self.store_ready: Dict[int, int] = {}
+        #: Undo journal for reg_ready / store_ready / tsx_stack mutations
+        #: made while speculation is live.  Entry kinds: 0 = reg_ready,
+        #: 1 = store_ready (old value or _ABSENT), 2 = tsx push (undo =
+        #: pop), 3 = tsx pop (undo = re-append the stored context).
+        self.side_journal: List[tuple] = []
+        #: Whether the undo journals are recording.  Off on the straight
+        #: path (zero overhead); switched on at the first snapshot or
+        #: ``xbegin`` and back off once no speculation or transaction
+        #: remains open.
+        self.journal_live = False
         self.events = RunEvents()
         self.faults: List[Fault] = []
 
@@ -249,27 +334,53 @@ class _RunEngine:
             return self.start_cycle
         return self.reg_ready.get(name, self.start_cycle)
 
+    def _journal_on(self) -> None:
+        """Arm the copy-on-write journals (idempotent)."""
+        if not self.journal_live:
+            self.journal_live = True
+            self.spec.begin_journal()
+
     def _snapshot(self) -> _Snapshot:
+        self._journal_on()
         return _Snapshot(
-            regs=self.spec.snapshot(),
-            reg_ready=dict(self.reg_ready),
+            reg_mark=self.spec.journal_mark(),
+            side_mark=len(self.side_journal),
             flag_ready=self.flag_ready,
             serialize_until=self.serialize_until,
             max_ready=self.max_ready,
             undo_index=len(self.undo_log),
-            store_ready=dict(self.store_ready),
-            tsx_stack=list(self.tsx_stack),
         )
 
     def _restore(self, snapshot: _Snapshot) -> None:
-        self.spec.restore(snapshot.regs)
-        self.reg_ready = dict(snapshot.reg_ready)
+        self.spec.journal_rollback(snapshot.reg_mark)
+        self._side_rollback(snapshot.side_mark)
         self.flag_ready = snapshot.flag_ready
         self.serialize_until = snapshot.serialize_until
         self.max_ready = snapshot.max_ready
-        self.store_ready = dict(snapshot.store_ready)
         self._unwind_stores(snapshot.undo_index)
-        self.tsx_stack = list(snapshot.tsx_stack)
+
+    def _side_rollback(self, mark: int) -> None:
+        """Undo reg_ready / store_ready / tsx_stack mutations back to *mark*."""
+        journal = self.side_journal
+        reg_ready = self.reg_ready
+        store_ready = self.store_ready
+        tsx_stack = self.tsx_stack
+        while len(journal) > mark:
+            kind, key, old = journal.pop()
+            if kind == 0:
+                if old is _ABSENT:
+                    reg_ready.pop(key, None)
+                else:
+                    reg_ready[key] = old
+            elif kind == 1:
+                if old is _ABSENT:
+                    store_ready.pop(key, None)
+                else:
+                    store_ready[key] = old
+            elif kind == 2:  # undo a transient xbegin
+                tsx_stack.pop()
+            else:  # kind 3: undo a transient xend
+                tsx_stack.append(old)
 
     def _unwind_stores(self, undo_index: int) -> None:
         while len(self.undo_log) > undo_index:
@@ -321,17 +432,24 @@ class _RunEngine:
         """ROB-capacity stall: earliest cycle allocation may proceed, or
         ``None`` when the ROB is stuffed with speculative uops that only a
         squash can free (caller must resolve a context)."""
-        while self.retire_ptr < len(self.records):
-            record = self.records[self.retire_ptr]
+        records = self.records
+        retire_ptr = self.retire_ptr
+        count = len(records)
+        freed = self.freed_retired_uops
+        while retire_ptr < count:
+            record = records[retire_ptr]
             if record.squashed:
-                self.retire_ptr += 1
+                retire_ptr += 1
                 continue
-            if record.retire_cycle is not None and record.retire_cycle <= upcoming_cycle:
-                self.freed_retired_uops += record.uop_count
-                self.retire_ptr += 1
+            retire_cycle = record.retire_cycle
+            if retire_cycle is not None and retire_cycle <= upcoming_cycle:
+                freed += record.uop_count
+                retire_ptr += 1
                 continue
             break
-        live = self.dispatched_uops - self.freed_retired_uops - self.squashed_uops
+        self.retire_ptr = retire_ptr
+        self.freed_retired_uops = freed
+        live = self.dispatched_uops - freed - self.squashed_uops
         if live + uop_count <= self.model.rob_size:
             return upcoming_cycle
         for record in self.records[self.retire_ptr :]:
@@ -415,17 +533,20 @@ class _RunEngine:
             assert ctx.tsx is not None
             resume_cycle = flush_end + self.model.tsx_abort_latency
             self._unwind_stores(ctx.tsx.undo_index)
-            self.spec.restore(ctx.tsx.regs)
-            # The aborted transaction and everything above it are gone.
-            self.tsx_stack = ctx.snapshot.tsx_stack[: ctx.tsx_index]
+            # Undo transient tsx push/pops back to the fault point, then
+            # abort: registers roll to the xbegin mark, and the aborted
+            # transaction and everything above it are gone.
+            self._side_rollback(ctx.snapshot.side_mark)
+            self.spec.journal_rollback(ctx.tsx.reg_mark)
+            del self.tsx_stack[ctx.tsx_index :]
             resume_pc = ctx.tsx.fallback_pc
         else:
             resume_cycle = flush_end + self.model.signal_dispatch_latency
             self._restore(ctx.snapshot)
             resume_pc = ctx.resume_pc
 
-        self.reg_ready = {}
-        self.store_ready = {}
+        self.reg_ready.clear()
+        self.store_ready.clear()
         self.flag_ready = resume_cycle
         self.serialize_until = resume_cycle
         self.max_ready = resume_cycle
@@ -466,6 +587,19 @@ class _RunEngine:
 
     def execute(self) -> RunResult:
         instruction_budget = self.max_instructions
+        plan_map = self.plan.by_pc if self.plan is not None else None
+        # Loop-invariant aliases: the main loop runs once per dispatched
+        # instruction, so every attribute fetch it avoids is paid back
+        # thousands of times per trial.
+        frontend = self.frontend
+        counts = self.pmu.counts
+        records = self.records
+        records_append = records.append
+        dispatch_cycles_add = self.dispatch_cycles.add
+        deliver = frontend.deliver
+        user = self.user
+        tsx_stack = self.tsx_stack
+        _resolve_cycle_of = _CTX_RESOLVE_CYCLE
         while not self.halted:
             instruction_budget -= 1
             if instruction_budget < 0:
@@ -473,71 +607,115 @@ class _RunEngine:
                     f"instruction budget exhausted at pc={self.pc:#x} "
                     f"(possible runaway program)"
                 )
-            ctx = self._earliest_context()
+            contexts = self.contexts
+            if self.journal_live and not contexts and not tsx_stack:
+                # Speculation fully resolved: stop journaling and drop the
+                # recorded undo entries (no live mark references them).
+                self.journal_live = False
+                self.spec.end_journal()
+                self.side_journal.clear()
+            if contexts:
+                ctx = (
+                    contexts[0]
+                    if len(contexts) == 1
+                    else min(contexts, key=_resolve_cycle_of)
+                )
+            else:
+                ctx = None
             # Allocation cannot proceed while the recovery state machine is
             # busy (INT_MISC.RECOVERY_CYCLES is exactly this stall) -- the
             # mechanism that makes a wrong-path drain visible in the ToTE.
-            fetch_floor = max(
-                self.frontend.delivery_floor, self.serialize_until, self.recovery_busy_until
-            )
-            off_program = not self.program.contains_address(self.pc)
+            # (delivery_floor, unrolled: max of frontend clock and block.)
+            fetch_floor = frontend._clock
+            if frontend._block_until > fetch_floor:
+                fetch_floor = frontend._block_until
+            if self.serialize_until > fetch_floor:
+                fetch_floor = self.serialize_until
+            if self.recovery_busy_until > fetch_floor:
+                fetch_floor = self.recovery_busy_until
+            pc = self.pc
+            if plan_map is not None:
+                entry = plan_map.get(pc)
+                off_program = entry is None
+            else:
+                entry = None
+                off_program = not self.program.contains_address(pc)
             if ctx is not None and (
                 self.force_resolve or off_program or fetch_floor >= ctx.resolve_cycle
             ):
                 self._resolve(ctx)
                 continue
             if off_program:
-                raise SimulationError(f"fetch left the program at {self.pc:#x}")
+                raise SimulationError(f"fetch left the program at {pc:#x}")
 
-            instruction = self.program.fetch(self.pc)
+            if entry is not None:
+                instruction = entry.instruction
+                uop_count = entry.uop_count
+                info = entry.info
+                line = entry.line
+                handler = entry.handler
+                fall_through = entry.fall_through
+            else:
+                instruction = self.program.fetch(pc)
+                info = instruction.info
+                uop_count = info.uop_count
+                line = -1
+                handler = _OP_HANDLERS.get(instruction.op)
+                fall_through = pc + INSTRUCTION_SIZE
 
             earliest = fetch_floor
-            occupancy_earliest = self._occupancy_earliest(earliest, instruction.uop_count)
+            occupancy_earliest = self._occupancy_earliest(earliest, uop_count)
             if occupancy_earliest is None:
                 if ctx is not None:
                     self._resolve(ctx)
                     continue
                 raise SimulationError("ROB deadlock outside speculation")
             if occupancy_earliest > earliest:
-                self.pmu.add("RESOURCE_STALLS.ANY", occupancy_earliest - earliest)
-                self.pmu.add(
-                    "de_dis_dispatch_token_stalls2.retire_token_stall",
-                    occupancy_earliest - earliest,
-                )
+                stall = occupancy_earliest - earliest
+                counts["RESOURCE_STALLS.ANY"] += stall
+                counts["de_dis_dispatch_token_stalls2.retire_token_stall"] += stall
                 earliest = occupancy_earliest
             if ctx is not None and earliest >= ctx.resolve_cycle:
                 self._resolve(ctx)
                 continue
 
-            delivery = self.frontend.deliver(
-                self.pc, instruction, earliest, user=self.user, transient=bool(self.contexts)
+            transient = bool(contexts)
+            delivery = deliver(
+                pc,
+                instruction,
+                earliest,
+                user=user,
+                transient=transient,
+                info=info,
+                line=line,
             )
-            if ctx is not None and delivery.cycle >= ctx.resolve_cycle:
+            dispatch_cycle = delivery.cycle
+            if ctx is not None and dispatch_cycle >= ctx.resolve_cycle:
                 # The flush kills the frontend before this delivery lands.
                 self._resolve(ctx)
                 continue
 
             record = UopRecord(
-                seq=len(self.records),
-                pc=self.pc,
+                seq=len(records),
+                pc=pc,
                 instruction=instruction,
-                dispatch_cycle=delivery.cycle,
+                dispatch_cycle=dispatch_cycle,
                 source=delivery.source,
-                transient=bool(self.contexts),
+                transient=transient,
+                uop_count=uop_count,
             )
-            self.records.append(record)
-            self.dispatched_uops += record.uop_count
-            self.pmu.add("UOPS_ISSUED.ANY", record.uop_count)
-            self.dispatch_cycles.add(delivery.cycle)
+            records_append(record)
+            self.dispatched_uops += uop_count
+            counts["UOPS_ISSUED.ANY"] += uop_count
+            dispatch_cycles_add(dispatch_cycle)
 
-            handler = _OP_HANDLERS.get(instruction.op)
             if handler is None:
                 raise SimulationError(f"no handler for {instruction.op}")
-            self.pc = record.pc + INSTRUCTION_SIZE  # fall-through default;
-            #                                         branch handlers override
-            handler(self, record, instruction, record.dispatch_cycle)
-            self.max_ready = max(self.max_ready, record.ready_cycle)
-
+            self.pc = fall_through  # fall-through default;
+            #                         branch handlers override
+            handler(self, record, instruction, dispatch_cycle)
+            if record.ready_cycle > self.max_ready:
+                self.max_ready = record.ready_cycle
             if (
                 not record.transient
                 and record.fault is None
@@ -571,13 +749,23 @@ class _RunEngine:
         self.retire_cursor = retire
         record.retire_cycle = retire
         self.retired_instructions += 1
-        self.pmu.add("UOPS_RETIRED.RETIRE_SLOTS", record.uop_count)
+        self.pmu.counts["UOPS_RETIRED.RETIRE_SLOTS"] += record.uop_count
 
     # -- per-instruction semantics ---------------------------------------------
 
     def _write_dest(self, record: UopRecord, name: str, value: int) -> None:
         self.spec.write(name, value)
-        self.reg_ready[name] = record.ready_cycle
+        self._set_reg_ready(name, record.ready_cycle)
+
+    def _set_reg_ready(self, name: str, cycle: int) -> None:
+        if self.journal_live:
+            self.side_journal.append((0, name, self.reg_ready.get(name, _ABSENT)))
+        self.reg_ready[name] = cycle
+
+    def _set_store_ready(self, va: int, cycle: int) -> None:
+        if self.journal_live:
+            self.side_journal.append((1, va, self.store_ready.get(va, _ABSENT)))
+        self.store_ready[va] = cycle
 
     def _op_mov_ri(self, record, instruction, dispatch):
         start = self._port_start(UopClass.ALU, dispatch)
@@ -587,14 +775,23 @@ class _RunEngine:
         self._write_dest(record, instruction.dst, value & MASK64)
 
     def _op_mov_rr(self, record, instruction, dispatch):
-        start = self._port_start(UopClass.ALU, max(dispatch, self._reg_time(instruction.src)))
+        src_ready = self.reg_ready.get(instruction.src, self.start_cycle)
+        start = self._port_start(
+            UopClass.ALU, src_ready if src_ready > dispatch else dispatch
+        )
         record.start_cycle = start
         record.ready_cycle = start + 1
         self._write_dest(record, instruction.dst, self.spec.read(instruction.src))
 
     def _op_lea(self, record, instruction, dispatch):
         mem = instruction.mem
-        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        reg_ready = self.reg_ready
+        start_cycle = self.start_cycle
+        deps = max(
+            dispatch,
+            reg_ready.get(mem.base, start_cycle),
+            reg_ready.get(mem.index, start_cycle),
+        )
         start = self._port_start(UopClass.ALU, deps)
         record.start_cycle = start
         record.ready_cycle = start + 1
@@ -608,10 +805,12 @@ class _RunEngine:
             if instruction.src is not None
             else (instruction.imm & MASK64)
         )
+        reg_ready = self.reg_ready
+        start_cycle = self.start_cycle
         deps = max(
             dispatch,
-            self._reg_time(instruction.dst),
-            self._reg_time(instruction.src) if instruction.src else dispatch,
+            reg_ready.get(instruction.dst, start_cycle),
+            reg_ready.get(instruction.src, start_cycle) if instruction.src else dispatch,
         )
         start = self._port_start(UopClass.ALU, deps)
         record.start_cycle = start
@@ -671,7 +870,7 @@ class _RunEngine:
         self.serialize_until = record.ready_cycle
         self._write_dest(record, "rax", start)
         self.spec.write("rdx", 0)
-        self.reg_ready["rdx"] = record.ready_cycle
+        self._set_reg_ready("rdx", record.ready_cycle)
 
     def _op_syscall(self, record, instruction, dispatch):
         start = max(dispatch, self.max_ready, self.serialize_until)
@@ -681,7 +880,7 @@ class _RunEngine:
         if self.core.syscall_handler is not None:
             self.core.syscall_handler(self.spec)
             for name in ("rax", "rbx", "rcx", "rdx", "rsi", "rdi"):
-                self.reg_ready[name] = record.ready_cycle
+                self._set_reg_ready(name, record.ready_cycle)
 
     def _op_hlt(self, record, instruction, dispatch):
         record.start_cycle = dispatch
@@ -697,7 +896,13 @@ class _RunEngine:
 
     def _op_prefetch(self, record, instruction, dispatch):
         mem = instruction.mem
-        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        reg_ready = self.reg_ready
+        start_cycle = self.start_cycle
+        deps = max(
+            dispatch,
+            reg_ready.get(mem.base, start_cycle),
+            reg_ready.get(mem.index, start_cycle),
+        )
         start = self._port_start(UopClass.LOAD, deps)
         va = mem.effective_address(self.spec.read)
         latency = self.mmu.prefetch(
@@ -710,7 +915,13 @@ class _RunEngine:
 
     def _op_clflush(self, record, instruction, dispatch):
         mem = instruction.mem
-        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        reg_ready = self.reg_ready
+        start_cycle = self.start_cycle
+        deps = max(
+            dispatch,
+            reg_ready.get(mem.base, start_cycle),
+            reg_ready.get(mem.index, start_cycle),
+        )
         start = self._port_start(UopClass.STORE, deps)
         va = mem.effective_address(self.spec.read)
         self.mmu.clflush(va, user=self.user)
@@ -720,7 +931,13 @@ class _RunEngine:
 
     def _op_load(self, record, instruction, dispatch):
         mem = instruction.mem
-        deps = max(dispatch, self._reg_time(mem.base), self._reg_time(mem.index))
+        reg_ready = self.reg_ready
+        start_cycle = self.start_cycle
+        deps = max(
+            dispatch,
+            reg_ready.get(mem.base, start_cycle),
+            reg_ready.get(mem.index, start_cycle),
+        )
         start = self._port_start(UopClass.LOAD, deps)
         va = mem.effective_address(self.spec.read)
         start = max(start, self.store_ready.get(va, self.start_cycle))
@@ -784,7 +1001,7 @@ class _RunEngine:
             return
         assert old is not None
         self.undo_log.append((va, old))
-        self.store_ready[va] = record.ready_cycle
+        self._set_store_ready(va, record.ready_cycle)
 
     def _op_jmp(self, record, instruction, dispatch):
         start = self._port_start(UopClass.BRANCH, dispatch)
@@ -860,9 +1077,9 @@ class _RunEngine:
             return
         assert old is not None
         self.undo_log.append((rsp, old))
-        self.store_ready[rsp] = record.ready_cycle
+        self._set_store_ready(rsp, record.ready_cycle)
         self.spec.write("rsp", rsp)
-        self.reg_ready["rsp"] = record.ready_cycle
+        self._set_reg_ready("rsp", record.ready_cycle)
         self.bpu.on_call(return_address, instruction.target_addr, record.pc)
         self.pc = instruction.target_addr
 
@@ -887,7 +1104,7 @@ class _RunEngine:
         record.actual_target = actual_target
         record.predicted_target = predicted
         self.spec.write("rsp", (rsp + 8) & MASK64)
-        self.reg_ready["rsp"] = record.ready_cycle
+        self._set_reg_ready("rsp", record.ready_cycle)
         if predicted == actual_target:
             self.pmu.add("bp_l1_btb_correct")
             self.pc = actual_target
@@ -920,11 +1137,15 @@ class _RunEngine:
             raise SimulationError(
                 f"{self.model.name} has no TSX; use signal-handler suppression"
             )
+        # An open transaction must be abortable, so journaling starts here
+        # (an abort rolls registers back to this mark).
+        self._journal_on()
+        self.side_journal.append((2, None, None))
         self.tsx_stack.append(
             _TsxContext(
                 xbegin_seq=record.seq,
                 fallback_pc=instruction.target_addr,
-                regs=self.spec.snapshot(),
+                reg_mark=self.spec.journal_mark(),
                 undo_index=len(self.undo_log),
             )
         )
@@ -935,7 +1156,9 @@ class _RunEngine:
         record.ready_cycle = start + instruction.info.base_latency
         if not self.tsx_stack:
             raise SimulationError("xend outside a transaction")
-        self.tsx_stack.pop()
+        popped = self.tsx_stack.pop()
+        if self.journal_live:
+            self.side_journal.append((3, None, popped))
 
     # -- fault plumbing -----------------------------------------------------------
 
@@ -1007,21 +1230,42 @@ class _RunEngine:
     # -- PMU epilogue ----------------------------------------------------------------
 
     def _pmu_epilogue(self, end_cycle: int) -> None:
-        span = max(1, end_cycle - self.start_cycle)
+        lo = self.start_cycle
+        hi = end_cycle
+        span = max(1, hi - lo)
+        # Clip to [lo, hi] while scanning (one pass instead of build-then-
+        # clip inside _union_length).
         exec_intervals = []
         mem_intervals = []
         inflight_intervals = []
         for record in self.records:
-            if record.ready_cycle > record.start_cycle:
-                exec_intervals.append((record.start_cycle, record.ready_cycle))
-            inflight_intervals.append(
-                (record.dispatch_cycle, max(record.ready_cycle, record.dispatch_cycle + 1))
-            )
-            if record.instruction.info.is_load and record.memory_va is not None:
-                mem_intervals.append((record.start_cycle, record.ready_cycle))
-        covered_exec = _union_length(exec_intervals, self.start_cycle, end_cycle)
-        covered_mem = _union_length(mem_intervals, self.start_cycle, end_cycle)
-        covered_inflight = _union_length(inflight_intervals, self.start_cycle, end_cycle)
+            start = record.start_cycle
+            ready = record.ready_cycle
+            dispatch = record.dispatch_cycle
+            if ready > start and ready > lo and start < hi:
+                exec_intervals.append(
+                    (start if start > lo else lo, ready if ready < hi else hi)
+                )
+            infl_end = ready if ready > dispatch + 1 else dispatch + 1
+            if infl_end > lo and dispatch < hi:
+                inflight_intervals.append(
+                    (
+                        dispatch if dispatch > lo else lo,
+                        infl_end if infl_end < hi else hi,
+                    )
+                )
+            if (
+                record.memory_va is not None
+                and record.instruction.info.is_load
+                and ready > lo
+                and start < hi
+            ):
+                mem_intervals.append(
+                    (start if start > lo else lo, ready if ready < hi else hi)
+                )
+        covered_exec = _merged_length(exec_intervals)
+        covered_mem = _merged_length(mem_intervals)
+        covered_inflight = _merged_length(inflight_intervals)
         idle = max(0, span - covered_exec)
         self.pmu.add("UOPS_EXECUTED.CORE_CYCLES_NONE", idle)
         self.pmu.add("UOPS_EXECUTED.STALL_CYCLES", idle)
@@ -1036,27 +1280,32 @@ class _RunEngine:
         )
 
 
-def _union_length(intervals: List[Tuple[int, int]], lo: int, hi: int) -> int:
-    """Total length of the union of *intervals*, clipped to [lo, hi]."""
-    clipped = sorted(
-        (max(lo, start), min(hi, end))
-        for start, end in intervals
-        if end > lo and start < hi
-    )
+def _merged_length(intervals: List[Tuple[int, int]]) -> int:
+    """Total length of the union of already-clipped *intervals*."""
+    if not intervals:
+        return 0
+    intervals.sort()
+    iterator = iter(intervals)
+    current_start, current_end = next(iterator)
     total = 0
-    current_start: Optional[int] = None
-    current_end = lo
-    for start, end in clipped:
-        if current_start is None:
-            current_start, current_end = start, end
-        elif start <= current_end:
-            current_end = max(current_end, end)
+    for start, end in iterator:
+        if start <= current_end:
+            if end > current_end:
+                current_end = end
         else:
             total += current_end - current_start
             current_start, current_end = start, end
-    if current_start is not None:
-        total += current_end - current_start
-    return total
+    return total + (current_end - current_start)
+
+
+def _union_length(intervals: List[Tuple[int, int]], lo: int, hi: int) -> int:
+    """Total length of the union of *intervals*, clipped to [lo, hi]."""
+    clipped = [
+        (start if start > lo else lo, end if end < hi else hi)
+        for start, end in intervals
+        if end > lo and start < hi
+    ]
+    return _merged_length(clipped)
 
 
 _OP_HANDLERS: Dict[Op, Callable] = {

@@ -22,14 +22,22 @@ from repro.uarch.pmu import PmuCounters
 FETCH_LINE = 16
 
 
-@dataclass
 class Delivery:
     """When and whence one instruction's uops were delivered."""
 
-    cycle: int
-    source: str  # "dsb" | "mite" | "ms"
-    uops: int
-    fetch_stall: int
+    __slots__ = ("cycle", "source", "uops", "fetch_stall")
+
+    def __init__(self, cycle: int, source: str, uops: int, fetch_stall: int) -> None:
+        self.cycle = cycle
+        self.source = source  # "dsb" | "mite" | "ms"
+        self.uops = uops
+        self.fetch_stall = fetch_stall
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Delivery(cycle={self.cycle}, source={self.source!r}, "
+            f"uops={self.uops}, fetch_stall={self.fetch_stall})"
+        )
 
 
 class Frontend:
@@ -48,6 +56,12 @@ class Frontend:
         # Distinct-cycle sets are too heavy for long runs; we count
         # transitions instead (each new allocation cycle counts once).
         self._counted_cycle = -1
+        # Model constants hoisted out of the per-delivery path.
+        self._issue_width = model.issue_width
+        self._l1i_latency = model.l1i.latency
+        self._mite_line_penalty = model.mite_line_penalty
+        self._ms_switch_penalty = model.ms_switch_penalty
+        self._dsb_lines = model.dsb_lines
 
     @property
     def delivery_floor(self) -> int:
@@ -87,7 +101,7 @@ class Frontend:
         if line in self._dsb:
             self._dsb.move_to_end(line)
             return
-        if len(self._dsb) >= self.model.dsb_lines:
+        if len(self._dsb) >= self._dsb_lines:
             self._dsb.popitem(last=False)
         self._dsb[line] = True
 
@@ -98,73 +112,93 @@ class Frontend:
         earliest: int,
         user: bool = True,
         transient: bool = False,
+        info=None,
+        line: int = -1,
     ) -> Delivery:
         """Deliver *instruction*'s uops; returns the allocation cycle.
 
         *earliest* is the soonest the allocator could accept them (resource
         stalls computed by the core).  Delivery is in program-fetch order,
         so the internal clock only moves forward.
-        """
-        start = max(self._clock, self._block_until, earliest)
-        fetch_stall = 0
-        info = instruction.info
 
-        line = pc // FETCH_LINE
+        *info*/*line* accept the pre-resolved decode metadata and fetch
+        line from a :class:`~repro.uarch.plan.PlanEntry`; when omitted
+        they are derived here (the legacy decode path).
+        """
+        clock = self._clock
+        block = self._block_until
+        start = clock if clock > block else block
+        if earliest > start:
+            start = earliest
+        fetch_stall = 0
+        counts = self.pmu.counts
+        if info is None:
+            info = instruction.info
+        if line < 0:
+            line = pc // FETCH_LINE
         if line != self._last_line:
             fetch = self.mmu.instruction_fetch(pc, user=user, now=start)
-            l1i_latency = self.model.l1i.latency
+            l1i_latency = self._l1i_latency
             if fetch.latency > l1i_latency:
                 fetch_stall = fetch.latency - l1i_latency
-                self.pmu.add("ICACHE_16B.IFDATA_STALL", fetch_stall)
+                counts["ICACHE_16B.IFDATA_STALL"] += fetch_stall
                 start += fetch_stall
             if fetch.tlb_hit:
-                self.pmu.add("bp_l1_tlb_fetch_hit")
-            self.pmu.add("ic_fw32")
+                counts["bp_l1_tlb_fetch_hit"] += 1
+            counts["ic_fw32"] += 1
             if self._dsb_lookup(line):
                 source = "dsb"
             else:
                 source = "mite"
-                start += self.model.mite_line_penalty
+                start += self._mite_line_penalty
                 self._dsb_insert(line)
             self._last_line = line
             self._last_source = source
         else:
             source = self._last_source
 
+        uop_count = info.uop_count
         if info.microcoded:
             if source != "ms":
-                start += self.model.ms_switch_penalty
-            self.pmu.add("IDQ.MS_UOPS", info.uop_count)
+                start += self._ms_switch_penalty
+            counts["IDQ.MS_UOPS"] += uop_count
             if self._last_source == "dsb":
-                self.pmu.add("IDQ.MS_DSB_CYCLES")
+                counts["IDQ.MS_DSB_CYCLES"] += 1
             else:
-                self.pmu.add("IDQ.MS_MITE_UOPS", info.uop_count)
+                counts["IDQ.MS_MITE_UOPS"] += uop_count
             source = "ms"
         elif source == "dsb":
-            self.pmu.add("IDQ.DSB_UOPS", info.uop_count)
+            counts["IDQ.DSB_UOPS"] += uop_count
         # (plain MITE uop counts are visible through the cycle counters)
 
-        # Width-limited allocation: issue_width uops per cycle.
-        if start > self._clock:
-            self._clock = start
-            self._slots_used = 0
-        for _ in range(info.uop_count):
-            if self._slots_used >= self.model.issue_width:
-                self._clock += 1
-                self._slots_used = 0
-            self._slots_used += 1
-        cycle = self._clock
+        # Width-limited allocation: issue_width uops per cycle.  The
+        # one-uop-at-a-time loop reduces to a single divmod: starting at
+        # ``slots_used`` slots consumed, placing ``uop_count`` more uops
+        # advances the clock by ``(slots_used + uop_count - 1) // width``
+        # and leaves ``(slots_used + uop_count - 1) % width + 1`` consumed.
+        clock = self._clock
+        slots_used = self._slots_used
+        if start > clock:
+            clock = start
+            slots_used = 0
+        if uop_count:
+            advance, rem = divmod(slots_used + uop_count - 1, self._issue_width)
+            clock += advance
+            slots_used = rem + 1
+        self._clock = clock
+        self._slots_used = slots_used
+        cycle = clock
 
         if cycle != self._counted_cycle:
             self._counted_cycle = cycle
             if source == "dsb":
-                self.pmu.add("IDQ.DSB_CYCLES_ANY")
-                if info.uop_count >= self.model.issue_width:
-                    self.pmu.add("IDQ.DSB_CYCLES_OK")
+                counts["IDQ.DSB_CYCLES_ANY"] += 1
+                if uop_count >= self._issue_width:
+                    counts["IDQ.DSB_CYCLES_OK"] += 1
             elif source == "mite":
-                self.pmu.add("IDQ.ALL_MITE_CYCLES_ANY_UOPS")
+                counts["IDQ.ALL_MITE_CYCLES_ANY_UOPS"] += 1
 
-        return Delivery(cycle=cycle, source=source, uops=info.uop_count, fetch_stall=fetch_stall)
+        return Delivery(cycle, source, uop_count, fetch_stall)
 
     def _dsb_lookup(self, line: int) -> bool:
         if line in self._dsb:

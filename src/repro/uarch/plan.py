@@ -1,0 +1,185 @@
+"""Decoded-uop plans: the per-``(Program, CpuModel)`` decode cache.
+
+Every :meth:`Core.run` used to re-derive the same per-instruction facts
+on every fetch of every trial: opcode-table lookups (``instruction.info``
+hashes an enum into ``OP_INFO``), handler dispatch (another enum hash
+into the core's handler table), fall-through PC arithmetic, fetch-line
+numbers, address-validity checks.  For a campaign that runs one gadget
+millions of times, that decode work dominated the hot loop.
+
+A :class:`DecodedPlan` does it once.  It is an immutable per-PC table of
+:class:`PlanEntry` uop templates -- handler, uop count, static decode
+metadata, fetch line, fall-through and branch-target addresses, fault
+class -- keyed by virtual address, built the first time a program runs on
+a model and reused for every subsequent run.  Plans cache on the
+:class:`~repro.isa.program.Program` instance itself (programs are
+identity-hashed and treated as immutable once assembled), keyed by model
+name: decode metadata is per-ISA, but keying per model keeps the door
+open for model-specific decode quirks without invalidation machinery.
+
+The plan carries **no dynamic state** -- branch predictors, caches, the
+register file and all timing live in the core -- so sharing one plan
+across runs (or across cores simulating the same model) cannot couple
+their results.  The legacy fetch-decode path remains in the core behind
+``Core.run(..., decode_plan=False)``; the property suite drives random
+programs down both paths and asserts identical cycles, PMU counters and
+fault lists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op, OpInfo
+from repro.isa.program import INSTRUCTION_SIZE, Program
+from repro.uarch.config import CpuModel
+from repro.uarch.frontend import FETCH_LINE
+
+#: Attribute under which plans cache on a Program (one dict per program,
+#: model name -> DecodedPlan).
+_PLAN_ATTR = "_decoded_plans"
+
+
+class PlanEntry:
+    """One decoded instruction slot: everything the dispatch loop needs
+    that does not change between runs."""
+
+    __slots__ = (
+        "index",
+        "pc",
+        "instruction",
+        "op",
+        "handler",
+        "uop_count",
+        "info",
+        "microcoded",
+        "base_latency",
+        "line",
+        "fall_through",
+        "target_addr",
+        "target_index",
+        "fault_class",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        pc: int,
+        instruction: Instruction,
+        handler: Optional[Callable],
+        target_index: Optional[int],
+    ) -> None:
+        info: OpInfo = instruction.info
+        self.index = index
+        self.pc = pc
+        self.instruction = instruction
+        self.op = instruction.op
+        self.handler = handler
+        self.uop_count = info.uop_count
+        self.info = info
+        self.microcoded = info.microcoded
+        self.base_latency = info.base_latency
+        self.line = pc // FETCH_LINE
+        self.fall_through = pc + INSTRUCTION_SIZE
+        self.target_addr = instruction.target_addr
+        self.target_index = target_index
+        self.fault_class = _fault_class(instruction)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PlanEntry({self.index}, {self.pc:#x}, {self.instruction})"
+
+
+def _fault_class(instruction: Instruction) -> str:
+    """Static fault classification for one instruction.
+
+    ``"memory"`` covers every op routed through the core's fault plumbing
+    (loads, stores, and the stack traffic of call/ret); ``"control"`` is
+    the non-faulting control flow; ``"none"`` cannot fault.  Prefetches
+    translate but never fault (the paper's §4.2 probe primitive), so they
+    classify as ``"none"``.
+    """
+    info = instruction.info
+    if instruction.op is Op.PREFETCH:
+        return "none"
+    if info.is_load or info.is_store:
+        return "memory"
+    if info.is_branch:
+        return "control"
+    return "none"
+
+
+class DecodedPlan:
+    """The immutable decoded form of one program for one CPU model."""
+
+    __slots__ = ("program", "model_name", "base", "entries", "by_pc")
+
+    def __init__(
+        self,
+        program: Program,
+        model_name: str,
+        handler_table: Mapping[Op, Callable],
+    ) -> None:
+        self.program = program
+        self.model_name = model_name
+        self.base = program.base
+        pc_of = program.address_of_index
+        contains = program.contains_address
+        entries: List[PlanEntry] = []
+        for index, instruction in enumerate(program.instructions):
+            target_addr = instruction.target_addr
+            target_index = (
+                program.index_of_address(target_addr)
+                if target_addr is not None and contains(target_addr)
+                else None
+            )
+            entries.append(
+                PlanEntry(
+                    index=index,
+                    pc=pc_of(index),
+                    instruction=instruction,
+                    # A missing handler stays None: the core raises only
+                    # if the instruction is actually reached, exactly as
+                    # the legacy per-fetch dispatch did.
+                    handler=handler_table.get(instruction.op),
+                    target_index=target_index,
+                )
+            )
+        self.entries = entries
+        self.by_pc: Dict[int, PlanEntry] = {entry.pc: entry for entry in entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def lookup(self, pc: int) -> Optional[PlanEntry]:
+        """The entry at virtual *pc*, or None when *pc* is off-program."""
+        return self.by_pc.get(pc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DecodedPlan({len(self.entries)} entries at {self.base:#x} "
+            f"for {self.model_name!r})"
+        )
+
+
+def plan_for(
+    program: Program,
+    model: CpuModel,
+    handler_table: Mapping[Op, Callable],
+) -> DecodedPlan:
+    """The cached plan for ``(program, model)``, building it on first use.
+
+    The cache rides on the program instance (``Program`` is identity
+    hashed and never mutated after assembly), so plan lifetime equals
+    program lifetime and a worker's per-process gadget cache keeps its
+    plans across millions of trials for free.
+    """
+    plans = getattr(program, _PLAN_ATTR, None)
+    if plans is None:
+        plans = {}
+        setattr(program, _PLAN_ATTR, plans)
+    plan = plans.get(model.name)
+    if plan is None:
+        plan = DecodedPlan(program, model.name, handler_table)
+        plans[model.name] = plan
+    return plan

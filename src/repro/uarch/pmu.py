@@ -95,12 +95,18 @@ class PmuCounters:
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {event.name: 0 for event in EVENTS}
+        #: Fast-path alias for pipeline-internal incrementers: hot sites
+        #: (the frontend and the core's dispatch loop) bump
+        #: ``counts[name] += n`` directly, skipping a method call per
+        #: event.  Same dict, same unknown-name behaviour (KeyError).
+        self.counts = self._counts
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment *name* by *amount*."""
-        if name not in self._counts:
-            raise KeyError(f"unknown PMU event {name!r}")
-        self._counts[name] += amount
+        try:
+            self._counts[name] += amount
+        except KeyError:
+            raise KeyError(f"unknown PMU event {name!r}") from None
 
     def read(self, name: str) -> int:
         """Current value of *name*."""

@@ -9,7 +9,6 @@ from repro.isa.instructions import Instruction
 from repro.memory.mmu import Fault
 
 
-@dataclass
 class UopRecord:
     """One dispatched instruction (its uops are accounted as a group).
 
@@ -17,39 +16,80 @@ class UopRecord:
     the backend, ``start_cycle`` is issue to a port, ``ready_cycle`` is
     completion, ``retire_cycle`` is commitment (``None`` for uops that were
     squashed and never retired -- the transient ones).
+
+    A hand-written ``__slots__`` class rather than a dataclass: one record
+    is allocated per simulated instruction, so per-instance ``__dict__``
+    churn was a measurable slice of campaign profiles.  ``uop_count`` is a
+    plain attribute (the decode plan supplies it pre-resolved; the default
+    falls back to the opcode table).
     """
 
-    seq: int
-    pc: int
-    instruction: Instruction
-    dispatch_cycle: int
-    source: str = "dsb"  # frontend delivery path: dsb | mite | ms
-    start_cycle: int = 0
-    ready_cycle: int = 0
-    retire_cycle: Optional[int] = None
+    __slots__ = (
+        "seq",
+        "pc",
+        "instruction",
+        "dispatch_cycle",
+        "source",
+        "uop_count",
+        "start_cycle",
+        "ready_cycle",
+        "retire_cycle",
+        "transient",
+        "squashed",
+        "fault",
+        "transient_value",
+        "is_branch",
+        "predicted_taken",
+        "predicted_target",
+        "actual_taken",
+        "actual_target",
+        "mispredicted",
+        "memory_va",
+        "memory_latency",
+        "cache_hit_level",
+    )
 
-    transient: bool = False  # dispatched under an unresolved speculation
-    squashed: bool = False
-    fault: Optional[Fault] = None
-    #: the value a vulnerable pipeline forwarded despite the fault
-    transient_value: Optional[int] = None
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        instruction: Instruction,
+        dispatch_cycle: int,
+        source: str = "dsb",  # frontend delivery path: dsb | mite | ms
+        transient: bool = False,  # dispatched under an unresolved speculation
+        uop_count: Optional[int] = None,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.instruction = instruction
+        self.dispatch_cycle = dispatch_cycle
+        self.source = source
+        self.uop_count = instruction.uop_count if uop_count is None else uop_count
+        self.start_cycle = 0
+        self.ready_cycle = 0
+        self.retire_cycle: Optional[int] = None
+        self.transient = transient
+        self.squashed = False
+        self.fault: Optional[Fault] = None
+        #: the value a vulnerable pipeline forwarded despite the fault
+        self.transient_value: Optional[int] = None
+        # Branch bookkeeping
+        self.is_branch = False
+        self.predicted_taken: Optional[bool] = None
+        self.predicted_target: Optional[int] = None
+        self.actual_taken: Optional[bool] = None
+        self.actual_target: Optional[int] = None
+        self.mispredicted = False
+        # Memory bookkeeping
+        self.memory_va: Optional[int] = None
+        self.memory_latency = 0
+        self.cache_hit_level = ""
 
-    # Branch bookkeeping
-    is_branch: bool = False
-    predicted_taken: Optional[bool] = None
-    predicted_target: Optional[int] = None
-    actual_taken: Optional[bool] = None
-    actual_target: Optional[int] = None
-    mispredicted: bool = False
-
-    # Memory bookkeeping
-    memory_va: Optional[int] = None
-    memory_latency: int = 0
-    cache_hit_level: str = ""
-
-    @property
-    def uop_count(self) -> int:
-        return self.instruction.uop_count
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"UopRecord(seq={self.seq}, pc={self.pc:#x}, "
+            f"{self.instruction}, dispatch={self.dispatch_cycle})"
+        )
 
 
 @dataclass(frozen=True)

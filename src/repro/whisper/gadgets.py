@@ -24,9 +24,33 @@ or a registered SIGSEGV handler to suppress the fault -- the two
 from __future__ import annotations
 
 import enum
-from typing import Optional
+import functools
+from typing import Dict, Optional, Tuple
 
 from repro.isa.program import Program
+
+
+def _memoized(method):
+    """Per-builder gadget memoization.
+
+    A gadget method is a pure function of the builder (machine +
+    suppression) and its arguments: the same call re-assembles the same
+    source and maps another copy of the same code.  Campaign workers
+    build gadgets repeatedly across warm-up paths, so each builder keeps
+    the first :class:`Program` per (method, args) and returns it for
+    every later call.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        key = (method.__name__, args, tuple(sorted(kwargs.items())))
+        program = self._programs.get(key)
+        if program is None:
+            program = method(self, *args, **kwargs)
+            self._programs[key] = program
+        return program
+
+    return wrapper
 
 
 class Suppression(enum.Enum):
@@ -50,6 +74,8 @@ class GadgetBuilder:
         if suppression is Suppression.TSX and not machine.model.has_tsx:
             raise ValueError(f"{machine.model.name} has no TSX")
         self.suppression = suppression
+        #: Memoized gadget programs, keyed by (method name, args).
+        self._programs: Dict[Tuple, Program] = {}
 
     # -- assembly plumbing -------------------------------------------------------
 
@@ -88,6 +114,7 @@ class GadgetBuilder:
 
     # -- the gadgets ----------------------------------------------------------------
 
+    @_memoized
     def figure1(self) -> Program:
         """The Figure 1a gadget (TET-CC).
 
@@ -107,6 +134,7 @@ fig1_skip:"""
     mfence"""
         return self._load(self._wrap_transient(transient, prologue))
 
+    @_memoized
     def meltdown(self) -> Program:
         """TET-MD: the Jcc consumes the *transiently forwarded* kernel byte.
 
@@ -122,6 +150,7 @@ fig1_skip:"""
 md_skip:"""
         return self._load(self._wrap_transient(transient))
 
+    @_memoized
     def zombieload(self, sled: int = 32) -> Program:
         """TET-ZBL: the match *skips* a nop sled, shortening the window.
 
@@ -140,6 +169,7 @@ md_skip:"""
 zbl_end:"""
         return self._load(self._wrap_transient(transient))
 
+    @_memoized
     def spectre_rsb(self, sled: int = 24) -> Program:
         """TET-RSB, the paper's Listing 1.
 
@@ -177,6 +207,7 @@ rsb_final:
 """
         return self.machine.load_program(source)
 
+    @_memoized
     def spectre_v1(self, sled: int = 24) -> Program:
         """TET-Spectre-V1 (extension): bounds-check bypass + TET.
 
@@ -212,6 +243,7 @@ v1_out:
 """
         return self.machine.load_program(source)
 
+    @_memoized
     def kaslr_probe(self) -> Program:
         """TET-KASLR's probe (the paper's Listing 2 shape).
 
@@ -229,6 +261,7 @@ kaslr_skip:"""
         prologue = "    mfence"
         return self._load(self._wrap_transient(transient, prologue))
 
+    @_memoized
     def nop_loop(self, iterations: int = 64) -> Program:
         """The §4.4 spy loop: timed nops, no memory traffic."""
         body = "\n".join("    nop" for _ in range(8))
@@ -246,6 +279,7 @@ spy_loop:
     hlt
 """)
 
+    @_memoized
     def fault_burst(self, faults: int = 4) -> Program:
         """The §4.4 Trojan's '1' symbol: suppressed page faults in a row."""
         blocks = []
@@ -278,6 +312,7 @@ trojan_loop:
     hlt
 """)
 
+    @_memoized
     def idle_loop(self, iterations: int = 32) -> Program:
         """The Trojan's '0' symbol: plain computation.
 

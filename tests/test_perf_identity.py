@@ -1,0 +1,112 @@
+"""Golden byte-identity: the hot-path overhaul must not move one ToTE.
+
+The decode-plan cache, the copy-on-write speculation snapshots, the
+inlined PMU/MMU fast paths and the pool's adaptive chunking are all
+*timing-model-neutral* optimisations: they may only change how fast the
+simulator computes a trial, never what the trial computes.  This module
+pins that contract two ways:
+
+* **golden constants**: ToTE tuples and cycle counts for fixed
+  ``ChannelTrial``/``KaslrTrial`` payloads, captured from the
+  pre-overhaul tree.  Any optimisation that shifts a number here has
+  changed the simulated microarchitecture, not just its implementation.
+* **execution-shape identity** (the ``w1``/``w8`` pattern from
+  ``test_faults_chaos.py``): the same payload list run serially, pooled
+  per-payload, and pooled with explicit chunking yields structurally
+  equal results -- chunk grouping is scheduling, not semantics.
+"""
+
+import pytest
+
+from repro.runtime import TrialPool
+from repro.runtime.spec import MachineSpec
+from repro.runtime.tasks import ChannelTrial, KaslrTrial, run_trial
+from repro.sim.machine import Machine
+
+#: (model, seed, secret byte, test value, trial index) -> (totes, cycles),
+#: captured before the hot-path overhaul landed.
+GOLDEN_CHANNEL = [
+    (("i7-7700", 1, 0x54, 0x54, 0), ((278, 278, 278), 4588)),
+    (("i7-7700", 1, 0x54, 0x32, 1), ((270, 270, 270), 4564)),
+    (("i7-7700", 1, 0xA7, 0x00, 5), ((270, 270, 270), 4564)),
+    (("i9-13900K", 7, 0x54, 0x54, 0), ((556, 556, 556), 7075)),
+    (("i9-13900K", 7, 0x54, 0x32, 1), ((547, 547, 547), 7048)),
+    (("i9-13900K", 7, 0xA7, 0x00, 5), ((547, 547, 547), 7048)),
+]
+
+#: (va offset from the randomised base, cr3 switch, trial index) on an
+#: ``i7-7700, seed=21, kaslr+kpti`` boot (base 0xFFFFFFFF8A800000).
+GOLDEN_KASLR = [
+    ((0x0, False, 0), ((270,), 10055)),
+    ((0x0, True, 1), ((276,), 10142)),
+    ((0x200000, False, 4), ((270,), 10055)),
+]
+
+KASLR_BASE = 0xFFFFFFFF8A800000
+
+
+def _channel_payload(model, seed, secret, test, index) -> ChannelTrial:
+    return ChannelTrial(
+        spec=MachineSpec(model, seed=seed),
+        byte=secret,
+        test=test,
+        batches=3,
+        trial_index=index,
+    )
+
+
+class TestGoldenConstants:
+    @pytest.mark.parametrize("key,expected", GOLDEN_CHANNEL)
+    def test_channel_trial_matches_pre_overhaul_bytes(self, key, expected):
+        model, seed, secret, test, index = key
+        result = run_trial(_channel_payload(model, seed, secret, test, index))
+        assert (tuple(result.totes), result.cycles) == expected
+
+    @pytest.mark.parametrize("key,expected", GOLDEN_KASLR)
+    def test_kaslr_trial_matches_pre_overhaul_bytes(self, key, expected):
+        machine = Machine("i7-7700", seed=21, kaslr=True, kpti=True)
+        assert machine.kernel.layout.base == KASLR_BASE
+        offset, cr3_switch, index = key
+        trial = KaslrTrial(
+            spec=MachineSpec.of(machine),
+            va=KASLR_BASE + offset,
+            cr3_switch=cr3_switch,
+            trial_index=index,
+            warm_probes=3,
+        )
+        result = run_trial(trial)
+        assert (tuple(result.totes), result.cycles) == expected
+
+
+class TestExecutionShapeIdentity:
+    """Serial vs pooled vs explicitly-chunked: same bytes, every shape."""
+
+    def _payloads(self):
+        spec = MachineSpec("i7-7700", seed=1)
+        return [
+            ChannelTrial(
+                spec=spec, byte=0x54, test=test, batches=2, trial_index=test
+            )
+            for test in range(12)
+        ]
+
+    def test_serial_pooled_chunked_identical(self):
+        payloads = self._payloads()
+        shapes = {}
+        for label, kwargs in (
+            ("serial", {"workers": 1}),
+            ("pooled", {"workers": 4}),
+            ("chunked", {"workers": 2, "chunk_size": 5}),
+        ):
+            with TrialPool(**kwargs) as pool:
+                shapes[label] = pool.map(run_trial, payloads)
+        assert shapes["serial"] == shapes["pooled"] == shapes["chunked"]
+
+    def test_adaptive_chunking_is_invisible(self):
+        """A second map on a warmed pool (where the adaptive heuristic
+        may group payloads) matches the first (unchunked) map."""
+        payloads = self._payloads()
+        with TrialPool(workers=2) as pool:
+            first = pool.map(run_trial, payloads)
+            second = pool.map(run_trial, payloads)
+        assert first == second
