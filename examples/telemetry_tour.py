@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Telemetry tour: watch a TET-KASLR campaign observe itself.
+
+Runs the paper's KPTI-trampoline KASLR sweep as a pooled campaign with
+full telemetry armed, three stops on the tour:
+
+1. **Live progress** -- a ProgressRenderer streams per-batch throughput
+   and ETA to stderr while the campaign executes.
+2. **The recorded trace** -- the merged span tree (campaign -> cell ->
+   trial -> core.run, with per-trial PMU counters), dumped as JSONL,
+   converted to Chrome ``trace_event`` JSON for chrome://tracing /
+   ui.perfetto.dev, and rolled up into a cycle-attribution flamegraph.
+3. **A metrics diff between two seeds** -- the same sweep under a
+   different KASLR slot, compared counter by counter: the work changes,
+   the instrumentation proves exactly how much.
+
+Everything here is observational: the campaign's report and store are
+byte-identical to an unobserved run (``tests/test_telemetry.py`` pins
+it).
+
+Run:  python examples/telemetry_tour.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro import telemetry
+from repro.campaign import CampaignRunner, CampaignSpec, ResultStore, kaslr_cell
+from repro.runtime import MachineSpec, TrialPool
+from repro.telemetry.export import (
+    chrome_trace,
+    cycle_attribution,
+    render_attribution,
+    validate_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.live import ProgressRenderer, render_metrics
+from repro.telemetry.metrics import deterministic_view
+from repro.telemetry.spans import orphan_records
+
+
+def run_observed(
+    seed: int, workdir: str, kpti: bool = True, progress: bool = False
+):
+    """One fully-observed pooled KASLR campaign; returns what telemetry
+    collected (records + metrics) alongside the run's own stats."""
+    tag = f"s{seed}-{'kpti' if kpti else 'nokpti'}"
+    spec = CampaignSpec(
+        name=f"tour-kaslr-{tag}",
+        cells=(kaslr_cell(MachineSpec(seed=seed, kpti=kpti)),),
+    )
+    store = ResultStore(os.path.join(workdir, f"store-{tag}"))
+    renderer = ProgressRenderer(name=spec.name) if progress else None
+    telemetry.enable(wall_clock=True)  # wall clocks: sidecar, humans only
+    try:
+        with TrialPool(workers=2) as pool:
+            runner = CampaignRunner(
+                spec,
+                store=store,
+                pool=pool,
+                observer=renderer.on_batch if renderer else None,
+            )
+            report, stats = runner.run()
+        if renderer is not None:
+            renderer.close()
+        records = telemetry.recorder().drain()
+        metrics = telemetry.metrics_registry().snapshot()
+    finally:
+        telemetry.disable()
+        telemetry.metrics_registry().drain()
+    return report, stats, records, metrics
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-telemetry-tour-")
+
+    # -- stop 1: live progress -------------------------------------------------
+    print("== stop 1: a pooled KASLR sweep with live progress (stderr) ==")
+    _, stats, records, metrics = run_observed(1, workdir, progress=True)
+    print(f"run stats    : {stats}")
+    print()
+
+    # -- stop 2: the recorded trace --------------------------------------------
+    print("== stop 2: the merged span trace ==")
+    spans = [r for r in records if r["kind"] == "span"]
+    by_name = {}
+    for record in spans:
+        by_name[record["name"]] = by_name.get(record["name"], 0) + 1
+    for name in sorted(by_name):
+        print(f"  {by_name[name]:>6}x {name}")
+    print(f"  orphan spans: {len(orphan_records(records))} (must be 0)")
+
+    trace_path = os.path.join(workdir, "tour.jsonl")
+    write_jsonl(records, trace_path, metrics=metrics)
+    chrome_path = os.path.join(workdir, "tour.trace.json")
+    trace = chrome_trace(records)
+    with open(chrome_path, "w") as handle:
+        json.dump(trace, handle, sort_keys=True)
+    problems = validate_chrome_trace(trace)
+    print(f"  JSONL trace : {trace_path}")
+    print(f"  Chrome trace: {chrome_path} "
+          f"({len(trace['traceEvents'])} events, "
+          f"schema {'ok' if not problems else 'BROKEN'}) "
+          f"-- load in chrome://tracing or ui.perfetto.dev")
+    print()
+    print(render_attribution(cycle_attribution(records), limit=5))
+    print()
+    render_metrics(metrics)
+    print()
+
+    # -- stop 3: metrics diffs -------------------------------------------------
+    def diff(label_a, ours, label_b, theirs):
+        ours, theirs = deterministic_view(ours), deterministic_view(theirs)
+        print(f"  {'counter':<24} {label_a:>12} {label_b:>12} {'delta':>10}")
+        for name in sorted(set(ours) & set(theirs)):
+            if ours[name]["type"] != "counter" or not name.startswith("core."):
+                continue
+            a, b = ours[name]["value"], theirs[name]["value"]
+            print(f"  {name:<24} {a:>12,} {b:>12,} {b - a:>+10,}")
+        print()
+
+    print("== stop 3: metrics diffs ==")
+    print("Same sweep, different seed (a different randomized kernel base):")
+    _, _, _, reseeded = run_observed(2, workdir)
+    diff("seed 1", metrics, "seed 2", reseeded)
+    print("Every delta is zero: the probe sequence is fixed, only WHERE the")
+    print("kernel hides changes -- the determinism the whole stack rides on.")
+    print()
+    print("Same seed, KPTI switched off (no CR3 switch around each probe):")
+    _, _, _, unprotected = run_observed(1, workdir, kpti=False)
+    diff("kpti", metrics, "no-kpti", unprotected)
+    print("Now the counters move: dropping the paper's CR3-switch defense")
+    print("changes the simulated work per probe, and the instrumentation")
+    print("shows exactly where.  Store and report bytes are unaffected by")
+    print("any of this observation.")
+
+
+if __name__ == "__main__":
+    main()

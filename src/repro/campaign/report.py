@@ -120,6 +120,24 @@ class CampaignReport:
 _RENDERED_FAILURES = 8
 
 
+def render_run_observability(stats, metrics: Dict[str, dict]) -> str:
+    """Console summary of a traced run: stats plus its metrics table.
+
+    Printed to stderr after a ``campaign run --trace-out`` so a human
+    sees the run's shape without replaying the trace.  Never part of the
+    report artifact -- the artifact stays byte-identical with telemetry
+    on or off.
+    """
+    import io
+
+    from repro.telemetry.live import render_metrics
+
+    buffer = io.StringIO()
+    buffer.write(f"observability: {stats}\n")
+    render_metrics(metrics, out=lambda line: buffer.write(line + "\n"))
+    return buffer.getvalue().rstrip()
+
+
 def _render_cell(cell: dict) -> List[str]:
     head = f"[cell {cell['cell']}] {cell['kind']} on {cell['model']}"
     lines = [head]

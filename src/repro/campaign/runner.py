@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.campaign.report import CampaignReport, build_report
 from repro.campaign.spec import CampaignSpec, TrialRef
 from repro.campaign.store import ResultStore, StoredOutcome, trial_key
@@ -116,6 +117,7 @@ class CampaignRunner:
         policy: Optional[ResiliencePolicy] = None,
         max_failures: Optional[int] = None,
         trial_fn: Callable = run_trial,
+        observer: Optional[Callable[[Dict], None]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -131,6 +133,11 @@ class CampaignRunner:
         #: sweep campaign-sized grids with a cheap stub.
         self.trial_fn = trial_fn
         self._progress = progress or (lambda message: None)
+        #: Structured progress sink (``--progress`` installs a
+        #: :class:`~repro.telemetry.live.ProgressRenderer` here).  Called
+        #: after every checkpointed batch with a dict of counts; purely
+        #: observational -- never touches results or the store.
+        self._observer = observer or (lambda update: None)
 
     # -- queries ---------------------------------------------------------------
 
@@ -178,6 +185,106 @@ class CampaignRunner:
                 yield pending[start:position]
                 start = position
 
+    def _run_pending(
+        self,
+        refs: List[TrialRef],
+        keys: List[str],
+        results: List[Optional[StoredOutcome]],
+        pending: List[int],
+        cells_total: int,
+        executed_before: int,
+    ) -> Tuple[int, int]:
+        """Execute the pending delta; returns ``(executed, batches)``.
+
+        Telemetry cell spans are opened when the batch stream enters a
+        new cell and closed when it leaves (batches never straddle cell
+        boundaries, so cells are contiguous runs of batches); worker
+        trial spans ingest under the open cell span inside ``pool.map``.
+        The structured observer fires after every checkpoint.
+        """
+        if not pending:
+            return 0, 0
+        pool = self.pool if self.pool is not None else TrialPool(workers=1)
+        if self.policy is not None:
+            pool.policy = self.policy
+        observing = telemetry.enabled()
+        failures = sum(
+            1 for result in results if isinstance(result, TrialFailure)
+        )
+        batches = 0
+        done = 0
+        cell_span = None
+        current_cell = None
+        try:
+            for batch in self._batches(pending, refs):
+                cell = refs[batch[0]].cell
+                if cell != current_cell:
+                    if cell_span is not None:
+                        cell_span.close()
+                        telemetry.add("campaign.cells_done")
+                    cell_span = telemetry.span("cell", cell=cell)
+                    current_cell = cell
+                outcomes = pool.map(
+                    self.trial_fn, [refs[i].trial for i in batch]
+                )
+                # The checkpoint: a batch is durable before the next starts.
+                checkpoint_start = time.perf_counter() if observing else None
+                self.store.put_many(
+                    (keys[i], outcome) for i, outcome in zip(batch, outcomes)
+                )
+                if checkpoint_start is not None:
+                    telemetry.observe(
+                        "campaign.checkpoint.fsync_seconds",
+                        time.perf_counter() - checkpoint_start,
+                        det=False,
+                    )
+                for i, outcome in zip(batch, outcomes):
+                    results[i] = outcome
+                    if isinstance(outcome, TrialFailure):
+                        failures += 1
+                batches += 1
+                done += len(batch)
+                if observing:
+                    telemetry.add("campaign.batches")
+                    telemetry.add("campaign.trials.executed", len(batch))
+                self._progress(
+                    f"batch {batches}: {done}"
+                    f"/{len(pending)} pending trials done"
+                )
+                self._observer(
+                    {
+                        "name": self.spec.name,
+                        "done": done,
+                        "pending": len(pending),
+                        "total": len(refs),
+                        "cached": len(refs) - len(pending),
+                        "cell": cell,
+                        "cells": cells_total,
+                        "failures": failures,
+                    }
+                )
+                if (
+                    self.max_failures is not None
+                    and failures > self.max_failures
+                ):
+                    # Checkpointed above: the abort loses nothing.
+                    raise CampaignAborted(
+                        f"{self.spec.name}: {failures} trial failures "
+                        f"exceed --max-failures {self.max_failures} "
+                        f"(progress checkpointed; rerun to resume)",
+                        failures=failures,
+                    )
+        finally:
+            if cell_span is not None:
+                cell_span.close()
+                telemetry.add("campaign.cells_done")
+            if self.pool is None:
+                pool.close()
+        executed = pool.trials_executed - (
+            executed_before if self.pool is not None else 0
+        )
+        return executed, batches
+
     def run(self) -> Tuple[CampaignReport, RunStats]:
         """Execute the delta, checkpointing per batch; return the report.
 
@@ -190,54 +297,28 @@ class CampaignRunner:
         cached = self.store.get_many(keys)
         results: List[Optional[StoredOutcome]] = [cached.get(key) for key in keys]
         pending = [index for index, result in enumerate(results) if result is None]
+        executed_before = self.pool.trials_executed if self.pool else 0
+        cells_total = len({ref.cell for ref in refs})
+        if telemetry.enabled():
+            telemetry.add("campaign.trials.cached", len(refs) - len(pending))
+            total = len(refs)
+            telemetry.gauge_set(
+                "campaign.cache_hit_ratio",
+                round((total - len(pending)) / total, 6) if total else 1.0,
+            )
+        with telemetry.span(
+            "campaign.run",
+            campaign=self.spec.name,
+            total=len(refs),
+            cached=len(refs) - len(pending),
+            cells=cells_total,
+        ):
+            executed, batches = self._run_pending(
+                refs, keys, results, pending, cells_total, executed_before
+            )
         failures = sum(
             1 for result in results if isinstance(result, TrialFailure)
         )
-        executed_before = self.pool.trials_executed if self.pool else 0
-        batches = 0
-        if pending:
-            pool = self.pool if self.pool is not None else TrialPool(workers=1)
-            if self.policy is not None:
-                pool.policy = self.policy
-            try:
-                done = 0
-                for batch in self._batches(pending, refs):
-                    outcomes = pool.map(
-                        self.trial_fn, [refs[i].trial for i in batch]
-                    )
-                    # The checkpoint: a batch is durable before the next starts.
-                    self.store.put_many(
-                        (keys[i], outcome) for i, outcome in zip(batch, outcomes)
-                    )
-                    for i, outcome in zip(batch, outcomes):
-                        results[i] = outcome
-                        if isinstance(outcome, TrialFailure):
-                            failures += 1
-                    batches += 1
-                    done += len(batch)
-                    self._progress(
-                        f"batch {batches}: {done}"
-                        f"/{len(pending)} pending trials done"
-                    )
-                    if (
-                        self.max_failures is not None
-                        and failures > self.max_failures
-                    ):
-                        # Checkpointed above: the abort loses nothing.
-                        raise CampaignAborted(
-                            f"{self.spec.name}: {failures} trial failures "
-                            f"exceed --max-failures {self.max_failures} "
-                            f"(progress checkpointed; rerun to resume)",
-                            failures=failures,
-                        )
-            finally:
-                if self.pool is None:
-                    pool.close()
-            executed = pool.trials_executed - (
-                executed_before if self.pool is not None else 0
-            )
-        else:
-            executed = 0
         stats = RunStats(
             total=len(refs),
             cached=len(refs) - len(pending),

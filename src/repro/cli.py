@@ -17,6 +17,9 @@ command       what it does
 ``perf``      the hot-path harness: ``profile`` a campaign cell under
               cProfile, ``bench`` trial throughput against the committed
               baseline (CI's >30%-regression gate)
+``obs``       recorded-run observability: ``report|trace|tail`` replay a
+              ``campaign run --trace-out`` JSONL, ``overhead`` gates
+              telemetry's cost (disabled <2%, enabled <15%)
 ============  ==========================================================
 """
 
@@ -237,6 +240,36 @@ def cmd_perf_bench(args) -> int:
     return 1 if result.regressed else 0
 
 
+def cmd_obs_report(args) -> int:
+    from repro.telemetry.live import run_obs_report
+
+    return run_obs_report(args.trace, limit=args.limit)
+
+
+def cmd_obs_trace(args) -> int:
+    from repro.telemetry.live import run_obs_trace
+
+    return run_obs_trace(args.trace, output=args.output, validate=args.validate)
+
+
+def cmd_obs_tail(args) -> int:
+    from repro.telemetry.live import run_obs_tail
+
+    return run_obs_tail(args.trace, count=args.count)
+
+
+def cmd_obs_overhead(args) -> int:
+    from repro.perf import run_overhead
+
+    return run_overhead(
+        campaign=args.campaign,
+        cell=args.cell,
+        trials=args.trials,
+        repeats=args.repeats,
+        quick=args.quick,
+    )
+
+
 def cmd_pmu(args) -> int:
     from repro.pmutools import OnlineCollector, PmuPipeline
     from repro.pmutools.scenarios import (
@@ -291,6 +324,21 @@ def cmd_campaign_run(args) -> int:
         from repro.faults import ResiliencePolicy
 
         policy = ResiliencePolicy(max_retries=args.retry)
+    renderer = None
+    observer = None
+    if args.progress:
+        from repro.telemetry.live import ProgressRenderer
+
+        renderer = ProgressRenderer(name=spec.name)
+        observer = renderer.on_batch
+    tracing = bool(args.trace_out)
+    trace_data = {}
+    if tracing:
+        from repro import telemetry
+
+        # Wall clocks make the Chrome trace human-meaningful; every
+        # checksum strips them (they are sidecar fields).
+        telemetry.enable(wall_clock=True)
     pool = _trial_pool(args)
     try:
         runner = CampaignRunner(
@@ -301,6 +349,7 @@ def cmd_campaign_run(args) -> int:
             progress=lambda message: print(f"[{spec.name}] {message}", file=sys.stderr),
             policy=policy,
             max_failures=args.max_failures,
+            observer=observer,
         )
         report, stats = runner.run()
     except CampaignAborted as exc:
@@ -309,12 +358,37 @@ def cmd_campaign_run(args) -> int:
     finally:
         if pool is not None:
             pool.close()
+        if renderer is not None:
+            renderer.close()
+        if tracing:
+            from repro import telemetry
+            from repro.telemetry.export import write_jsonl
+
+            # Written even when the run aborts: `repro obs tail` on the
+            # trace answers "what was the campaign doing when it died?".
+            records = telemetry.recorder().drain()
+            metrics = telemetry.metrics_registry().drain()
+            telemetry.disable()
+            trace_data["metrics"] = metrics
+            write_jsonl(records, args.trace_out, metrics=metrics)
+            print(
+                f"[{spec.name}] wrote {len(records)} telemetry records to "
+                f"{args.trace_out} (replay with `repro obs report`)",
+                file=sys.stderr,
+            )
     json_path, text_path = _artifact_paths(args.store, spec.name)
     report.write_json(json_path)
     report.write_text(text_path)
     print(report.render_text())
     print(f"run      : {stats}")
     print(f"artifacts: {json_path}, {text_path}")
+    if tracing:
+        from repro.campaign.report import render_run_observability
+
+        print(
+            render_run_observability(stats, trace_data.get("metrics", {})),
+            file=sys.stderr,
+        )
     if args.require_cached is not None and stats.hit_rate < args.require_cached:
         print(
             f"cache hit rate {stats.hit_rate:.1%} below required "
@@ -459,6 +533,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort (after checkpointing) once more than M trials have "
         "failed every retry; implies the resilient path",
     )
+    crun.add_argument(
+        "--progress", action="store_true",
+        help="stream per-cell throughput, ETA and failure counts to "
+        "stderr after every checkpointed batch",
+    )
+    crun.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the run's telemetry (spans, events, metrics) to a "
+        "JSONL file for `repro obs report|trace|tail`",
+    )
     crun.set_defaults(func=cmd_campaign_run)
 
     cstatus = csub.add_parser("status", help="cached/pending trial accounting")
@@ -574,6 +658,69 @@ def build_parser() -> argparse.ArgumentParser:
         "gating against it",
     )
     pbench.set_defaults(func=cmd_perf_bench)
+
+    obs = sub.add_parser(
+        "obs", help="recorded-run observability (repro.telemetry)"
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+
+    oreport = osub.add_parser(
+        "report",
+        help="summarise a recorded run: span tree, cycle attribution, metrics",
+    )
+    oreport.add_argument("trace", help="JSONL file from `campaign run --trace-out`")
+    oreport.add_argument(
+        "--limit", type=int, default=10,
+        help="cycle-attribution rows to print (default: 10)",
+    )
+    oreport.set_defaults(func=cmd_obs_report)
+
+    otrace = osub.add_parser(
+        "trace",
+        help="convert a recorded run to Chrome trace_event JSON "
+        "(chrome://tracing / Perfetto)",
+    )
+    otrace.add_argument("trace", help="JSONL file from `campaign run --trace-out`")
+    otrace.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="output path (default: <trace>.trace.json)",
+    )
+    otrace.add_argument(
+        "--validate", action="store_true",
+        help="check the converted trace against the trace_event schema "
+        "and exit non-zero on violations (CI obs-smoke)",
+    )
+    otrace.set_defaults(func=cmd_obs_trace)
+
+    otail = osub.add_parser(
+        "tail", help="print a recorded run's last records (post-mortems)"
+    )
+    otail.add_argument("trace", help="JSONL file from `campaign run --trace-out`")
+    otail.add_argument(
+        "--count", type=int, default=20,
+        help="records to print (default: 20)",
+    )
+    otail.set_defaults(func=cmd_obs_tail)
+
+    ooverhead = osub.add_parser(
+        "overhead",
+        help="measure telemetry overhead and gate it (disabled <2%%, "
+        "enabled <15%%)",
+    )
+    _perf_common(ooverhead)
+    ooverhead.add_argument(
+        "--trials", type=int, default=16,
+        help="trials per timed pass (default: 16)",
+    )
+    ooverhead.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed passes per arm; the best is kept (default: 3)",
+    )
+    ooverhead.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: at most 12 trials x 3 passes",
+    )
+    ooverhead.set_defaults(func=cmd_obs_overhead)
 
     pmu = sub.add_parser("pmu", help="the Figure 2 PMU toolset")
     _add_machine_args(pmu)

@@ -123,11 +123,21 @@ class FaultStats:
         "worker-lost": "workers_lost",
     }
 
-    def note(self, category: str) -> None:
+    def note(self, category: str, message: str = "") -> None:
         field = self._CATEGORY_FIELDS.get(category)
         if field is None:
             raise ValueError(f"unknown fault category {category!r}")
         setattr(self, field, getattr(self, field) + 1)
+        from repro import telemetry
+
+        if telemetry.enabled():
+            telemetry.add(f"faults.{field}")
+            # Injected faults announce themselves in their failure text
+            # (see repro.faults.inject); everything else is organic.
+            # Deterministic under a plan at any worker count.
+            telemetry.add(
+                "faults.injected" if "injected" in message else "faults.organic"
+            )
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -34,10 +34,12 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import tempfile
 import time
 from collections import deque
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from repro import telemetry
 from repro.runtime.tasks import TrialFailure
 
 __all__ = [
@@ -62,6 +64,14 @@ TARGET_CHUNK_SECONDS = 0.05
 #: chunk's worker dies and the latency before the first result lands.
 MAX_CHUNK = 64
 
+#: Histogram bounds for the adaptive chunk-size metric (powers of two up
+#: to :data:`MAX_CHUNK`).
+CHUNK_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: How many trailing stderr lines a dead worker leaves behind in its
+#: :class:`WorkerLostError` payload and lifecycle trace events.
+STDERR_TAIL_LINES = 10
+
 
 def default_workers() -> int:
     """A sensible worker count for this host (``os.cpu_count``)."""
@@ -76,11 +86,17 @@ class WorkerLostError(RuntimeError):
     the same event into a ``worker-lost`` retry.
     """
 
-    def __init__(self, payload_index: int, message: str = "") -> None:
-        super().__init__(
-            message or f"worker died while running payload {payload_index}"
-        )
+    def __init__(
+        self, payload_index: int, message: str = "", stderr_tail: str = ""
+    ) -> None:
+        text = message or f"worker died while running payload {payload_index}"
+        if stderr_tail:
+            text += f"\nlast worker stderr:\n{stderr_tail}"
+        super().__init__(text)
         self.payload_index = payload_index
+        #: The dead worker's final stderr lines (diagnostics only -- never
+        #: serialised into trial results, which must stay deterministic).
+        self.stderr_tail = stderr_tail
 
 
 class TrialTimeout(RuntimeError):
@@ -141,7 +157,7 @@ class _RetryLedger:
             return None
         history = self.faults.setdefault(index, [])
         history.append(category)
-        self.stats.note(category)
+        self.stats.note(category, message)
         if attempt + 1 < self.policy.attempts:
             self.stats.retries += 1
             return attempt + 1
@@ -261,22 +277,46 @@ class _ChunkCall:
 # -- the worker crew -----------------------------------------------------------
 
 
-def _crew_worker(task_queue, result_conn) -> None:
-    """Worker main loop: pull ``(task_id, fn, payload, attempt)`` tasks,
-    send ``(task_id, status, value)`` outcomes down the private result
-    pipe.  An injected kill fault ``os._exit``\\ s between the pull and
-    the send -- exactly the silence a crashed worker leaves behind."""
+def _crew_worker(task_queue, result_conn, stderr_path=None) -> None:
+    """Worker main loop: pull ``(task_id, fn, payload, attempt, observe)``
+    tasks, send ``(task_id, status, value, telemetry_batch)`` outcomes
+    down the private result pipe.  An injected kill fault ``os._exit``\\ s
+    between the pull and the send -- exactly the silence a crashed worker
+    leaves behind.
+
+    stderr is redirected to a per-worker file so a casualty's last words
+    survive it (the coordinator reads the tail back into the
+    :class:`WorkerLostError` and the trace -- previously they were
+    silently dropped with the inherited pipe).  When *observe* is set the
+    worker arms a fresh telemetry recorder (never the one a ``fork``
+    inherited from the coordinator, whose buffered records would be
+    duplicated) and ships a drained batch with every result.
+    """
+    if stderr_path is not None:
+        try:
+            fd = os.open(stderr_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o600)
+            os.dup2(fd, 2)
+            os.close(fd)
+        except OSError:  # pragma: no cover - tmpdir raced away
+            pass
+    telemetry.disable()  # drop any fork-inherited coordinator recorder
     while True:
         task = task_queue.get()
         if task is None:
             return
-        task_id, fn, payload, attempt = task
+        task_id, fn, payload, attempt, observe = task
+        if observe:
+            telemetry.enable_in_worker()
         try:
             value = _call_trial(fn, payload, attempt)
         except Exception as exc:
-            result_conn.send((task_id, "error", f"{type(exc).__name__}: {exc}"))
+            batch = telemetry.drain_worker_batch() if observe else None
+            result_conn.send(
+                (task_id, "error", f"{type(exc).__name__}: {exc}", batch)
+            )
         else:
-            result_conn.send((task_id, "ok", value))
+            batch = telemetry.drain_worker_batch() if observe else None
+            result_conn.send((task_id, "ok", value, batch))
 
 
 class _CrewWorker:
@@ -296,9 +336,13 @@ class _CrewWorker:
         self.slot = slot
         self.task_queue = context.SimpleQueue()
         self.result_conn, worker_conn = context.Pipe(duplex=False)
+        fd, self.stderr_path = tempfile.mkstemp(
+            prefix=f"repro-worker-{slot}-", suffix=".stderr"
+        )
+        os.close(fd)
         self.process = context.Process(
             target=_crew_worker,
-            args=(self.task_queue, worker_conn),
+            args=(self.task_queue, worker_conn, self.stderr_path),
             daemon=True,
         )
         self.process.start()
@@ -308,13 +352,34 @@ class _CrewWorker:
 
     def send(
         self, task_id: int, fn: Callable, payload, attempt: int,
-        index: int, timeout: Optional[float],
+        index: int, timeout: Optional[float], observe: bool = False,
     ) -> None:
         deadline = time.monotonic() + timeout if timeout is not None else None
         # Record before sending: a worker that dies the instant it picks
         # the task up must still be attributable to this payload.
         self.task = (task_id, index, attempt, deadline)
-        self.task_queue.put((task_id, fn, payload, attempt))
+        self.task_queue.put((task_id, fn, payload, attempt, observe))
+
+    def stderr_tail(
+        self, lines: int = STDERR_TAIL_LINES, max_bytes: int = 8192
+    ) -> str:
+        """The worker's last stderr lines (what a crash left behind)."""
+        try:
+            with open(self.stderr_path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                handle.seek(max(0, size - max_bytes))
+                data = handle.read().decode("utf-8", "replace")
+        except OSError:
+            return ""
+        return "\n".join(data.strip().splitlines()[-lines:])
+
+    def cleanup(self) -> None:
+        """Remove the worker's stderr capture file."""
+        try:
+            os.unlink(self.stderr_path)
+        except OSError:
+            pass
 
     def stop(self) -> None:
         if self.process.is_alive():
@@ -326,6 +391,7 @@ class _CrewWorker:
             if self.process.is_alive():
                 self.process.terminate()
                 self.process.join(timeout=2.0)
+        self.cleanup()
 
 
 class WorkerCrew:
@@ -356,7 +422,13 @@ class WorkerCrew:
             member.process.terminate()
         member.process.join(timeout=2.0)
         member.result_conn.close()  # anything still in it is untrusted
+        member.cleanup()
         self.members[slot] = _CrewWorker(self.context, slot)
+        telemetry.event(
+            "pool.worker.respawn",
+            slot=slot,
+            host={"pid": self.members[slot].process.pid},
+        )
 
     def run(self, fn: Callable, payloads: Sequence, policy=None, stats=None):
         """Run *payloads* through the crew.
@@ -378,6 +450,11 @@ class WorkerCrew:
         # results are dropped below by task-id mismatch.
         for member in self.members:
             member.task = None
+        observe = telemetry.enabled()
+        # Worker telemetry batches, keyed ``(payload_index, attempt)`` so
+        # the merged trace order depends only on payload identity -- never
+        # on which worker ran a trial or when its pipe delivered.
+        batches: List = []
 
         def fail(index: int, attempt: int, category: str, message: str) -> None:
             next_attempt = ledger.fail(index, attempt, category, message)
@@ -398,66 +475,100 @@ class WorkerCrew:
                 task_id, index, attempt, deadline = member.task
                 if not member.process.is_alive():
                     member.task = None
+                    tail = member.stderr_tail()
+                    telemetry.event(
+                        "pool.worker.lost",
+                        slot=slot,
+                        index=index,
+                        attempt=attempt,
+                        host={"pid": member.process.pid, "stderr_tail": tail},
+                    )
                     self._respawn(slot)
                     if policy is None:
-                        raise WorkerLostError(index)
+                        raise WorkerLostError(index, stderr_tail=tail)
                     from repro.faults.inject import lost_worker_message
 
+                    # The tail stays out of the failure message: retry and
+                    # quarantine records are part of the byte-identity
+                    # contract, and stderr content is host noise.
                     fail(index, attempt, "worker-lost",
                          lost_worker_message(payloads[index], attempt))
                 elif deadline is not None and now > deadline:
                     member.task = None
+                    telemetry.event(
+                        "pool.worker.timeout",
+                        slot=slot,
+                        index=index,
+                        attempt=attempt,
+                        host={"pid": member.process.pid},
+                    )
                     self._respawn(slot)  # the worker is wedged; replace it
                     fail(index, attempt, "timeout",
                          f"trial exceeded {policy.timeout:g}s deadline "
                          f"(attempt {attempt})")
 
-        while (ledger.completed if ledger else completed) < count:
-            for member in self.members:
-                if not pending:
-                    break
-                if member.task is None and member.process.is_alive():
-                    index, attempt = pending.popleft()
-                    self._task_counter += 1
-                    member.send(
-                        self._task_counter, fn, payloads[index], attempt, index,
-                        policy.timeout if policy is not None else None,
-                    )
-            by_conn = {member.result_conn: member for member in self.members}
-            ready = multiprocessing.connection.wait(
-                by_conn.keys(), timeout=_POLL_SECONDS
-            )
-            if not ready:
-                sweep()
-                continue
-            for conn in ready:
-                member = by_conn[conn]
-                try:
-                    task_id, status, value = conn.recv()
-                except (EOFError, OSError):
-                    # The writer died; sweep attributes and respawns.
-                    continue
-                if member.task is None or member.task[0] != task_id:
-                    continue  # stale: a task we already timed out or abandoned
-                _, index, attempt, _ = member.task
-                member.task = None
-                if status == "ok":
-                    if policy is None:
-                        results[index] = value
-                        completed += 1
-                        continue
-                    failed = _classify_ok(value, policy)
-                    if failed is None:
-                        ledger.accept(index, value)
-                    else:
-                        fail(index, attempt, *failed)
-                else:  # status == "error"
-                    if policy is None:
-                        raise RuntimeError(
-                            f"trial payload {index} failed in worker: {value}"
+        try:
+            while (ledger.completed if ledger else completed) < count:
+                for member in self.members:
+                    if not pending:
+                        break
+                    if member.task is None and member.process.is_alive():
+                        index, attempt = pending.popleft()
+                        self._task_counter += 1
+                        member.send(
+                            self._task_counter, fn, payloads[index], attempt,
+                            index,
+                            policy.timeout if policy is not None else None,
+                            observe,
                         )
-                    fail(index, attempt, "raise", value)
-            sweep()
+                by_conn = {member.result_conn: member for member in self.members}
+                ready = multiprocessing.connection.wait(
+                    by_conn.keys(), timeout=_POLL_SECONDS
+                )
+                if not ready:
+                    sweep()
+                    continue
+                for conn in ready:
+                    member = by_conn[conn]
+                    try:
+                        task_id, status, value, batch = conn.recv()
+                    except (EOFError, OSError):
+                        # The writer died; sweep attributes and respawns.
+                        continue
+                    if member.task is None or member.task[0] != task_id:
+                        continue  # stale: a task we already timed out or abandoned
+                    _, index, attempt, _ = member.task
+                    member.task = None
+                    if observe and batch is not None:
+                        telemetry.merge_worker_metrics(batch)
+                        if batch.get("records"):
+                            batches.append(((index, attempt), batch["records"]))
+                    if status == "ok":
+                        if policy is None:
+                            results[index] = value
+                            completed += 1
+                            continue
+                        failed = _classify_ok(value, policy)
+                        if failed is None:
+                            ledger.accept(index, value)
+                        else:
+                            fail(index, attempt, *failed)
+                    else:  # status == "error"
+                        if policy is None:
+                            raise RuntimeError(
+                                f"trial payload {index} failed in worker: {value}"
+                            )
+                        fail(index, attempt, "raise", value)
+                sweep()
+        finally:
+            if observe and batches:
+                # Sort by (payload, attempt), never by arrival: the merged
+                # trace is identical at any worker count.
+                batches.sort(key=lambda item: item[0])
+                telemetry.ingest_batches(
+                    (f"p{index}.{attempt}", records)
+                    for (index, attempt), records in batches
+                )
         return ledger if ledger is not None else results
 
     def close(self) -> None:
@@ -540,6 +651,14 @@ class ProcessExecutor:
             return []
         crew = self._ensure_pool()
         chunk = self._pick_chunk(count)
+        if telemetry.enabled():
+            # Record what the adaptive heuristic chose, then dispatch per
+            # payload anyway: worker telemetry batches are keyed by trial,
+            # and chunked dispatch would blur per-trial attribution.
+            telemetry.observe(
+                "pool.chunk.size", chunk, buckets=CHUNK_BUCKETS, det=False
+            )
+            chunk = 1
         if chunk <= 1 or getattr(fn, "wants_attempt", False):
             # Per-payload dispatch (also for fault-injecting wrappers,
             # whose plans are keyed to individual dispatches).
@@ -642,20 +761,45 @@ class TrialPool:
             from repro.faults.inject import FaultingFn
 
             fn = FaultingFn(fn, self._fault_plan, os.getpid())
+        observing = telemetry.enabled()
+        started = time.perf_counter() if observing else None
+        if observing:
+            telemetry.add("pool.trials.dispatched", len(payloads))
         if self.policy is None:
             results = self.executor.map(fn, payloads)
             self.trials_executed += len(payloads)
+            self._note_metrics(started, len(payloads))
             return results
         retries_before = self.fault_stats.retries
+        quarantined_before = self.fault_stats.quarantined
         ledger = self.executor.run_resilient(
             fn, payloads, self.policy, self.fault_stats
         )
         results = ledger.finish()
         self.quarantine.extend(ledger.quarantine)
-        self.trials_executed += len(payloads) + (
-            self.fault_stats.retries - retries_before
-        )
+        executed = len(payloads) + (self.fault_stats.retries - retries_before)
+        self.trials_executed += executed
+        if observing:
+            telemetry.add(
+                "pool.retries", self.fault_stats.retries - retries_before
+            )
+            telemetry.add(
+                "pool.quarantined",
+                self.fault_stats.quarantined - quarantined_before,
+            )
+        self._note_metrics(started, executed)
         return results
+
+    def _note_metrics(self, started: Optional[float], executed: int) -> None:
+        """Post-map metric updates (no-ops when telemetry is off)."""
+        if started is None:
+            return
+        telemetry.add("pool.trials.executed", executed)
+        wall = time.perf_counter() - started
+        if wall > 0:
+            telemetry.gauge_set(
+                "pool.trials_per_second", round(executed / wall, 3), det=False
+            )
 
     def close(self) -> None:
         self.executor.close()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.runtime.spec import MachineSpec
 
 #: The paper's faulting address for window-opening loads.
@@ -167,18 +168,88 @@ def run_kaslr_trial(trial: KaslrTrial) -> TrialResult:
     return TrialResult(totes=(tote,), cycles=machine.core.global_cycle)
 
 
+def _trial_machine(trial):
+    """The cached machine a just-run trial used, or None.
+
+    Telemetry reads the machine's core counters *after* the trial; the
+    context caches above are keyed exactly the way the trial functions
+    key them, so this lookup always hits for a trial that just ran.
+    """
+    if isinstance(trial, ChannelTrial):
+        context = _channel_contexts.get((trial.spec, trial.suppression))
+        return context[0] if context else None
+    if isinstance(trial, KaslrTrial):
+        attack = _kaslr_contexts.get(
+            (trial.spec, trial.eviction, trial.suppression)
+        )
+        return attack.machine if attack else None
+    return None
+
+
+def _run_trial_observed(trial, runner) -> TrialResult:
+    """The telemetry-wrapped trial path (only entered when enabled).
+
+    Span attributes are keyed by (trial seed, payload identity, simulated
+    cycles) only -- nothing host- or worker-dependent -- so merged pooled
+    traces are identical at any worker count.  Decode-plan cache stats are
+    process-cumulative and therefore shipped as host-dependent counters,
+    never as span attributes.
+    """
+    from repro.uarch.plan import PLAN_STATS
+
+    builds_before = PLAN_STATS["builds"]
+    hits_before = PLAN_STATS["hits"]
+    with telemetry.span(
+        "trial",
+        kind=type(trial).__name__,
+        index=trial.trial_index,
+        seed=trial.spec.trial_seed(trial.trial_index),
+    ) as span:
+        with telemetry.span("core.run") as core_span:
+            result = runner(trial)
+            machine = _trial_machine(trial)
+            if machine is not None:
+                counters = machine.core.telemetry_counters()
+                core_span.set(**counters)
+                telemetry.add("core.cycles", counters["cycles"])
+                telemetry.add("core.uops_issued", counters["uops_issued"])
+                telemetry.add("core.uops_retired", counters["uops_retired"])
+                telemetry.add("core.machine_clears", counters["machine_clears"])
+                telemetry.add(
+                    "core.recovery_cycles", counters["recovery_cycles"]
+                )
+                telemetry.add("core.llc_misses", counters["llc_misses"])
+        span.set(cycles=result.cycles)
+    telemetry.add(
+        "core.decode_plan.builds",
+        PLAN_STATS["builds"] - builds_before,
+        det=False,
+    )
+    telemetry.add(
+        "core.decode_plan.hits", PLAN_STATS["hits"] - hits_before, det=False
+    )
+    return result
+
+
 def run_trial(trial) -> TrialResult:
     """Dispatch any known trial payload to its trial function.
 
     Campaign batches mix trial kinds (an environment-matrix sweep carries
     channel scans and KASLR sweeps in one task list), so the pool needs a
-    single module-level callable that routes on payload type.
+    single module-level callable that routes on payload type.  With
+    telemetry enabled the trial runs inside ``trial``/``core.run`` spans;
+    disabled (the default), the only overhead is one module-attribute
+    check.
     """
     if isinstance(trial, ChannelTrial):
-        return run_channel_trial(trial)
-    if isinstance(trial, KaslrTrial):
-        return run_kaslr_trial(trial)
-    raise TypeError(f"unknown trial payload type: {type(trial).__name__}")
+        runner = run_channel_trial
+    elif isinstance(trial, KaslrTrial):
+        runner = run_kaslr_trial
+    else:
+        raise TypeError(f"unknown trial payload type: {type(trial).__name__}")
+    if not telemetry.enabled():
+        return runner(trial)
+    return _run_trial_observed(trial, runner)
 
 
 def clear_worker_contexts() -> None:

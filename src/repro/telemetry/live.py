@@ -1,0 +1,181 @@
+"""Live campaign introspection and recorded-run replay.
+
+Two consumers:
+
+* ``repro campaign run --progress`` installs a :class:`ProgressRenderer`
+  as the runner's observer: per-cell throughput, ETA and failure counts
+  stream to stderr while the campaign executes (stderr only -- the
+  report artifact stays byte-identical).
+* ``repro obs report|trace|tail`` replay a run recorded with
+  ``--trace-out``: ``report`` prints the span-tree rollup, cycle
+  attribution and metrics table; ``trace`` converts to Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto; ``tail``
+  prints the last N records (what was the campaign doing when it
+  died?).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.telemetry.export import (
+    chrome_trace,
+    cycle_attribution,
+    read_jsonl,
+    render_attribution,
+    split_metrics,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "ProgressRenderer",
+    "render_metrics",
+    "run_obs_report",
+    "run_obs_tail",
+    "run_obs_trace",
+]
+
+
+class ProgressRenderer:
+    """Streams per-cell campaign progress from runner observer updates.
+
+    The runner calls :meth:`on_batch` after every checkpointed batch
+    with a structured update (see ``CampaignRunner``).  Throughput is
+    live trials per wall second over this run; the ETA extrapolates it
+    over the remaining pending trials.  Output goes to *stream*
+    (default stderr) and never into any artifact.
+    """
+
+    def __init__(self, stream=None, name: str = "") -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.name = name
+        self._started = time.perf_counter()
+        self._done = 0
+
+    def on_batch(self, update: Dict) -> None:
+        self._done = update.get("done", self._done)
+        pending = update.get("pending", 0)
+        elapsed = time.perf_counter() - self._started
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        remaining = pending - self._done
+        eta = remaining / rate if rate > 0 else float("inf")
+        eta_text = f"{eta:6.1f}s" if eta != float("inf") else "    ??s"
+        total = update.get("total", 0)
+        cached = update.get("cached", 0)
+        cell = update.get("cell")
+        cells = update.get("cells", 0)
+        failures = update.get("failures", 0)
+        line = (
+            f"[{self.name or update.get('name', 'campaign')}] "
+            f"cell {cell if cell is not None else '?'}/{cells} | "
+            f"{self._done + cached}/{total} trials "
+            f"({cached} cached) | {rate:7.1f} trials/s | "
+            f"ETA {eta_text} | {failures} failures"
+        )
+        self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        elapsed = time.perf_counter() - self._started
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        self.stream.write(
+            f"[{self.name}] done: {self._done} live trials in "
+            f"{elapsed:.1f}s ({rate:.1f} trials/s)\n"
+        )
+        self.stream.flush()
+
+
+def render_metrics(snapshot: Dict[str, dict], out=print) -> None:
+    """Print a metrics snapshot as an aligned name/type/value table."""
+    if not snapshot:
+        out("metrics  : (none recorded)")
+        return
+    width = max(len(name) for name in snapshot)
+    out("metrics:")
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry["type"]
+        det = "" if entry.get("det", True) else "  [host-dependent]"
+        if kind == "histogram":
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            value = f"n={count} mean={mean:g}"
+        else:
+            value = f"{entry['value']}"
+        out(f"  {name:<{width}}  {kind:<9}  {value}{det}")
+
+
+def _span_rollup(records: List[dict], out=print) -> None:
+    """Per-name span counts (the shape of the recorded tree)."""
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    by_name: Dict[str, int] = {}
+    for record in spans:
+        by_name[record["name"]] = by_name.get(record["name"], 0) + 1
+    out(f"trace    : {len(spans)} spans, {len(events)} events")
+    for name in sorted(by_name):
+        out(f"  {by_name[name]:>8}x span {name}")
+    for name in sorted({r["name"] for r in events}):
+        count = sum(1 for r in events if r["name"] == name)
+        out(f"  {count:>8}x event {name}")
+
+
+def run_obs_report(path: str, limit: int = 10, out=print) -> int:
+    """The ``repro obs report`` body: summarise a recorded run."""
+    records = read_jsonl(path)
+    trace, metrics = split_metrics(records)
+    out(f"recorded run: {path}")
+    _span_rollup(trace, out=out)
+    out("")
+    out(render_attribution(cycle_attribution(trace), limit=limit))
+    out("")
+    render_metrics(metrics, out=out)
+    return 0
+
+
+def run_obs_trace(
+    path: str,
+    output: Optional[str] = None,
+    validate: bool = False,
+    out=print,
+) -> int:
+    """The ``repro obs trace`` body: convert a recorded run to Chrome
+    ``trace_event`` JSON (optionally validating it against the schema)."""
+    records = read_jsonl(path)
+    trace_records, _ = split_metrics(records)
+    trace = chrome_trace(trace_records)
+    target = output or (path.rsplit(".", 1)[0] + ".trace.json")
+    with open(target, "w") as handle:
+        json.dump(trace, handle, sort_keys=True)
+        handle.write("\n")
+    out(
+        f"wrote {len(trace['traceEvents'])} trace events to {target} "
+        f"(load in chrome://tracing or ui.perfetto.dev)"
+    )
+    if validate:
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems[:20]:
+                out(f"trace_event schema violation: {problem}")
+            return 1
+        out("trace_event schema: ok")
+    return 0
+
+
+def run_obs_tail(path: str, count: int = 20, out=print) -> int:
+    """The ``repro obs tail`` body: the last *count* records of a run."""
+    records = read_jsonl(path)
+    trace, _ = split_metrics(records)
+    for record in trace[-count:]:
+        attrs = record.get("attrs", {})
+        attr_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        out(
+            f"{record['seq']:>8}  {record['kind']:<5}  "
+            f"{record['name']:<24}  {attr_text}"
+        )
+    if not trace:
+        out("(empty trace)")
+    return 0

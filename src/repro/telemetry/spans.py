@@ -1,0 +1,263 @@
+"""Structured spans and events: the trace half of ``repro.telemetry``.
+
+A *span* is one timed region of work -- a campaign, a cell, a trial, a
+core run -- recorded as a plain JSON-ready dict so traces can be dumped
+as JSONL, shipped over worker pipes, and replayed by ``repro obs``.
+An *event* is a point record (a worker death, a respawn, a checkpoint).
+
+The determinism contract mirrors the rest of the stack: a record is
+keyed by deterministic coordinates only -- its merged sequence number,
+its name and attributes (trial seed, trial index, simulated cycles).
+Wall-clock timestamps and host facts (worker pid, slot) live in the
+optional ``wall`` / ``host`` sidecar fields, which every checksum and
+comparison path strips (:func:`repro.telemetry.export.strip_sidecar`),
+so telemetry can carry real times for humans without ever becoming a
+source of nondeterminism for machines.
+
+Worker processes run their own :class:`Recorder`; the pool drains it
+after every trial and ships the batch back over the existing result
+pipes.  :meth:`Recorder.ingest` merges those batches into the
+coordinator's trace: records are re-keyed under a deterministic payload
+address (``p<index>.<attempt>``), re-sequenced in payload order, and
+re-parented under whatever span the coordinator has open (the campaign
+cell), so a pooled run yields one causally-ordered tree with no orphan
+spans at any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "NULL_SPAN",
+]
+
+
+class Span:
+    """Handle for one open span: lets the body attach attributes.
+
+    Returned by ``Recorder.span(...)`` as a context manager; the record
+    dict it fills is appended to the recorder at *entry* (so the record
+    list is in preorder) and marked closed at exit.
+    """
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "Recorder", record: dict) -> None:
+        self._recorder = recorder
+        self.record = record
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span (deterministic values only)."""
+        self.record["attrs"].update(attrs)
+        return self
+
+    @property
+    def id(self) -> str:
+        return self.record["id"]
+
+    def close(self, failed: bool = False) -> None:
+        """Close explicitly (for spans whose extent crosses loop bodies)."""
+        self._recorder._close(self, failed=failed)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder._close(self, failed=exc_type is not None)
+
+
+class _NullSpan:
+    """The disabled-path span: every operation is a no-op.
+
+    A single shared instance backs ``telemetry.span(...)`` when no
+    recorder is active, so the disabled hot path costs one ``is None``
+    check and one attribute load -- no allocation, no branching inside
+    the simulator.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    @property
+    def id(self) -> None:
+        return None
+
+    def close(self, failed: bool = False) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """A process-local buffer of span/event records.
+
+    ``origin`` prefixes record ids (``m`` for the coordinator, ``w`` for
+    workers; worker ids are rewritten at ingest).  ``wall_clock=True``
+    stamps spans with real begin/end times in the ``wall`` sidecar field
+    -- useful for humans and Chrome traces, stripped by every checksum.
+    """
+
+    def __init__(self, origin: str = "m", wall_clock: bool = False) -> None:
+        self.origin = origin
+        self.wall_clock = wall_clock
+        self.records: List[dict] = []
+        self._seq = 0
+        self._stack: List[dict] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span under the current one; use as a context manager."""
+        seq = self._next_seq()
+        record = {
+            "kind": "span",
+            "name": name,
+            "id": f"{self.origin}:{seq}",
+            "parent": self._stack[-1]["id"] if self._stack else None,
+            "seq": seq,
+            "attrs": dict(attrs),
+            "open": True,
+        }
+        if self.wall_clock:
+            record["wall"] = [time.time(), None]
+        self.records.append(record)
+        self._stack.append(record)
+        return Span(self, record)
+
+    def _close(self, span: Span, failed: bool = False) -> None:
+        record = span.record
+        if "open" not in record:
+            return  # already closed (explicit close inside a with-block)
+        # Close any forgotten children first (exceptions unwinding past
+        # sub-spans): the trace must never contain dangling open spans.
+        while self._stack and self._stack[-1] is not record:
+            dangling = self._stack.pop()
+            dangling.pop("open", None)
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        if failed:
+            record["attrs"].setdefault("failed", True)
+        if self.wall_clock and record.get("wall"):
+            record["wall"][1] = time.time()
+        record.pop("open", None)
+
+    def event(self, name: str, host: Optional[dict] = None, **attrs) -> dict:
+        """Record a point event under the current span.
+
+        *host* carries host-dependent facts (pid, worker slot, stderr
+        tails); like ``wall`` it is a sidecar field stripped from every
+        checksum.
+        """
+        seq = self._next_seq()
+        record = {
+            "kind": "event",
+            "name": name,
+            "id": f"{self.origin}:{seq}",
+            "parent": self._stack[-1]["id"] if self._stack else None,
+            "seq": seq,
+            "attrs": dict(attrs),
+        }
+        if host:
+            record["host"] = dict(host)
+        if self.wall_clock:
+            record["wall"] = [time.time(), time.time()]
+        self.records.append(record)
+        return record
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (if any)."""
+        if self._stack:
+            self._stack[-1]["attrs"].update(attrs)
+
+    def current_id(self) -> Optional[str]:
+        """Id of the innermost open span, or None at the root."""
+        return self._stack[-1]["id"] if self._stack else None
+
+    # -- draining and merging --------------------------------------------------
+
+    def drain(self, reset_seq: bool = False) -> List[dict]:
+        """Remove and return every *closed* record.
+
+        Open spans (and their preorder positions) stay buffered until
+        they close.  ``reset_seq=True`` additionally rewinds the
+        sequence counter -- the worker-side mode, which makes each
+        shipped batch a self-contained stream whose numbering depends
+        only on the trial that produced it, never on which worker ran
+        it or what ran there before.
+        """
+        if self._stack:
+            closed = [r for r in self.records if "open" not in r]
+            self.records = [r for r in self.records if "open" in r]
+        else:
+            closed = self.records
+            self.records = []
+            if reset_seq:
+                self._seq = 0
+        return closed
+
+    def ingest(
+        self,
+        batches: Sequence[Tuple[str, Iterable[dict]]],
+        parent: Optional[str] = None,
+    ) -> None:
+        """Merge worker-shipped record batches into this trace.
+
+        *batches* is a sequence of ``(key, records)`` pairs where *key*
+        is a deterministic address for the batch (``p<index>.<attempt>``
+        in the pool).  Callers sort batches into payload order first, so
+        the merged stream's sequence numbers depend only on the work,
+        not on scheduling.  Each batch's records are re-identified under
+        its key, re-sequenced into this recorder's stream, and roots are
+        re-parented under *parent* (default: the currently open span) --
+        the seam that hangs worker trial spans off the coordinator's
+        campaign/cell spans with no orphans.
+        """
+        if parent is None:
+            parent = self.current_id()
+        for key, records in batches:
+            id_map: Dict[str, str] = {}
+            for record in records:
+                old_id = record["id"]
+                new_id = f"{key}:{record['seq']}"
+                id_map[old_id] = new_id
+            for record in records:
+                record = dict(record)
+                record["id"] = id_map[record["id"]]
+                old_parent = record.get("parent")
+                record["parent"] = id_map.get(old_parent, parent)
+                record["seq"] = self._next_seq()
+                self.records.append(record)
+
+
+def span_index(records: Iterable[dict]) -> Dict[str, dict]:
+    """Index records by id (spans and events alike)."""
+    return {record["id"]: record for record in records}
+
+
+def orphan_records(records: Sequence[dict]) -> List[dict]:
+    """Records whose parent id is missing from the trace (should be
+    empty for any merged trace -- the acceptance criterion's check)."""
+    index = span_index(records)
+    return [
+        record
+        for record in records
+        if record.get("parent") is not None and record["parent"] not in index
+    ]

@@ -245,6 +245,29 @@ class Core:
         self.global_cycle = result.end_cycle + 1
         return result
 
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Per-trial counters for the telemetry layer (read-only).
+
+        :meth:`reset_uarch` zeroes the PMU bank and the cycle counter at
+        the top of every trial, so the current values *are* this trial's
+        deltas -- no before-snapshot, no new branches on the hot path.
+        Every value here is deterministic for a fixed trial payload
+        (part of the telemetry determinism contract); process-cumulative
+        statistics like the decode-plan cache live elsewhere
+        (:data:`repro.uarch.plan.PLAN_STATS`).
+        """
+        counts = self.pmu.counts
+        return {
+            "cycles": self.global_cycle,
+            "uops_issued": counts["UOPS_ISSUED.ANY"],
+            "uops_retired": counts["UOPS_RETIRED.RETIRE_SLOTS"],
+            "machine_clears": counts["MACHINE_CLEARS.COUNT"],
+            "recovery_cycles": counts["INT_MISC.RECOVERY_CYCLES"],
+            "resteer_cycles": counts["INT_MISC.CLEAR_RESTEER_CYCLES"],
+            "dtlb_walks": counts["DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"],
+            "llc_misses": counts["LONGEST_LAT_CACHE.MISS"],
+        }
+
 
 class _RunEngine:
     """The per-run state machine (split out of Core to keep state explicit)."""

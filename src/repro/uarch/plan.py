@@ -40,6 +40,12 @@ from repro.uarch.frontend import FETCH_LINE
 #: model name -> DecodedPlan).
 _PLAN_ATTR = "_decoded_plans"
 
+#: Process-wide decode-plan cache statistics: plans built vs cache hits,
+#: one increment per ``Core.run``.  Cumulative over the process lifetime
+#: and therefore worker-count dependent -- the telemetry layer reports
+#: per-trial deltas as host-dependent (``det=False``) counters.
+PLAN_STATS = {"builds": 0, "hits": 0}
+
 
 class PlanEntry:
     """One decoded instruction slot: everything the dispatch loop needs
@@ -182,4 +188,7 @@ def plan_for(
     if plan is None:
         plan = DecodedPlan(program, model.name, handler_table)
         plans[model.name] = plan
+        PLAN_STATS["builds"] += 1
+    else:
+        PLAN_STATS["hits"] += 1
     return plan

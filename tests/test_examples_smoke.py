@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "smt_and_rsb.py",
     "break_kaslr.py",
     "leak_kernel_memory.py",
+    "telemetry_tour.py",
 ]
 
 

@@ -1,0 +1,258 @@
+"""Property-based tests for the metrics merge algebra.
+
+Runs under Hypothesis when it is installed; a seeded-``random`` fallback
+exercises the same properties (fewer cases, fixed seed) when it is not
+-- the same arrangement as ``test_faults_properties.py``.
+
+The algebra under test is what makes worker telemetry shippable at all:
+snapshots fold into the coordinator's registry in whatever order the
+result pipes deliver them, so :func:`merge_snapshots` must be
+
+* **commutative** -- ``merge(a, b) == merge(b, a)``;
+* **associative** -- ``merge(merge(a, b), c) == merge(a, merge(b, c))``;
+* **unital** -- the empty snapshot ``{}`` changes nothing;
+
+per metric type: counters merge by sum, gauges by max, histograms by
+element-wise bucket addition.  Values are generated as integers so
+float addition stays exact and the laws can be asserted with ``==``.
+A partition property pins histograms further: observing a value list in
+one registry equals observing any split of it in two and merging.
+"""
+
+import random
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    deterministic_view,
+    merge_snapshots,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_HYPOTHESIS = False
+
+
+# -- snapshot construction -----------------------------------------------------
+
+#: Small shared name pools so generated snapshots collide on metric
+#: names -- merges that never overlap would test nothing.
+COUNTER_NAMES = ("trials", "retries", "cells")
+GAUGE_NAMES = ("hit_ratio", "rate")
+HISTOGRAM_NAMES = ("fsync", "chunk")
+
+
+def build_snapshot(counters, gauges, observations) -> dict:
+    """A registry snapshot from primitive parts.
+
+    ``counters``: ``[(name, amount)]``; ``gauges``: ``[(name, value)]``;
+    ``observations``: ``[(name, [values])]``.  Routing everything through
+    a real :class:`MetricsRegistry` keeps the generated snapshots
+    structurally honest (consistent counts, sums, bucket layouts).
+    """
+    registry = MetricsRegistry()
+    for name, amount in counters:
+        registry.counter(name).add(amount)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    for name, values in observations:
+        histogram = registry.histogram(name)
+        for value in values:
+            histogram.observe(value)
+    return registry.snapshot()
+
+
+def random_snapshot(rng: random.Random) -> dict:
+    counters = [
+        (rng.choice(COUNTER_NAMES), rng.randrange(1_000))
+        for _ in range(rng.randrange(4))
+    ]
+    gauges = [
+        (rng.choice(GAUGE_NAMES), rng.randrange(-100, 1_000))
+        for _ in range(rng.randrange(3))
+    ]
+    observations = [
+        (
+            rng.choice(HISTOGRAM_NAMES),
+            [rng.randrange(20_000_000) for _ in range(rng.randrange(6))],
+        )
+        for _ in range(rng.randrange(3))
+    ]
+    return build_snapshot(counters, gauges, observations)
+
+
+if HAVE_HYPOTHESIS:
+    counters_st = st.lists(
+        st.tuples(st.sampled_from(COUNTER_NAMES), st.integers(0, 10**6)),
+        max_size=4,
+    )
+    gauges_st = st.lists(
+        st.tuples(st.sampled_from(GAUGE_NAMES), st.integers(-100, 10**6)),
+        max_size=3,
+    )
+    observations_st = st.lists(
+        st.tuples(
+            st.sampled_from(HISTOGRAM_NAMES),
+            st.lists(st.integers(0, 2 * 10**7), max_size=6),
+        ),
+        max_size=3,
+    )
+    snapshot_st = st.builds(build_snapshot, counters_st, gauges_st, observations_st)
+
+
+# -- shared property checks ----------------------------------------------------
+
+
+def check_merge_is_commutative(a, b):
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+
+def check_merge_is_associative(a, b, c):
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert left == right
+
+
+def check_empty_is_identity(a):
+    normalised = merge_snapshots(a)
+    assert merge_snapshots(a, {}) == normalised
+    assert merge_snapshots({}, a) == normalised
+
+
+def check_counter_merge_is_sum(a, b):
+    merged = merge_snapshots(a, b)
+    for name in set(a) | set(b):
+        entries = [s[name] for s in (a, b) if name in s]
+        if entries[0]["type"] != "counter":
+            continue
+        assert merged[name]["value"] == sum(e["value"] for e in entries)
+
+
+def check_gauge_merge_is_max(a, b):
+    merged = merge_snapshots(a, b)
+    for name in set(a) & set(b):
+        if a[name]["type"] != "gauge":
+            continue
+        values = [
+            s[name]["value"] for s in (a, b) if s[name]["value"] is not None
+        ]
+        if values:
+            assert merged[name]["value"] == max(values)
+
+
+def check_histogram_partition(values, split):
+    """Observing a list equals observing any split of it, merged."""
+    split = max(0, min(len(values), split))
+    whole = build_snapshot([], [], [("fsync", values)])
+    parts = merge_snapshots(
+        build_snapshot([], [], [("fsync", values[:split])]),
+        build_snapshot([], [], [("fsync", values[split:])]),
+    )
+    entry = parts["fsync"]
+    assert entry["counts"] == whole["fsync"]["counts"]
+    assert entry["sum"] == whole["fsync"]["sum"]
+    assert entry["count"] == whole["fsync"]["count"] == len(values)
+
+
+# -- hypothesis wrappers -------------------------------------------------------
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestMergeLawsHypothesis:
+        @given(a=snapshot_st, b=snapshot_st)
+        @settings(max_examples=60, deadline=None)
+        def test_commutative(self, a, b):
+            check_merge_is_commutative(a, b)
+
+        @given(a=snapshot_st, b=snapshot_st, c=snapshot_st)
+        @settings(max_examples=60, deadline=None)
+        def test_associative(self, a, b, c):
+            check_merge_is_associative(a, b, c)
+
+        @given(a=snapshot_st)
+        @settings(max_examples=40, deadline=None)
+        def test_identity(self, a):
+            check_empty_is_identity(a)
+
+        @given(a=snapshot_st, b=snapshot_st)
+        @settings(max_examples=40, deadline=None)
+        def test_counters_sum_gauges_max(self, a, b):
+            check_counter_merge_is_sum(a, b)
+            check_gauge_merge_is_max(a, b)
+
+        @given(
+            values=st.lists(st.integers(0, 2 * 10**7), max_size=12),
+            split=st.integers(0, 12),
+        )
+        @settings(max_examples=40, deadline=None)
+        def test_histogram_partition(self, values, split):
+            check_histogram_partition(values, split)
+
+
+# -- seeded fallback (always runs) ---------------------------------------------
+
+
+class TestMergeLawsSeeded:
+    def test_merge_laws_hold_over_seeded_corpus(self):
+        rng = random.Random(0xB10C)
+        for _ in range(50):
+            a, b, c = (random_snapshot(rng) for _ in range(3))
+            check_merge_is_commutative(a, b)
+            check_merge_is_associative(a, b, c)
+            check_empty_is_identity(a)
+            check_counter_merge_is_sum(a, b)
+            check_gauge_merge_is_max(a, b)
+
+    def test_histogram_partition_over_seeded_corpus(self):
+        rng = random.Random(0x5EED)
+        for _ in range(30):
+            values = [rng.randrange(2 * 10**7) for _ in range(rng.randrange(12))]
+            check_histogram_partition(values, rng.randrange(13))
+
+
+# -- direct edge cases ---------------------------------------------------------
+
+
+class TestMetricEdges:
+    def test_counter_rejects_decrease(self):
+        counter = Counter("trials")
+        with pytest.raises(ValueError):
+            counter.add(-1)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("fsync", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("fsync", buckets=())
+
+    def test_histogram_bucket_mismatch_refuses_merge(self):
+        registry = MetricsRegistry()
+        registry.histogram("fsync", buckets=(1.0, 2.0)).observe(0.5)
+        other = build_snapshot([], [], [("fsync", [3])])
+        assert other["fsync"]["buckets"] == list(DEFAULT_BUCKETS)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            registry.merge(other)
+
+    def test_registry_rejects_type_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("trials")
+        with pytest.raises(TypeError, match="not a Gauge"):
+            registry.gauge("trials")
+
+    def test_det_flag_survives_merge_and_filters(self):
+        registry = MetricsRegistry()
+        registry.counter("trials").add(3)
+        registry.gauge("rate", det=False).set(9.5)
+        merged = merge_snapshots(registry.snapshot(), registry.snapshot())
+        assert merged["trials"]["det"] is True
+        assert merged["rate"]["det"] is False
+        assert set(deterministic_view(merged)) == {"trials"}
