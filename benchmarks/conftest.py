@@ -30,6 +30,12 @@ REPORT_PATH = os.path.join(REPORT_DIR, "reproduction_report.txt")
 METRICS_PATH = os.path.join(REPORT_DIR, "reproduction_report.json")
 
 
+def _report_schema_version() -> int:
+    from repro.campaign.report import REPORT_SCHEMA_VERSION
+
+    return REPORT_SCHEMA_VERSION
+
+
 def banner(title: str) -> None:
     """Start a new section of the reproduction report."""
     line = "=" * max(64, len(title) + 8)
@@ -68,7 +74,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         write("")
         write(f"(report also written to {REPORT_PATH})")
     if _METRICS:
+        payload = {"schema_version": _report_schema_version(), **_METRICS}
         with open(METRICS_PATH, "w") as handle:
-            json.dump(_METRICS, handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         write(f"(metrics written to {METRICS_PATH})")

@@ -26,7 +26,11 @@ from repro.campaign.builtin import (
     builtin_campaign,
     builtin_names,
 )
-from repro.campaign.report import CampaignReport, build_report
+from repro.campaign.report import (
+    REPORT_SCHEMA_VERSION,
+    CampaignReport,
+    build_report,
+)
 from repro.campaign.runner import (
     CampaignAborted,
     CampaignRunner,
@@ -36,6 +40,7 @@ from repro.campaign.runner import (
 from repro.campaign.spec import (
     CampaignCell,
     CampaignSpec,
+    Shard,
     TrialRef,
     channel_cell,
     freeze_params,
@@ -57,8 +62,10 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStatus",
+    "REPORT_SCHEMA_VERSION",
     "ResultStore",
     "RunStats",
+    "Shard",
     "StoredOutcome",
     "TrialRef",
     "build_report",

@@ -28,6 +28,14 @@ from repro.runtime.tasks import TrialFailure, TrialResult
 from repro.uarch.config import cpu_model
 from repro.whisper.analysis import ArgExtremeDecoder, classify_bimodal
 
+#: Version of the report artifact layout (``report.json`` /
+#: ``reproduction_report.json``).  Bump on any key-level change to the
+#: artifact shape.  Distributed merges refuse to combine segments whose
+#: manifests disagree on this number -- statistical conclusions drawn
+#: from a fleet are only trustworthy when every host aggregated under
+#: the same report semantics.
+REPORT_SCHEMA_VERSION = 1
+
 
 @dataclass
 class CampaignReport:
@@ -66,6 +74,7 @@ class CampaignReport:
     def to_json_dict(self) -> dict:
         return {
             "campaign": self.name,
+            "schema_version": REPORT_SCHEMA_VERSION,
             "spec_digest": self.digest,
             "repro_version": self.version,
             "summary": self.summary(),

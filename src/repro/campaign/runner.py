@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.campaign.report import CampaignReport, build_report
-from repro.campaign.spec import CampaignSpec, TrialRef
+from repro.campaign.spec import CampaignSpec, Shard, TrialRef
 from repro.campaign.store import ResultStore, StoredOutcome, trial_key
 from repro.faults.resilience import ResiliencePolicy
 from repro.runtime.pool import TrialPool
@@ -118,12 +118,22 @@ class CampaignRunner:
         max_failures: Optional[int] = None,
         trial_fn: Callable = run_trial,
         observer: Optional[Callable[[Dict], None]] = None,
+        shard: Optional[Shard] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         if max_failures is not None and max_failures < 0:
             raise ValueError("max_failures must be non-negative (or None)")
         self.spec = spec
+        #: Restrict execution to one deterministic slice of the grid
+        #: (``repro.distrib``): only the expansion positions the shard
+        #: covers are considered, so ``run()`` fills exactly this
+        #: shard's store segment and ``status()`` counts only its
+        #: trials.  A sharded runner's report is *shard-local* (the
+        #: uncovered coordinates look like missing data); the real
+        #: artifact comes from merging every segment and collecting
+        #: over the full spec.
+        self.shard = shard
         self.store = store if store is not None else ResultStore()
         self.pool = pool
         self.batch_size = batch_size
@@ -143,6 +153,12 @@ class CampaignRunner:
 
     def _expand(self) -> Tuple[List[TrialRef], List[str]]:
         refs = self.spec.expand()
+        if self.shard is not None:
+            refs = [
+                ref
+                for position, ref in enumerate(refs)
+                if self.shard.covers(position)
+            ]
         keys = [trial_key(ref.trial) for ref in refs]
         return refs, keys
 

@@ -116,6 +116,55 @@ def kaslr_cell(
 
 
 @dataclass(frozen=True)
+class Shard:
+    """One slice of a campaign's deterministic expansion.
+
+    A shard is pure arithmetic over expansion positions: shard ``index``
+    of ``of`` covers exactly the trials whose position in
+    :meth:`CampaignSpec.expand` is congruent to ``index`` modulo ``of``.
+    Round-robin (rather than contiguous ranges) keeps every shard's
+    workload balanced to within one trial *and* mixes every cell into
+    every shard, so fleet progress is representative of the whole grid.
+
+    Because assignment depends only on ``(position, of)``, the ``of``
+    shards of any campaign are a disjoint exact cover of its trial list
+    -- the invariant ``tests/test_distrib_properties.py`` pins -- and
+    two hosts given the same ``(index, of)`` compute the same trial set
+    without coordinating.
+    """
+
+    index: int
+    of: int
+
+    def __post_init__(self) -> None:
+        if self.of < 1:
+            raise ValueError(f"shard count must be at least 1, not {self.of}")
+        if not 0 <= self.index < self.of:
+            raise ValueError(
+                f"shard index must be in [0, {self.of}), not {self.index}"
+            )
+
+    def covers(self, position: int) -> bool:
+        """Whether expansion position *position* belongs to this shard."""
+        return position % self.of == self.index
+
+    def positions(self, total: int) -> range:
+        """Every expansion position this shard covers, for *total* trials."""
+        return range(self.index, total, self.of)
+
+    def size(self, total: int) -> int:
+        """How many of *total* trials this shard covers."""
+        return len(self.positions(total))
+
+    @property
+    def label(self) -> str:
+        return f"shard{self.index}of{self.of}"
+
+    def __str__(self) -> str:
+        return f"shard {self.index}/{self.of}"
+
+
+@dataclass(frozen=True)
 class TrialRef:
     """One expanded trial, addressed inside its campaign.
 

@@ -247,6 +247,16 @@ class ResultStore:
         index = self._load()
         os.makedirs(self.root, exist_ok=True)
         with open(self.path, "a") as handle:
+            # Heal a torn tail before appending: a writer killed mid-record
+            # leaves a partial line with no newline, and appending straight
+            # onto it would corrupt the first new record too (costing a
+            # second re-execution on the next resume).  Terminating the
+            # tail confines the damage to the already-torn record.
+            if handle.tell() > 0:
+                with open(self.path, "rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    if reader.read(1) != b"\n":
+                        handle.write("\n")
             for key, outcome in records:
                 handle.write(self._encode_record(key, outcome) + "\n")
                 index[key] = outcome

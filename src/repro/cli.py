@@ -11,7 +11,11 @@ command       what it does
 ``kaslr``     break KASLR (``--kpti`` / ``--flare`` / ``--container``)
 ``matrix``    the Table 2 attack x CPU matrix (short secrets)
 ``pmu``       the Figure 2 toolset on a chosen scene
-``campaign``  declarative cached sweeps: ``run|status|report|clean|list``
+``campaign``  declarative cached sweeps: ``run|status|report|clean|list``,
+              plus the distributed tier (``repro.distrib``): ``shard``
+              runs one deterministic slice into a store segment,
+              ``merge`` combines segments by content address, ``fleet``
+              coordinates shard workers end to end
 ``faults``    the fault-injection layer: ``demo`` proves the
               determinism-of-failure contract live
 ``perf``      the hot-path harness: ``profile`` a campaign cell under
@@ -399,6 +403,165 @@ def cmd_campaign_run(args) -> int:
     return 0
 
 
+def cmd_campaign_shard(args) -> int:
+    from repro.campaign import CampaignAborted, Shard
+    from repro.distrib import manifest_path, run_shard
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        shard = Shard(args.index, args.of)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    policy = None
+    if args.retry > 0 or args.max_failures is not None:
+        from repro.faults import ResiliencePolicy
+
+        policy = ResiliencePolicy(max_retries=args.retry)
+    tracing = bool(args.trace_out)
+    if tracing:
+        from repro import telemetry
+
+        telemetry.enable(wall_clock=True)
+    pool = _trial_pool(args)
+    label = f"{spec.name} {shard}"
+    try:
+        store, stats = run_shard(
+            spec,
+            shard,
+            args.store,
+            pool=pool,
+            batch_size=args.batch_size,
+            policy=policy,
+            max_failures=args.max_failures,
+            progress=lambda message: print(f"[{label}] {message}", file=sys.stderr),
+        )
+    except CampaignAborted as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if pool is not None:
+            pool.close()
+        if tracing:
+            from repro import telemetry
+            from repro.telemetry.export import write_jsonl
+
+            records = telemetry.recorder().drain()
+            metrics = telemetry.metrics_registry().drain()
+            telemetry.disable()
+            write_jsonl(records, args.trace_out, metrics=metrics)
+            print(
+                f"[{label}] wrote {len(records)} telemetry records to "
+                f"{args.trace_out}",
+                file=sys.stderr,
+            )
+    print(f"{label}: {stats}")
+    print(f"segment  : {store.path} ({len(store)} records)")
+    print(f"manifest : {manifest_path(args.store)}")
+    print(f"merge    : `repro campaign merge {spec.name} --store DEST "
+          f"{args.store} ...` combines segments")
+    return 0
+
+
+def cmd_campaign_merge(args) -> int:
+    from repro.campaign import CampaignRunner, ResultStore
+    from repro.distrib import MergeError, merge_stores, merge_telemetry
+    from repro.distrib.coordinator import FLEET_TELEMETRY
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        stats = merge_stores(
+            args.segments, args.store, check_manifests=not args.no_manifests
+        )
+    except MergeError as exc:
+        print(f"merge refused: {exc}", file=sys.stderr)
+        return 2
+    print(f"merged   : {stats}")
+    sidecars = merge_telemetry(
+        args.segments, os.path.join(args.store, FLEET_TELEMETRY)
+    )
+    if sidecars:
+        print(
+            f"telemetry: {len(sidecars)} fleet metrics -> "
+            f"{os.path.join(args.store, FLEET_TELEMETRY)} "
+            f"(render with `repro obs report`)"
+        )
+    runner = CampaignRunner(spec, store=ResultStore(args.store))
+    report = runner.collect()
+    if report is None:
+        print(runner.status())
+        print(
+            "merged store does not yet cover the full grid; merge the "
+            "remaining segments (or `campaign shard` the missing slices)",
+            file=sys.stderr,
+        )
+        return 0 if args.allow_partial else 1
+    json_path, text_path = _artifact_paths(args.store, spec.name)
+    report.write_json(json_path)
+    report.write_text(text_path)
+    print(report.render_text())
+    print(f"artifacts: {json_path}, {text_path}")
+    return 0
+
+
+def cmd_campaign_fleet(args) -> int:
+    from repro.campaign import ResultStore
+    from repro.distrib import Coordinator, FleetError, LocalProcessWorker
+    from repro.distrib.coordinator import FLEET_TELEMETRY
+    from repro.faults import ResiliencePolicy
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    worker = LocalProcessWorker(
+        spec.name,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        retry=args.retry,
+        trace=args.trace,
+    )
+    coordinator = Coordinator(
+        spec,
+        args.store,
+        shards=args.shards,
+        worker=worker,
+        policy=ResiliencePolicy(
+            max_retries=args.retry_shards, backoff_base=args.backoff
+        ),
+        parallel=args.parallel,
+        progress=lambda message: print(f"[fleet {spec.name}] {message}",
+                                       file=sys.stderr),
+    )
+    try:
+        result = coordinator.run()
+    except FleetError as exc:
+        print(f"fleet failed: {exc}", file=sys.stderr)
+        return 1
+    print(result)
+    print(f"store    : {ResultStore(args.store).path}")
+    print(
+        f"obs      : repro obs report "
+        f"{os.path.join(args.store, FLEET_TELEMETRY)}"
+    )
+    if result.report is not None:
+        json_path, text_path = _artifact_paths(args.store, spec.name)
+        result.report.write_json(json_path)
+        result.report.write_text(text_path)
+        print(result.report.render_text())
+        print(f"artifacts: {json_path}, {text_path}")
+    return 0
+
+
 def cmd_campaign_status(args) -> int:
     from repro.campaign import CampaignRunner
 
@@ -544,6 +707,104 @@ def build_parser() -> argparse.ArgumentParser:
         "JSONL file for `repro obs report|trace|tail`",
     )
     crun.set_defaults(func=cmd_campaign_run)
+
+    cshard = csub.add_parser(
+        "shard", parents=[workers],
+        help="run one deterministic slice of a campaign into a store "
+        "segment (repro.distrib)",
+    )
+    cshard.add_argument("name", help="built-in campaign name")
+    cshard.add_argument(
+        "--index", type=int, required=True, metavar="I",
+        help="this shard's index, 0 <= I < N",
+    )
+    cshard.add_argument(
+        "--of", type=int, required=True, metavar="N",
+        help="total shard count N (every host must agree on N)",
+    )
+    cshard.add_argument(
+        "--store", default=".campaigns",
+        help="segment store directory (one per shard; default: .campaigns)",
+    )
+    cshard.add_argument(
+        "--batch-size", type=int, default=128,
+        help="trials per checkpoint batch (default: 128)",
+    )
+    cshard.add_argument(
+        "--retry", type=int, default=0, metavar="N",
+        help="retry each failing trial up to N times before quarantining it",
+    )
+    cshard.add_argument(
+        "--max-failures", type=int, default=None, metavar="M",
+        help="abort (after checkpointing) once more than M trials failed",
+    )
+    cshard.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record this shard's telemetry sidecar (fleet merges fold "
+        "segment sidecars into one `repro obs` view)",
+    )
+    cshard.set_defaults(func=cmd_campaign_shard)
+
+    cmerge = csub.add_parser(
+        "merge",
+        help="merge shard store segments (dedup by content address) and "
+        "render the whole-campaign artifacts",
+    )
+    cmerge.add_argument("name", help="built-in campaign name")
+    cmerge.add_argument(
+        "segments", nargs="+", metavar="SEGMENT",
+        help="segment store directories to merge",
+    )
+    _campaign_common(cmerge)
+    cmerge.add_argument(
+        "--allow-partial", action="store_true",
+        help="exit 0 even if the merged store does not cover the full grid",
+    )
+    cmerge.add_argument(
+        "--no-manifests", action="store_true",
+        help="skip manifest fencing (merging bare pre-distrib stores)",
+    )
+    cmerge.set_defaults(func=cmd_campaign_merge)
+
+    cfleet = csub.add_parser(
+        "fleet", parents=[workers],
+        help="shard a campaign across local subprocess workers, merge as "
+        "segments complete (the asyncio coordinator)",
+    )
+    cfleet.add_argument("name", help="built-in campaign name")
+    _campaign_common(cfleet)
+    cfleet.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="how many shards to split the grid into (default: 3)",
+    )
+    cfleet.add_argument(
+        "--parallel", type=int, default=None, metavar="P",
+        help="shards in flight at once (default: min(N, 8))",
+    )
+    cfleet.add_argument(
+        "--retry-shards", type=int, default=1, metavar="K",
+        help="re-hand a failed shard up to K times (resume is free; "
+        "default: 1)",
+    )
+    cfleet.add_argument(
+        "--backoff", type=float, default=0.0, metavar="SECONDS",
+        help="seeded exponential backoff base between shard retries "
+        "(default: 0, retry immediately)",
+    )
+    cfleet.add_argument(
+        "--batch-size", type=int, default=128,
+        help="per-shard trials per checkpoint batch (default: 128)",
+    )
+    cfleet.add_argument(
+        "--retry", type=int, default=0, metavar="N",
+        help="per-trial retries inside each shard worker (default: 0)",
+    )
+    cfleet.add_argument(
+        "--trace", action="store_true",
+        help="record per-segment telemetry sidecars and aggregate them "
+        "into the fleet obs view",
+    )
+    cfleet.set_defaults(func=cmd_campaign_fleet)
 
     cstatus = csub.add_parser("status", help="cached/pending trial accounting")
     cstatus.add_argument("name")

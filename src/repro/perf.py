@@ -207,6 +207,8 @@ def _write_json(path: str, payload: Dict) -> None:
 def merge_report_metrics(path: str, section: str, metrics: Dict) -> None:
     """Merge *metrics* into the ``{section: {metric: value}}`` report map
     the benchmark harness also writes, preserving other sections."""
+    from repro.campaign.report import REPORT_SCHEMA_VERSION
+
     report: Dict = {}
     if os.path.exists(path):
         try:
@@ -214,6 +216,13 @@ def merge_report_metrics(path: str, section: str, metrics: Dict) -> None:
                 report = json.load(handle)
         except (OSError, ValueError):
             report = {}
+        if report.get("schema_version") != REPORT_SCHEMA_VERSION:
+            # Never merge sections produced under a different schema --
+            # a mixed-version report would be unreadable by either
+            # schema's consumers.  Stale sections are dropped; the next
+            # full bench run regenerates them under the current version.
+            report = {}
+    report["schema_version"] = REPORT_SCHEMA_VERSION
     report.setdefault(section, {}).update(metrics)
     _write_json(path, report)
 

@@ -1,0 +1,305 @@
+"""Chaos suite for the distributed tier: kill workers, tear segments.
+
+The byte-identity contract of ``repro.distrib`` has to survive the
+failure modes a real fleet actually has -- workers dying mid-shard,
+segments torn mid-checkpoint, shards exhausting their retries -- not
+just the sunny-day split/merge.  Every test here damages a fleet run in
+a scripted, seeded way and then demands the exact single-host bytes
+anyway, because resume + content addressing make the damage invisible
+to the artifact.
+
+``REPRO_CHAOS_SEED`` selects the seeds (same convention as
+``test_faults_chaos.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import CampaignRunner, ResultStore, builtin_campaign
+from repro.distrib import (
+    Coordinator,
+    FleetError,
+    LocalProcessWorker,
+    Shard,
+    StubWorker,
+    merge_stores,
+    run_shard,
+    segment_root,
+)
+from repro.faults import (
+    ResiliencePolicy,
+    SimulatedCrash,
+    TornStore,
+    payload_fingerprint,
+)
+from repro.runtime import TrialFailure, TrialResult
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "101"))
+
+
+def _stub_trial(trial):
+    fingerprint = payload_fingerprint(trial)
+    return TrialResult(
+        totes=(fingerprint % 997, (fingerprint >> 16) % 997),
+        cycles=fingerprint % 100_000,
+    )
+
+
+def _chaos_trial(trial):
+    """Stub trial with deterministic quarantined failures mixed in --
+    per-payload, so every shard split sees the same failure set."""
+    fingerprint = payload_fingerprint(trial)
+    if fingerprint % 7 == 0:
+        return TrialFailure(
+            attempts=2,
+            faults=("raise", "raise"),
+            error=f"injected-{fingerprint % 97}",
+        )
+    return _stub_trial(trial)
+
+
+def golden(spec, root, trial_fn):
+    report, _ = CampaignRunner(
+        spec, store=ResultStore(str(root)), trial_fn=trial_fn
+    ).run()
+    return report.to_json(), report.render_text()
+
+
+def fleet_artifacts(result):
+    assert result.report is not None
+    return result.report.to_json(), result.report.render_text()
+
+
+class TestKilledWorkers:
+    def test_killed_worker_resumes_byte_identical(self, tmp_path):
+        """Shard 1's worker dies after its first checkpointed batch; the
+        retry resumes the segment and the fleet report is still byte
+        for byte the single-host report -- over REAL trials."""
+        spec = builtin_campaign("ci-smoke")
+        report, _ = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path / "single"))
+        ).run()
+        reference = (report.to_json(), report.render_text())
+
+        deaths = []
+
+        def chaos(shard, attempt):
+            if shard.index == 1 and attempt == 0:
+                deaths.append((shard.index, attempt))
+                return 1  # die after one checkpointed batch
+            return None
+
+        result = Coordinator(
+            spec,
+            str(tmp_path / "fleet"),
+            shards=3,
+            worker=StubWorker(spec, chaos=chaos, batch_size=4),
+            policy=ResiliencePolicy(max_retries=1, backoff_base=0.0),
+        ).run()
+        assert deaths == [(1, 0)]
+        assert result.retries == 1 and result.completed == 3
+        assert fleet_artifacts(result) == reference
+        # The death left durable work behind: the retried attempt found
+        # a non-empty segment and only ran the remainder.
+        segment = ResultStore(segment_root(str(tmp_path / "fleet"), Shard(1, 3)))
+        assert len(segment) == Shard(1, 3).size(spec.trial_count())
+
+    def test_every_worker_dies_once_full_grid(self, tmp_path):
+        """e3-matrix at full scale (stub trials): every shard's first
+        attempt dies mid-run, every retry resumes, bytes still golden."""
+        spec = builtin_campaign("e3-matrix")
+        reference = golden(spec, tmp_path / "single", _stub_trial)
+        result = Coordinator(
+            spec,
+            str(tmp_path / "fleet"),
+            shards=4,
+            worker=StubWorker(
+                spec,
+                chaos=lambda shard, attempt: (
+                    1 + shard.index if attempt == 0 else None
+                ),
+                trial_fn=_stub_trial,
+                batch_size=128,
+            ),
+            policy=ResiliencePolicy(max_retries=1, backoff_base=0.0),
+        ).run()
+        assert result.completed == 4 and result.retries == 4
+        assert fleet_artifacts(result) == reference
+        assert result.metrics["fleet.shards.retried"]["value"] == 4
+
+    def test_exhausted_retries_raise_then_rerun_resumes(self, tmp_path):
+        """A shard that dies on every attempt fails the fleet loudly --
+        but everything checkpointed stays durable, and a plain rerun
+        finishes from where the chaos left off."""
+        spec = builtin_campaign("ci-smoke")
+        reference = golden(spec, tmp_path / "single", _stub_trial)
+        dest = str(tmp_path / "fleet")
+
+        def kill_shard_zero(shard, attempt):
+            # 0 surviving batches: every attempt dies at its first
+            # checkpoint, so retries cannot converge on this shard.
+            return 0 if shard.index == 0 else None
+
+        with pytest.raises(FleetError) as info:
+            Coordinator(
+                spec,
+                dest,
+                shards=3,
+                worker=StubWorker(
+                    spec, chaos=kill_shard_zero, trial_fn=_stub_trial,
+                    batch_size=4,
+                ),
+                policy=ResiliencePolicy(max_retries=1, backoff_base=0.0),
+            ).run()
+        assert [a.shard.index for a in info.value.failed] == [0]
+        # The healthy shards' records already merged into the destination.
+        survivors = len(ResultStore(dest))
+        assert 0 < survivors < spec.trial_count()
+
+        result = Coordinator(
+            spec,
+            dest,
+            shards=3,
+            worker=StubWorker(spec, trial_fn=_stub_trial, batch_size=4),
+        ).run()
+        assert fleet_artifacts(result) == reference
+
+    def test_backoff_between_attempts_is_policy_driven(self, tmp_path):
+        """The coordinator sleeps the seeded backoff between attempts;
+        with backoff_base=0 (the test default everywhere) it does not."""
+        spec = builtin_campaign("ci-smoke")
+        policy = ResiliencePolicy(max_retries=2, backoff_base=0.0)
+        assert policy.delay(0) == 0.0  # what the coordinator awaits
+        result = Coordinator(
+            spec,
+            str(tmp_path / "fleet"),
+            shards=2,
+            worker=StubWorker(
+                spec,
+                chaos=lambda shard, attempt: 1 if attempt < 2 else None,
+                trial_fn=_stub_trial,
+                batch_size=4,
+            ),
+            policy=policy,
+        ).run()
+        # Three attempts per shard: two scripted deaths, one success.
+        assert result.retries == 4 and result.completed == 2
+        by_shard = {}
+        for attempt in result.attempts:
+            by_shard.setdefault(attempt.shard.index, []).append(attempt.ok)
+        assert by_shard == {0: [False, False, True], 1: [False, False, True]}
+
+
+class TestTornSegments:
+    def test_torn_segment_resumes_and_merges_identical(self, tmp_path):
+        """A shard's writer dies mid-checkpoint leaving a torn record;
+        the resumed shard drops it (checksum path), re-executes at most
+        that batch, and the merged fleet report is byte-identical."""
+        spec = builtin_campaign("ci-smoke")
+        report, _ = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path / "single"))
+        ).run()
+        reference = (report.to_json(), report.render_text())
+
+        shard0 = Shard(0, 2)
+        root0 = str(tmp_path / "seg0")
+        torn = TornStore(root0, survive=3)
+        with pytest.raises(SimulatedCrash):
+            CampaignRunner(spec, store=torn, shard=shard0, batch_size=4).run()
+
+        # Resume the damaged segment through the normal shard path: the
+        # torn tail is detected and dropped, never silently replayed.
+        with pytest.warns(UserWarning, match="corrupt store record"):
+            _, stats = run_shard(spec, shard0, root0, batch_size=4)
+        assert stats.cached == 3
+        assert stats.executed == shard0.size(spec.trial_count()) - 3
+
+        root1 = str(tmp_path / "seg1")
+        run_shard(spec, Shard(1, 2), root1, batch_size=4)
+
+        dest = str(tmp_path / "merged")
+        stats = merge_stores([root0, root1], dest)
+        assert stats.unique == spec.trial_count()
+        merged = CampaignRunner(spec, store=ResultStore(dest)).collect()
+        assert merged is not None
+        assert (merged.to_json(), merged.render_text()) == reference
+
+
+class TestFailureRecordsAcrossShards:
+    def test_quarantined_failures_flow_through_segments(self, tmp_path):
+        """Deterministic per-payload failures land in whichever segment
+        owns the trial; the merged failures section is byte-identical to
+        the single-host run's -- failure records are results too."""
+        spec = builtin_campaign("e3-matrix")
+        reference = golden(spec, tmp_path / "single", _chaos_trial)
+        assert '"failures"' in reference[0]  # the identity is non-vacuous
+        result = Coordinator(
+            spec,
+            str(tmp_path / "fleet"),
+            shards=3,
+            worker=StubWorker(spec, trial_fn=_chaos_trial),
+        ).run()
+        assert fleet_artifacts(result) == reference
+        assert result.merge is not None and result.merge.failures > 0
+        assert result.metrics["fleet.records.failures"]["value"] == (
+            result.merge.failures
+        )
+
+    def test_interleaving_insensitive(self, tmp_path):
+        """parallel=1 vs parallel=3 -- completion interleavings differ,
+        merged store bytes and artifacts do not."""
+        spec = builtin_campaign("ci-smoke")
+        stores = {}
+        artifacts = {}
+        for parallel in (1, 3):
+            dest = str(tmp_path / f"p{parallel}")
+            result = Coordinator(
+                spec,
+                dest,
+                shards=3,
+                worker=StubWorker(spec, trial_fn=_stub_trial),
+                parallel=parallel,
+            ).run()
+            with open(ResultStore(dest).path, "rb") as handle:
+                stores[parallel] = handle.read()
+            artifacts[parallel] = fleet_artifacts(result)
+        assert stores[1] == stores[3]
+        assert artifacts[1] == artifacts[3]
+
+
+class TestSubprocessFleet:
+    def test_local_process_workers_end_to_end(self, tmp_path):
+        """The real one-box fleet: ``python -m repro campaign shard``
+        subprocesses driven by the coordinator, ci-smoke 3-way, report
+        byte-identical to single host."""
+        spec = builtin_campaign("ci-smoke")
+        report, _ = CampaignRunner(
+            spec, store=ResultStore(str(tmp_path / "single"))
+        ).run()
+        result = Coordinator(
+            spec,
+            str(tmp_path / "fleet"),
+            shards=3,
+            worker=LocalProcessWorker("ci-smoke"),
+        ).run()
+        assert result.completed == 3
+        assert fleet_artifacts(result) == (
+            report.to_json(), report.render_text()
+        )
+
+    def test_subprocess_failure_surfaces_stderr(self, tmp_path):
+        """A worker whose subprocess exits non-zero fails its shard with
+        the stderr tail attached -- the coordinator names the culprit."""
+        spec = builtin_campaign("ci-smoke")
+        with pytest.raises(FleetError) as info:
+            Coordinator(
+                spec,
+                str(tmp_path / "fleet"),
+                shards=2,
+                worker=LocalProcessWorker("no-such-campaign"),
+                policy=ResiliencePolicy(max_retries=0),
+            ).run()
+        assert len(info.value.failed) == 2
+        for attempt in info.value.failed:
+            assert "exit code" in attempt.detail

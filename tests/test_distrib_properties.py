@@ -1,0 +1,235 @@
+"""Property-based tests for the distributed campaign tier.
+
+Runs under Hypothesis when it is installed; a seeded-``random`` fallback
+exercises the same properties (fewer cases, fixed seed) when it is not
+-- the same arrangement as ``test_faults_properties.py``.
+
+The properties behind the byte-identity contract:
+
+* **sharding is a disjoint exact cover**: for any grid size and any
+  ``n``, the ``n`` shards' expansion positions partition the grid with
+  no overlap, no gap, and sizes balanced within one trial;
+* **merge is order-insensitive at the byte level**: merging the same
+  segments in any permutation yields an identical ``results.jsonl``;
+* **merge is idempotent and associative**: re-merging merged output
+  (in any grouping) never changes the bytes;
+* the runner-level shard filter agrees with the position arithmetic,
+  so two hosts can agree on a slice from ``(spec, index, of)`` alone.
+"""
+
+import random
+
+from repro.campaign import CampaignRunner, ResultStore, Shard, builtin_campaign
+from repro.campaign.store import trial_key
+from repro.distrib import merge_stores, shard_spec_positions
+from repro.runtime import TrialFailure, TrialResult
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_HYPOTHESIS = False
+
+
+# -- shared property checks ----------------------------------------------------
+
+
+def check_shard_exact_cover(total, of):
+    """The n shards partition range(total): disjoint, complete, balanced."""
+    seen = []
+    sizes = []
+    for index in range(of):
+        shard = Shard(index, of)
+        positions = list(shard.positions(total))
+        assert len(positions) == shard.size(total)
+        assert all(shard.covers(p) for p in positions)
+        seen.extend(positions)
+        sizes.append(len(positions))
+    assert sorted(seen) == list(range(total))  # exact cover, no dup/gap
+    assert len(seen) == len(set(seen))
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1  # balanced within one trial
+
+
+def synth_outcomes(rng, count):
+    """Synthetic keyed outcomes, failure records mixed in."""
+    outcomes = {}
+    for i in range(count):
+        key = f"{rng.getrandbits(128):032x}"
+        if rng.random() < 0.2:
+            outcomes[key] = TrialFailure(
+                attempts=rng.randrange(1, 4),
+                faults=("raise",) * rng.randrange(1, 3),
+                error=f"err{i}",
+            )
+        else:
+            outcomes[key] = TrialResult(
+                totes=(rng.randrange(1000), rng.randrange(1000)),
+                cycles=rng.randrange(100_000),
+            )
+    return outcomes
+
+
+def write_segments(base, rng, outcomes, segments):
+    """Scatter *outcomes* across *segments* stores with random overlap."""
+    roots = []
+    items = list(outcomes.items())
+    for index in range(segments):
+        root = str(base / f"seg{index}")
+        # Each segment gets a random subset; overlap is intentional --
+        # duplicated (key, body) pairs must dedup, never conflict.
+        subset = [item for item in items if rng.random() < 0.7]
+        ResultStore(root).put_many(subset)
+        roots.append(root)
+    # Every outcome must land somewhere so the merges are comparable.
+    ResultStore(roots[0]).put_many(items)
+    return roots
+
+
+def merged_bytes(roots, dest):
+    merge_stores(roots, str(dest))
+    with open(ResultStore(str(dest)).path, "rb") as handle:
+        return handle.read()
+
+
+def check_merge_order_insensitive(tmp_path, tag, seed, count=20, segments=4):
+    rng = random.Random(seed)
+    base = tmp_path / tag
+    base.mkdir()
+    outcomes = synth_outcomes(rng, count)
+    roots = write_segments(base, rng, outcomes, segments)
+
+    reference = merged_bytes(roots, base / "m0")
+    assert reference, "merged store should not be empty"
+
+    # Any permutation of segments -> identical bytes.
+    shuffled = roots[:]
+    rng.shuffle(shuffled)
+    assert merged_bytes(shuffled, base / "m1") == reference
+
+    # Idempotent: merging the merged store with the originals, or with
+    # itself, or merging into it again, never changes the bytes.
+    assert merged_bytes([str(base / "m0")] + roots, base / "m2") == reference
+    assert merged_bytes(roots, base / "m0") == reference  # re-merge in place
+
+    # Associative: ((a+b) + (c+d)) == (a+b+c+d).
+    left = str(base / "left")
+    right = str(base / "right")
+    half = len(roots) // 2
+    merge_stores(roots[:half], left)
+    merge_stores(roots[half:], right)
+    assert merged_bytes([left, right], base / "m3") == reference
+
+    merged = ResultStore(str(base / "m0"))
+    loaded = merged._load()
+    assert set(loaded) == set(outcomes)
+    for key, outcome in outcomes.items():
+        assert loaded[key] == outcome  # lossless, failures included
+
+
+def check_runner_filter_matches_positions(spec, refs, keys, of):
+    """CampaignRunner's shard filter selects exactly the positions the
+    shard arithmetic names -- the property that lets independent hosts
+    agree on a slice without talking to each other."""
+    covered = []
+    for index in range(of):
+        shard = Shard(index, of)
+        # _expand never touches the store, so the default (lazy) one is fine.
+        sliced, _ = CampaignRunner(spec, shard=shard)._expand()
+        positions = shard_spec_positions(spec, shard)
+        assert [refs[p].trial for p in positions] == [r.trial for r in sliced]
+        covered.extend(trial_key(r.trial) for r in sliced)
+    assert sorted(covered) == sorted(keys)
+    assert len(covered) == len(set(covered))
+
+
+# -- seeded fallback (always runs) ---------------------------------------------
+
+
+class TestSeededProperties:
+    def test_exact_cover(self):
+        rng = random.Random(0xD157B1)
+        for _ in range(200):
+            check_shard_exact_cover(
+                total=rng.randrange(0, 400), of=rng.randrange(1, 16)
+            )
+
+    def test_merge_order_insensitive_idempotent(self, tmp_path):
+        rng = random.Random(0xD157B2)
+        for round_index in range(6):
+            check_merge_order_insensitive(
+                tmp_path,
+                tag=f"r{round_index}",
+                seed=rng.getrandbits(64),
+                count=rng.randrange(5, 30),
+                segments=rng.randrange(2, 6),
+            )
+
+    def test_runner_filter_matches_positions(self):
+        spec = builtin_campaign("ci-smoke")
+        refs = spec.expand()
+        keys = [trial_key(ref.trial) for ref in refs]
+        for of in (1, 2, 3, 5, 8, 13, len(refs), len(refs) + 7):
+            check_runner_filter_matches_positions(spec, refs, keys, of)
+
+
+# -- hypothesis (when available) -----------------------------------------------
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestHypothesisProperties:
+        @given(
+            total=st.integers(min_value=0, max_value=5000),
+            of=st.integers(min_value=1, max_value=64),
+        )
+        @settings(max_examples=200, deadline=None)
+        def test_exact_cover(self, total, of):
+            check_shard_exact_cover(total, of)
+
+        @given(
+            seed=st.integers(min_value=0, max_value=2**64 - 1),
+            count=st.integers(min_value=1, max_value=24),
+            segments=st.integers(min_value=1, max_value=5),
+        )
+        @settings(max_examples=20, deadline=None)
+        def test_merge_order_insensitive_idempotent(
+            self, seed, count, segments, tmp_path_factory
+        ):
+            tmp_path = tmp_path_factory.mktemp("merge")
+            check_merge_order_insensitive(
+                tmp_path, "h", seed, count=count, segments=segments
+            )
+
+
+# -- boundary units ------------------------------------------------------------
+
+
+class TestShardArithmetic:
+    def test_single_shard_is_whole_grid(self):
+        shard = Shard(0, 1)
+        assert list(shard.positions(7)) == list(range(7))
+        assert shard.size(7) == 7
+
+    def test_more_shards_than_trials(self):
+        # Trailing shards of an oversubscribed split are legitimately empty.
+        total = 3
+        sizes = [Shard(i, 8).size(total) for i in range(8)]
+        assert sizes == [1, 1, 1, 0, 0, 0, 0, 0]
+        check_shard_exact_cover(total, 8)
+
+    def test_empty_grid(self):
+        check_shard_exact_cover(0, 4)
+
+    def test_label_round_trip(self):
+        shard = Shard(2, 5)
+        assert shard.label == "shard2of5"
+        assert str(shard) == "shard 2/5"
+
+    def test_merge_of_nothing(self, tmp_path):
+        stats = merge_stores([], str(tmp_path / "m"))
+        assert stats.unique == 0
+        with open(ResultStore(str(tmp_path / "m")).path, "rb") as handle:
+            assert handle.read() == b""
