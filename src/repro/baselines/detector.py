@@ -6,6 +6,12 @@ classifiers in the literature key on Flush+Reload's signature -- a high
 ``clflush`` rate paired with a high long-latency-miss rate on reloads.
 This detector implements that rule against the simulator's real counters.
 
+The rule's arithmetic lives in :mod:`repro.defend.features`: the monitor
+packs its counter deltas into the same :class:`FeatureVector` the
+streaming detector consumes, and every rate is the shared
+events-per-kilo-uop implementation -- one definition of "flush rate"
+across the batch rule, the calibrated thresholds, and the learned model.
+
 The point of the experiment (bench E11): the classic Flush+Reload
 Meltdown trips the detector on every leaked byte; the TET attacks --
 which never touch a probe array and flush nothing -- stay under both
@@ -17,7 +23,9 @@ the TET side channel", §2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
+
+from repro.defend.features import FeatureVector
 
 
 @dataclass
@@ -30,6 +38,9 @@ class DetectionReport:
     machine_clears_per_kilo_uop: float
     uops: int
     features: Dict[str, float]
+    #: The full per-window counter vector (the streaming detector's
+    #: input), for consumers that want more than the rule's three rates.
+    vector: Optional[FeatureVector] = None
 
     def __str__(self) -> str:
         verdict = "ATTACK DETECTED" if self.flagged else "nothing suspicious"
@@ -63,28 +74,39 @@ class CacheAttackDetector:
         pmu = machine.pmu
         baseline = pmu.snapshot()
         clflush_before = machine.hierarchy.clflush_count
+        cycle_before = machine.core.global_cycle
         attack()
         delta = pmu.delta(baseline)
         clflushes = machine.hierarchy.clflush_count - clflush_before
         uops = max(1, delta["UOPS_ISSUED.ANY"])
-        kilo = uops / 1000.0
-        clflush_rate = clflushes / kilo
-        llc_rate = delta["LONGEST_LAT_CACHE.MISS"] / kilo
-        clears_rate = delta["MACHINE_CLEARS.COUNT"] / kilo
+        vector = FeatureVector(
+            cycles=machine.core.global_cycle - cycle_before,
+            uops_issued=uops,
+            uops_retired=delta["UOPS_RETIRED.RETIRE_SLOTS"],
+            machine_clears=delta["MACHINE_CLEARS.COUNT"],
+            recovery_cycles=delta["INT_MISC.RECOVERY_CYCLES"],
+            resteer_cycles=delta["INT_MISC.CLEAR_RESTEER_CYCLES"],
+            dtlb_walks=delta["DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"],
+            llc_misses=delta["LONGEST_LAT_CACHE.MISS"],
+            l1_misses=delta["MEM_LOAD_RETIRED.L1_MISS"],
+            clflushes=clflushes,
+        )
         flagged = (
-            clflush_rate > self.clflush_threshold and llc_rate > self.llc_miss_threshold
+            vector.clflush_per_kilo_uop > self.clflush_threshold
+            and vector.llc_miss_per_kilo_uop > self.llc_miss_threshold
         )
         return DetectionReport(
             flagged=flagged,
-            clflush_per_kilo_uop=clflush_rate,
-            llc_miss_per_kilo_uop=llc_rate,
-            machine_clears_per_kilo_uop=clears_rate,
+            clflush_per_kilo_uop=vector.clflush_per_kilo_uop,
+            llc_miss_per_kilo_uop=vector.llc_miss_per_kilo_uop,
+            machine_clears_per_kilo_uop=vector.machine_clears_per_kilo_uop,
             uops=uops,
             features={
                 "clflush": clflushes,
-                "llc_miss": delta["LONGEST_LAT_CACHE.MISS"],
-                "machine_clears": delta["MACHINE_CLEARS.COUNT"],
-                "l1_miss": delta["MEM_LOAD_RETIRED.L1_MISS"],
+                "llc_miss": vector.llc_misses,
+                "machine_clears": vector.machine_clears,
+                "l1_miss": vector.l1_misses,
                 "uops": uops,
             },
+            vector=vector,
         )

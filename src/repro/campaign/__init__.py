@@ -43,6 +43,7 @@ from repro.campaign.spec import (
     Shard,
     TrialRef,
     channel_cell,
+    detect_cell,
     freeze_params,
     kaslr_cell,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "builtin_names",
     "canonical_encode",
     "channel_cell",
+    "detect_cell",
     "freeze_params",
     "kaslr_cell",
     "spec_digest",

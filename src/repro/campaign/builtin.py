@@ -15,6 +15,10 @@ name               campaign
                    through TET-CC on the i7-7700
 ``e9-kaslr``       §4.5 KASLR break: the 512-slot KPTI trampoline sweep on
                    the i9-10980XE, n=3 boots (the paper's 0.8829 s figure)
+``e11-detect``     the detection arms race at campaign scale: every
+                   attack/benign scenario of :mod:`repro.defend.scenarios`
+                   crossed with a quiet and a noisy victim, each cell a
+                   stream of observation windows for the detector
 ``ci-smoke``       a seconds-sized channel campaign for cache smoke tests
 =================  ==========================================================
 """
@@ -24,7 +28,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List
 
-from repro.campaign.spec import CampaignSpec, channel_cell, kaslr_cell
+from repro.campaign.spec import CampaignSpec, channel_cell, detect_cell, kaslr_cell
 from repro.runtime.spec import MachineSpec
 
 #: The CPU grid of Table 2 (the CLI ``matrix`` default).
@@ -63,6 +67,26 @@ def e9_kaslr_break() -> CampaignSpec:
     return CampaignSpec(name="e9-kaslr", cells=cells)
 
 
+def e11_detect() -> CampaignSpec:
+    """Bench E11 as a campaign: the full scenario mix x victim noise.
+
+    One cell per (scenario, noise) pair, eight observation windows each.
+    Seeds are disjoint from the calibration campaign's
+    (:func:`repro.defend.calibrate.calibration_campaign`) -- the detector
+    is always evaluated on traffic it was not fitted on.
+    """
+    from repro.defend.scenarios import scenario_names
+
+    cells = []
+    for index, scenario in enumerate(scenario_names()):
+        for noise in (0, 2):
+            machine = MachineSpec(
+                model="i7-7700", seed=1100 + index, noise_amplitude=noise
+            )
+            cells.append(detect_cell(machine, scenario=scenario, trials=8))
+    return CampaignSpec(name="e11-detect", cells=tuple(cells))
+
+
 def ci_smoke() -> CampaignSpec:
     """A 32-trial channel campaign: two bytes over a 16-value scan."""
     machine = MachineSpec(model="i7-7700", seed=7)
@@ -80,6 +104,7 @@ BUILTIN_CAMPAIGNS: Dict[str, Callable[[], CampaignSpec]] = {
     "e3-matrix": e3_environment_matrix,
     "e8-throughput": e8_throughput,
     "e9-kaslr": e9_kaslr_break,
+    "e11-detect": e11_detect,
     "ci-smoke": ci_smoke,
 }
 

@@ -50,6 +50,7 @@ class CampaignReport:
         """Aggregate counters over all cells (part of the artifact)."""
         channel_cells = [c for c in self.cells if c["kind"] == "channel"]
         kaslr_cells = [c for c in self.cells if c["kind"] == "kaslr"]
+        detect_cells = [c for c in self.cells if c["kind"] == "detect"]
         channel_reps = [rep for c in channel_cells for rep in c["reps"]]
         kaslr_reps = [rep for c in kaslr_cells for rep in c["reps"]]
         out = {
@@ -57,6 +58,14 @@ class CampaignReport:
             "trials": sum(c["trials"] for c in self.cells),
             "failures": sum(len(c["failures"]) for c in self.cells),
         }
+        if detect_cells:
+            out["detect"] = {
+                "cells": len(detect_cells),
+                "scenarios": sorted({c["scenario"] for c in detect_cells}),
+                "windows": sum(
+                    len(rep["windows"]) for c in detect_cells for rep in c["reps"]
+                ),
+            }
         if channel_reps:
             out["channel"] = {
                 "transmissions": len(channel_reps),
@@ -112,6 +121,12 @@ class CampaignReport:
         if "kaslr" in summary:
             ka = summary["kaslr"]
             lines.append(f"kaslr    : {ka['broken']}/{ka['sweeps']} sweeps broken")
+        if "detect" in summary:
+            de = summary["detect"]
+            lines.append(
+                f"detect   : {de['windows']} observation windows over "
+                f"{len(de['scenarios'])} scenarios"
+            )
         if summary["failures"]:
             lines.append(
                 f"failures : {summary['failures']} trials quarantined "
@@ -162,6 +177,23 @@ def _render_cell(cell: dict) -> List[str]:
             f"  {cell['trials']} trials, {cell['cycles']:,} cycles "
             f"({cell['seconds']:.6f} s simulated, "
             f"{cell['bytes_per_second']:,.0f} B/s)"
+        )
+    elif cell["kind"] == "detect":
+        head = (
+            f"[cell {cell['cell']}] detect:{cell['scenario']} "
+            f"({cell['taxonomy']}) on {cell['model']}"
+        )
+        lines[0] = head
+        for rep in cell["reps"]:
+            lines.append(
+                f"  rep {rep['rep']}: {len(rep['windows'])} windows, "
+                f"mean clflush/kuop {rep['mean_clflush_per_kilo_uop']:.2f}, "
+                f"mean LLC-miss/kuop {rep['mean_llc_miss_per_kilo_uop']:.2f}, "
+                f"mean clears/kuop {rep['mean_machine_clears_per_kilo_uop']:.2f}"
+            )
+        lines.append(
+            f"  {cell['trials']} trials, {cell['cycles']:,} cycles "
+            f"({cell['seconds']:.6f} s simulated)"
         )
     else:
         for rep in cell["reps"]:
@@ -225,6 +257,8 @@ def build_report(
         pairs = by_cell.get(cell_index, [])
         if cell.kind == "channel":
             record = _channel_record(cell_index, cell, pairs)
+        elif cell.kind == "detect":
+            record = _detect_record(cell_index, cell, pairs)
         else:
             record = _kaslr_record(cell_index, cell, pairs)
         report.cells.append(record)
@@ -323,6 +357,61 @@ def _channel_record(cell_index, cell, pairs) -> dict:
         "cycles": cycles,
         "seconds": seconds,
         "bytes_per_second": sent_bytes / seconds if seconds > 0 else 0.0,
+    }
+
+
+def _detect_record(cell_index, cell, pairs) -> dict:
+    from repro.defend.features import FeatureVector
+    from repro.defend.scenarios import get_scenario
+
+    scenario = get_scenario(cell.param("scenario"))
+    ok, failures = _split_outcomes(pairs)
+    cycles = sum(result.cycles for _, result in ok)
+    by_rep: Dict[int, Dict[int, FeatureVector]] = {}
+    for ref, _ in pairs:
+        by_rep.setdefault(ref.rep, {})  # a fully-failed rep still reports
+    for ref, result in ok:
+        by_rep[ref.rep][ref.coord] = FeatureVector.from_ints(result.totes)
+    reps = []
+    for rep in sorted(by_rep):
+        windows = [
+            {"coord": coord, "features": by_rep[rep][coord].to_dict()}
+            for coord in sorted(by_rep[rep])
+        ]
+        vectors = [by_rep[rep][coord] for coord in sorted(by_rep[rep])]
+        count = max(1, len(vectors))
+        reps.append(
+            {
+                "rep": rep,
+                "windows": windows,
+                "mean_clflush_per_kilo_uop": sum(
+                    v.clflush_per_kilo_uop for v in vectors
+                )
+                / count,
+                "mean_llc_miss_per_kilo_uop": sum(
+                    v.llc_miss_per_kilo_uop for v in vectors
+                )
+                / count,
+                "mean_machine_clears_per_kilo_uop": sum(
+                    v.machine_clears_per_kilo_uop for v in vectors
+                )
+                / count,
+            }
+        )
+    model = cell.machine.model
+    return {
+        "cell": cell_index,
+        "kind": "detect",
+        "model": model,
+        "machine": _machine_record(cell.machine),
+        "scenario": scenario.name,
+        "taxonomy": scenario.taxonomy,
+        "attack": scenario.attack,
+        "reps": reps,
+        "failures": failures,
+        "trials": len(pairs),
+        "cycles": cycles,
+        "seconds": cpu_model(model).seconds(cycles),
     }
 
 

@@ -119,6 +119,7 @@ class CampaignRunner:
         trial_fn: Callable = run_trial,
         observer: Optional[Callable[[Dict], None]] = None,
         shard: Optional[Shard] = None,
+        sink: Optional[Callable[[TrialRef, StoredOutcome], None]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -148,6 +149,14 @@ class CampaignRunner:
         #: after every checkpointed batch with a dict of counts; purely
         #: observational -- never touches results or the store.
         self._observer = observer or (lambda update: None)
+        #: Per-trial outcome hook (the streaming-detector ingest path):
+        #: called exactly once per ``(ref, outcome)`` -- for cached
+        #: results in expansion order at the start of ``run()``, then for
+        #: fresh outcomes in batch order after each checkpoint.  Like the
+        #: observer it must never mutate results; consumers that need
+        #: order-independent conclusions (detectors do) must make each
+        #: ingestion a pure function of the single ``(ref, outcome)``.
+        self._sink = sink or (lambda ref, outcome: None)
 
     # -- queries ---------------------------------------------------------------
 
@@ -258,6 +267,7 @@ class CampaignRunner:
                     results[i] = outcome
                     if isinstance(outcome, TrialFailure):
                         failures += 1
+                    self._sink(refs[i], outcome)
                 batches += 1
                 done += len(batch)
                 if observing:
@@ -313,6 +323,11 @@ class CampaignRunner:
         cached = self.store.get_many(keys)
         results: List[Optional[StoredOutcome]] = [cached.get(key) for key in keys]
         pending = [index for index, result in enumerate(results) if result is None]
+        # Replayed outcomes reach the sink before any fresh execution, in
+        # expansion order -- a resumed run streams every trial exactly once.
+        for ref, result in zip(refs, results):
+            if result is not None:
+                self._sink(ref, result)
         executed_before = self.pool.trials_executed if self.pool else 0
         cells_total = len({ref.cell for ref in refs})
         if telemetry.enabled():

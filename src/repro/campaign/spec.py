@@ -26,7 +26,7 @@ from repro.runtime.spec import MachineSpec
 #: Frozen parameter bag: sorted ``(key, value)`` pairs, values hashable.
 Params = Tuple[Tuple[str, object], ...]
 
-_CELL_KINDS = ("channel", "kaslr")
+_CELL_KINDS = ("channel", "kaslr", "detect")
 
 
 def freeze_params(params: Mapping[str, object]) -> Params:
@@ -115,6 +115,23 @@ def kaslr_cell(
     )
 
 
+def detect_cell(
+    machine: MachineSpec,
+    scenario: str,
+    trials: int = 10,
+    repeats: int = 1,
+) -> CampaignCell:
+    """A detector-evaluation cell: *trials* observation windows of one
+    :mod:`repro.defend.scenarios` scenario on *machine*."""
+    return CampaignCell(
+        kind="detect",
+        machine=machine,
+        params=freeze_params(
+            dict(scenario=scenario, trials=trials, repeats=repeats)
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class Shard:
     """One slice of a campaign's deterministic expansion.
@@ -171,15 +188,16 @@ class TrialRef:
     ``cell`` indexes into the spec's cell tuple, ``rep`` counts the
     cell-level repetition, ``unit`` names the aggregation group the
     decoder consumes (``byte<N>`` for channel cells, ``sweep`` for KASLR
-    cells) and ``coord`` is the decode coordinate inside that group (the
-    test value, or the KASLR slot).
+    cells, ``stream`` for detect cells) and ``coord`` is the decode
+    coordinate inside that group (the test value, the KASLR slot, or the
+    observation-window position).
     """
 
     cell: int
     rep: int
     unit: str
     coord: int
-    trial: object  # ChannelTrial | KaslrTrial (both frozen, picklable)
+    trial: object  # ChannelTrial | KaslrTrial | DetectTrial (frozen, picklable)
 
     @property
     def label(self) -> str:
@@ -214,7 +232,8 @@ class CampaignSpec:
             "payload", "batches", "values", "statistic", "suppression", "repeats",
         }
         kaslr_keys = {"strategy", "eviction", "suppression", "repeats"}
-        unknown = set(params) - channel_keys - kaslr_keys
+        detect_keys = {"scenario", "trials", "repeats"}
+        unknown = set(params) - channel_keys - kaslr_keys - detect_keys
         if unknown:
             raise ValueError(f"unknown grid parameters: {sorted(unknown)}")
         cells: List[CampaignCell] = []
@@ -226,6 +245,9 @@ class CampaignSpec:
                 elif kind == "kaslr":
                     picked = {k: v for k, v in params.items() if k in kaslr_keys}
                     cells.append(kaslr_cell(machine, **picked))
+                elif kind == "detect":
+                    picked = {k: v for k, v in params.items() if k in detect_keys}
+                    cells.append(detect_cell(machine, **picked))
                 else:
                     raise ValueError(f"unknown cell kind {kind!r}")
         return cls(name=name, cells=tuple(cells))
@@ -253,6 +275,8 @@ class CampaignSpec:
                 per_rep = len(cell.param("payload", b"")) * len(
                     cell.param("values", ())
                 )
+            elif cell.kind == "detect":
+                per_rep = cell.param("trials", 10)
             else:
                 from repro.kernel.layout import KASLR_SLOTS
 
@@ -313,7 +337,34 @@ def _expand_kaslr(cell_index: int, cell: CampaignCell) -> List[TrialRef]:
     return refs
 
 
+def _expand_detect(cell_index: int, cell: CampaignCell) -> List[TrialRef]:
+    from repro.runtime.tasks import DetectTrial
+
+    scenario = cell.param("scenario")
+    if not scenario:
+        raise ValueError(f"detect cell {cell_index} names no scenario")
+    trials = cell.param("trials", 10)
+    refs: List[TrialRef] = []
+    index = 0
+    for rep in range(cell.param("repeats", 1)):
+        for window in range(trials):
+            refs.append(
+                TrialRef(
+                    cell=cell_index,
+                    rep=rep,
+                    unit="stream",
+                    coord=window,
+                    trial=DetectTrial(
+                        spec=cell.machine, scenario=scenario, trial_index=index
+                    ),
+                )
+            )
+            index += 1
+    return refs
+
+
 _EXPANDERS: Dict[str, object] = {
     "channel": _expand_channel,
     "kaslr": _expand_kaslr,
+    "detect": _expand_detect,
 }

@@ -24,6 +24,12 @@ command       what it does
 ``obs``       recorded-run observability: ``report|trace|tail`` replay a
               ``campaign run --trace-out`` JSONL, ``overhead`` gates
               telemetry's cost (disabled <2%, enabled <15%)
+``defend``    the detection arms race (``repro.defend``): ``calibrate``
+              fits the deterministic detector on seeded benign/attack
+              traffic, ``score`` inspects one scenario's windows,
+              ``stream`` runs a campaign with the live detector
+              attached, ``eval`` renders the ROC/AUC +
+              detection-latency report from a finished store
 ============  ==========================================================
 """
 
@@ -613,6 +619,193 @@ def cmd_campaign_list(args) -> int:
     return 0
 
 
+def _calibration_path(args) -> str:
+    if args.calibration:
+        return args.calibration
+    return os.path.join(args.store, "defend", "calibration.json")
+
+
+def _load_calibration(args):
+    from repro.defend import Calibration
+
+    path = _calibration_path(args)
+    try:
+        return Calibration.load(path)
+    except FileNotFoundError:
+        print(
+            f"no calibration at {path}; run `repro defend calibrate` first",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _defend_artifact_paths(store_root: str, name: str):
+    base = os.path.join(store_root, name)
+    return os.path.join(base, "defend.json"), os.path.join(base, "defend.txt")
+
+
+def _print_calibration(calibration) -> None:
+    print(f"calibration: {calibration.digest} (threshold {calibration.threshold:.4f})")
+    print(f"trained on : " + ", ".join(
+        f"{name} x{count}" for name, count in calibration.trained_on
+    ))
+    for field, weight in zip(calibration.rate_fields, calibration.weights):
+        print(f"  {field:28s} weight {weight:+.4f}")
+
+
+def cmd_defend_calibrate(args) -> int:
+    from repro.defend import calibrate
+
+    pool = _trial_pool(args)
+    try:
+        calibration, stats = calibrate(
+            store=_campaign_store(args),
+            pool=pool,
+            batch_size=args.batch_size,
+            progress=lambda message: print(
+                f"[defend-calibrate] {message}", file=sys.stderr
+            ),
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    path = _calibration_path(args)
+    calibration.save(path)
+    _print_calibration(calibration)
+    print(f"run      : {stats}")
+    print(f"artifact : {path}")
+    return 0
+
+
+def cmd_defend_score(args) -> int:
+    from repro.defend import FeatureVector, get_scenario, scenario_names
+    from repro.runtime import DetectTrial, MachineSpec, run_detect_trial
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError:
+        print(
+            f"unknown scenario {args.scenario!r}; "
+            f"choose from: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    calibration = _load_calibration(args)
+    if calibration is None:
+        return 2
+    spec = MachineSpec(model=args.cpu, seed=args.seed)
+    print(
+        f"{scenario.name} [{scenario.taxonomy}] on {args.cpu} seed {args.seed}: "
+        f"{scenario.description}"
+    )
+    flagged = 0
+    for window in range(args.trials):
+        result = run_detect_trial(DetectTrial(spec, scenario.name, window))
+        features = FeatureVector.from_ints(result.totes)
+        score = calibration.score(features)
+        flag = score > calibration.threshold
+        flagged += int(flag)
+        print(
+            f"window {window}: score {score:.4f} "
+            f"{'FLAG  ' if flag else 'clear '} "
+            f"clflush/kuop={features.clflush_per_kilo_uop:.2f} "
+            f"llc/kuop={features.llc_miss_per_kilo_uop:.2f} "
+            f"clears/kuop={features.machine_clears_per_kilo_uop:.2f}"
+        )
+    print(
+        f"flagged {flagged}/{args.trials} windows "
+        f"(threshold {calibration.threshold:.4f}, "
+        f"calibration {calibration.digest})"
+    )
+    return 0
+
+
+def cmd_defend_eval(args) -> int:
+    from repro.defend import StreamingDetector, build_defend_report
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    calibration = _load_calibration(args)
+    if calibration is None:
+        return 2
+    detector = StreamingDetector(calibration, spec)
+    ingested = detector.ingest_store(_campaign_store(args))
+    expected = spec.trial_count()
+    if ingested + detector.failed_windows < expected and not args.allow_partial:
+        print(
+            f"store covers {ingested}/{expected} windows; run the campaign "
+            f"first (`repro campaign run {spec.name}` or `repro defend "
+            f"stream {spec.name}`), or pass --allow-partial",
+            file=sys.stderr,
+        )
+        return 1
+    report = build_defend_report(detector, min_auc=args.min_auc)
+    json_path, text_path = _defend_artifact_paths(args.store, spec.name)
+    report.write_json(json_path)
+    report.write_text(text_path)
+    print(report.render_text())
+    print(f"artifacts: {json_path}, {text_path}")
+    return 0 if report.passed else 1
+
+
+def cmd_defend_stream(args) -> int:
+    from repro.campaign import CampaignAborted, CampaignRunner
+    from repro.defend import StreamingDetector, build_defend_report
+
+    try:
+        spec = _campaign_spec(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    calibration = _load_calibration(args)
+    if calibration is None:
+        return 2
+    detector = StreamingDetector(calibration, spec)
+    seen = set()
+
+    def sink(ref, outcome):
+        verdict = detector.ingest(ref, outcome)
+        if verdict is None or not verdict.flagged or verdict.key() in seen:
+            return
+        seen.add(verdict.key())
+        print(
+            f"[{spec.name}] FLAG {verdict.scenario} cell {verdict.cell} "
+            f"rep {verdict.rep} window {verdict.coord} "
+            f"score {verdict.score:.4f}",
+            file=sys.stderr,
+        )
+
+    pool = _trial_pool(args)
+    try:
+        runner = CampaignRunner(
+            spec,
+            store=_campaign_store(args),
+            pool=pool,
+            batch_size=args.batch_size,
+            progress=lambda message: print(
+                f"[{spec.name}] {message}", file=sys.stderr
+            ),
+            sink=sink,
+        )
+        runner.run()
+    except CampaignAborted as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if pool is not None:
+            pool.close()
+    report = build_defend_report(detector, min_auc=args.min_auc)
+    json_path, text_path = _defend_artifact_paths(args.store, spec.name)
+    report.write_json(json_path)
+    report.write_text(text_path)
+    print(report.render_text())
+    print(f"artifacts: {json_path}, {text_path}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -982,6 +1175,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI smoke mode: at most 12 trials x 3 passes",
     )
     ooverhead.set_defaults(func=cmd_obs_overhead)
+
+    defend = sub.add_parser(
+        "defend", help="the detection arms race (repro.defend)"
+    )
+    dsub = defend.add_subparsers(dest="defend_command", required=True)
+
+    def _defend_common(sub_parser):
+        sub_parser.add_argument(
+            "--store",
+            default=".campaigns",
+            help="result-store directory (default: .campaigns)",
+        )
+        sub_parser.add_argument(
+            "--calibration", default=None, metavar="PATH",
+            help="fitted calibration JSON "
+            "(default: <store>/defend/calibration.json)",
+        )
+
+    dcal = dsub.add_parser(
+        "calibrate", parents=[workers],
+        help="run the seeded benign/attack training mix and fit the "
+        "deterministic detector (TET held out)",
+    )
+    _defend_common(dcal)
+    dcal.add_argument(
+        "--batch-size", type=int, default=128,
+        help="trials per checkpoint batch (default: 128)",
+    )
+    dcal.set_defaults(func=cmd_defend_calibrate)
+
+    dscore = dsub.add_parser(
+        "score",
+        help="run one scenario's observation windows and print the "
+        "calibrated model's per-window verdicts",
+    )
+    _add_machine_args(dscore)
+    _defend_common(dscore)
+    dscore.add_argument(
+        "--scenario", required=True,
+        help="traffic scenario name (see docs/DEFEND.md)",
+    )
+    dscore.add_argument(
+        "--trials", type=int, default=4,
+        help="observation windows to score (default: 4)",
+    )
+    dscore.set_defaults(func=cmd_defend_score)
+
+    deval = dsub.add_parser(
+        "eval",
+        help="render the ROC/AUC + detection-latency report from a "
+        "finished campaign store (no execution)",
+    )
+    deval.add_argument("name", help="built-in campaign name (e.g. e11-detect)")
+    _defend_common(deval)
+    deval.add_argument(
+        "--min-auc", type=float, default=None, metavar="FLOOR",
+        help="arm the cache-family AUC gate (CI uses 0.95)",
+    )
+    deval.add_argument(
+        "--allow-partial", action="store_true",
+        help="evaluate even if the store does not cover the full grid",
+    )
+    deval.set_defaults(func=cmd_defend_eval)
+
+    dstream = dsub.add_parser(
+        "stream", parents=[workers],
+        help="run a campaign with the streaming detector attached "
+        "(flags print live, report renders at the end)",
+    )
+    dstream.add_argument("name", help="built-in campaign name (e.g. e11-detect)")
+    _defend_common(dstream)
+    dstream.add_argument(
+        "--batch-size", type=int, default=128,
+        help="trials per checkpoint batch (default: 128)",
+    )
+    dstream.add_argument(
+        "--min-auc", type=float, default=None, metavar="FLOOR",
+        help="arm the cache-family AUC gate in the final report",
+    )
+    dstream.set_defaults(func=cmd_defend_stream)
 
     pmu = sub.add_parser("pmu", help="the Figure 2 PMU toolset")
     _add_machine_args(pmu)

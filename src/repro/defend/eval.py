@@ -1,0 +1,273 @@
+"""ROC/AUC and detection-latency evaluation of a detector campaign.
+
+Consumes the verdicts a :class:`~repro.defend.online.StreamingDetector`
+accumulated over one campaign (live, replayed, or shard-merged -- the
+verdict set is identical by construction) and renders the defense-side
+artifact the arms race is judged on:
+
+* per-scenario score statistics, flag rates, and AUC against the pooled
+  benign traffic (Mann-Whitney rank statistic, ties at half credit, so
+  the number is exact and deterministic -- no trapezoid approximation);
+* per-taxonomy ROC curves (every distinct score a cut point);
+* detection latency per attack stream, in observation windows;
+* the E11 gates: cache-channel AUC against a floor, and the TET family's
+  maximum score against the calibrated threshold.
+
+Artifacts follow the campaign-report discipline exactly: built purely
+from deterministic inputs, ``schema_version``-stamped, rendered with
+sorted keys and fixed indentation, byte-identical across worker counts
+and shard topologies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import __version__ as REPRO_VERSION
+from repro.defend.calibrate import DEFEND_SCHEMA_VERSION, Calibration
+from repro.defend.online import StreamingDetector, Verdict
+
+
+def auc(positives: Sequence[float], negatives: Sequence[float]) -> Optional[float]:
+    """The exact Mann-Whitney AUC: P(pos > neg) with ties at 0.5.
+
+    Quadratic in the sample counts, which is nothing at campaign scale,
+    and -- unlike threshold-sweep trapezoids -- has no binning choices to
+    destabilise the artifact bytes.
+    """
+    if not positives or not negatives:
+        return None
+    wins = 0.0
+    for pos in positives:
+        for neg in negatives:
+            if pos > neg:
+                wins += 1.0
+            elif pos == neg:
+                wins += 0.5
+    return wins / (len(positives) * len(negatives))
+
+
+def roc_curve(
+    positives: Sequence[float], negatives: Sequence[float]
+) -> List[Dict[str, float]]:
+    """ROC points at every distinct observed score (plus the endpoints)."""
+    if not positives or not negatives:
+        return []
+    cuts = sorted(set(positives) | set(negatives), reverse=True)
+    points = [{"threshold": 1.0, "fpr": 0.0, "tpr": 0.0}]
+    for cut in cuts:
+        points.append(
+            {
+                "threshold": cut,
+                "fpr": sum(1 for neg in negatives if neg >= cut) / len(negatives),
+                "tpr": sum(1 for pos in positives if pos >= cut) / len(positives),
+            }
+        )
+    return points
+
+
+@dataclass
+class DefendReport:
+    """The deterministic defense-side artifact of one detector campaign."""
+
+    campaign: str
+    spec_digest: str
+    calibration_digest: str
+    threshold: float
+    version: str
+    min_auc: Optional[float]
+    scenarios: List[dict] = field(default_factory=list)
+    taxonomies: Dict[str, dict] = field(default_factory=dict)
+    latencies: List[dict] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+    gates: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(
+            value for key, value in self.gates.items() if key.endswith("_ok")
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "schema_version": DEFEND_SCHEMA_VERSION,
+            "spec_digest": self.spec_digest,
+            "calibration_digest": self.calibration_digest,
+            "threshold": self.threshold,
+            "repro_version": self.version,
+            "summary": self.summary,
+            "scenarios": self.scenarios,
+            "taxonomies": self.taxonomies,
+            "latencies": self.latencies,
+            "gates": self.gates,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write_json(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    def render_text(self) -> str:
+        lines = [
+            f"defend   : {self.campaign}",
+            f"spec     : {self.spec_digest[:16]} (repro {self.version})",
+            f"model    : calibration {self.calibration_digest}, "
+            f"threshold {self.threshold:.4f}",
+            "",
+        ]
+        for record in self.scenarios:
+            flag = f"{record['flagged']}/{record['windows']}"
+            auc_text = (
+                f"AUC {record['auc']:.4f}" if record["auc"] is not None else "benign"
+            )
+            lines.append(
+                f"{record['scenario']:16s} [{record['taxonomy']:6s}] "
+                f"flagged {flag:>5s}  mean score {record['mean_score']:.4f}  "
+                f"{auc_text}"
+            )
+        lines.append("")
+        for taxonomy in sorted(self.taxonomies):
+            record = self.taxonomies[taxonomy]
+            auc_text = (
+                f"{record['auc']:.4f}" if record["auc"] is not None else "n/a"
+            )
+            lines.append(
+                f"{taxonomy:8s} : AUC {auc_text} over {record['windows']} windows"
+            )
+        detected = [lat for lat in self.latencies if lat["latency"] is not None]
+        if detected:
+            mean = sum(lat["latency"] for lat in detected) / len(detected)
+            lines.append(
+                f"latency  : {len(detected)}/{len(self.latencies)} attack "
+                f"streams detected, mean {mean:.1f} windows to first flag"
+            )
+        elif self.latencies:
+            lines.append(
+                f"latency  : 0/{len(self.latencies)} attack streams detected"
+            )
+        lines.append("")
+        for key in sorted(self.gates):
+            if key.endswith("_ok"):
+                status = "ok" if self.gates[key] else "FAIL"
+                lines.append(f"gate     : {key} {status}")
+        lines.append(f"verdict  : {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines) + "\n"
+
+    def write_text(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.render_text())
+
+
+def build_defend_report(
+    detector: StreamingDetector,
+    min_auc: Optional[float] = None,
+) -> DefendReport:
+    """Aggregate a detector's verdicts into the defense artifact.
+
+    *min_auc*, when given, arms the cache-family AUC gate (the CI floor);
+    the TET-under-threshold gate is always armed -- it *is* the paper's
+    claim.
+    """
+    from repro.campaign.store import spec_digest
+
+    calibration: Calibration = detector.calibration
+    verdicts = detector.verdicts()
+    benign_scores = [v.score for v in verdicts if not v.attack]
+
+    by_scenario: Dict[str, List[Verdict]] = {}
+    for verdict in verdicts:
+        by_scenario.setdefault(verdict.scenario, []).append(verdict)
+    scenarios = []
+    for name in sorted(by_scenario):
+        group = by_scenario[name]
+        scores = [v.score for v in group]
+        record = {
+            "scenario": name,
+            "taxonomy": group[0].taxonomy,
+            "attack": group[0].attack,
+            "windows": len(group),
+            "flagged": sum(1 for v in group if v.flagged),
+            "flag_rate": sum(1 for v in group if v.flagged) / len(group),
+            "mean_score": sum(scores) / len(scores),
+            "max_score": max(scores),
+            "auc": auc(scores, benign_scores) if group[0].attack else None,
+        }
+        scenarios.append(record)
+
+    taxonomies: Dict[str, dict] = {}
+    for taxonomy in sorted({v.taxonomy for v in verdicts if v.attack}):
+        scores = [v.score for v in verdicts if v.taxonomy == taxonomy]
+        taxonomies[taxonomy] = {
+            "windows": len(scores),
+            "auc": auc(scores, benign_scores),
+            "roc": roc_curve(scores, benign_scores),
+        }
+
+    cell_scenarios = {
+        index: cell.param("scenario")
+        for index, cell in enumerate(detector.spec.cells)
+        if cell.kind == "detect"
+    }
+    latencies = [
+        {
+            "cell": cell,
+            "rep": rep,
+            "scenario": cell_scenarios.get(cell),
+            "latency": latency,
+        }
+        for (cell, rep), latency in sorted(
+            detector.detection_latencies().items()
+        )
+    ]
+
+    cache_auc = taxonomies.get("cache", {}).get("auc")
+    tet_scores = [v.score for v in verdicts if v.taxonomy == "tet"]
+    tet_max = max(tet_scores) if tet_scores else None
+    gates = {
+        "min_auc": min_auc,
+        "cache_auc": cache_auc,
+        "tet_max_score": tet_max,
+        "tet_under_threshold_ok": (
+            tet_max is None or tet_max <= calibration.threshold
+        ),
+    }
+    if min_auc is not None:
+        gates["cache_auc_ok"] = cache_auc is not None and cache_auc >= min_auc
+
+    summary = {
+        "windows": len(verdicts),
+        "attack_windows": sum(1 for v in verdicts if v.attack),
+        "benign_windows": len(benign_scores),
+        "failed_windows": detector.failed_windows,
+        "false_positive_rate": (
+            sum(1 for v in verdicts if not v.attack and v.flagged)
+            / len(benign_scores)
+            if benign_scores
+            else 0.0
+        ),
+    }
+
+    return DefendReport(
+        campaign=detector.spec.name,
+        spec_digest=spec_digest(detector.spec),
+        calibration_digest=calibration.digest,
+        threshold=calibration.threshold,
+        version=REPRO_VERSION,
+        min_auc=min_auc,
+        scenarios=scenarios,
+        taxonomies=taxonomies,
+        latencies=latencies,
+        summary=summary,
+        gates=gates,
+    )
+
+
+__all__ = ["DefendReport", "auc", "build_defend_report", "roc_curve"]

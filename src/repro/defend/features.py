@@ -1,0 +1,180 @@
+"""Deterministic per-trial feature extraction for the detection service.
+
+A :class:`FeatureVector` is the detector's whole view of one observation
+window: the PMU deltas :meth:`repro.uarch.core.Core.telemetry_counters`
+exposes (uops, machine clears, recovery/resteer cycles, TLB walks, cache
+misses) plus the cache hierarchy's ``clflush`` traffic -- the same
+snapshot the telemetry layer ships per trial, so an online detector
+consuming the ``repro obs`` stream and a batch detector replaying a
+campaign store see byte-for-byte the same numbers.
+
+Everything here is integer counts and the *one* shared piece of rate
+arithmetic (:func:`per_kilo_uop`) the published HPC detectors normalise
+with.  :class:`repro.baselines.detector.CacheAttackDetector` computes its
+E11 verdict through this module, and so do the calibrated thresholds and
+the learned model in :mod:`repro.defend.calibrate` -- one rate
+implementation, one set of semantics, batch or streaming.
+
+Feature vectors round-trip losslessly through the campaign result store:
+:meth:`FeatureVector.to_ints` packs the counters into the ``totes`` tuple
+of an ordinary :class:`~repro.runtime.tasks.TrialResult`, so detect
+trials ride the content-addressed store, the shard/merge byte-identity
+contract, and the resumable runner without any new record type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping, Sequence, Tuple
+
+#: Version of the feature schema.  Bump on any change to the field set,
+#: field order, or rate definitions; calibrations refuse to score feature
+#: vectors produced under a different schema (a model fitted on one
+#: feature layout is meaningless applied to another).
+FEATURE_SCHEMA_VERSION = 1
+
+#: Field order of the packed representation (``to_ints``/``from_ints``)
+#: and of every serialised feature mapping.  Matches the key names of
+#: :meth:`Core.telemetry_counters` so extraction is a straight copy.
+FEATURE_FIELDS: Tuple[str, ...] = (
+    "cycles",
+    "uops_issued",
+    "uops_retired",
+    "machine_clears",
+    "recovery_cycles",
+    "resteer_cycles",
+    "dtlb_walks",
+    "llc_misses",
+    "l1_misses",
+    "clflushes",
+)
+
+#: The derived rate features the calibrated detectors consume, in model
+#: input order (part of the feature schema).
+RATE_FIELDS: Tuple[str, ...] = (
+    "clflush_per_kilo_uop",
+    "llc_miss_per_kilo_uop",
+    "l1_miss_per_kilo_uop",
+    "machine_clears_per_kilo_uop",
+    "recovery_per_kilo_uop",
+    "dtlb_walks_per_kilo_uop",
+    "cycles_per_uop",
+)
+
+
+def per_kilo_uop(count: float, uops: int) -> float:
+    """*count* normalised to events per thousand issued uops.
+
+    The one shared rate implementation (division order matters for
+    byte-identical artifacts: ``count / (uops / 1000)``, uops floored at
+    one, exactly as the E11 detector has always computed it).
+    """
+    kilo = max(1, int(uops)) / 1000.0
+    return count / kilo
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """One observation window's deterministic counter deltas."""
+
+    cycles: int
+    uops_issued: int
+    uops_retired: int
+    machine_clears: int
+    recovery_cycles: int
+    resteer_cycles: int
+    dtlb_walks: int
+    llc_misses: int
+    l1_misses: int
+    clflushes: int
+
+    # -- extraction ------------------------------------------------------------
+
+    @classmethod
+    def from_counters(cls, counters: Mapping[str, int]) -> "FeatureVector":
+        """Build from a :meth:`Core.telemetry_counters` snapshot."""
+        return cls(**{name: int(counters[name]) for name in FEATURE_FIELDS})
+
+    @classmethod
+    def from_machine(cls, machine) -> "FeatureVector":
+        """The current window of *machine* (counters since ``reset_uarch``)."""
+        return cls.from_counters(machine.core.telemetry_counters())
+
+    # -- store packing ---------------------------------------------------------
+
+    def to_ints(self) -> Tuple[int, ...]:
+        """Pack into the ``TrialResult.totes`` tuple (FEATURE_FIELDS order)."""
+        return tuple(getattr(self, name) for name in FEATURE_FIELDS)
+
+    @classmethod
+    def from_ints(cls, values: Sequence[int]) -> "FeatureVector":
+        """Unpack a :meth:`to_ints` tuple (a stored detect trial's totes)."""
+        if len(values) != len(FEATURE_FIELDS):
+            raise ValueError(
+                f"feature tuple has {len(values)} values, "
+                f"schema {FEATURE_SCHEMA_VERSION} expects {len(FEATURE_FIELDS)}"
+            )
+        return cls(**{name: int(v) for name, v in zip(FEATURE_FIELDS, values)})
+
+    def to_dict(self) -> Dict[str, int]:
+        """The counters as a plain mapping (report artifacts)."""
+        return {name: getattr(self, name) for name in FEATURE_FIELDS}
+
+    # -- derived rates ---------------------------------------------------------
+
+    @property
+    def clflush_per_kilo_uop(self) -> float:
+        return per_kilo_uop(self.clflushes, self.uops_issued)
+
+    @property
+    def llc_miss_per_kilo_uop(self) -> float:
+        return per_kilo_uop(self.llc_misses, self.uops_issued)
+
+    @property
+    def l1_miss_per_kilo_uop(self) -> float:
+        return per_kilo_uop(self.l1_misses, self.uops_issued)
+
+    @property
+    def machine_clears_per_kilo_uop(self) -> float:
+        return per_kilo_uop(self.machine_clears, self.uops_issued)
+
+    @property
+    def recovery_per_kilo_uop(self) -> float:
+        return per_kilo_uop(self.recovery_cycles, self.uops_issued)
+
+    @property
+    def dtlb_walks_per_kilo_uop(self) -> float:
+        return per_kilo_uop(self.dtlb_walks, self.uops_issued)
+
+    @property
+    def cycles_per_uop(self) -> float:
+        """The window's timing shape: how stretched execution was.
+
+        Transient-window attacks spend cycles *waiting* (fault recovery,
+        long-latency loads), so their windows run far more cycles per
+        issued uop than straight-line compute -- the span-level signal the
+        trial telemetry carries as ``(cycles, uops)``.
+        """
+        return self.cycles / max(1, self.uops_issued)
+
+    def rates(self) -> Tuple[float, ...]:
+        """The model input vector, in :data:`RATE_FIELDS` order."""
+        return tuple(getattr(self, name) for name in RATE_FIELDS)
+
+    def rates_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in RATE_FIELDS}
+
+
+def feature_vector_from_result(result) -> FeatureVector:
+    """Unpack a stored detect-trial outcome back into its features."""
+    return FeatureVector.from_ints(result.totes)
+
+
+__all__ = [
+    "FEATURE_FIELDS",
+    "FEATURE_SCHEMA_VERSION",
+    "RATE_FIELDS",
+    "FeatureVector",
+    "feature_vector_from_result",
+    "per_kilo_uop",
+]

@@ -255,6 +255,13 @@ class Coordinator:
     :func:`~repro.faults.resilience.backoff_delay` seconds between
     attempts.  *parallel* bounds in-flight shards (default: shard
     count, capped at 8).
+
+    *detector* is the fleet's ingest-on-completion hook: a
+    :class:`~repro.defend.online.StreamingDetector` (or anything with
+    its ``ingest_store(store, shard=...)`` shape) fed each shard's
+    segment the moment it lands.  Detector ingestion deduplicates per
+    trial coordinate, so retried shards and the round-robin cover's
+    interleaving cannot change what the detector concludes.
     """
 
     def __init__(
@@ -266,6 +273,7 @@ class Coordinator:
         policy: Optional[ResiliencePolicy] = None,
         parallel: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
+        detector=None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -277,6 +285,7 @@ class Coordinator:
             max_retries=1, backoff_base=0.0
         )
         self.parallel = parallel if parallel else min(shards, 8)
+        self.detector = detector
         self._progress = progress or (lambda message: None)
         self._lock: Optional[asyncio.Lock] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
@@ -309,6 +318,10 @@ class Coordinator:
                 wall = time.perf_counter() - started
                 async with self._lock:
                     result.merge = merge_stores([segment], self.dest_root)
+                    if self.detector is not None:
+                        self.detector.ingest_store(
+                            ResultStore(segment), shard=shard
+                        )
                 attempt_record = ShardAttempt(shard, attempt, True, wall)
                 result.attempts.append(attempt_record)
                 self._progress(

@@ -29,16 +29,19 @@ from repro.runtime.pool import (
 from repro.runtime.spec import MachineSpec, derive_seed, derive_stream
 from repro.runtime.tasks import (
     ChannelTrial,
+    DetectTrial,
     KaslrTrial,
     TrialFailure,
     TrialResult,
     run_channel_trial,
+    run_detect_trial,
     run_kaslr_trial,
     run_trial,
 )
 
 __all__ = [
     "ChannelTrial",
+    "DetectTrial",
     "KaslrTrial",
     "MachineSpec",
     "ProcessExecutor",
@@ -53,6 +56,7 @@ __all__ = [
     "derive_seed",
     "derive_stream",
     "run_channel_trial",
+    "run_detect_trial",
     "run_kaslr_trial",
     "run_trial",
 ]

@@ -15,11 +15,12 @@ long-lived one, and its ambient-noise stream is derived from
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
-from repro.runtime.spec import MachineSpec
+from repro.runtime.spec import MachineSpec, derive_stream
 
 #: The paper's faulting address for window-opening loads.
 NULL_POINTER = 0x0
@@ -168,6 +169,59 @@ def run_kaslr_trial(trial: KaslrTrial) -> TrialResult:
     return TrialResult(totes=(tote,), cycles=machine.core.global_cycle)
 
 
+# -- detector observation-window trials ----------------------------------------
+
+
+@dataclass(frozen=True)
+class DetectTrial:
+    """Run one detection scenario window and record its feature vector.
+
+    The result's ``totes`` tuple is the packed
+    :class:`~repro.defend.features.FeatureVector` (counter deltas in
+    ``FEATURE_FIELDS`` order), so detector campaigns reuse the ordinary
+    result store, shard/merge contract, and resume path unchanged.
+    """
+
+    spec: MachineSpec
+    scenario: str
+    trial_index: int
+
+
+_detect_contexts: Dict[Tuple[MachineSpec, str], tuple] = {}
+
+
+def _detect_context(spec: MachineSpec, scenario: str):
+    key = (spec, scenario)
+    context = _detect_contexts.get(key)
+    if context is None:
+        from repro.defend.scenarios import get_scenario
+
+        machine = spec.build()
+        runner = get_scenario(scenario).bind(machine)
+        context = (machine, runner)
+        _detect_contexts[key] = context
+    return context
+
+
+def run_detect_trial(trial: DetectTrial) -> TrialResult:
+    """One detect trial: reset, run the scenario window, read the counters.
+
+    The scenario's behaviour stream is domain-separated from the ambient
+    noise stream (``defend.<scenario>`` tag), so the same trial index in
+    an attack cell and a benign cell draws unrelated randomness.
+    """
+    from repro.defend.features import FeatureVector
+
+    machine, runner = _detect_context(trial.spec, trial.scenario)
+    machine.reset_uarch(noise_seed=trial.spec.trial_seed(trial.trial_index))
+    rng = random.Random(
+        derive_stream(trial.spec.seed, trial.trial_index, f"defend.{trial.scenario}")
+    )
+    runner(rng)
+    features = FeatureVector.from_machine(machine)
+    return TrialResult(totes=features.to_ints(), cycles=machine.core.global_cycle)
+
+
 def _trial_machine(trial):
     """The cached machine a just-run trial used, or None.
 
@@ -183,6 +237,9 @@ def _trial_machine(trial):
             (trial.spec, trial.eviction, trial.suppression)
         )
         return attack.machine if attack else None
+    if isinstance(trial, DetectTrial):
+        context = _detect_contexts.get((trial.spec, trial.scenario))
+        return context[0] if context else None
     return None
 
 
@@ -219,6 +276,8 @@ def _run_trial_observed(trial, runner) -> TrialResult:
                     "core.recovery_cycles", counters["recovery_cycles"]
                 )
                 telemetry.add("core.llc_misses", counters["llc_misses"])
+                telemetry.add("core.l1_misses", counters["l1_misses"])
+                telemetry.add("core.clflushes", counters["clflushes"])
         span.set(cycles=result.cycles)
     telemetry.add(
         "core.decode_plan.builds",
@@ -245,6 +304,8 @@ def run_trial(trial) -> TrialResult:
         runner = run_channel_trial
     elif isinstance(trial, KaslrTrial):
         runner = run_kaslr_trial
+    elif isinstance(trial, DetectTrial):
+        runner = run_detect_trial
     else:
         raise TypeError(f"unknown trial payload type: {type(trial).__name__}")
     if not telemetry.enabled():
@@ -256,3 +317,4 @@ def clear_worker_contexts() -> None:
     """Drop all cached machines (tests that need cold workers)."""
     _channel_contexts.clear()
     _kaslr_contexts.clear()
+    _detect_contexts.clear()

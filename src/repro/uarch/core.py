@@ -266,6 +266,12 @@ class Core:
             "resteer_cycles": counts["INT_MISC.CLEAR_RESTEER_CYCLES"],
             "dtlb_walks": counts["DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"],
             "llc_misses": counts["LONGEST_LAT_CACHE.MISS"],
+            "l1_misses": counts["MEM_LOAD_RETIRED.L1_MISS"],
+            # Not a PMU event: the cache hierarchy counts clflush traffic
+            # directly (reset_uarch zeroes it alongside the PMU bank), so
+            # the detection layer sees flush activity through the same
+            # snapshot as everything else instead of poking the machine.
+            "clflushes": self.mmu.hierarchy.clflush_count,
         }
 
 

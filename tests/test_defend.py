@@ -1,0 +1,306 @@
+"""Unit and acceptance tests for ``repro.defend`` -- the detection tier.
+
+Covers the feature schema (one shared rate implementation), the exact
+Mann-Whitney AUC, the deterministic calibration artifact, the scenario
+registry's training-honesty contract (TET never trains), the streaming
+detector's ingestion semantics, and -- as the slow acceptance test --
+the full E11 arms race: calibrate on benign/cache traffic, evaluate on
+``e11-detect``, and require cache AUC >= 0.95 with every TET window
+under the calibrated threshold.
+
+Byte-identity across execution topologies lives in
+``test_defend_properties.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, ResultStore, detect_cell
+from repro.defend import (
+    DEFEND_SCHEMA_VERSION,
+    FEATURE_FIELDS,
+    RATE_FIELDS,
+    Calibration,
+    FeatureVector,
+    SCENARIOS,
+    StreamingDetector,
+    auc,
+    build_defend_report,
+    calibration_campaign,
+    fit_calibration,
+    get_scenario,
+    per_kilo_uop,
+    roc_curve,
+    scenario_names,
+    training_samples,
+)
+from repro.runtime import DetectTrial, MachineSpec, run_detect_trial
+
+
+def _vector(**overrides):
+    base = dict.fromkeys(FEATURE_FIELDS, 0)
+    base.update(cycles=1000, uops_issued=2000, uops_retired=1800)
+    base.update(overrides)
+    return FeatureVector(**base)
+
+
+class TestFeatures:
+    def test_per_kilo_uop_matches_the_classic_rule_arithmetic(self):
+        # The pre-refactor detector computed `kilo = uops / 1000.0` with
+        # `uops = max(1, delta)`; the shared helper must be bit-equal.
+        for count, uops in ((0, 0), (7, 1), (129, 3500), (5, 999)):
+            kilo = max(1, int(uops)) / 1000.0
+            assert per_kilo_uop(count, uops) == count / kilo
+
+    def test_zero_uops_never_divides_by_zero(self):
+        assert per_kilo_uop(42, 0) == 42 / 0.001
+
+    def test_int_round_trip_is_lossless(self):
+        vector = _vector(clflushes=13, llc_misses=77, machine_clears=5)
+        assert FeatureVector.from_ints(vector.to_ints()) == vector
+
+    def test_rates_follow_rate_fields_order(self):
+        vector = _vector(clflushes=10, llc_misses=20)
+        named = vector.rates_dict()
+        assert tuple(named) == RATE_FIELDS
+        assert vector.rates() == tuple(named[field] for field in RATE_FIELDS)
+
+    def test_from_machine_counter_order_is_the_schema(self):
+        # FEATURE_FIELDS is pinned to Core.telemetry_counters() key order;
+        # a drift there silently scrambles every stored vector.
+        from repro.sim.machine import Machine
+
+        machine = Machine("i7-7700", seed=3)
+        counters = machine.core.telemetry_counters()
+        assert tuple(counters) == FEATURE_FIELDS
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert auc([0.9, 0.8], [0.1, 0.2, 0.3]) == 1.0
+
+    def test_all_ties_is_half(self):
+        assert auc([0.5, 0.5], [0.5]) == 0.5
+
+    def test_empty_side_is_none(self):
+        assert auc([], [0.1]) is None
+        assert auc([0.9], []) is None
+
+    def test_roc_endpoints_and_monotonicity(self):
+        points = roc_curve([0.9, 0.7, 0.7], [0.1, 0.4])
+        assert points[0] == {"threshold": 1.0, "fpr": 0.0, "tpr": 0.0}
+        assert points[-1]["fpr"] == 1.0 and points[-1]["tpr"] == 1.0
+        for before, after in zip(points, points[1:]):
+            assert after["fpr"] >= before["fpr"]
+            assert after["tpr"] >= before["tpr"]
+
+    def test_roc_empty_without_both_classes(self):
+        assert roc_curve([], [0.1]) == []
+
+
+class TestCalibration:
+    def _samples(self):
+        benign = [
+            ("benign", _vector(llc_misses=i, machine_clears=2 * i), False)
+            for i in range(1, 5)
+        ]
+        attack = [
+            ("attack", _vector(clflushes=200 + i, llc_misses=200 + i), True)
+            for i in range(4)
+        ]
+        return benign + attack
+
+    def test_fit_separates_and_thresholds_in_margin(self):
+        calibration = fit_calibration(self._samples())
+        benign_scores = [
+            calibration.score(f) for _, f, a in self._samples() if not a
+        ]
+        attack_scores = [
+            calibration.score(f) for _, f, a in self._samples() if a
+        ]
+        assert max(benign_scores) < calibration.threshold < min(attack_scores)
+
+    def test_fit_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            fit_calibration([])
+        with pytest.raises(ValueError):
+            fit_calibration([("benign", _vector(), False)] * 3)
+
+    def test_json_round_trip_is_byte_stable(self):
+        calibration = fit_calibration(self._samples())
+        clone = Calibration.from_json_dict(json.loads(calibration.to_json()))
+        assert clone == calibration
+        assert clone.to_json() == calibration.to_json()
+        assert clone.digest == calibration.digest
+
+    def test_schema_fences(self):
+        data = json.loads(fit_calibration(self._samples()).to_json())
+        with pytest.raises(ValueError, match="schema_version"):
+            Calibration.from_json_dict(
+                {**data, "schema_version": DEFEND_SCHEMA_VERSION + 1}
+            )
+        with pytest.raises(ValueError, match="feature schema"):
+            Calibration.from_json_dict({**data, "rate_fields": ["bogus"]})
+
+    def test_save_load(self, tmp_path):
+        calibration = fit_calibration(self._samples())
+        path = str(tmp_path / "sub" / "calibration.json")
+        calibration.save(path)
+        assert Calibration.load(path) == calibration
+
+
+class TestScenarios:
+    def test_registry_shape(self):
+        assert scenario_names() == tuple(SCENARIOS)
+        assert len(SCENARIOS) >= 8
+
+    def test_training_honesty_tet_is_held_out(self):
+        # The E11 question is whether the *unseen* channel clears the
+        # fitted bar, so TET must never appear in the training mix.
+        for scenario in SCENARIOS.values():
+            if scenario.taxonomy == "tet":
+                assert scenario.attack and scenario.training_label is None
+            elif scenario.taxonomy == "cache":
+                assert scenario.attack and scenario.training_label is True
+            else:
+                assert not scenario.attack
+                assert scenario.training_label is False
+
+    def test_calibration_campaign_excludes_tet(self):
+        spec = calibration_campaign()
+        trained = {cell.param("scenario") for cell in spec.cells}
+        assert trained == {
+            name
+            for name, scenario in SCENARIOS.items()
+            if scenario.training_label is not None
+        }
+
+    def test_get_scenario_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("no-such-traffic")
+
+
+def _small_spec(scenarios=("fr-meltdown", "benign-compute"), trials=2):
+    cells = tuple(
+        detect_cell(
+            MachineSpec(model="i7-7700", seed=500 + index),
+            scenario=name,
+            trials=trials,
+        )
+        for index, name in enumerate(scenarios)
+    )
+    return CampaignSpec(name="defend-small", cells=cells)
+
+
+def _fit_small(tmp_path):
+    spec = _small_spec()
+    store = ResultStore(str(tmp_path / "train"))
+    CampaignRunner(spec, store=store).run()
+    return spec, store, fit_calibration(training_samples(spec, store))
+
+
+class _Failure:
+    """A quarantined outcome: no ``totes``, nothing to score."""
+
+
+class TestStreamingDetector:
+    def test_ingest_is_idempotent_per_coordinate(self, tmp_path):
+        spec, store, calibration = _fit_small(tmp_path)
+        detector = StreamingDetector(calibration, spec)
+        first = detector.ingest_store(store)
+        again = detector.ingest_store(store)
+        assert first == again == spec.trial_count()
+        assert len(detector.verdicts()) == spec.trial_count()
+
+    def test_failures_are_counted_not_scored(self, tmp_path):
+        spec, _, calibration = _fit_small(tmp_path)
+        detector = StreamingDetector(calibration, spec)
+        ref = spec.expand()[0]
+        assert detector.ingest(ref, _Failure()) is None
+        assert detector.failed_windows == 1
+        assert detector.verdicts() == []
+
+    def test_detection_latency_is_first_flagged_window(self, tmp_path):
+        spec, store, calibration = _fit_small(tmp_path)
+        detector = StreamingDetector(calibration, spec)
+        detector.ingest_store(store)
+        latencies = detector.detection_latencies()
+        # Attack streams only; fr-meltdown flags in its first window.
+        assert set(latencies) == {(0, 0)}
+        assert latencies[(0, 0)] == 1
+
+
+class TestDefendReport:
+    def test_report_shape_and_gates(self, tmp_path):
+        spec, store, calibration = _fit_small(tmp_path)
+        detector = StreamingDetector(calibration, spec)
+        detector.ingest_store(store)
+        report = build_defend_report(detector, min_auc=0.95)
+        data = json.loads(report.to_json())
+        assert data["schema_version"] == DEFEND_SCHEMA_VERSION
+        assert data["calibration_digest"] == calibration.digest
+        assert {r["scenario"] for r in data["scenarios"]} == {
+            "fr-meltdown",
+            "benign-compute",
+        }
+        assert report.gates["cache_auc_ok"] is True
+        assert report.gates["tet_under_threshold_ok"] is True
+        assert report.passed
+        assert "verdict  : PASS" in report.render_text()
+
+    def test_unarmed_min_auc_leaves_gate_off(self, tmp_path):
+        spec, store, calibration = _fit_small(tmp_path)
+        detector = StreamingDetector(calibration, spec)
+        detector.ingest_store(store)
+        report = build_defend_report(detector)
+        assert "cache_auc_ok" not in report.gates
+
+
+class TestBaselinesBridge:
+    def test_detection_report_carries_the_feature_vector(self):
+        from repro.baselines.detector import CacheAttackDetector
+        from repro.sim.machine import Machine
+
+        machine = Machine("i7-7700", seed=5)
+        report = CacheAttackDetector().monitor(machine, lambda: None)
+        assert report.vector is not None
+        assert report.clflush_per_kilo_uop == report.vector.clflush_per_kilo_uop
+        assert report.llc_miss_per_kilo_uop == report.vector.llc_miss_per_kilo_uop
+
+
+@pytest.mark.slow
+class TestE11Acceptance:
+    def test_cache_flagged_tet_under_threshold(self, tmp_path):
+        from repro.campaign import builtin_campaign
+
+        train_store = ResultStore(str(tmp_path / "train"))
+        train_spec = calibration_campaign()
+        CampaignRunner(train_spec, store=train_store).run()
+        calibration = fit_calibration(training_samples(train_spec, train_store))
+
+        spec = builtin_campaign("e11-detect")
+        store = ResultStore(str(tmp_path / "eval"))
+        detector = StreamingDetector(calibration, spec)
+        CampaignRunner(spec, store=store, sink=detector.sink).run()
+
+        report = build_defend_report(detector, min_auc=0.95)
+        assert report.gates["cache_auc"] >= 0.95
+        assert report.gates["tet_max_score"] <= calibration.threshold
+        assert report.summary["false_positive_rate"] == 0.0
+        assert report.passed
+        # Every cache stream is caught, and caught fast.
+        latencies = {
+            record["scenario"]: record["latency"] for record in report.latencies
+        }
+        for record in report.latencies:
+            if record["scenario"].startswith("fr-"):
+                assert record["latency"] == 1
+            else:
+                assert record["latency"] is None
+        assert any(name.startswith("fr-") for name in latencies)
+
+    def test_detect_trial_is_a_pure_function_of_its_payload(self):
+        spec = MachineSpec(model="i7-7700", seed=11)
+        trial = DetectTrial(spec, "tet-md", 3)
+        assert run_detect_trial(trial) == run_detect_trial(trial)
