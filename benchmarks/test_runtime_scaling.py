@@ -10,18 +10,29 @@ records the wall-clock speedup.  Two shapes are asserted:
   multi-CPU host the fan-out must beat the serial path; on a single-CPU
   host process fan-out can only pipeline, so the assertion is skipped
   with a logged warning and the measurement is recorded either way.
+
+The second axis is the lockstep batch executor: the same campaign cell
+stepped 1, 4 and 16 lanes at a time in one process.  Unlike process
+fan-out, batching shares leader work *within* the interpreter, so its
+speedup does not depend on host CPU count and is asserted
+unconditionally at 4+ lanes (the measured ratio is recorded either way;
+only hard-to-time hosts get the ``_advisory`` spelling).
 """
 
 import time
 import warnings
 
 from benchmarks.conftest import banner, emit, emit_metric
+from repro.perf import cell_payloads
 from repro.runtime import TrialPool, default_workers
+from repro.runtime.batch import BatchStats, run_trials_batched
+from repro.runtime.tasks import clear_worker_contexts, run_trial
 from repro.sim.machine import Machine
 from repro.whisper.channel import TetCovertChannel
 
 PAYLOAD = b"\x13\x9c\x55\xe0"
 WORKER_COUNTS = (1, 4)
+BATCH_SIZES = (1, 4, 16)
 
 
 def run_scan(workers: int):
@@ -94,3 +105,52 @@ def test_runtime_scaling(benchmark):
             f"4-worker fan-out must beat serial on a {host_cpus}-CPU host "
             f"(measured {speedup:.2f}x)"
         )
+
+
+def run_batched_cell(batch: int):
+    """One e3-matrix cell through the batch executor at *batch* lanes."""
+    payloads = cell_payloads("e3-matrix", 0, limit=48)
+    clear_worker_contexts()
+    stats = BatchStats()
+    if batch == 1:
+        run_trials_batched(payloads[:3], batch)  # warm contexts and caches
+    else:
+        run_trials_batched(payloads[:3], batch, stats)
+    start = time.perf_counter()
+    results = run_trials_batched(payloads, batch, stats)
+    elapsed = time.perf_counter() - start
+    return results, elapsed, stats
+
+
+def test_batch_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {batch: run_batched_cell(batch) for batch in BATCH_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+
+    scalar_results, scalar_wall, _ = results[1]
+    banner("runtime -- lockstep batch scaling (e3-matrix cell 0, 48 trials)")
+    emit(f"{'lanes':>8} {'wall':>10} {'speedup':>8} {'packs':>6} {'evicted':>8}")
+    emit_metric("batch_scaling", "trials", len(scalar_results))
+    for batch in BATCH_SIZES:
+        batch_results, wall, stats = results[batch]
+        speedup = scalar_wall / wall if wall else float("nan")
+        emit(
+            f"{batch:>8} {wall:>9.3f}s {speedup:>7.2f}x {stats.packs:>6} "
+            f"{stats.evicted_lanes:>8}"
+        )
+        emit_metric("batch_scaling", f"wall_seconds_batch_{batch}", wall)
+        if batch > 1:
+            emit_metric("batch_scaling", f"speedup_batch_{batch}", speedup)
+        # The determinism contract is the hard assertion: every lane
+        # count computes the scalar bytes.
+        assert batch_results == scalar_results, f"batch {batch} diverged"
+    speedup_4 = scalar_wall / results[4][1]
+    speedup_16 = scalar_wall / results[16][1]
+    # In-process lockstep sharing is host-CPU-count independent; the
+    # floors are far under the measured ~3.6x/13x so host noise cannot
+    # flake them.
+    assert speedup_4 > 1.5, f"4-lane packs must beat scalar ({speedup_4:.2f}x)"
+    assert speedup_16 > 2.5, f"16-lane packs must beat scalar ({speedup_16:.2f}x)"
+    assert speedup_16 > speedup_4, "wider packs must amortise more leader work"

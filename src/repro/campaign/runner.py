@@ -343,6 +343,10 @@ class CampaignRunner:
             total=len(refs),
             cached=len(refs) - len(pending),
             cells=cells_total,
+            # Lockstep lanes per pack (1 = scalar dispatch).  Span-only:
+            # batching is scheduling, so it must never reach the report
+            # artifacts -- batched and scalar runs checksum identically.
+            batch_size=getattr(self.pool, "batch_size", None) or 1,
         ):
             executed, batches = self._run_pending(
                 refs, keys, results, pending, cells_total, executed_before

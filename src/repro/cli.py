@@ -71,12 +71,14 @@ def _workers_parent() -> argparse.ArgumentParser:
 
 
 def _trial_pool(args):
-    """A TrialPool for ``--workers N``, or None for the legacy path."""
-    if getattr(args, "workers", 0) <= 0:
+    """A TrialPool for ``--workers N`` / ``--batch B``, or None for the
+    legacy path (no fan-out, no lockstep batching)."""
+    batch = getattr(args, "batch", None)
+    if getattr(args, "workers", 0) <= 0 and not (batch and batch > 1):
         return None
     from repro.runtime import TrialPool
 
-    return TrialPool(workers=args.workers)
+    return TrialPool(workers=max(1, getattr(args, "workers", 0)), batch_size=batch)
 
 
 def _machine(args, **kwargs) -> Machine:
@@ -246,6 +248,7 @@ def cmd_perf_bench(args) -> int:
         baseline_path=args.baseline,
         report_path=args.report,
         update_baseline=args.update_baseline,
+        batch=args.batch,
     )
     return 1 if result.regressed else 0
 
@@ -875,6 +878,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="trials per checkpoint batch (default: 128)",
     )
     crun.add_argument(
+        "--batch", type=int, default=None, metavar="B",
+        help="step pack-eligible trials B lanes at a time through the "
+        "lockstep batch executor (results are byte-identical to the "
+        "scalar path; divergent lanes fall back automatically)",
+    )
+    crun.add_argument(
         "--require-cached", type=float, default=None, metavar="FRACTION",
         help="exit non-zero if the store hit rate is below FRACTION "
         "(CI uses 0.9 to police the cache)",
@@ -1110,6 +1119,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="record this measurement as the new baseline instead of "
         "gating against it",
+    )
+    pbench.add_argument(
+        "--batch", type=int, default=None, metavar="B",
+        help="time the lockstep batch executor with B lanes per pack "
+        "instead of the scalar path (results are byte-identical; gates "
+        "against the baseline's batch_scores entry)",
     )
     pbench.set_defaults(func=cmd_perf_bench)
 

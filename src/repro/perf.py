@@ -136,6 +136,8 @@ class BenchResult:
     #: normalised score over the committed baseline's (None = no baseline).
     baseline_ratio: Optional[float]
     regressed: bool
+    #: lockstep lanes per pack the timed loop ran with (1 = scalar).
+    batch_size: int = 1
 
     def metrics(self) -> Dict[str, object]:
         """The JSON-serialisable metric map for the reproduction report."""
@@ -144,6 +146,7 @@ class BenchResult:
             "cell": self.cell,
             "trials": self.trials,
             "repeats": self.repeats,
+            "batch_size": self.batch_size,
             "trials_per_second": round(self.trials_per_second, 1),
             "calibration_mops": round(self.calibration_mops, 2),
             "normalized_score": round(self.normalized_score, 2),
@@ -161,6 +164,7 @@ def bench_cell(
     cell: int = DEFAULT_CELL,
     trials: int = 48,
     repeats: int = 5,
+    batch: Optional[int] = None,
 ) -> Dict[str, float]:
     """Measure trial throughput on one campaign cell, best of *repeats*.
 
@@ -169,19 +173,33 @@ def bench_cell(
     the fan-out), after one untimed warm-up pass that builds the worker
     context and fills the decode/parse caches the way a long campaign
     would have.
+
+    ``batch > 1`` times the lockstep batch executor instead
+    (:func:`repro.runtime.batch.run_trials_batched` with *batch* lanes
+    per pack) -- same payloads, byte-identical results, different
+    engine.  The warm-up also goes through the batch path so the pack
+    planner and shadow-replay code are as hot as the scalar caches.
     """
+    from repro.runtime.batch import run_trials_batched
     from repro.runtime.tasks import run_trial
 
     payloads = cell_payloads(campaign, cell, limit=trials)
     if not payloads:
         raise ValueError(f"cell {cell} of {campaign!r} expands to no trials")
-    for payload in payloads[: min(3, len(payloads))]:
-        run_trial(payload)  # warm-up: contexts, caches, code paths
+    batched = batch is not None and batch > 1
+    if batched:
+        run_trials_batched(payloads[: min(3, len(payloads))], batch)
+    else:
+        for payload in payloads[: min(3, len(payloads))]:
+            run_trial(payload)  # warm-up: contexts, caches, code paths
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        for payload in payloads:
-            run_trial(payload)
+        if batched:
+            run_trials_batched(payloads, batch)
+        else:
+            for payload in payloads:
+                run_trial(payload)
         elapsed = time.perf_counter() - start
         if 0 < elapsed < best:
             best = elapsed
@@ -236,6 +254,7 @@ def run_bench(
     baseline_path: str = DEFAULT_BASELINE_PATH,
     report_path: Optional[str] = DEFAULT_REPORT_PATH,
     update_baseline: bool = False,
+    batch: Optional[int] = None,
     out=print,
 ) -> BenchResult:
     """The ``repro perf bench`` body; returns the measurement.
@@ -245,11 +264,20 @@ def run_bench(
     ``update_baseline`` the measurement is recorded as the new committed
     baseline instead of being judged against it (any existing
     pre-overhaul reference score is carried forward).
+
+    ``batch > 1`` benches the lockstep batch executor.  Batched scores
+    gate against the baseline's ``batch_scores[str(batch)]`` entry (the
+    scalar ``normalized_score`` stays the scalar path's gate), and
+    ``update_baseline`` writes into that map without disturbing the
+    scalar record.
     """
     if quick:
         trials = min(trials, 16)
         repeats = min(repeats, 3)
-    measured = bench_cell(campaign, cell, trials=trials, repeats=repeats)
+    lanes = batch if batch is not None and batch > 1 else 1
+    measured = bench_cell(
+        campaign, cell, trials=trials, repeats=repeats, batch=lanes
+    )
     calibration = calibrate_host()
     rate = measured["trials_per_second"]
     score = rate / calibration
@@ -265,6 +293,12 @@ def run_bench(
             f"{baseline.get('cell')}; gate skipped for {campaign}/cell{cell}"
         )
         reference_score = baseline_score = None
+        baseline = None
+    if lanes > 1:
+        # A batched measurement must never be judged against the scalar
+        # score (it would always "pass"); its gate is its own lane-count
+        # entry, recorded the first time --update-baseline runs batched.
+        baseline_score = (baseline or {}).get("batch_scores", {}).get(str(lanes))
 
     speedup = score / reference_score if reference_score else None
     ratio = score / baseline_score if baseline_score else None
@@ -281,9 +315,11 @@ def run_bench(
         speedup_vs_reference=speedup,
         baseline_ratio=ratio,
         regressed=regressed,
+        batch_size=lanes,
     )
 
-    out(f"perf bench: {campaign} cell {cell} "
+    label = f" batch {lanes}" if lanes > 1 else ""
+    out(f"perf bench: {campaign} cell {cell}{label} "
         f"({result.trials} trials, best of {repeats})")
     out(f"  trials/second    : {rate:8.1f}")
     out(f"  host calibration : {calibration:8.2f} Mop/s")
@@ -295,21 +331,32 @@ def run_bench(
             f"(floor {REGRESSION_FLOOR:.2f}x)")
 
     if update_baseline:
-        record = {
-            "campaign": campaign,
-            "cell": cell,
-            "trials": result.trials,
-            "trials_per_second": round(rate, 1),
-            "calibration_mops": round(calibration, 2),
-            "normalized_score": round(score, 2),
-        }
-        if reference_score is not None:
-            record["reference_normalized_score"] = reference_score
+        record = dict(baseline) if baseline else {"campaign": campaign, "cell": cell}
+        if lanes > 1:
+            scores = dict(record.get("batch_scores", {}))
+            scores[str(lanes)] = round(score, 2)
+            record["batch_scores"] = scores
+        else:
+            record.update(
+                {
+                    "campaign": campaign,
+                    "cell": cell,
+                    "trials": result.trials,
+                    "trials_per_second": round(rate, 1),
+                    "calibration_mops": round(calibration, 2),
+                    "normalized_score": round(score, 2),
+                }
+            )
+            if reference_score is not None:
+                record["reference_normalized_score"] = reference_score
         _write_json(baseline_path, record)
         out(f"  baseline updated : {baseline_path}")
     elif baseline is None:
         out(f"  no baseline at {baseline_path}; run with --update-baseline "
             f"to record one")
+    elif lanes > 1 and baseline_score is None:
+        out(f"  no batch-{lanes} entry in {baseline_path}; run with "
+            f"--update-baseline to record one")
 
     # The telemetry probe runs outside every timed window: a short
     # observed pass whose metrics snapshot lands in the reproduction

@@ -11,12 +11,25 @@ aggregate.  This package turns that shape into throughput:
   plus the resilience surface (retries, timeouts, dead-worker respawn,
   quarantine) driven by :mod:`repro.faults`;
 * :mod:`repro.runtime.tasks` -- the worker-side trial functions for the
-  TET-CC byte scan and the TET-KASLR probe sweep.
+  TET-CC byte scan and the TET-KASLR probe sweep;
+* :mod:`repro.runtime.batch` -- the lockstep batch executor
+  (:class:`LockstepBatch`): N pack-eligible trials stepped over one
+  shared leader execution, divergent lanes evicted to the scalar path,
+  results byte-identical to scalar dispatch (``TrialPool(batch_size=N)``
+  turns it on).
 
 See ``docs/RUNTIME.md`` for the architecture and a worked example, and
 ``docs/FAULTS.md`` for the failure model.
 """
 
+from repro.runtime.batch import (
+    BatchStats,
+    LockstepBatch,
+    plan_packs,
+    run_channel_pack,
+    run_trial_group,
+    run_trials_batched,
+)
 from repro.runtime.pool import (
     ProcessExecutor,
     SerialExecutor,
@@ -40,9 +53,11 @@ from repro.runtime.tasks import (
 )
 
 __all__ = [
+    "BatchStats",
     "ChannelTrial",
     "DetectTrial",
     "KaslrTrial",
+    "LockstepBatch",
     "MachineSpec",
     "ProcessExecutor",
     "SerialExecutor",
@@ -55,8 +70,12 @@ __all__ = [
     "default_workers",
     "derive_seed",
     "derive_stream",
+    "plan_packs",
+    "run_channel_pack",
     "run_channel_trial",
     "run_detect_trial",
     "run_kaslr_trial",
     "run_trial",
+    "run_trial_group",
+    "run_trials_batched",
 ]

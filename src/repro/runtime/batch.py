@@ -1,0 +1,784 @@
+"""Lockstep batch trial execution: N machine lanes per interpreter step.
+
+Profiling shows the campaign hot path is per-uop Python dispatch in the
+out-of-order core.  Trials within a campaign cell are structurally
+identical -- same gadget, same decoded-uop plan, same warm/probe shape --
+and differ only in operand values (the ``r9`` test byte of a TET-CC
+scan).  This module exploits that: one *leader* lane executes each run
+for real on the scalar :class:`~repro.uarch.core.Core`, and every
+*follower* lane is reconstructed from the leader's uop trace by a
+taint-directed shadow replay instead of a full simulation.
+
+The shadow holds follower state in structure-of-arrays form: for each
+register (and each divergent memory byte) that differs across lanes, a
+per-lane value vector.  Everything *not* tainted is known to be equal in
+every lane, so the leader's journals, PMU counts, and cycle timeline
+stand in for all lanes at zero cost.  Per-record processing applies the
+scalar core's exact value semantics (``_op_alu`` carries, ``&63`` shift
+masks, little-endian memory) to the tainted vectors -- optionally through
+numpy ``uint64`` arrays for wide packs -- and follows the engine's
+squash schedule via the :class:`~repro.uarch.uop.ResolutionEvent`
+breadcrumbs so rolled-back transient writes are rolled back in the
+shadow too.
+
+A lane is *evicted* the moment its execution would stop being
+cycle-identical to the leader's: a memory access whose effective address
+diverges, a conditional branch whose tainted flags resolve differently,
+a tainted value reaching a syscall, or a fault that could forward
+lane-divergent data (stale LFB lines survive architectural rollback, so
+any fault after memory has ever been tainted evicts).  Evicted lanes are
+re-run through the ordinary scalar trial function, which the trial
+purity contract (see ``runtime/pool.py``) makes exact.  The scalar
+``decode_plan=False`` core therefore remains the bit-identity oracle:
+every lane's bytes either *are* the leader's trace or come from the
+scalar path directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import telemetry
+from repro.isa.opcodes import Op
+from repro.isa.registers import GPRS, MASK64
+
+try:  # optional SoA math backend -- never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on host environment
+    _np = None
+
+#: Sentinel for "the leader's value of this register is not tracked"
+#: (only ever true after a syscall handler may have rewritten it).
+_UNKNOWN = object()
+#: Sentinel distinguishing "key absent" from "stored None" in journals.
+_ABSENT = object()
+
+#: Minimum lane count before the numpy backend pays for its conversion
+#: overhead (narrow packs stay on plain-int lists).
+_NUMPY_MIN_LANES = 8
+
+
+def _numpy_available() -> bool:
+    """Whether the numpy ALU backend may be used (env-overridable)."""
+    flag = os.environ.get("REPRO_BATCH_NUMPY")
+    if flag is not None and flag.strip().lower() in ("0", "false", "no", "off"):
+        return False
+    return _np is not None
+
+
+@dataclass
+class BatchStats:
+    """Mutable counters a caller may pass to observe batching behaviour."""
+
+    packs: int = 0
+    packed_trials: int = 0
+    scalar_trials: int = 0
+    evicted_lanes: int = 0
+
+
+# -- per-lane ALU math (the scalar core's _op_alu, vectorized) -----------------
+
+
+def _alu_scalar(op: Op, left: int, right: int) -> Tuple[int, bool]:
+    """One lane of ALU math, mirroring ``_RunEngine._op_alu`` exactly."""
+    carry = False
+    if op is Op.ADD:
+        result = left + right
+        carry = result > MASK64
+    elif op in (Op.SUB, Op.CMP):
+        result = left - right
+        carry = left < right
+    elif op in (Op.AND, Op.TEST):
+        result = left & right
+    elif op is Op.OR:
+        result = left | right
+    elif op is Op.XOR:
+        result = left ^ right
+    elif op is Op.SHL:
+        result = left << (right & 63)
+    else:  # Op.SHR -- the shadow dispatch only routes ALU ops here
+        result = left >> (right & 63)
+    return result & MASK64, carry
+
+
+def _alu_lanes_np(
+    op: Op, lefts: Sequence[int], rights: Sequence[int]
+) -> Tuple[List[int], List[bool]]:
+    """Numpy uint64 lane math; wraps exactly like the masked python path."""
+    left = _np.array(lefts, dtype=_np.uint64)
+    right = _np.array(rights, dtype=_np.uint64)
+    with _np.errstate(over="ignore"):
+        if op is Op.ADD:
+            result = left + right
+            carry = result < left  # unsigned wrap <=> sum exceeded 2**64-1
+        elif op in (Op.SUB, Op.CMP):
+            result = left - right
+            carry = left < right
+        elif op in (Op.AND, Op.TEST):
+            result = left & right
+            carry = _np.zeros(len(lefts), dtype=bool)
+        elif op is Op.OR:
+            result = left | right
+            carry = _np.zeros(len(lefts), dtype=bool)
+        elif op is Op.XOR:
+            result = left ^ right
+            carry = _np.zeros(len(lefts), dtype=bool)
+        elif op is Op.SHL:
+            result = left << (right & _np.uint64(63))
+            carry = _np.zeros(len(lefts), dtype=bool)
+        else:  # Op.SHR
+            result = left >> (right & _np.uint64(63))
+            carry = _np.zeros(len(lefts), dtype=bool)
+    return [int(value) for value in result], [bool(c) for c in carry]
+
+
+def _alu_lanes(
+    op: Op, lefts: Sequence[int], rights: Sequence[int], use_numpy: bool
+) -> Tuple[List[int], List[bool]]:
+    if use_numpy:
+        return _alu_lanes_np(op, lefts, rights)
+    results: List[int] = []
+    carries: List[bool] = []
+    for left, right in zip(lefts, rights):
+        result, carry = _alu_scalar(op, left, right)
+        results.append(result)
+        carries.append(carry)
+    return results, carries
+
+
+# -- one lockstep run ----------------------------------------------------------
+
+
+class LockstepRun:
+    """One ``machine.run`` viewed through every lane of a batch.
+
+    ``result`` is the leader's :class:`~repro.uarch.core.RunResult`;
+    :meth:`lane_reg` reads a register as lane *lane* would have left it.
+    Values for evicted lanes are meaningless -- callers must consult the
+    batch's ``alive`` list first.
+    """
+
+    __slots__ = ("result", "_taint")
+
+    def __init__(self, result, taint: Dict[str, List[int]]) -> None:
+        self.result = result
+        self._taint = taint
+
+    def lane_reg(self, lane: int, name: str) -> int:
+        vector = self._taint.get(name)
+        if vector is not None:
+            return vector[lane]
+        return self.result.regs.read(name)
+
+
+class LockstepBatch:
+    """Step *lanes* virtual machines in lockstep over one real machine.
+
+    Lane 0 is the leader and executes every run on *machine* for real;
+    lanes 1..N-1 exist only as taint vectors over the leader's trace.
+    Divergent-memory taint (``mem_taint``, byte-granular) persists across
+    runs within the batch; register/flag taint is reseeded per run from
+    the per-lane initial registers, matching the fresh
+    :class:`~repro.isa.registers.RegisterFile` each ``run`` gets.
+    """
+
+    def __init__(self, machine, program, lanes: int) -> None:
+        if lanes < 1:
+            raise ValueError("a batch needs at least the leader lane")
+        self.machine = machine
+        self.program = program
+        self.lanes = lanes
+        #: Lane liveness; evictions are permanent for the batch's lifetime
+        #: (an evicted lane's trial re-runs scalar, never partially).
+        self.alive: List[bool] = [True] * lanes
+        #: lane -> first eviction reason (debugging / stats).
+        self.evict_reasons: Dict[int, str] = {}
+        self.live_followers = lanes - 1
+        #: Divergent architectural memory: va -> per-lane byte vector.
+        self.mem_taint: Dict[int, List[int]] = {}
+        #: Monotone: memory held lane-divergent bytes at *some* point.
+        #: Deliberately never rolled back -- LFB line snapshots taken while
+        #: the divergent bytes were live survive architectural rollback, so
+        #: any later fault could MDS-forward lane-divergent data.
+        self.mem_ever_tainted = False
+        self.use_numpy = _numpy_available() and lanes >= _NUMPY_MIN_LANES
+        # Per-run shadow state (reset by run()).
+        self._leader: Dict[str, object] = {}
+        self._reg_taint: Dict[str, List[int]] = {}
+        self._flag_taint: Optional[List[Tuple[bool, bool, bool, bool]]] = None
+        self._journal: List[tuple] = []
+        self._marks: Dict[int, int] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, lane_regs: Sequence[Dict[str, int]]) -> LockstepRun:
+        """Run the program once per lane, in lockstep.
+
+        *lane_regs* gives each lane's initial registers (lane 0 drives
+        the real machine).  Returns a :class:`LockstepRun`; check
+        ``self.alive`` before trusting a follower lane's values.
+        """
+        if len(lane_regs) != self.lanes:
+            raise ValueError(
+                f"expected {self.lanes} lane register sets, got {len(lane_regs)}"
+            )
+        result = self.machine.run(
+            self.program, regs=dict(lane_regs[0]), record_trace=True
+        )
+        self._leader = {name: 0 for name in GPRS}
+        for name, value in lane_regs[0].items():
+            self._leader[name] = value & MASK64
+        self._reg_taint = {}
+        names = set()
+        for regs in lane_regs:
+            names.update(regs)
+        for name in sorted(names):
+            values = [regs.get(name, 0) & MASK64 for regs in lane_regs]
+            if any(value != values[0] for value in values[1:]):
+                self._reg_taint[name] = values
+        self._flag_taint = None
+        # Fast path: with no divergent state anywhere, every lane IS the
+        # leader -- the bulk of a channel pack's runs (the warm-ups) skip
+        # the replay entirely.
+        if self.live_followers and (
+            self._reg_taint or self.mem_taint or self.mem_ever_tainted
+        ):
+            self._replay(result)
+        if not self.live_followers:
+            # Leader-only from here on: any taint state is stale (the
+            # replay stops the moment the last follower dies) and lane 0
+            # must read the engine's own registers.
+            self._reg_taint = {}
+            self._flag_taint = None
+            self.mem_taint.clear()
+        return LockstepRun(
+            result, {name: list(vec) for name, vec in self._reg_taint.items()}
+        )
+
+    # -- eviction ---------------------------------------------------------------
+
+    def _evict(self, lane: int, reason: str) -> None:
+        if self.alive[lane]:
+            self.alive[lane] = False
+            self.evict_reasons[lane] = reason
+            self.live_followers -= 1
+
+    def _evict_followers(self, reason: str) -> None:
+        for lane in range(1, self.lanes):
+            self._evict(lane, reason)
+
+    def _taint_or_none(self, vector: Sequence) -> Optional[list]:
+        """Drop a vector that is degenerate over the live lanes."""
+        head = vector[0]
+        alive = self.alive
+        for lane in range(1, self.lanes):
+            if alive[lane] and vector[lane] != head:
+                return list(vector)
+        return None
+
+    # -- journaled shadow-state mutation ----------------------------------------
+
+    def _jset_reg(self, name: str, leader_value, taint: Optional[list]) -> None:
+        self._journal.append(
+            ("r", name, self._reg_taint.get(name, _ABSENT), self._leader[name])
+        )
+        self._leader[name] = leader_value
+        if taint is None:
+            self._reg_taint.pop(name, None)
+        else:
+            self._reg_taint[name] = taint
+
+    def _jset_flags(self, taint) -> None:
+        self._journal.append(("f", self._flag_taint))
+        self._flag_taint = taint
+
+    def _jset_mem(self, va: int, vector: Optional[list]) -> None:
+        self._journal.append(("m", va, self.mem_taint.get(va, _ABSENT)))
+        if vector is None:
+            self.mem_taint.pop(va, None)
+        else:
+            self.mem_taint[va] = vector
+            self.mem_ever_tainted = True
+
+    def _rollback(self, mark: int) -> None:
+        journal = self._journal
+        while len(journal) > mark:
+            entry = journal.pop()
+            tag = entry[0]
+            if tag == "r":
+                _, name, old_taint, old_leader = entry
+                self._leader[name] = old_leader
+                if old_taint is _ABSENT:
+                    self._reg_taint.pop(name, None)
+                else:
+                    self._reg_taint[name] = old_taint
+            elif tag == "f":
+                self._flag_taint = entry[1]
+            else:
+                _, va, old = entry
+                if old is _ABSENT:
+                    self.mem_taint.pop(va, None)
+                else:
+                    self.mem_taint[va] = old
+
+    # -- the replay loop --------------------------------------------------------
+
+    def _replay(self, result) -> None:
+        """Walk the leader's records, mirroring the engine's squashes.
+
+        Every record is processed (transient ones included -- they wrote
+        state the engine later rolled back, and the shadow must do the
+        same).  The engine's :class:`ResolutionEvent` breadcrumbs say
+        exactly when each rollback happened (``boundary``) and which
+        record's entry state it restored (``target_seq``), so the shadow
+        journal replays the squash schedule mark-for-mark.
+        """
+        resolutions = result.events.resolutions
+        res_idx = 0
+        n_res = len(resolutions)
+        self._journal = []
+        self._marks = {}
+        shadow = _SHADOW
+        for record in result.records:
+            seq = record.seq
+            while res_idx < n_res and resolutions[res_idx].boundary <= seq:
+                self._apply_resolution(resolutions[res_idx])
+                res_idx += 1
+            if not self.live_followers:
+                return
+            self._marks[seq] = len(self._journal)
+            handler = shadow.get(record.instruction.op)
+            if handler is None:
+                # Future ISA growth: an op the shadow has no model for
+                # falls back to scalar for every follower.
+                self._evict_followers("unmodelled-op")
+                return
+            handler(self, record, record.instruction)
+        while res_idx < n_res:
+            self._apply_resolution(resolutions[res_idx])
+            res_idx += 1
+
+    def _apply_resolution(self, resolution) -> None:
+        # A target record dispatched at (or after) the rollback boundary
+        # has no mark yet; the rollback is then a no-op for the shadow
+        # (nothing newer was processed either).
+        mark = self._marks.get(resolution.target_seq)
+        if mark is not None:
+            self._rollback(mark)
+
+    # -- per-op shadow semantics -------------------------------------------------
+
+    def _shadow_nop(self, record, ins) -> None:
+        return None
+
+    def _shadow_mov_ri(self, record, ins) -> None:
+        self._jset_reg(ins.dst, record.dest_value, None)
+
+    def _shadow_mov_rr(self, record, ins) -> None:
+        taint = self._reg_taint.get(ins.src)
+        self._jset_reg(
+            ins.dst, record.dest_value, list(taint) if taint is not None else None
+        )
+
+    def _shadow_lea(self, record, ins) -> None:
+        mem = ins.mem
+        base_t = self._reg_taint.get(mem.base) if mem.base else None
+        index_t = self._reg_taint.get(mem.index) if mem.index else None
+        value = record.dest_value
+        if base_t is None and index_t is None:
+            self._jset_reg(ins.dst, value, None)
+            return
+        vector = []
+        for lane in range(self.lanes):
+            delta = 0
+            if base_t is not None:
+                delta += base_t[lane] - base_t[0]
+            if index_t is not None:
+                delta += (index_t[lane] - index_t[0]) * mem.scale
+            vector.append((value + delta) & MASK64)
+        self._jset_reg(ins.dst, value, self._taint_or_none(vector))
+
+    def _shadow_alu(self, record, ins) -> None:
+        op = ins.op
+        writes = op not in (Op.CMP, Op.TEST)
+        left_t = self._reg_taint.get(ins.dst)
+        right_t = self._reg_taint.get(ins.src) if ins.src is not None else None
+        if left_t is None and right_t is None:
+            # Untainted inputs: every lane computes the leader's result
+            # and the leader's flags.
+            self._jset_flags(None)
+            if writes:
+                self._jset_reg(ins.dst, record.dest_value, None)
+            return
+        if left_t is not None:
+            lefts = left_t
+        else:
+            leader_left = self._leader[ins.dst]
+            if leader_left is _UNKNOWN:
+                self._evict_followers("alu-on-unknown-leader-value")
+                self._jset_flags(None)
+                if writes:
+                    self._jset_reg(ins.dst, record.dest_value, None)
+                return
+            lefts = [leader_left] * self.lanes
+        if right_t is not None:
+            rights = right_t
+        elif ins.src is not None:
+            leader_right = self._leader[ins.src]
+            if leader_right is _UNKNOWN:
+                self._evict_followers("alu-on-unknown-leader-value")
+                self._jset_flags(None)
+                if writes:
+                    self._jset_reg(ins.dst, record.dest_value, None)
+                return
+            rights = [leader_right] * self.lanes
+        else:
+            rights = [ins.imm & MASK64] * self.lanes
+        results, carries = _alu_lanes(op, lefts, rights, self.use_numpy)
+        if writes and record.dest_value is not None and results[0] != record.dest_value:
+            # Shadow/engine disagreement on the leader lane can only be a
+            # shadow bug; degrade to scalar rather than corrupt a lane.
+            self._evict_followers("shadow-mismatch")
+            self._jset_flags(None)
+            self._jset_reg(ins.dst, record.dest_value, None)
+            return
+        flags = [
+            (result == 0, carry, bool(result >> 63), False)
+            for result, carry in zip(results, carries)
+        ]
+        self._jset_flags(self._taint_or_none(flags))
+        if writes:
+            self._jset_reg(ins.dst, results[0], self._taint_or_none(results))
+
+    def _shadow_jcc(self, record, ins) -> None:
+        flags = self._flag_taint
+        if flags is None:
+            return
+        cond = ins.cond
+        actual = record.actual_taken
+        alive = self.alive
+        for lane in range(1, self.lanes):
+            if alive[lane] and cond.evaluate(*flags[lane]) != actual:
+                # This lane's branch goes the other way: different fetch
+                # path, different timing -- scalar from here on.
+                self._evict(lane, "branch-divergence")
+
+    def _evict_address_mismatch(self, base, index, scale: int) -> None:
+        base_t = self._reg_taint.get(base) if base else None
+        index_t = self._reg_taint.get(index) if index else None
+        if base_t is None and index_t is None:
+            return
+        alive = self.alive
+        for lane in range(1, self.lanes):
+            if not alive[lane]:
+                continue
+            delta = 0
+            if base_t is not None:
+                delta += base_t[lane] - base_t[0]
+            if index_t is not None:
+                delta += (index_t[lane] - index_t[0]) * scale
+            if delta & MASK64:
+                self._evict(lane, "address-divergence")
+
+    def _shadow_load(self, record, ins) -> None:
+        mem = ins.mem
+        self._evict_address_mismatch(mem.base, mem.index, mem.scale)
+        if record.fault is not None:
+            if self.mem_ever_tainted:
+                # The forwarded value may come from a stale LFB line (MDS)
+                # or from bytes the lanes disagree on (Meltdown); once
+                # memory has ever been divergent, neither is lane-safe.
+                self._evict_followers("fault-after-memory-taint")
+            if ins.dst is not None:
+                self._jset_reg(ins.dst, record.dest_value, None)
+            return
+        size = 1 if ins.op is Op.LOAD_BYTE else 8
+        value = record.dest_value
+        overlap = None
+        if self.mem_taint:
+            va = record.memory_va
+            overlap = [self.mem_taint.get(va + i) for i in range(size)]
+            if not any(vec is not None for vec in overlap):
+                overlap = None
+        if overlap is None:
+            self._jset_reg(ins.dst, value, None)
+            return
+        leader_bytes = value.to_bytes(size, "little")
+        vector = []
+        for lane in range(self.lanes):
+            raw = bytearray(leader_bytes)
+            for i, vec in enumerate(overlap):
+                if vec is not None:
+                    raw[i] = vec[lane]
+            vector.append(int.from_bytes(raw, "little"))
+        self._jset_reg(ins.dst, value, self._taint_or_none(vector))
+
+    def _shadow_store(self, record, ins) -> None:
+        mem = ins.mem
+        self._evict_address_mismatch(mem.base, mem.index, mem.scale)
+        if record.fault is not None:
+            return  # the faulting store committed nothing
+        va = record.memory_va
+        value_t = self._reg_taint.get(ins.src) if ins.src is not None else None
+        if value_t is None:
+            # All lanes stored the same bytes: strong update, clearing any
+            # taint the 8 bytes carried.
+            if self.mem_taint:
+                for i in range(8):
+                    if va + i in self.mem_taint:
+                        self._jset_mem(va + i, None)
+            return
+        for i in range(8):
+            shift = 8 * i
+            byte_vec = [(value >> shift) & 0xFF for value in value_t]
+            self._jset_mem(va + i, self._taint_or_none(byte_vec))
+
+    def _shadow_prefetch(self, record, ins) -> None:
+        # Address-only side effects (cache/TLB fills, flushes): timing
+        # stays lane-identical iff the address does.
+        mem = ins.mem
+        self._evict_address_mismatch(mem.base, mem.index, mem.scale)
+
+    def _shadow_call(self, record, ins) -> None:
+        # record.memory_va is the decremented rsp the return address went
+        # to; lane deltas on rsp translate 1:1.
+        self._evict_address_mismatch("rsp", None, 1)
+        if record.fault is not None:
+            return
+        va = record.memory_va
+        if self.mem_taint:
+            for i in range(8):
+                if va + i in self.mem_taint:
+                    self._jset_mem(va + i, None)  # return address: lane-invariant
+        rsp_t = self._reg_taint.get("rsp")
+        taint = (
+            [(value - 8) & MASK64 for value in rsp_t] if rsp_t is not None else None
+        )
+        self._jset_reg("rsp", va, taint)
+
+    def _shadow_ret(self, record, ins) -> None:
+        self._evict_address_mismatch("rsp", None, 1)
+        if record.fault is not None:
+            return
+        va = record.memory_va
+        target = record.actual_target
+        if self.mem_taint:
+            overlap = [self.mem_taint.get(va + i) for i in range(8)]
+            if any(vec is not None for vec in overlap):
+                leader_bytes = target.to_bytes(8, "little")
+                alive = self.alive
+                for lane in range(1, self.lanes):
+                    if not alive[lane]:
+                        continue
+                    raw = bytearray(leader_bytes)
+                    for i, vec in enumerate(overlap):
+                        if vec is not None:
+                            raw[i] = vec[lane]
+                    if int.from_bytes(raw, "little") != target:
+                        self._evict(lane, "return-target-divergence")
+        rsp_t = self._reg_taint.get("rsp")
+        taint = (
+            [(value + 8) & MASK64 for value in rsp_t] if rsp_t is not None else None
+        )
+        self._jset_reg("rsp", (va + 8) & MASK64, taint)
+
+    def _shadow_rdtsc(self, record, ins) -> None:
+        # rax gets the (lane-invariant) timestamp; rdx is zeroed directly.
+        self._jset_reg("rax", record.dest_value, None)
+        self._jset_reg("rdx", 0, None)
+
+    def _shadow_syscall(self, record, ins) -> None:
+        if self._reg_taint or self._flag_taint is not None or self.mem_taint:
+            # The kernel handler reads/writes the architectural file and
+            # memory; tainted inputs make its effects lane-divergent in
+            # ways the shadow cannot model.
+            self._evict_followers("syscall-with-taint")
+            return
+        for name in ("rax", "rbx", "rcx", "rdx", "rsi", "rdi"):
+            self._jset_reg(name, _UNKNOWN, None)
+
+
+#: Op -> shadow handler.  Ops absent here (none today) evict followers.
+_SHADOW = {
+    Op.MOV_RI: LockstepBatch._shadow_mov_ri,
+    Op.MOV_RR: LockstepBatch._shadow_mov_rr,
+    Op.LOAD: LockstepBatch._shadow_load,
+    Op.LOAD_BYTE: LockstepBatch._shadow_load,
+    Op.STORE: LockstepBatch._shadow_store,
+    Op.LEA: LockstepBatch._shadow_lea,
+    Op.ADD: LockstepBatch._shadow_alu,
+    Op.SUB: LockstepBatch._shadow_alu,
+    Op.AND: LockstepBatch._shadow_alu,
+    Op.OR: LockstepBatch._shadow_alu,
+    Op.XOR: LockstepBatch._shadow_alu,
+    Op.SHL: LockstepBatch._shadow_alu,
+    Op.SHR: LockstepBatch._shadow_alu,
+    Op.CMP: LockstepBatch._shadow_alu,
+    Op.TEST: LockstepBatch._shadow_alu,
+    Op.JMP: LockstepBatch._shadow_nop,
+    Op.JCC: LockstepBatch._shadow_jcc,
+    Op.CALL: LockstepBatch._shadow_call,
+    Op.RET: LockstepBatch._shadow_ret,
+    Op.NOP: LockstepBatch._shadow_nop,
+    Op.PREFETCH: LockstepBatch._shadow_prefetch,
+    Op.MFENCE: LockstepBatch._shadow_nop,
+    Op.LFENCE: LockstepBatch._shadow_nop,
+    Op.SFENCE: LockstepBatch._shadow_nop,
+    Op.CLFLUSH: LockstepBatch._shadow_prefetch,
+    Op.RDTSC: LockstepBatch._shadow_rdtsc,
+    Op.RDTSCP: LockstepBatch._shadow_rdtsc,
+    Op.XBEGIN: LockstepBatch._shadow_nop,
+    Op.XEND: LockstepBatch._shadow_nop,
+    Op.HLT: LockstepBatch._shadow_nop,
+    Op.SYSCALL: LockstepBatch._shadow_syscall,
+}
+
+
+# -- channel-trial packs -------------------------------------------------------
+
+
+def pack_eligible(trial) -> bool:
+    """Whether *trial* may ride a lockstep pack.
+
+    Channel trials only (KASLR/detect trials have per-trial behaviour no
+    shared trace covers), and only at zero ambient noise: the per-trial
+    noise seed is inert at amplitude 0, which is what lets one leader
+    reset stand in for every lane's.
+    """
+    from repro.runtime.tasks import ChannelTrial
+
+    return isinstance(trial, ChannelTrial) and trial.spec.noise_amplitude == 0
+
+
+def _pack_key(trial):
+    """Trials in one pack must agree on everything but ``test``/index."""
+    return (trial.spec, trial.byte, trial.batches, trial.warmup, trial.suppression)
+
+
+def plan_packs(payloads: Sequence, batch_size: int) -> List[list]:
+    """Split *payloads* into order-preserving executable groups.
+
+    Consecutive pack-eligible trials sharing a pack key form groups of up
+    to *batch_size* lanes; everything else becomes a scalar singleton.
+    Grouping depends only on the payload sequence and *batch_size*, so
+    serial and pooled runs form identical packs (the determinism
+    contract's requirement).
+    """
+    groups: List[list] = []
+    i = 0
+    n = len(payloads)
+    while i < n:
+        trial = payloads[i]
+        if pack_eligible(trial) and batch_size > 1:
+            key = _pack_key(trial)
+            j = i + 1
+            while (
+                j < n
+                and j - i < batch_size
+                and pack_eligible(payloads[j])
+                and _pack_key(payloads[j]) == key
+            ):
+                j += 1
+            groups.append(list(payloads[i:j]))
+            i = j
+        else:
+            groups.append([trial])
+            i += 1
+    return groups
+
+
+def run_channel_pack(trials: Sequence, stats: Optional[BatchStats] = None) -> List:
+    """Run a pack of structurally identical channel trials in lockstep.
+
+    The leader (``trials[0]``) executes its trial for real; every other
+    lane is the same trial with a different test value, reconstructed
+    from the leader's trace.  Lanes the shadow evicts (the matching test
+    byte whose Jcc really does go the other way) re-run through the
+    ordinary scalar path, so every returned
+    :class:`~repro.runtime.tasks.TrialResult` is byte-identical to a
+    scalar run of its payload.
+    """
+    from repro.runtime.tasks import (
+        NULL_POINTER,
+        TrialResult,
+        _channel_context,
+        run_trial,
+    )
+
+    lead = trials[0]
+    machine, program, sender_page = _channel_context(lead.spec, lead.suppression)
+    machine.reset_uarch(noise_seed=lead.spec.trial_seed(lead.trial_index))
+    machine.write_data(sender_page, bytes([lead.byte & 0xFF]) + b"\x00" * 7)
+    lanes = len(trials)
+    batch = LockstepBatch(machine, program, lanes)
+    warm_regs = {"r12": sender_page, "r13": NULL_POINTER, "r9": 256}
+    warm_set = [warm_regs] * lanes
+    probe_set = [
+        {"r12": sender_page, "r13": NULL_POINTER, "r9": trial.test}
+        for trial in trials
+    ]
+    lane_totes: List[List[int]] = [[] for _ in range(lanes)]
+    for _ in range(lead.batches):
+        for _ in range(lead.warmup):
+            batch.run(warm_set)
+        probe = batch.run(probe_set)
+        for lane in range(lanes):
+            if batch.alive[lane]:
+                lane_totes[lane].append(
+                    probe.lane_reg(lane, "r15") - probe.lane_reg(lane, "r14")
+                )
+    # The pack ran exactly one trial's worth of runs on one continuing
+    # cycle timeline, so the leader's cycle count is every live lane's.
+    cycles = machine.core.global_cycle
+    if stats is not None:
+        stats.packs += 1
+        stats.packed_trials += sum(batch.alive)
+        stats.evicted_lanes += lanes - sum(batch.alive)
+        stats.scalar_trials += lanes - sum(batch.alive)
+    results: List = [None] * lanes
+    for lane in range(lanes):
+        if batch.alive[lane]:
+            results[lane] = TrialResult(totes=tuple(lane_totes[lane]), cycles=cycles)
+    for lane in range(lanes):
+        if results[lane] is None:
+            # Scalar re-run on the same cached context: purity makes this
+            # exactly the result a scalar-only campaign computes.
+            results[lane] = run_trial(trials[lane])
+    return results
+
+
+def run_trial_group(group: Sequence) -> List:
+    """Execute one ``plan_packs`` group (module-level: pool-picklable)."""
+    from repro.runtime.tasks import run_trial
+
+    if len(group) > 1:
+        if not telemetry.enabled():
+            return run_channel_pack(group)
+        stats = BatchStats()
+        with telemetry.span(
+            "batch.pack", batch_size=len(group), kind=type(group[0]).__name__
+        ) as span:
+            results = run_channel_pack(group, stats)
+            span.set(evicted=stats.evicted_lanes)
+        return results
+    return [run_trial(group[0])]
+
+
+def run_trials_batched(
+    payloads: Sequence, batch_size: int, stats: Optional[BatchStats] = None
+) -> List:
+    """Run *payloads* in order, packing eligible neighbours up to
+    *batch_size* lanes; returns results positionally like ``map``."""
+    results: List = []
+    for group in plan_packs(list(payloads), batch_size):
+        if len(group) > 1:
+            results.extend(run_channel_pack(group, stats))
+        else:
+            from repro.runtime.tasks import run_trial
+
+            if stats is not None:
+                stats.scalar_trials += 1
+            results.append(run_trial(group[0]))
+    return results

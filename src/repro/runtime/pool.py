@@ -715,6 +715,16 @@ class TrialPool:
     :attr:`fault_stats` counts what went wrong.  ``install_faults``
     (testing only) arms the dispatcher with a deterministic
     :class:`~repro.faults.plan.FaultPlan`.
+
+    ``batch_size > 1`` turns on the lockstep batch executor
+    (:mod:`repro.runtime.batch`): pack-eligible ``run_trial`` payloads
+    are grouped into packs of up to that many lanes and stepped in
+    lockstep over one shared leader execution, with divergent lanes
+    falling back to the scalar path.  Results stay byte-identical to
+    scalar dispatch -- batching, like chunking, is scheduling, not
+    semantics.  The resilient path and fault injection keep per-trial
+    dispatch (their attribution is per payload), so batching silently
+    stands down whenever either is armed.
     """
 
     def __init__(
@@ -722,6 +732,7 @@ class TrialPool:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         policy=None,
+        batch_size: Optional[int] = None,
     ) -> None:
         from repro.faults.resilience import FaultStats
 
@@ -737,6 +748,10 @@ class TrialPool:
         self.trials_executed = 0
         #: The resilience policy; None = the classic fail-fast path.
         self.policy = policy
+        #: Lockstep lanes per pack (None/1 = scalar dispatch).  Read by
+        #: the campaign runner for span attribution; the value never
+        #: reaches trial results or reports (batching is invisible there).
+        self.batch_size = int(batch_size) if batch_size else None
         #: Payloads that failed every retry, in payload order per map call.
         self.quarantine: List = []
         #: Counters over this pool's lifetime (deterministic under a plan).
@@ -766,7 +781,14 @@ class TrialPool:
         if observing:
             telemetry.add("pool.trials.dispatched", len(payloads))
         if self.policy is None:
-            results = self.executor.map(fn, payloads)
+            if self._batchable(fn):
+                from repro.runtime.batch import plan_packs, run_trial_group
+
+                groups = plan_packs(payloads, self.batch_size)
+                packed = self.executor.map(run_trial_group, groups)
+                results = [result for group in packed for result in group]
+            else:
+                results = self.executor.map(fn, payloads)
             self.trials_executed += len(payloads)
             self._note_metrics(started, len(payloads))
             return results
@@ -790,6 +812,20 @@ class TrialPool:
         self._note_metrics(started, executed)
         return results
 
+    def _batchable(self, fn: Callable) -> bool:
+        """Whether this map may go through the lockstep batch executor.
+
+        Only the stock trial dispatchers qualify (``run_trial``, or
+        ``run_channel_trial``, which ``run_trial`` reduces to on channel
+        payloads): a wrapped callable (fault injector, stub trial
+        function) has per-dispatch semantics a pack would blur.
+        """
+        if not self.batch_size or self.batch_size <= 1:
+            return False
+        from repro.runtime.tasks import run_channel_trial, run_trial
+
+        return fn is run_trial or fn is run_channel_trial
+
     def _note_metrics(self, started: Optional[float], executed: int) -> None:
         """Post-map metric updates (no-ops when telemetry is off)."""
         if started is None:
@@ -811,4 +847,9 @@ class TrialPool:
         self.close()
 
     def __repr__(self) -> str:
+        if self.batch_size:
+            return (
+                f"TrialPool(workers={self.workers}, "
+                f"batch_size={self.batch_size})"
+            )
         return f"TrialPool(workers={self.workers})"

@@ -37,7 +37,13 @@ from repro.uarch.config import CpuModel
 from repro.uarch.frontend import Frontend
 from repro.uarch.plan import plan_for
 from repro.uarch.pmu import PmuCounters
-from repro.uarch.uop import FlushEvent, RedirectEvent, RunEvents, UopRecord
+from repro.uarch.uop import (
+    FlushEvent,
+    RedirectEvent,
+    ResolutionEvent,
+    RunEvents,
+    UopRecord,
+)
 
 MASK64 = (1 << 64) - 1
 
@@ -504,6 +510,17 @@ class _RunEngine:
 
     def _resolve_branch(self, ctx: _SpecContext) -> None:
         wrong_uops = self._live_transient_uops(ctx.trigger_seq)
+        # The branch's snapshot was taken after its own writes (a
+        # mispredicted ret keeps its rsp update), so the rollback target
+        # is the state at the start of the *next* record.
+        self.events.resolutions.append(
+            ResolutionEvent(
+                kind="branch",
+                trigger_seq=ctx.trigger_seq,
+                boundary=len(self.records),
+                target_seq=ctx.trigger_seq + 1,
+            )
+        )
         self._squash_after(ctx.trigger_seq)
         self._restore(ctx.snapshot)
         redirect_cycle = ctx.resolve_cycle + self.model.mispredict_resteer
@@ -557,6 +574,19 @@ class _RunEngine:
         drain += self.model.nested_clear_flush_penalty * ctx.nested_clears
         flush_end = flush_start + drain
 
+        # A TSX abort rolls registers to the xbegin mark and unwinds the
+        # transaction's stores; a signal-suppressed fault restores the
+        # snapshot taken before the faulting record's forwarded write.
+        self.events.resolutions.append(
+            ResolutionEvent(
+                kind=ctx.suppression,
+                trigger_seq=ctx.trigger_seq,
+                boundary=len(self.records),
+                target_seq=(
+                    ctx.tsx.xbegin_seq if ctx.suppression == "tsx" else ctx.trigger_seq
+                ),
+            )
+        )
         self._squash_after(ctx.trigger_seq)
         if ctx.suppression == "tsx":
             assert ctx.tsx is not None
@@ -783,6 +813,7 @@ class _RunEngine:
     # -- per-instruction semantics ---------------------------------------------
 
     def _write_dest(self, record: UopRecord, name: str, value: int) -> None:
+        record.dest_value = value
         self.spec.write(name, value)
         self._set_reg_ready(name, record.ready_cycle)
 

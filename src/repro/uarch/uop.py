@@ -47,6 +47,7 @@ class UopRecord:
         "memory_va",
         "memory_latency",
         "cache_hit_level",
+        "dest_value",
     )
 
     def __init__(
@@ -84,6 +85,10 @@ class UopRecord:
         self.memory_va: Optional[int] = None
         self.memory_latency = 0
         self.cache_hit_level = ""
+        #: The value the destination register received (set by
+        #: ``_write_dest``); ``None`` for ops without a journaled dest
+        #: write.  The batch executor's shadow replay reads it.
+        self.dest_value: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -122,9 +127,34 @@ class FlushEvent:
     resume_pc: int
 
 
+@dataclass(frozen=True)
+class ResolutionEvent:
+    """One squash applied to the record stream, in resolution order.
+
+    ``boundary`` is ``len(records)`` at the moment the rollback ran:
+    every record with ``seq < boundary`` had already executed, and the
+    records from ``boundary`` on saw post-rollback state.  ``target_seq``
+    names the architectural state the rollback restored: the mark taken
+    at the *start* of that record's shadow processing (a mispredicted
+    branch keeps its trigger's own writes, so its target is
+    ``trigger_seq + 1``; a signal-suppressed fault drops them,
+    ``trigger_seq``; a TSX abort unwinds to its ``xbegin``).  The batch
+    executor replays these between records to keep its per-lane shadow
+    state aligned with the engine's journals.
+    """
+
+    kind: str  # "branch" | "tsx" | "signal"
+    trigger_seq: int
+    boundary: int
+    target_seq: int
+
+
 @dataclass
 class RunEvents:
     """All pipeline events of one run, for Figures 3 and 4."""
 
     redirects: list = field(default_factory=list)
     flushes: list = field(default_factory=list)
+    #: Chronological squash breadcrumbs (:class:`ResolutionEvent`) -- the
+    #: rollback schedule the batch executor's shadow replay follows.
+    resolutions: list = field(default_factory=list)

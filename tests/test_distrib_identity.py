@@ -331,6 +331,79 @@ class TestSchemaVersion:
         assert report["runtime_scaling"] == {"host_cpus": 4}
 
 
+# -- satellite: lockstep batching through the distributed tier -----------------
+
+
+class TestBatchThroughDistrib:
+    """``TrialPool(batch_size=N)`` on the shard side of a split.
+
+    Two invariants: the merged artifacts stay byte-identical to a scalar
+    single-host run (batching is scheduling, so it must be invisible to
+    the store and the report), while the ``batch_size`` the run used
+    *does* survive where it belongs -- the ``campaign.run`` telemetry
+    span and the reproduction report's ``perf_bench`` section.
+    """
+
+    def test_batched_shards_merge_to_scalar_bytes(self, tmp_path):
+        from repro.runtime import TrialPool
+
+        spec = builtin_campaign("ci-smoke")
+        golden = single_host(spec, tmp_path / "single")
+        with TrialPool(workers=1, batch_size=4) as pool:
+            merged, stats, _ = sharded_then_merged(
+                spec, 3, tmp_path, pool=pool
+            )
+        assert merged == golden
+        assert stats.unique == spec.trial_count()
+
+    def test_shard_span_records_batch_size(self, tmp_path):
+        from repro import telemetry
+        from repro.runtime import TrialPool
+
+        spec = builtin_campaign("ci-smoke")
+        telemetry.enable()
+        try:
+            with TrialPool(workers=1, batch_size=4) as pool:
+                run_shard(spec, Shard(0, 2), str(tmp_path / "seg"), pool=pool)
+            records = telemetry.recorder().drain()
+        finally:
+            telemetry.disable()
+        runs = [
+            record
+            for record in records
+            if record.get("name") == "campaign.run"
+        ]
+        assert runs, "the shard must open a campaign.run span"
+        assert all(
+            record.get("attrs", {}).get("batch_size") == 4 for record in runs
+        )
+        # The pack spans the batch executor opens ride along underneath.
+        packs = [
+            record
+            for record in records
+            if record.get("name") == "batch.pack"
+        ]
+        assert packs
+        assert all(
+            record.get("attrs", {}).get("batch_size") == 4 for record in packs
+        )
+
+    def test_batch_size_survives_report_merge(self, tmp_path):
+        """perf_bench metrics carry batch_size through the reproduction
+        report's section-merge idiom (the shard/merge report path)."""
+        from repro.perf import merge_report_metrics
+
+        path = str(tmp_path / "reproduction_report.json")
+        merge_report_metrics(
+            path, "perf_bench", {"batch_size": 17, "trials_per_second": 5.0}
+        )
+        merge_report_metrics(path, "runtime_scaling", {"host_cpus": 4})
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["perf_bench"]["batch_size"] == 17
+        assert report["runtime_scaling"] == {"host_cpus": 4}
+
+
 # -- shard-local runner behaviour ----------------------------------------------
 
 

@@ -14,6 +14,11 @@ pins that contract two ways:
   ``test_faults_chaos.py``): the same payload list run serially, pooled
   per-payload, and pooled with explicit chunking yields structurally
   equal results -- chunk grouping is scheduling, not semantics.
+
+The lockstep batch executor joins the same contract: ``batch_size``
+lanes {1, 4, 17} across serial, pooled and resumed (split-map) runs must
+all yield the scalar bytes -- pack formation, like chunking, may only
+change how trials are scheduled, never what they compute.
 """
 
 import pytest
@@ -110,3 +115,66 @@ class TestExecutionShapeIdentity:
             first = pool.map(run_trial, payloads)
             second = pool.map(run_trial, payloads)
         assert first == second
+
+
+class TestBatchShapeIdentity:
+    """Lockstep batching at {1, 4, 17} lanes: same bytes, every shape.
+
+    17 deliberately exceeds the 12-payload cell (one undersized pack)
+    and the numpy lane threshold; 4 splits the cell into ragged packs;
+    1 must be indistinguishable from no batching at all.
+    """
+
+    def _payloads(self):
+        spec = MachineSpec("i7-7700", seed=1)
+        return [
+            ChannelTrial(
+                spec=spec, byte=0x54, test=test, batches=2, trial_index=test
+            )
+            for test in range(12)
+        ]
+
+    def _scalar(self, payloads):
+        with TrialPool(workers=1) as pool:
+            return pool.map(run_trial, payloads)
+
+    @pytest.mark.parametrize("batch_size", [1, 4, 17])
+    def test_serial_pooled_resumed_identical(self, batch_size):
+        payloads = self._payloads()
+        scalar = self._scalar(payloads)
+        shapes = {}
+        for label, kwargs in (
+            ("serial", {"workers": 1, "batch_size": batch_size}),
+            ("pooled", {"workers": 4, "batch_size": batch_size}),
+        ):
+            with TrialPool(**kwargs) as pool:
+                shapes[label] = pool.map(run_trial, payloads)
+                assert pool.trials_executed == len(payloads)
+        # "Resumed": a checkpoint boundary mid-scan -- the pool sees the
+        # pending tail as a fresh map, so packs form over a different
+        # payload stream than the cold run's.  Split at 5 to cut inside
+        # a 4-lane pack.
+        with TrialPool(workers=1, batch_size=batch_size) as pool:
+            shapes["resumed"] = pool.map(run_trial, payloads[:5]) + pool.map(
+                run_trial, payloads[5:]
+            )
+        for label, results in shapes.items():
+            assert results == scalar, (batch_size, label)
+
+    def test_golden_constants_hold_under_batching(self):
+        """The pre-overhaul golden bytes, through a 4-lane pack."""
+        payloads = [
+            _channel_payload(*key)
+            for key, _ in GOLDEN_CHANNEL
+            if key[0] == "i7-7700" and key[1] == 1
+        ]
+        with TrialPool(workers=1, batch_size=4) as pool:
+            results = pool.map(run_trial, payloads)
+        expected = [
+            value
+            for key, value in GOLDEN_CHANNEL
+            if key[0] == "i7-7700" and key[1] == 1
+        ]
+        assert [
+            (tuple(result.totes), result.cycles) for result in results
+        ] == expected
