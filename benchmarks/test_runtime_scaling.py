@@ -154,3 +154,67 @@ def test_batch_scaling(benchmark):
     assert speedup_4 > 1.5, f"4-lane packs must beat scalar ({speedup_4:.2f}x)"
     assert speedup_16 > 2.5, f"16-lane packs must beat scalar ({speedup_16:.2f}x)"
     assert speedup_16 > speedup_4, "wider packs must amortise more leader work"
+
+
+def run_batched_kaslr_cell(batch: int):
+    """One e9-kaslr cell slice through the batch executor at *batch*
+    lanes: translation-shadow packs plus the leader trace cache."""
+    payloads = cell_payloads("e9-kaslr", 0, limit=64)
+    clear_worker_contexts()
+    stats = BatchStats()
+    if batch == 1:
+        run_trials_batched(payloads[:3], batch)  # warm contexts and caches
+    else:
+        run_trials_batched(payloads[:3], batch, stats)
+    start = time.perf_counter()
+    results = run_trials_batched(payloads, batch, stats)
+    elapsed = time.perf_counter() - start
+    return results, elapsed, stats
+
+
+def test_kaslr_batch_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {batch: run_batched_kaslr_cell(batch) for batch in BATCH_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+
+    scalar_results, scalar_wall, _ = results[1]
+    banner(
+        "runtime -- KASLR lockstep batch scaling (e9-kaslr cell 0, 64 trials)"
+    )
+    emit(
+        f"{'lanes':>8} {'wall':>10} {'speedup':>8} {'packs':>6} "
+        f"{'evicted':>8} {'cache h/m':>10}"
+    )
+    emit_metric("kaslr_batch_scaling", "trials", len(scalar_results))
+    for batch in BATCH_SIZES:
+        batch_results, wall, stats = results[batch]
+        speedup = scalar_wall / wall if wall else float("nan")
+        cache = f"{stats.leader_cache_hits}/{stats.leader_cache_misses}"
+        emit(
+            f"{batch:>8} {wall:>9.3f}s {speedup:>7.2f}x {stats.packs:>6} "
+            f"{stats.evicted_lanes:>8} {cache:>10}"
+        )
+        emit_metric("kaslr_batch_scaling", f"wall_seconds_batch_{batch}", wall)
+        if batch > 1:
+            emit_metric("kaslr_batch_scaling", f"speedup_batch_{batch}", speedup)
+            emit_metric(
+                "kaslr_batch_scaling",
+                f"leader_cache_hits_batch_{batch}",
+                stats.leader_cache_hits,
+            )
+        # The determinism contract is the hard assertion: every lane
+        # count computes the scalar bytes.
+        assert batch_results == scalar_results, f"kaslr batch {batch} diverged"
+    speedup_4 = scalar_wall / results[4][1]
+    speedup_16 = scalar_wall / results[16][1]
+    # KASLR packs amortise far more than channel packs (the sweep's
+    # unmapped slots are walk-isomorphic and the leader trace cache
+    # removes whole executions); the acceptance floor is 3x at 8 lanes,
+    # so 4/16 lanes get proportionate conservative floors.
+    assert speedup_4 > 2.0, f"4-lane packs must beat scalar ({speedup_4:.2f}x)"
+    assert speedup_16 > 4.0, (
+        f"16-lane packs must beat scalar ({speedup_16:.2f}x)"
+    )
+    assert speedup_16 > speedup_4, "wider packs must amortise more leader work"

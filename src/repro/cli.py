@@ -237,8 +237,12 @@ def cmd_perf_profile(args) -> int:
 
 
 def cmd_perf_bench(args) -> int:
+    import os
+
     from repro.perf import run_bench
 
+    if getattr(args, "no_leader_cache", False):
+        os.environ["REPRO_BATCH_LEADER_CACHE"] = "0"
     result = run_bench(
         campaign=args.campaign,
         cell=args.cell,
@@ -1124,7 +1128,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=None, metavar="B",
         help="time the lockstep batch executor with B lanes per pack "
         "instead of the scalar path (results are byte-identical; gates "
-        "against the baseline's batch_scores entry)",
+        "against the baseline's batch_scores entry, or kaslr_batch_scores "
+        "for a KASLR cell)",
+    )
+    pbench.add_argument(
+        "--no-leader-cache", action="store_true",
+        help="disable the cross-pack leader trace cache for this run "
+        "(sets REPRO_BATCH_LEADER_CACHE=0; results stay byte-identical, "
+        "only the pack leader re-executes)",
     )
     pbench.set_defaults(func=cmd_perf_bench)
 

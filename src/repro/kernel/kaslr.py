@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Optional
 
 from repro.kernel.layout import (
     DEFAULT_SYMBOL_OFFSETS,
@@ -13,6 +13,32 @@ from repro.kernel.layout import (
     KernelLayout,
     slot_base,
 )
+
+
+def user_mapped_slots(
+    layout: KernelLayout, kpti: bool, probe_offset: int = 0
+) -> FrozenSet[int]:
+    """Sweep slots whose probe address the *user* page table maps.
+
+    A TET-KASLR sweep probes ``slot_base(slot) + probe_offset`` for all
+    512 slots; this predicts which of those candidates resolve to a
+    mapped page from user space -- the whole image without KPTI, exactly
+    the 4 KiB trampoline remnant with it.  The batch executor's KASLR
+    packs evict precisely these lanes to the scalar path (a mapped
+    candidate's walk cannot be isomorphic to an unmapped leader's), so
+    tests and capacity planning read the expected eviction set from
+    here.
+    """
+    trampoline_page = layout.trampoline_va & ~0xFFF
+    mapped = set()
+    for slot in range(KASLR_SLOTS):
+        va = slot_base(slot) + probe_offset
+        if kpti:
+            if va & ~0xFFF == trampoline_page:
+                mapped.add(slot)
+        elif layout.contains(va):
+            mapped.add(slot)
+    return frozenset(mapped)
 
 
 def randomize_layout(

@@ -50,6 +50,53 @@ class Fault:
         return self.kind is not FaultKind.NOT_PRESENT
 
 
+@dataclass(frozen=True)
+class TranslationEvent:
+    """One data-side MMU translation, in consumption (dispatch) order.
+
+    The translation sibling of ``ResolutionEvent``: while the core
+    records a trace it arms ``Mmu.translation_log``, and the MMU appends
+    one of these per ``data_access``/``prefetch`` call.  The batch
+    executor's page-table-aware shadow replays a follower lane's
+    translation against the leader's breadcrumb to prove (or refuse to
+    prove) that the lane's translation timeline is cycle-isomorphic.
+
+    ``steps`` carries the page walk actually performed -- one
+    ``(level, entry_paddr, present, is_leaf, psc_hit, hit_level)`` tuple
+    per visited level (``hit_level`` ``None`` on a PSC hit), empty on a
+    TLB hit -- and ``pte`` the leaf disposition snapshot
+    ``(pfn, present, writable, user, global_, nx, page_size)``
+    (``None`` for a hole).
+    """
+
+    side: str  # "d" | "prefetch"
+    va: int
+    write: bool
+    tlb_hit: bool
+    tlb_filled: bool
+    latency: int
+    queue_delay: int
+    fault_kind: Optional[str]  # FaultKind.value, or None
+    was_cached: bool
+    pte: Optional[tuple]
+    steps: tuple
+
+
+def pte_snapshot(pte: Optional[Pte]) -> Optional[tuple]:
+    """The disposition tuple a :class:`TranslationEvent` records."""
+    if pte is None:
+        return None
+    return (
+        pte.pfn,
+        pte.present,
+        pte.writable,
+        pte.user,
+        pte.global_,
+        pte.nx,
+        pte.page_size,
+    )
+
+
 class AccessResult:
     """Everything one data access produced.
 
@@ -152,6 +199,11 @@ class Mmu:
         self.lfb = lfb if lfb is not None else LineFillBuffer()
         self.fault_determination_cost = fault_determination_cost
         self.space: Optional[AddressSpace] = None
+        #: Armed (to a list) by ``Core.run`` while recording a trace:
+        #: each data-side translation appends a :class:`TranslationEvent`
+        #: breadcrumb for the batch executor's page-table shadow.  ``None``
+        #: (the default) keeps the hot path to a single attribute test.
+        self.translation_log: Optional[list] = None
         # Optional ambient-noise model: a seeded jitter added to every
         # memory-side latency, standing in for co-running OS activity.
         # Deterministic given the seed, so noisy runs still replay.
@@ -236,6 +288,38 @@ class Mmu:
         if self._noise_amplitude and noise_seed is not None:
             self.set_noise(self._noise_amplitude, seed=noise_seed)
 
+    # -- translation breadcrumbs ---------------------------------------------
+
+    def _log_translation(
+        self,
+        side: str,
+        va: int,
+        write: bool,
+        tlb_hit: bool,
+        tlb_filled: bool,
+        latency: int,
+        walk: Optional[WalkResult],
+        fault: Optional[Fault],
+        was_cached: bool,
+        pte: Optional[Pte],
+    ) -> None:
+        """Append one :class:`TranslationEvent` (call only while armed)."""
+        self.translation_log.append(
+            TranslationEvent(
+                side=side,
+                va=va,
+                write=write,
+                tlb_hit=tlb_hit,
+                tlb_filled=tlb_filled,
+                latency=latency,
+                queue_delay=walk.queue_delay if walk is not None else 0,
+                fault_kind=fault.kind.value if fault is not None else None,
+                was_cached=was_cached,
+                pte=pte_snapshot(pte),
+                steps=(walk.step_details or ()) if walk is not None else (),
+            )
+        )
+
     # -- permission checking -------------------------------------------------
 
     @staticmethod
@@ -273,6 +357,7 @@ class Mmu:
             raise RuntimeError("MMU has no address space installed")
 
         walk = None
+        tlb_filled = False
         rng = self._noise_rng
         entry = self.dtlb.lookup(va)
         if entry is not None:
@@ -289,11 +374,17 @@ class Mmu:
             tlb_hit = False
             if walk.pte is None:
                 latency += self.fault_determination_cost
+                fault = Fault(FaultKind.NOT_PRESENT, va)
+                if self.translation_log is not None:
+                    self._log_translation(
+                        "d", va, write, False, False, latency, walk,
+                        fault, False, None,
+                    )
                 return AccessResult(
                     va=va,
                     paddr=None,
                     value=None,
-                    fault=Fault(FaultKind.NOT_PRESENT, va),
+                    fault=fault,
                     latency=latency,
                     tlb_hit=False,
                     hit_level="",
@@ -304,6 +395,7 @@ class Mmu:
             fault_preview = self._check_permissions(pte, write, user, False, va)
             if fault_preview is None or self.fill_tlb_on_faulting_access:
                 self.dtlb.fill(va, pte)
+                tlb_filled = True
 
         paddr = pte.physical_address(va)
         # _check_permissions, inlined (data side is the hot path).
@@ -315,6 +407,12 @@ class Mmu:
             fault = None
         if fault is not None:
             latency += self.fault_determination_cost
+            was_cached = self.hierarchy.data_resident(paddr)
+            if self.translation_log is not None:
+                self._log_translation(
+                    "d", va, write, tlb_hit, tlb_filled, latency, walk,
+                    fault, was_cached, pte,
+                )
             return AccessResult(
                 va=va,
                 paddr=paddr,
@@ -323,7 +421,7 @@ class Mmu:
                 latency=latency,
                 tlb_hit=tlb_hit,
                 hit_level="",
-                was_cached=self.hierarchy.data_resident(paddr),
+                was_cached=was_cached,
                 walk=walk,
             )
 
@@ -348,6 +446,11 @@ class Mmu:
             data = value
         else:
             data = int.from_bytes(self.physical.read_bytes(paddr, size), "little")
+        if self.translation_log is not None:
+            self._log_translation(
+                "d", va, write, tlb_hit, tlb_filled, latency, walk,
+                None, was_cached, pte,
+            )
         return AccessResult(
             va=va,
             paddr=paddr,
@@ -371,24 +474,39 @@ class Mmu:
         """
         if self.space is None:
             raise RuntimeError("MMU has no address space installed")
+        walk = None
+        tlb_filled = False
+        tlb_hit = False
         entry = self.dtlb.lookup(va)
         if entry is not None:
             pte = entry.pte
             latency = 1
+            tlb_hit = True
         else:
             walk = self.walker.walk(self.space, va, now=now)
             self.dside_walks += 1
             self.dside_walk_cycles += walk.latency
             latency = walk.latency
             if walk.pte is None:
+                if self.translation_log is not None:
+                    self._log_translation(
+                        "prefetch", va, False, False, False, latency, walk,
+                        None, False, None,
+                    )
                 return latency  # unmapped: nothing to fill, nothing fetched
             pte = walk.pte
             permitted = self._check_permissions(pte, False, user, False, va) is None
             if permitted or self.fill_tlb_on_faulting_access:
                 self.dtlb.fill(va, pte)
+                tlb_filled = True
         if self._check_permissions(pte, False, user, False, va) is None:
             outcome = self.hierarchy.data_access(pte.physical_address(va))
             latency += outcome.latency
+        if self.translation_log is not None:
+            self._log_translation(
+                "prefetch", va, False, tlb_hit, tlb_filled, latency, walk,
+                None, False, pte,
+            )
         return latency
 
     # -- instruction side ----------------------------------------------------

@@ -33,6 +33,11 @@ class WalkResult:
     queue_delay: int
     psc_hits: int
     entry_fetches: int
+    #: Per-step ``(level, entry_paddr, present, is_leaf, psc_hit,
+    #: hit_level)`` tuples, recorded only while the walker's
+    #: ``record_details`` flag is armed (trace capture); ``hit_level`` is
+    #: None on a PSC hit (no cache access happened).
+    step_details: Optional[tuple] = None
 
     @property
     def present(self) -> bool:
@@ -72,6 +77,11 @@ class PageWalker:
         self.busy_until = 0
         self.walks = 0
         self.walk_cycles = 0
+        #: Armed by the MMU while a trace is being recorded: walks then
+        #: carry ``step_details`` for the batch executor's translation
+        #: shadow.  Off by default -- the detail tuples cost allocations
+        #: on the hot path.
+        self.record_details = False
 
     def flush_psc(self) -> None:
         """Drop all cached paging-structure entries (full TLB flush)."""
@@ -98,15 +108,26 @@ class PageWalker:
         latency = self.setup_cost
         psc_hits = 0
         entry_fetches = 0
+        details = [] if self.record_details else None
         for step in steps:
             key = (step.level, (va >> 12) >> (9 * (3 - step.level)))
             if not step.is_leaf and self._psc_lookup(key):
                 psc_hits += 1
                 latency += 1
+                if details is not None:
+                    details.append(
+                        (step.level, step.entry_paddr, step.present,
+                         step.is_leaf, True, None)
+                    )
                 continue
             outcome = self.hierarchy.data_access(step.entry_paddr)
             entry_fetches += 1
             latency += outcome.latency
+            if details is not None:
+                details.append(
+                    (step.level, step.entry_paddr, step.present,
+                     step.is_leaf, False, outcome.hit_level)
+                )
             if not step.is_leaf and step.present:
                 self._psc_fill(key)
         if pte is None:
@@ -121,4 +142,5 @@ class PageWalker:
             queue_delay=queue_delay,
             psc_hits=psc_hits,
             entry_fetches=entry_fetches,
+            step_details=tuple(details) if details is not None else None,
         )

@@ -96,6 +96,24 @@ def cell_payloads(campaign: str, cell: int, limit: Optional[int] = None) -> List
     return payloads
 
 
+def _cell_kind(campaign: str, cell: int) -> str:
+    """The trial kind one cell expands to (``channel``/``kaslr``/``detect``).
+
+    Batched scores gate per kind: a KASLR sweep's pack economics (one
+    faulting probe per lane, near-total shadow survival) are nothing
+    like a channel scan's, so their baselines live in separate maps
+    (``kaslr_batch_scores`` vs ``batch_scores``).
+    """
+    from repro.runtime.tasks import ChannelTrial, KaslrTrial
+
+    first = cell_payloads(campaign, cell, limit=1)
+    if first and isinstance(first[0], KaslrTrial):
+        return "kaslr"
+    if first and isinstance(first[0], ChannelTrial):
+        return "channel"
+    return "detect"
+
+
 def calibrate_host(target_seconds: float = 0.05) -> float:
     """Millions of pure-Python loop operations per second on this host.
 
@@ -138,6 +156,9 @@ class BenchResult:
     regressed: bool
     #: lockstep lanes per pack the timed loop ran with (1 = scalar).
     batch_size: int = 1
+    #: The last timed repetition's :class:`~repro.runtime.batch.BatchStats`
+    #: (warm leader cache steady state); None for scalar runs.
+    batch_stats: Optional[object] = None
 
     def metrics(self) -> Dict[str, object]:
         """The JSON-serialisable metric map for the reproduction report."""
@@ -156,6 +177,13 @@ class BenchResult:
             out["speedup_vs_reference"] = round(self.speedup_vs_reference, 2)
         if self.baseline_ratio is not None:
             out["baseline_ratio"] = round(self.baseline_ratio, 2)
+        if self.batch_stats is not None:
+            stats = self.batch_stats
+            out["batch_packs"] = stats.packs
+            out["batch_evicted_lanes"] = stats.evicted_lanes
+            out["batch_evictions"] = dict(sorted(stats.evictions.items()))
+            out["leader_cache_hits"] = stats.leader_cache_hits
+            out["leader_cache_misses"] = stats.leader_cache_misses
         return out
 
 
@@ -165,7 +193,7 @@ def bench_cell(
     trials: int = 48,
     repeats: int = 5,
     batch: Optional[int] = None,
-) -> Dict[str, float]:
+) -> Dict[str, object]:
     """Measure trial throughput on one campaign cell, best of *repeats*.
 
     Runs the cell's first *trials* payloads serially (the pool adds
@@ -180,7 +208,7 @@ def bench_cell(
     engine.  The warm-up also goes through the batch path so the pack
     planner and shadow-replay code are as hot as the scalar caches.
     """
-    from repro.runtime.batch import run_trials_batched
+    from repro.runtime.batch import BatchStats, run_trials_batched
     from repro.runtime.tasks import run_trial
 
     payloads = cell_payloads(campaign, cell, limit=trials)
@@ -193,17 +221,25 @@ def bench_cell(
         for payload in payloads[: min(3, len(payloads))]:
             run_trial(payload)  # warm-up: contexts, caches, code paths
     best = float("inf")
+    stats = None
     for _ in range(repeats):
         start = time.perf_counter()
         if batched:
-            run_trials_batched(payloads, batch)
+            # Fresh stats each repetition; the last one is the warm
+            # leader-cache steady state a long campaign would see.
+            stats = BatchStats()
+            run_trials_batched(payloads, batch, stats)
         else:
             for payload in payloads:
                 run_trial(payload)
         elapsed = time.perf_counter() - start
         if 0 < elapsed < best:
             best = elapsed
-    return {"trials": len(payloads), "trials_per_second": len(payloads) / best}
+    return {
+        "trials": len(payloads),
+        "trials_per_second": len(payloads) / best,
+        "batch_stats": stats,
+    }
 
 
 def load_baseline(path: str) -> Optional[Dict]:
@@ -269,7 +305,10 @@ def run_bench(
     gate against the baseline's ``batch_scores[str(batch)]`` entry (the
     scalar ``normalized_score`` stays the scalar path's gate), and
     ``update_baseline`` writes into that map without disturbing the
-    scalar record.
+    scalar record.  KASLR cells gate against a separate
+    ``kaslr_batch_scores`` map -- the translation-shadow pack runner and
+    the channel pack runner have unrelated cost structures, so one map
+    cannot gate both (see :func:`_cell_kind`).
     """
     if quick:
         trials = min(trials, 16)
@@ -283,9 +322,32 @@ def run_bench(
     score = rate / calibration
 
     baseline = load_baseline(baseline_path)
+    batch_map = (
+        "kaslr_batch_scores" if _cell_kind(campaign, cell) == "kaslr"
+        else "batch_scores"
+    )
+    kaslr_gate = lanes > 1 and batch_map == "kaslr_batch_scores"
     reference_score = baseline.get("reference_normalized_score") if baseline else None
     baseline_score = baseline.get("normalized_score") if baseline else None
-    if baseline is not None and (
+    if kaslr_gate:
+        # The KASLR batch map carries its own identity fields -- the
+        # record's top-level campaign/cell names the scalar (channel)
+        # anchor cell, which a KASLR bench never matches.
+        recorded = (
+            (baseline or {}).get("kaslr_campaign"),
+            (baseline or {}).get("kaslr_cell"),
+        )
+        reference_score = baseline_score = None
+        if baseline is not None and recorded not in (
+            (None, None), (campaign, cell)
+        ):
+            out(
+                f"note: baseline records KASLR {recorded[0]}/cell"
+                f"{recorded[1]}; gate skipped for {campaign}/cell{cell}"
+            )
+        else:
+            baseline_score = (baseline or {}).get(batch_map, {}).get(str(lanes))
+    elif baseline is not None and (
         baseline.get("campaign"), baseline.get("cell")
     ) != (campaign, cell):
         out(
@@ -294,11 +356,11 @@ def run_bench(
         )
         reference_score = baseline_score = None
         baseline = None
-    if lanes > 1:
+    elif lanes > 1:
         # A batched measurement must never be judged against the scalar
         # score (it would always "pass"); its gate is its own lane-count
         # entry, recorded the first time --update-baseline runs batched.
-        baseline_score = (baseline or {}).get("batch_scores", {}).get(str(lanes))
+        baseline_score = (baseline or {}).get(batch_map, {}).get(str(lanes))
 
     speedup = score / reference_score if reference_score else None
     ratio = score / baseline_score if baseline_score else None
@@ -316,6 +378,7 @@ def run_bench(
         baseline_ratio=ratio,
         regressed=regressed,
         batch_size=lanes,
+        batch_stats=measured.get("batch_stats"),
     )
 
     label = f" batch {lanes}" if lanes > 1 else ""
@@ -329,13 +392,25 @@ def run_bench(
     if ratio is not None:
         out(f"  vs baseline      : {ratio:8.2f}x "
             f"(floor {REGRESSION_FLOOR:.2f}x)")
+    stats = result.batch_stats
+    if stats is not None:
+        evictions = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(stats.evictions.items())
+        ) or "none"
+        out(f"  pack evictions   : {stats.evicted_lanes:8d} ({evictions})")
+        out(f"  leader cache     : {stats.leader_cache_hits} hits / "
+            f"{stats.leader_cache_misses} misses")
 
     if update_baseline:
         record = dict(baseline) if baseline else {"campaign": campaign, "cell": cell}
         if lanes > 1:
-            scores = dict(record.get("batch_scores", {}))
+            scores = dict(record.get(batch_map, {}))
             scores[str(lanes)] = round(score, 2)
-            record["batch_scores"] = scores
+            record[batch_map] = scores
+            if kaslr_gate:
+                record["kaslr_campaign"] = campaign
+                record["kaslr_cell"] = cell
         else:
             record.update(
                 {
@@ -355,8 +430,8 @@ def run_bench(
         out(f"  no baseline at {baseline_path}; run with --update-baseline "
             f"to record one")
     elif lanes > 1 and baseline_score is None:
-        out(f"  no batch-{lanes} entry in {baseline_path}; run with "
-            f"--update-baseline to record one")
+        out(f"  no {batch_map} batch-{lanes} entry in {baseline_path}; "
+            f"run with --update-baseline to record one")
 
     # The telemetry probe runs outside every timed window: a short
     # observed pass whose metrics snapshot lands in the reproduction

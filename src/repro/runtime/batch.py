@@ -32,12 +32,36 @@ purity contract (see ``runtime/pool.py``) makes exact.  The scalar
 ``decode_plan=False`` core therefore remains the bit-identity oracle:
 every lane's bytes either *are* the leader's trace or come from the
 scalar path directly.
+
+Two further layers extend the engine to KASLR probe sweeps, whose lanes
+diverge by *address* rather than by register value:
+
+- **Page-table-aware shadow replay.**  Address-divergent loads are not
+  automatic evictions: each pack carries a :class:`TranslationShadow`
+  that consumes the leader's :class:`~repro.memory.mmu.TranslationEvent`
+  breadcrumbs and proves, per lane, that the lane's own translation --
+  TLB state, page-walk step shape, paging-structure-cache keys, walk-line
+  cache residency, and terminal PTE disposition -- is *isomorphic* to the
+  leader's, so the leader's latencies and fault behaviour transfer
+  byte-exactly.  Lanes that cannot be proven isomorphic (the one mapped
+  candidate in a KPTI sweep, TLB window overflow, cache-set pressure)
+  evict to scalar as usual; identity holds by construction.
+
+- **Cross-pack leader trace cache.**  Packs from the same sweep share
+  one structural identity (:func:`_pack_key`), so the leader execution
+  of the first pack is memoized (:class:`LeaderTrace`) and replayed for
+  every later same-structure pack: the leader lane becomes a *phantom*
+  and zero machine execution happens per cache hit.  The cache never
+  keys on the probed value, is bounded (:data:`_LEADER_TRACE_LIMIT`),
+  and can be disabled with ``REPRO_BATCH_LEADER_CACHE=0`` -- results
+  are byte-identical either way.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
@@ -76,6 +100,28 @@ class BatchStats:
     packed_trials: int = 0
     scalar_trials: int = 0
     evicted_lanes: int = 0
+    #: Eviction counts per reason (the taxonomy in ``_SHADOW`` handlers
+    #: plus the translation shadow's); keys are reason strings.
+    evictions: Dict[str, int] = field(default_factory=dict)
+    #: Cross-pack leader trace cache outcomes (see ``LeaderTrace``).
+    leader_cache_hits: int = 0
+    leader_cache_misses: int = 0
+
+    def merge_pack(self, batch: "LockstepBatch", offset: int) -> None:
+        """Fold one finished pack's per-lane outcome into the counters.
+
+        *offset* is the index of the first real-trial lane (1 when lane 0
+        is a phantom cached leader, else 0).
+        """
+        real = batch.lanes - offset
+        alive = sum(batch.alive[offset:])
+        self.packs += 1
+        self.packed_trials += alive
+        self.evicted_lanes += real - alive
+        self.scalar_trials += real - alive
+        for lane, reason in batch.evict_reasons.items():
+            if lane >= offset:
+                self.evictions[reason] = self.evictions.get(reason, 0) + 1
 
 
 # -- per-lane ALU math (the scalar core's _op_alu, vectorized) -----------------
@@ -204,12 +250,27 @@ class LockstepBatch:
         #: any later fault could MDS-forward lane-divergent data.
         self.mem_ever_tainted = False
         self.use_numpy = _numpy_available() and lanes >= _NUMPY_MIN_LANES
+        #: Armed for KASLR-style packs: per-lane page-table/TLB models
+        #: that prove a follower's *divergent faulting* translation is
+        #: cycle-isomorphic to the leader's instead of evicting it.
+        self.translation_shadow: Optional["TranslationShadow"] = None
+        #: When a list, every leader run is captured into it as a
+        #: :class:`_CachedRun` for the cross-pack leader trace cache.
+        self.trace_sink: Optional[list] = None
+        #: When set (a :class:`LeaderTrace`'s runs), lane 0 is a *phantom*
+        #: leader: ``run`` replays the cached trace and never touches the
+        #: machine.  Real trials then occupy lanes 1..N.
+        self.replay_source: Optional[list] = None
+        self._run_index = 0
         # Per-run shadow state (reset by run()).
         self._leader: Dict[str, object] = {}
         self._reg_taint: Dict[str, List[int]] = {}
         self._flag_taint: Optional[List[Tuple[bool, bool, bool, bool]]] = None
         self._journal: List[tuple] = []
         self._marks: Dict[int, int] = {}
+        #: TranslationEvent correlated with the record being replayed
+        #: (None while replaying ops that never consult the MMU).
+        self._current_translation = None
 
     # -- public API -------------------------------------------------------------
 
@@ -224,9 +285,22 @@ class LockstepBatch:
             raise ValueError(
                 f"expected {self.lanes} lane register sets, got {len(lane_regs)}"
             )
-        result = self.machine.run(
-            self.program, regs=dict(lane_regs[0]), record_trace=True
-        )
+        if self.replay_source is not None:
+            # Phantom leader: lane 0 is the cached leader execution; its
+            # recorded trace substitutes for a machine run, and its
+            # initial registers replace whatever placeholder the caller
+            # put in slot 0 (taint is computed against the *cached*
+            # leader's values).
+            cached = self.replay_source[self._run_index]
+            self._run_index += 1
+            lane_regs = [cached.initial_regs, *lane_regs[1:]]
+            result = cached.result
+        else:
+            result = self.machine.run(
+                self.program, regs=dict(lane_regs[0]), record_trace=True
+            )
+            if self.trace_sink is not None:
+                self.trace_sink.append(_CachedRun(dict(lane_regs[0]), result))
         self._leader = {name: 0 for name in GPRS}
         for name, value in lane_regs[0].items():
             self._leader[name] = value & MASK64
@@ -246,6 +320,11 @@ class LockstepBatch:
             self._reg_taint or self.mem_taint or self.mem_ever_tainted
         ):
             self._replay(result)
+        elif self.live_followers and self.translation_shadow is not None:
+            # Lane-invariant run (e.g. a KASLR warm probe): no replay is
+            # needed, but the per-lane translation models must still see
+            # the leader's uniform TLB fills and touched walk lines.
+            self.translation_shadow.observe_leader(result)
         if not self.live_followers:
             # Leader-only from here on: any taint state is stale (the
             # replay stops the moment the last follower dies) and lane 0
@@ -340,7 +419,11 @@ class LockstepBatch:
         n_res = len(resolutions)
         self._journal = []
         self._marks = {}
-        shadow = _SHADOW
+        dispatch = _SHADOW
+        tshadow = self.translation_shadow
+        translations = result.events.translations if tshadow is not None else ()
+        t_idx = 0
+        t_n = len(translations)
         for record in result.records:
             seq = record.seq
             while res_idx < n_res and resolutions[res_idx].boundary <= seq:
@@ -349,13 +432,32 @@ class LockstepBatch:
             if not self.live_followers:
                 return
             self._marks[seq] = len(self._journal)
-            handler = shadow.get(record.instruction.op)
+            op = record.instruction.op
+            if tshadow is not None:
+                # Correlate the MMU's translation timeline with the record
+                # stream: each MMU-consulting op consumes exactly one
+                # TranslationEvent, in dispatch order.  Any disagreement
+                # means the correlation model is wrong for this program --
+                # scalar for everyone.
+                if op in _TRANSLATION_OPS:
+                    if t_idx >= t_n or translations[t_idx].va != record.memory_va:
+                        self._evict_followers("shadow-mismatch")
+                        return
+                    self._current_translation = translations[t_idx]
+                    t_idx += 1
+                else:
+                    self._current_translation = None
+            handler = dispatch.get(op)
             if handler is None:
                 # Future ISA growth: an op the shadow has no model for
                 # falls back to scalar for every follower.
                 self._evict_followers("unmodelled-op")
                 return
             handler(self, record, record.instruction)
+        if tshadow is not None and t_idx != t_n:
+            # Leftover MMU events no record claimed: correlation broke.
+            self._evict_followers("shadow-mismatch")
+            return
         while res_idx < n_res:
             self._apply_resolution(resolutions[res_idx])
             res_idx += 1
@@ -465,26 +567,70 @@ class LockstepBatch:
                 # path, different timing -- scalar from here on.
                 self._evict(lane, "branch-divergence")
 
-    def _evict_address_mismatch(self, base, index, scale: int) -> None:
+    def _address_deltas(self, base, index, scale: int) -> Optional[List[int]]:
+        """Per-lane effective-address deltas vs the leader.
+
+        None means the address is lane-uniform (no tainted component, or
+        the taint vectors cancel); otherwise a per-lane list of deltas
+        (lane 0 is always 0).
+        """
         base_t = self._reg_taint.get(base) if base else None
         index_t = self._reg_taint.get(index) if index else None
         if base_t is None and index_t is None:
-            return
-        alive = self.alive
-        for lane in range(1, self.lanes):
-            if not alive[lane]:
-                continue
+            return None
+        deltas = []
+        for lane in range(self.lanes):
             delta = 0
             if base_t is not None:
                 delta += base_t[lane] - base_t[0]
             if index_t is not None:
                 delta += (index_t[lane] - index_t[0]) * scale
-            if delta & MASK64:
-                self._evict(lane, "address-divergence")
+            deltas.append(delta)
+        if not any(delta & MASK64 for delta in deltas):
+            return None
+        return deltas
+
+    def _evict_lanes_with_deltas(self, deltas: Sequence[int], reason: str) -> None:
+        alive = self.alive
+        for lane in range(1, self.lanes):
+            if alive[lane] and (deltas[lane] & MASK64):
+                self._evict(lane, reason)
+
+    def _evict_address_mismatch(self, base, index, scale: int) -> None:
+        deltas = self._address_deltas(base, index, scale)
+        if deltas is not None:
+            self._evict_lanes_with_deltas(deltas, "address-divergence")
+        self._apply_translation_uniform()
+
+    def _apply_translation_uniform(self) -> None:
+        """Feed the current (lane-uniform) MMU event to the lane models.
+
+        After address-divergent lanes are evicted, every surviving lane
+        performed the leader's exact translation -- its model follows the
+        leader's fills and touched lines verbatim.  No-op for ops without
+        an MMU event (e.g. CLFLUSH) or without a shadow armed.
+        """
+        shadow = self.translation_shadow
+        ev = self._current_translation
+        if shadow is not None and ev is not None:
+            shadow.apply_uniform(ev)
 
     def _shadow_load(self, record, ins) -> None:
         mem = ins.mem
-        self._evict_address_mismatch(mem.base, mem.index, mem.scale)
+        shadow = self.translation_shadow
+        ev = self._current_translation
+        deltas = self._address_deltas(mem.base, mem.index, mem.scale)
+        if deltas is None:
+            self._apply_translation_uniform()
+        elif shadow is not None and ev is not None and record.fault is not None:
+            # The KASLR probe shape: a faulting load whose address
+            # diverges per lane.  The page-table shadow proves (or
+            # refutes) each lane's translation is cycle-isomorphic to
+            # the leader's instead of evicting wholesale.
+            shadow.process_divergent(self, ev, deltas)
+        else:
+            self._evict_lanes_with_deltas(deltas, "address-divergence")
+            self._apply_translation_uniform()
         if record.fault is not None:
             if self.mem_ever_tainted:
                 # The forwarded value may come from a stale LFB line (MDS)
@@ -590,6 +736,11 @@ class LockstepBatch:
         self._jset_reg("rdx", 0, None)
 
     def _shadow_syscall(self, record, ins) -> None:
+        if self.translation_shadow is not None:
+            # A mid-program CR3 switch invalidates the address space the
+            # per-lane walk checks run against; the shadow cannot follow.
+            self._evict_followers("translation-divergence")
+            return
         if self._reg_taint or self._flag_taint is not None or self.mem_taint:
             # The kernel handler reads/writes the architectural file and
             # memory; tainted inputs make its effects lane-divergent in
@@ -635,6 +786,317 @@ _SHADOW = {
     Op.SYSCALL: LockstepBatch._shadow_syscall,
 }
 
+#: Ops whose dispatch consults the MMU exactly once, in program order --
+#: the correlation contract between ``UopRecord.memory_va`` and the
+#: :class:`~repro.memory.mmu.TranslationEvent` log.  CLFLUSH is absent
+#: deliberately: it sets ``memory_va`` but resolves the line via the
+#: address-space lookup, never ``Mmu.data_access``.
+_TRANSLATION_OPS = frozenset(
+    {Op.LOAD, Op.LOAD_BYTE, Op.STORE, Op.CALL, Op.RET, Op.PREFETCH}
+)
+
+
+# -- page-table-aware shadow replay (KASLR packs) ------------------------------
+
+
+class TranslationShadow:
+    """Per-lane address-translation models for KASLR-style packs.
+
+    A KASLR probe is a *faulting load at a lane-divergent address* -- the
+    one shape the taint replay must otherwise evict.  This shadow keeps,
+    per follower lane, the translation state its hypothetical machine
+    would hold (a TLB model, the set of page-walk cache lines it has
+    touched) and checks each divergent faulting load step-by-step against
+    the leader's recorded :class:`~repro.memory.mmu.TranslationEvent`:
+
+    * same walk structure (levels, present/leaf shape),
+    * same paging-structure-cache keys at every non-leaf step (which
+      makes the lane's PSC state *identical* to the leader's, LRU and
+      all, so PSC hits/misses agree by construction),
+    * same predicted cache hit level for every entry fetch (touched
+      lines hit L1, untouched lines come from DRAM -- valid only while
+      nothing is ever evicted, see :meth:`finish`),
+    * same terminal PTE disposition (present/permissions/page size, pfn
+      excluded), hence the same fault kind and TLB fill-on-fault
+      behaviour -- the paper's mapped/unmapped oracle,
+    * the same line offset (an MDS-forwarded stale line would otherwise
+      supply a lane-divergent byte) and no cached Meltdown forwarding.
+
+    A lane that passes every check has a translation timeline
+    cycle-identical to the leader's, so the leader's ToTE/PMU/cycle
+    bytes are the lane's.  A lane that fails any check is evicted to the
+    scalar path -- byte identity holds by construction either way.
+    """
+
+    def __init__(self, mmu, lanes: int) -> None:
+        self.mmu = mmu
+        self.lanes = lanes
+        #: Smallest TLB associativity: more fills than this between
+        #: flushes could evict an entry, breaking the no-eviction
+        #: assumption behind the per-lane TLB dict model.
+        self.tlb_window = min(mmu.dtlb.tlb_4k.ways, mmu.dtlb.tlb_2m.ways)
+        #: Page-walk cache lines each lane's hypothetical machine has
+        #: touched since reset (leader-shared lines plus its own).
+        self.lane_lines: List[set] = [set() for _ in range(lanes)]
+        #: Lane-private walk lines (not the leader's) -- cache-pressure
+        #: guard input for :meth:`finish`.
+        self.lane_extra: List[set] = [set() for _ in range(lanes)]
+        #: Per-lane TLB model: (page_size, vpn) -> disposition tuple
+        #: (present, writable, user, global, nx, page_size).
+        self.lane_tlb: List[dict] = [{} for _ in range(lanes)]
+        #: TLB fills since the last flush (all lanes fill in lockstep).
+        self.window_fills = 0
+        #: Sticky: a guard tripped that invalidates *every* lane's model.
+        self.overflow = False
+
+    # -- orchestration notifications (pack runner calls these) -----------------
+
+    def on_tlb_flush(self) -> None:
+        """The pack runner flushed the TLB (lane-invariant)."""
+        for tlb in self.lane_tlb:
+            tlb.clear()
+        self.window_fills = 0
+
+    def on_cr3_switch(self) -> None:
+        """A syscall round-trip happened between runs: non-global TLB
+        entries are gone (in every lane, identically)."""
+        for tlb in self.lane_tlb:
+            stale = [key for key, disp in tlb.items() if not disp[3]]
+            for key in stale:
+                del tlb[key]
+
+    # -- leader-event ingestion -------------------------------------------------
+
+    def observe_leader(self, result) -> None:
+        """Apply a lane-invariant run's whole translation timeline."""
+        for ev in result.events.translations:
+            self.apply_uniform(ev)
+
+    def apply_uniform(self, ev) -> None:
+        """The leader's translation happened identically in every lane."""
+        for step in ev.steps:
+            if not step[4]:  # not a PSC hit: an entry line was fetched
+                line = step[1] >> 6
+                for lines in self.lane_lines:
+                    lines.add(line)
+        if ev.tlb_filled and ev.pte is not None:
+            self._count_fill()
+            disp = ev.pte[1:]
+            psize = int(disp[5])
+            key = (psize, ev.va // psize)
+            for tlb in self.lane_tlb:
+                tlb[key] = disp
+
+    def _count_fill(self) -> None:
+        self.window_fills += 1
+        if self.window_fills > self.tlb_window:
+            self.overflow = True
+
+    # -- the per-lane divergent-load check --------------------------------------
+
+    def process_divergent(self, batch: LockstepBatch, ev, deltas) -> None:
+        """Check a divergent faulting load lane by lane, evicting any
+        lane whose translation the models cannot prove isomorphic."""
+        if ev.tlb_filled:
+            self._count_fill()
+        alive = batch.alive
+        for lane in range(1, batch.lanes):
+            if not alive[lane]:
+                continue
+            lane_va = (ev.va + deltas[lane]) & MASK64
+            if self.overflow or not self._check_lane(lane, ev, lane_va):
+                batch._evict(lane, "translation-divergence")
+
+    def _tlb_get(self, lane: int, va: int):
+        for (psize, vpn), disp in self.lane_tlb[lane].items():
+            if va // psize == vpn:
+                return disp
+        return None
+
+    def _check_lane(self, lane: int, ev, lane_va: int) -> bool:
+        if (lane_va & 63) != (ev.va & 63):
+            # An MDS-forwarded stale line would supply a different byte.
+            return False
+        if ev.fault_kind in ("protection", "write_protect") and ev.was_cached:
+            # The leader Meltdown-forwarded real cached data; the lane's
+            # line holds different bytes.
+            return False
+        hit = self._tlb_get(lane, lane_va)
+        if ev.tlb_hit:
+            # Leader hit its TLB: the lane must hold its own page with
+            # the identical disposition for the same 1-cycle lookup and
+            # the same downstream fault decision.
+            return hit is not None and ev.pte is not None and hit == ev.pte[1:]
+        if hit is not None:
+            return False  # lane would have hit where the leader walked
+        steps, pte = self.mmu.space.walk_path(lane_va)
+        details = ev.steps
+        if len(steps) != len(details):
+            return False
+        lines = self.lane_lines[lane]
+        for step, detail in zip(steps, details):
+            dlevel, dpaddr, dpresent, dleaf, dpsc, dhit = detail
+            if (
+                step.level != dlevel
+                or step.present != dpresent
+                or step.is_leaf != dleaf
+            ):
+                return False
+            if not step.is_leaf:
+                # PSC isomorphism: every lookup/fill the lane's walker
+                # performs must use the leader's exact key, or the two
+                # PSC states (contents *and* LRU order) drift apart.
+                lane_key = (lane_va >> 12) >> (9 * (3 - step.level))
+                leader_key = (ev.va >> 12) >> (9 * (3 - dlevel))
+                if lane_key != leader_key:
+                    return False
+            if dpsc:
+                continue  # PSC hit: no cache access to model
+            line = step.entry_paddr >> 6
+            if line in lines:
+                predicted = "L1"
+            else:
+                predicted = "DRAM"
+                lines.add(line)
+                if line != (dpaddr >> 6):
+                    self.lane_extra[lane].add(line)
+            if predicted != dhit:
+                return False
+        if (pte is None) != (ev.pte is None):
+            return False
+        if pte is not None:
+            disp = (
+                pte.present,
+                pte.writable,
+                pte.user,
+                pte.global_,
+                pte.nx,
+                pte.page_size,
+            )
+            if disp != ev.pte[1:]:
+                return False
+            if ev.fault_kind in ("protection", "write_protect"):
+                # Leader's line was not cached (checked above); the
+                # lane's must not be either, or the lane would
+                # Meltdown-forward data the leader did not.
+                if self.mmu.hierarchy.data_resident(pte.physical_address(lane_va)):
+                    return False
+            if ev.tlb_filled:
+                self.lane_tlb[lane][
+                    (int(pte.page_size), lane_va // int(pte.page_size))
+                ] = disp
+        return True
+
+    # -- end-of-pack validation -------------------------------------------------
+
+    def finish(self, batch: LockstepBatch) -> None:
+        """Evict any lane whose private walk lines could have caused a
+        cache eviction the leader never saw.
+
+        The hit-level prediction (touched lines hit L1) is only sound
+        while the lane's hypothetical machine never evicts a line.  The
+        leader's own evictions would surface as observation mismatches,
+        but a lane-private line silently displacing a shared one would
+        not -- so every lane's full touched-line set must fit its cache
+        sets with headroom (the margin covers instruction-side walk
+        lines the event log does not carry).
+        """
+        hierarchy = self.mmu.hierarchy
+        levels = (hierarchy.l1d, hierarchy.l2, hierarchy.llc)
+        for lane in range(1, batch.lanes):
+            if not batch.alive[lane]:
+                continue
+            if self.overflow:
+                batch._evict(lane, "translation-divergence")
+                continue
+            if not self.lane_extra[lane]:
+                continue  # no private lines: the lane IS the leader
+            for cache in levels:
+                sets: Dict[int, int] = {}
+                pressure = False
+                set_count = cache.geometry.sets
+                ways = cache.geometry.ways
+                for line in self.lane_lines[lane]:
+                    index = line % set_count
+                    count = sets.get(index, 0) + 1
+                    sets[index] = count
+                    if count + _PRESSURE_MARGIN > ways:
+                        pressure = True
+                        break
+                if pressure:
+                    batch._evict(lane, "translation-divergence")
+                    break
+
+
+#: Set-occupancy headroom required by ``TranslationShadow.finish`` --
+#: covers the handful of instruction-side walk lines that are touched
+#: lane-invariantly but never appear in the d-side event log.
+_PRESSURE_MARGIN = 2
+
+
+# -- cross-pack leader trace cache ---------------------------------------------
+
+
+class _CachedRun:
+    """One leader ``machine.run``: its initial registers and its result
+    (records, resolution/translation events, final register file)."""
+
+    __slots__ = ("initial_regs", "result")
+
+    def __init__(self, initial_regs: Dict[str, int], result) -> None:
+        self.initial_regs = initial_regs
+        self.result = result
+
+
+@dataclass
+class LeaderTrace:
+    """Everything one pack's leader execution produced, replayable.
+
+    Packs are structurally identical within a sweep (same spec, same
+    warm/probe schedule; only the probed addresses differ), so one
+    leader execution -- run results, end-of-pack cycle count -- serves
+    every subsequent same-key pack as a *phantom* lane 0.
+    """
+
+    runs: List[_CachedRun]
+    cycles: int
+
+
+_LEADER_TRACE_LIMIT = 8
+_leader_traces: "OrderedDict[tuple, LeaderTrace]" = OrderedDict()
+
+
+def leader_cache_enabled() -> bool:
+    """Whether cross-pack leader memoization is on (env-overridable).
+
+    ``REPRO_BATCH_LEADER_CACHE=0`` disables it; results are byte-identical
+    either way (the cache only skips re-executing an identical leader).
+    """
+    flag = os.environ.get("REPRO_BATCH_LEADER_CACHE")
+    if flag is not None and flag.strip().lower() in ("0", "false", "no", "off"):
+        return False
+    return True
+
+
+def clear_leader_trace_cache() -> None:
+    """Drop all cached leader traces (context teardown / tests)."""
+    _leader_traces.clear()
+
+
+def _leader_trace_lookup(key: tuple) -> Optional[LeaderTrace]:
+    if not leader_cache_enabled():
+        return None
+    trace = _leader_traces.get(key)
+    if trace is not None:
+        _leader_traces.move_to_end(key)
+    return trace
+
+
+def _leader_trace_store(key: tuple, trace: LeaderTrace) -> None:
+    _leader_traces[key] = trace
+    while len(_leader_traces) > _LEADER_TRACE_LIMIT:
+        _leader_traces.popitem(last=False)
+
 
 # -- channel-trial packs -------------------------------------------------------
 
@@ -642,19 +1104,52 @@ _SHADOW = {
 def pack_eligible(trial) -> bool:
     """Whether *trial* may ride a lockstep pack.
 
-    Channel trials only (KASLR/detect trials have per-trial behaviour no
-    shared trace covers), and only at zero ambient noise: the per-trial
-    noise seed is inert at amplitude 0, which is what lets one leader
-    reset stand in for every lane's.
+    Channel and KASLR trials, and only at zero ambient noise: the
+    per-trial noise seed is inert at amplitude 0, which is what lets one
+    leader reset stand in for every lane's.  KASLR trials additionally
+    require the ``direct`` TLB flush -- the ``sets`` eviction strategy
+    has per-address set-conflict structure no shared leader trace
+    covers.  Detect trials stay scalar (their behaviour streams are
+    per-trial by design).
     """
-    from repro.runtime.tasks import ChannelTrial
+    from repro.runtime.tasks import ChannelTrial, KaslrTrial
 
-    return isinstance(trial, ChannelTrial) and trial.spec.noise_amplitude == 0
+    if trial.spec.noise_amplitude != 0:
+        return False
+    if isinstance(trial, ChannelTrial):
+        return True
+    if isinstance(trial, KaslrTrial):
+        return trial.eviction == "direct"
+    return False
 
 
 def _pack_key(trial):
-    """Trials in one pack must agree on everything but ``test``/index."""
-    return (trial.spec, trial.byte, trial.batches, trial.warmup, trial.suppression)
+    """Trials in one pack must agree on everything but the probed value.
+
+    The key doubles as the leader-trace-cache key: it names the pack's
+    *structure* (schedule, spec, suppression), never the leader's own
+    probed address/test byte -- which is exactly why one cached leader
+    serves every same-structure pack.
+    """
+    from repro.runtime.tasks import ChannelTrial
+
+    if isinstance(trial, ChannelTrial):
+        return (
+            "channel",
+            trial.spec,
+            trial.byte,
+            trial.batches,
+            trial.warmup,
+            trial.suppression,
+        )
+    return (
+        "kaslr",
+        trial.spec,
+        trial.cr3_switch,
+        trial.warm_probes,
+        trial.eviction,
+        trial.suppression,
+    )
 
 
 def plan_packs(payloads: Sequence, batch_size: int) -> List[list]:
@@ -709,13 +1204,23 @@ def run_channel_pack(trials: Sequence, stats: Optional[BatchStats] = None) -> Li
 
     lead = trials[0]
     machine, program, sender_page = _channel_context(lead.spec, lead.suppression)
-    machine.reset_uarch(noise_seed=lead.spec.trial_seed(lead.trial_index))
-    machine.write_data(sender_page, bytes([lead.byte & 0xFF]) + b"\x00" * 7)
-    lanes = len(trials)
+    n = len(trials)
+    cached = _leader_trace_lookup(_pack_key(lead))
+    offset = 1 if cached is not None else 0
+    lanes = n + offset
+    if cached is None:
+        machine.reset_uarch(noise_seed=lead.spec.trial_seed(lead.trial_index))
+        machine.write_data(sender_page, bytes([lead.byte & 0xFF]) + b"\x00" * 7)
     batch = LockstepBatch(machine, program, lanes)
+    if cached is not None:
+        batch.replay_source = cached.runs
+    elif leader_cache_enabled():
+        batch.trace_sink = []
     warm_regs = {"r12": sender_page, "r13": NULL_POINTER, "r9": 256}
     warm_set = [warm_regs] * lanes
-    probe_set = [
+    # In phantom-leader mode slot 0 is a placeholder: run() swaps in the
+    # cached leader's own initial registers before taint is computed.
+    probe_set = [warm_regs] * offset + [
         {"r12": sender_page, "r13": NULL_POINTER, "r9": trial.test}
         for trial in trials
     ]
@@ -724,29 +1229,130 @@ def run_channel_pack(trials: Sequence, stats: Optional[BatchStats] = None) -> Li
         for _ in range(lead.warmup):
             batch.run(warm_set)
         probe = batch.run(probe_set)
-        for lane in range(lanes):
+        for lane in range(offset, lanes):
             if batch.alive[lane]:
                 lane_totes[lane].append(
                     probe.lane_reg(lane, "r15") - probe.lane_reg(lane, "r14")
                 )
     # The pack ran exactly one trial's worth of runs on one continuing
     # cycle timeline, so the leader's cycle count is every live lane's.
-    cycles = machine.core.global_cycle
+    cycles = cached.cycles if cached is not None else machine.core.global_cycle
+    if batch.trace_sink is not None:
+        _leader_trace_store(
+            _pack_key(lead), LeaderTrace(runs=batch.trace_sink, cycles=cycles)
+        )
     if stats is not None:
-        stats.packs += 1
-        stats.packed_trials += sum(batch.alive)
-        stats.evicted_lanes += lanes - sum(batch.alive)
-        stats.scalar_trials += lanes - sum(batch.alive)
-    results: List = [None] * lanes
-    for lane in range(lanes):
+        if cached is not None:
+            stats.leader_cache_hits += 1
+        elif batch.trace_sink is not None:
+            stats.leader_cache_misses += 1
+        stats.merge_pack(batch, offset)
+    results: List = [None] * n
+    for i in range(n):
+        lane = i + offset
         if batch.alive[lane]:
-            results[lane] = TrialResult(totes=tuple(lane_totes[lane]), cycles=cycles)
-    for lane in range(lanes):
-        if results[lane] is None:
+            results[i] = TrialResult(totes=tuple(lane_totes[lane]), cycles=cycles)
+    for i in range(n):
+        if results[i] is None:
             # Scalar re-run on the same cached context: purity makes this
             # exactly the result a scalar-only campaign computes.
-            results[lane] = run_trial(trials[lane])
+            results[i] = run_trial(trials[i])
     return results
+
+
+# -- KASLR-trial packs ---------------------------------------------------------
+
+
+def run_kaslr_pack(trials: Sequence, stats: Optional[BatchStats] = None) -> List:
+    """Run a pack of structurally identical KASLR trials in lockstep.
+
+    One lane per probed candidate address.  The leader executes its
+    warm-reference probes and timed double-probe for real; every other
+    lane's translation is proven cycle-isomorphic by the
+    :class:`TranslationShadow` (the unmapped candidates, which share the
+    leader's walk shape) or evicted to the scalar path (the mapped
+    ones).  With the leader trace cache warm, even the leader execution
+    is skipped: the pack replays a cached same-structure leader as a
+    phantom lane 0.
+    """
+    from repro.kernel.layout import KERNEL_TEXT_RANGE_START
+    from repro.runtime.tasks import TrialResult, _kaslr_context, run_trial
+
+    lead = trials[0]
+    attack = _kaslr_context(lead.spec, lead.eviction, lead.suppression)
+    machine = attack.machine
+    n = len(trials)
+    cached = _leader_trace_lookup(_pack_key(lead))
+    offset = 1 if cached is not None else 0
+    lanes = n + offset
+    live = cached is None
+    if live:
+        machine.reset_uarch(noise_seed=lead.spec.trial_seed(lead.trial_index))
+    batch = LockstepBatch(machine, attack.program, lanes)
+    shadow = TranslationShadow(machine.mmu, lanes)
+    batch.translation_shadow = shadow
+    if cached is not None:
+        batch.replay_source = cached.runs
+    elif leader_cache_enabled():
+        batch.trace_sink = []
+    reference = KERNEL_TEXT_RANGE_START - 0x200000
+    ref_regs = {"r13": reference, "r9": 256}
+    ref_set = [ref_regs] * lanes
+    probe_set = [ref_regs] * offset + [
+        {"r13": trial.va, "r9": 256} for trial in trials
+    ]
+
+    def double_probe(reg_sets):
+        # attack.probe_tote, batched: evict, fill probe, optional syscall
+        # round-trip, timed probe.  A phantom leader never touches the
+        # machine; the shadow is still notified so the lane models follow
+        # the same flush/CR3 schedule the cached leader saw.
+        if live:
+            machine.flush_tlb()
+        shadow.on_tlb_flush()
+        batch.run(reg_sets)
+        if lead.cr3_switch:
+            if live:
+                machine.syscall_roundtrip()
+            shadow.on_cr3_switch()
+        return batch.run(reg_sets)
+
+    for _ in range(lead.warm_probes):
+        double_probe(ref_set)
+    probe = double_probe(probe_set)
+    shadow.finish(batch)
+    cycles = cached.cycles if cached is not None else machine.core.global_cycle
+    if batch.trace_sink is not None:
+        _leader_trace_store(
+            _pack_key(lead), LeaderTrace(runs=batch.trace_sink, cycles=cycles)
+        )
+    if stats is not None:
+        if cached is not None:
+            stats.leader_cache_hits += 1
+        elif batch.trace_sink is not None:
+            stats.leader_cache_misses += 1
+        stats.merge_pack(batch, offset)
+    results: List = [None] * n
+    for i in range(n):
+        lane = i + offset
+        if batch.alive[lane]:
+            results[i] = TrialResult(
+                totes=(probe.lane_reg(lane, "r15") - probe.lane_reg(lane, "r14"),),
+                cycles=cycles,
+            )
+    for i in range(n):
+        if results[i] is None:
+            results[i] = run_trial(trials[i])
+    return results
+
+
+def run_pack(trials: Sequence, stats: Optional[BatchStats] = None) -> List:
+    """Run one homogeneous pack through its kind's pack runner."""
+    from repro.runtime.tasks import ChannelTrial
+
+    if isinstance(trials[0], ChannelTrial):
+        return run_channel_pack(trials, stats)
+    return run_kaslr_pack(trials, stats)
 
 
 def run_trial_group(group: Sequence) -> List:
@@ -755,13 +1361,21 @@ def run_trial_group(group: Sequence) -> List:
 
     if len(group) > 1:
         if not telemetry.enabled():
-            return run_channel_pack(group)
+            return run_pack(group)
         stats = BatchStats()
         with telemetry.span(
             "batch.pack", batch_size=len(group), kind=type(group[0]).__name__
         ) as span:
-            results = run_channel_pack(group, stats)
-            span.set(evicted=stats.evicted_lanes)
+            results = run_pack(group, stats)
+            span.set(
+                evicted=stats.evicted_lanes,
+                leader_cache_hits=stats.leader_cache_hits,
+                leader_cache_misses=stats.leader_cache_misses,
+                **{
+                    f"evicted_{reason.replace('-', '_')}": count
+                    for reason, count in sorted(stats.evictions.items())
+                },
+            )
         return results
     return [run_trial(group[0])]
 
@@ -774,7 +1388,7 @@ def run_trials_batched(
     results: List = []
     for group in plan_packs(list(payloads), batch_size):
         if len(group) > 1:
-            results.extend(run_channel_pack(group, stats))
+            results.extend(run_pack(group, stats))
         else:
             from repro.runtime.tasks import run_trial
 

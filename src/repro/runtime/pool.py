@@ -723,8 +723,11 @@ class TrialPool:
     falling back to the scalar path.  Results stay byte-identical to
     scalar dispatch -- batching, like chunking, is scheduling, not
     semantics.  The resilient path and fault injection keep per-trial
-    dispatch (their attribution is per payload), so batching silently
-    stands down whenever either is armed.
+    dispatch (their attribution is per payload), so batching stands
+    down whenever either is armed; under telemetry each stand-down
+    emits a ``batch.standdown`` event carrying the structured reason
+    (``resilience-policy``, ``fault-injection``, ``wrapped-fn`` or
+    ``ineligible-trial-kind``).
     """
 
     def __init__(
@@ -788,10 +791,22 @@ class TrialPool:
                 packed = self.executor.map(run_trial_group, groups)
                 results = [result for group in packed for result in group]
             else:
+                if observing and self.batch_size and self.batch_size > 1:
+                    telemetry.event(
+                        "batch.standdown",
+                        reason=self._standdown_reason(fn),
+                        payloads=len(payloads),
+                    )
                 results = self.executor.map(fn, payloads)
             self.trials_executed += len(payloads)
             self._note_metrics(started, len(payloads))
             return results
+        if observing and self.batch_size and self.batch_size > 1:
+            telemetry.event(
+                "batch.standdown",
+                reason="resilience-policy",
+                payloads=len(payloads),
+            )
         retries_before = self.fault_stats.retries
         quarantined_before = self.fault_stats.quarantined
         ledger = self.executor.run_resilient(
@@ -815,16 +830,33 @@ class TrialPool:
     def _batchable(self, fn: Callable) -> bool:
         """Whether this map may go through the lockstep batch executor.
 
-        Only the stock trial dispatchers qualify (``run_trial``, or
-        ``run_channel_trial``, which ``run_trial`` reduces to on channel
-        payloads): a wrapped callable (fault injector, stub trial
-        function) has per-dispatch semantics a pack would blur.
+        Only the stock trial dispatchers qualify (``run_trial``, or the
+        kind-specific ``run_channel_trial`` / ``run_kaslr_trial`` that
+        ``run_trial`` reduces to): a wrapped callable (fault injector,
+        stub trial function) has per-dispatch semantics a pack would
+        blur.
         """
         if not self.batch_size or self.batch_size <= 1:
             return False
-        from repro.runtime.tasks import run_channel_trial, run_trial
+        from repro.runtime.tasks import (
+            run_channel_trial,
+            run_kaslr_trial,
+            run_trial,
+        )
 
-        return fn is run_trial or fn is run_channel_trial
+        return fn in (run_trial, run_channel_trial, run_kaslr_trial)
+
+    def _standdown_reason(self, fn: Callable) -> str:
+        """Why batching stood down for this map (a ``batch.standdown``
+        telemetry attribute; the batch executor itself never sees the
+        payloads)."""
+        if self._fault_plan is not None:
+            return "fault-injection"
+        from repro.runtime.tasks import run_detect_trial
+
+        if fn is run_detect_trial:
+            return "ineligible-trial-kind"
+        return "wrapped-fn"
 
     def _note_metrics(self, started: Optional[float], executed: int) -> None:
         """Post-map metric updates (no-ops when telemetry is off)."""

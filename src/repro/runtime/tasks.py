@@ -315,6 +315,11 @@ def run_trial(trial) -> TrialResult:
 
 def clear_worker_contexts() -> None:
     """Drop all cached machines (tests that need cold workers)."""
+    from repro.runtime.batch import clear_leader_trace_cache
+
     _channel_contexts.clear()
     _kaslr_contexts.clear()
     _detect_contexts.clear()
+    # Cached leader traces reference machines from the dropped contexts;
+    # a cold worker should not replay a warm worker's leader.
+    clear_leader_trace_cache()

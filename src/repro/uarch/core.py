@@ -245,9 +245,22 @@ class Core:
         """
         plan = plan_for(program, self.model, _OP_HANDLERS) if decode_plan else None
         engine = _RunEngine(self, program, regs or {}, entry, user, max_instructions, plan)
-        result = engine.execute()
         if record_trace:
+            # Arm the MMU's translation breadcrumbs alongside the uop
+            # trace: the batch executor's page-table shadow replays both
+            # streams in lockstep.  try/finally so a faulting run cannot
+            # leave the hot path paying for logging.
+            mmu = self.mmu
+            mmu.translation_log = engine.events.translations
+            mmu.walker.record_details = True
+            try:
+                result = engine.execute()
+            finally:
+                mmu.translation_log = None
+                mmu.walker.record_details = False
             result.records = engine.records
+        else:
+            result = engine.execute()
         self.global_cycle = result.end_cycle + 1
         return result
 

@@ -6,7 +6,16 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.isa.instructions import Instruction
-from repro.memory.mmu import Fault
+from repro.memory.mmu import Fault, TranslationEvent
+
+__all__ = [
+    "UopRecord",
+    "RedirectEvent",
+    "FlushEvent",
+    "ResolutionEvent",
+    "TranslationEvent",  # re-export: emitted by the MMU, consumed here
+    "RunEvents",
+]
 
 
 class UopRecord:
@@ -158,3 +167,8 @@ class RunEvents:
     #: Chronological squash breadcrumbs (:class:`ResolutionEvent`) -- the
     #: rollback schedule the batch executor's shadow replay follows.
     resolutions: list = field(default_factory=list)
+    #: Chronological MMU breadcrumbs (:class:`TranslationEvent`) -- the
+    #: translation timeline the batch executor's page-table shadow
+    #: verifies follower lanes against.  Populated only under
+    #: ``record_trace`` (the MMU log is armed by ``Core.run``).
+    translations: list = field(default_factory=list)

@@ -15,10 +15,12 @@ seeded-``random`` fallback drives the same property with fixed seeds
 otherwise (the repo convention).
 """
 
+import os
 import random
 
 import pytest
 
+from repro.kernel.kaslr import user_mapped_slots
 from repro.runtime.batch import (
     BatchStats,
     LockstepBatch,
@@ -27,7 +29,12 @@ from repro.runtime.batch import (
     run_trials_batched,
 )
 from repro.runtime.spec import MachineSpec
-from repro.runtime.tasks import ChannelTrial, clear_worker_contexts, run_trial
+from repro.runtime.tasks import (
+    ChannelTrial,
+    KaslrTrial,
+    clear_worker_contexts,
+    run_trial,
+)
 from repro.sim.machine import Machine
 
 from tests.test_decode_plan_properties import PAGE_IMAGE, random_program_text
@@ -227,3 +234,149 @@ class TestChannelPackIdentity:
         payloads = _channel_payloads()[:4]
         groups = plan_packs(payloads, 1)
         assert all(len(g) == 1 for g in groups)
+
+
+# -- KASLR pack identity (translation shadow + leader trace cache) -------------
+
+
+def _kaslr_payloads(seed, slots, cr3_switch, suppression, warm_probes=1):
+    """KASLR-style sweep payloads: one double-probe per candidate slot."""
+    from repro.kernel.layout import slot_base
+
+    spec = MachineSpec("i7-7700", seed=seed, kpti=True)
+    return [
+        KaslrTrial(
+            spec=spec,
+            va=slot_base(slot),
+            cr3_switch=cr3_switch,
+            trial_index=index,
+            warm_probes=warm_probes,
+            suppression=suppression,
+        )
+        for index, slot in enumerate(slots)
+    ]
+
+
+def check_kaslr_batch_equals_scalar(
+    seed, slots, cr3_switch, suppression, batch_size=8
+):
+    """The KASLR differential property: batched double-probes over an
+    arbitrary slot mix (mapped, unmapped, and out-of-image candidates)
+    are byte-identical to hermetic scalar trials, mapped candidates are
+    evicted (never approximated), and disabling the leader trace cache
+    changes nothing."""
+    payloads = _kaslr_payloads(seed, slots, cr3_switch, suppression)
+    clear_worker_contexts()
+    scalar = [run_trial(p) for p in payloads]
+    clear_worker_contexts()
+    stats = BatchStats()
+    batched = run_trials_batched(payloads, batch_size, stats)
+    assert batched == scalar
+    # Which slots actually resolve from user space this boot: exactly
+    # those lanes cannot be walk-isomorphic to an unmapped leader.
+    layout = _kaslr_layout(payloads[0].spec)
+    mapped = user_mapped_slots(layout, kpti=True)
+    n_mapped = sum(1 for slot in slots if slot in mapped)
+    if 0 < n_mapped < len(slots):
+        assert stats.evictions.get("translation-divergence", 0) >= 1
+    clear_worker_contexts()
+    os.environ["REPRO_BATCH_LEADER_CACHE"] = "0"
+    try:
+        assert run_trials_batched(payloads, batch_size) == scalar
+    finally:
+        os.environ.pop("REPRO_BATCH_LEADER_CACHE", None)
+        clear_worker_contexts()
+
+
+def _kaslr_layout(spec):
+    from repro.runtime.tasks import _kaslr_context
+
+    return _kaslr_context(spec, "direct", None).machine.kernel.layout
+
+
+def _slot_mix(rng, layout):
+    """A small sweep slice straddling interesting territory: slots near
+    the hidden kernel image (some user-mapped under KPTI via the
+    trampoline remnant), plus far-away definitely-unmapped ones."""
+    base = layout.slot
+    near = rng.sample(range(max(0, base - 2), min(512, base + 18)), 6)
+    far = rng.sample(range(0, 64), 3)
+    return near + far
+
+
+def check_kaslr_random_case(seed):
+    rng = random.Random(seed)
+    spec = MachineSpec("i7-7700", seed=seed % 97, kpti=True)
+    layout = _kaslr_layout(spec)
+    slots = _slot_mix(rng, layout)
+    check_kaslr_batch_equals_scalar(
+        seed % 97,
+        slots,
+        cr3_switch=rng.random() < 0.5,
+        suppression=rng.choice([None, "tsx"]),
+    )
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestKaslrPackEqualsScalar:
+        @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+        @settings(max_examples=5, deadline=None)
+        def test_random_sweeps_match_hermetic_scalar_trials(self, seed):
+            check_kaslr_random_case(seed)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    class TestKaslrPackEqualsScalar:
+        @pytest.mark.parametrize("seed", list(range(5)))
+        def test_random_sweeps_match_hermetic_scalar_trials(self, seed):
+            check_kaslr_random_case(seed)
+
+
+class TestKaslrPackStructure:
+    def test_mapped_candidate_evicts_unmapped_survive(self):
+        """A sweep straddling the trampoline slot: the one user-mapped
+        candidate evicts with the translation-divergence reason; every
+        unmapped lane rides the leader's walk shape."""
+        spec = MachineSpec("i7-7700", seed=21, kpti=True)
+        layout = _kaslr_layout(spec)
+        mapped = user_mapped_slots(layout, kpti=True)
+        assert len(mapped) == 1  # KPTI: just the trampoline remnant
+        (tramp_slot,) = mapped
+        slots = list(range(tramp_slot - 3, tramp_slot + 5))
+        payloads = _kaslr_payloads(21, slots, False, None)
+        clear_worker_contexts()
+        scalar = [run_trial(p) for p in payloads]
+        clear_worker_contexts()
+        stats = BatchStats()
+        assert run_trials_batched(payloads, len(payloads), stats) == scalar
+        assert stats.evictions == {"translation-divergence": 1}
+        clear_worker_contexts()
+
+    def test_leader_cache_hits_across_same_structure_packs(self):
+        """Every pack after the first in a uniform sweep replays the
+        memoized leader: misses stay at one."""
+        payloads = _kaslr_payloads(3, list(range(24)), False, None)
+        clear_worker_contexts()
+        scalar = [run_trial(p) for p in payloads]
+        clear_worker_contexts()
+        stats = BatchStats()
+        assert run_trials_batched(payloads, 8, stats) == scalar
+        assert stats.leader_cache_misses == 1
+        assert stats.leader_cache_hits == stats.packs - 1
+        clear_worker_contexts()
+
+    def test_sets_eviction_stays_scalar(self):
+        """'sets' eviction has per-address conflict structure the pack
+        planner must not batch."""
+        payloads = [
+            KaslrTrial(
+                spec=MachineSpec("i7-7700", seed=5, kpti=True),
+                va=0xFFFFFFFF80000000 + i * 0x200000,
+                cr3_switch=False,
+                trial_index=i,
+                eviction="sets",
+            )
+            for i in range(4)
+        ]
+        assert all(len(g) == 1 for g in plan_packs(payloads, 8))

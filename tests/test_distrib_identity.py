@@ -356,6 +356,31 @@ class TestBatchThroughDistrib:
         assert merged == golden
         assert stats.unique == spec.trial_count()
 
+    def test_batched_kaslr_shards_merge_to_scalar_bytes(self, tmp_path):
+        """The KASLR analogue: a full 512-slot KPTI sweep, 3-way split,
+        each shard run through 8-lane translation-shadow packs (with the
+        leader trace cache live), merges to the bytes of a scalar
+        single-host run."""
+        from repro.campaign import kaslr_cell
+        from repro.runtime import TrialPool
+
+        spec = CampaignSpec(
+            name="kaslr-batch-golden",
+            cells=(
+                kaslr_cell(
+                    MachineSpec("i7-7700", seed=21, kpti=True),
+                    strategy="kpti-trampoline",
+                ),
+            ),
+        )
+        golden = single_host(spec, tmp_path / "single")
+        with TrialPool(workers=1, batch_size=8) as pool:
+            merged, stats, _ = sharded_then_merged(
+                spec, 3, tmp_path, pool=pool
+            )
+        assert merged == golden
+        assert stats.unique == spec.trial_count()
+
     def test_shard_span_records_batch_size(self, tmp_path):
         from repro import telemetry
         from repro.runtime import TrialPool

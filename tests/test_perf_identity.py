@@ -178,3 +178,73 @@ class TestBatchShapeIdentity:
         assert [
             (tuple(result.totes), result.cycles) for result in results
         ] == expected
+
+
+class TestKaslrBatchShapeIdentity:
+    """KASLR packs at {1, 8, 17} lanes: same bytes, every shape.
+
+    The translation shadow and the cross-pack leader trace cache may
+    only reschedule a sweep, never move a ToTE or a cycle count.  The
+    12-slot slice straddles the hidden image (slots 80..91 on the
+    seed-21 boot), so it contains exactly one user-mapped candidate --
+    the KPTI trampoline remnant at slot 91 -- exercising the
+    eviction-plus-scalar-fallback path inside a live pack.
+    """
+
+    def _payloads(self):
+        spec = MachineSpec("i7-7700", seed=21, kaslr=True, kpti=True)
+        return [
+            KaslrTrial(
+                spec=spec,
+                va=KASLR_BASE - 0x800000 + i * 0x200000,
+                cr3_switch=False,
+                trial_index=i,
+            )
+            for i in range(12)
+        ]
+
+    def _scalar(self, payloads):
+        with TrialPool(workers=1) as pool:
+            return pool.map(run_trial, payloads)
+
+    @pytest.mark.parametrize("batch_size", [1, 8, 17])
+    def test_serial_pooled_resumed_identical(self, batch_size):
+        payloads = self._payloads()
+        scalar = self._scalar(payloads)
+        shapes = {}
+        for label, kwargs in (
+            ("serial", {"workers": 1, "batch_size": batch_size}),
+            ("pooled", {"workers": 4, "batch_size": batch_size}),
+        ):
+            with TrialPool(**kwargs) as pool:
+                shapes[label] = pool.map(run_trial, payloads)
+                assert pool.trials_executed == len(payloads)
+        # "Resumed" splits at 5, cutting inside an 8-lane pack -- the
+        # warm second map also replays the first map's cached leader.
+        with TrialPool(workers=1, batch_size=batch_size) as pool:
+            shapes["resumed"] = pool.map(run_trial, payloads[:5]) + pool.map(
+                run_trial, payloads[5:]
+            )
+        for label, results in shapes.items():
+            assert results == scalar, (batch_size, label)
+
+    def test_golden_constants_hold_under_batching(self):
+        """The pre-overhaul KASLR golden bytes through a live pack; the
+        two cr3-free probes are adjacent so they share one."""
+        order = [0, 2, 1]  # (0x0,False), (0x200000,False), (0x0,True)
+        spec = MachineSpec("i7-7700", seed=21, kaslr=True, kpti=True)
+        payloads = [
+            KaslrTrial(
+                spec=spec,
+                va=KASLR_BASE + GOLDEN_KASLR[i][0][0],
+                cr3_switch=GOLDEN_KASLR[i][0][1],
+                trial_index=GOLDEN_KASLR[i][0][2],
+                warm_probes=3,
+            )
+            for i in order
+        ]
+        with TrialPool(workers=1, batch_size=4) as pool:
+            results = pool.map(run_trial, payloads)
+        assert [
+            (tuple(result.totes), result.cycles) for result in results
+        ] == [GOLDEN_KASLR[i][1] for i in order]

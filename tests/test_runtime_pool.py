@@ -181,3 +181,73 @@ class TestSeedDerivation:
         rebuilt = spec.build()
         assert rebuilt.model.name == machine.model.name
         assert rebuilt.kernel.layout.base == machine.kernel.layout.base
+
+
+class TestBatchStanddown:
+    """``batch.standdown`` events: a requested-but-bypassed batch path
+    must be visible in telemetry, never a silent slow run."""
+
+    def _payloads(self):
+        spec = MachineSpec("i7-7700", seed=1)
+        return [
+            ChannelTrial(
+                spec=spec, byte=0x2A, test=test, batches=2, trial_index=test
+            )
+            for test in range(4)
+        ]
+
+    def _standdowns(self, records):
+        return [
+            record["attrs"]
+            for record in records
+            if record.get("kind") == "event"
+            and record.get("name") == "batch.standdown"
+        ]
+
+    def _map_observed(self, pool, fn, payloads, faults=None):
+        from repro import telemetry
+
+        telemetry.enable()
+        try:
+            if faults is not None:
+                pool.install_faults(faults)
+            pool.map(fn, payloads)
+            return self._standdowns(telemetry.recorder().drain())
+        finally:
+            telemetry.disable()
+
+    def test_wrapped_fn_stands_down_with_reason(self):
+        payloads = self._payloads()
+        with TrialPool(workers=1, batch_size=4) as pool:
+            events = self._map_observed(
+                pool, lambda trial: run_channel_trial(trial), payloads
+            )
+        assert events == [{"reason": "wrapped-fn", "payloads": 4}]
+
+    def test_resilience_policy_stands_down(self):
+        from repro.faults import ResiliencePolicy
+
+        payloads = self._payloads()
+        policy = ResiliencePolicy(max_retries=0, backoff_base=0.0)
+        with TrialPool(workers=1, batch_size=4, policy=policy) as pool:
+            events = self._map_observed(pool, run_channel_trial, payloads)
+        assert events == [{"reason": "resilience-policy", "payloads": 4}]
+
+    def test_fault_injection_stands_down(self):
+        from repro.faults import FaultPlan
+
+        payloads = self._payloads()
+        with TrialPool(workers=1, batch_size=4) as pool:
+            events = self._map_observed(
+                pool,
+                run_channel_trial,
+                payloads,
+                faults=FaultPlan.chaos(seed=7, rate=0.0),
+            )
+        assert events == [{"reason": "fault-injection", "payloads": 4}]
+
+    def test_batched_map_emits_no_standdown(self):
+        payloads = self._payloads()
+        with TrialPool(workers=1, batch_size=4) as pool:
+            events = self._map_observed(pool, run_channel_trial, payloads)
+        assert events == []
