@@ -104,6 +104,30 @@ class RunStats:
         return text
 
 
+def _live_batch_counts() -> Dict:
+    """Live lockstep-batching counts for observer/stream updates.
+
+    Read from the coordinator registry after the checkpoint, so the
+    worker batches of the map that just finished are already merged.
+    Cumulative over the run (the registry is), which is exactly what the
+    progress line and heartbeats want.
+    """
+    registry = telemetry.metrics_registry()
+    snapshot = registry.snapshot()
+    standdowns = {
+        name[len("batch.standdown."):]: entry["value"]
+        for name, entry in snapshot.items()
+        if name.startswith("batch.standdown.")
+    }
+    evictions = snapshot.get("batch.lanes.evicted", {}).get("value", 0)
+    retries = snapshot.get("pool.retries", {}).get("value", 0)
+    return {
+        "evictions": evictions,
+        "standdowns": standdowns,
+        "retries": retries,
+    }
+
+
 class CampaignRunner:
     """Bind a spec to a store and an executor."""
 
@@ -120,6 +144,7 @@ class CampaignRunner:
         observer: Optional[Callable[[Dict], None]] = None,
         shard: Optional[Shard] = None,
         sink: Optional[Callable[[TrialRef, StoredOutcome], None]] = None,
+        stream: Optional[Callable[[Dict], None]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -157,6 +182,13 @@ class CampaignRunner:
         #: order-independent conclusions (detectors do) must make each
         #: ingestion a pure function of the single ``(ref, outcome)``.
         self._sink = sink or (lambda ref, outcome: None)
+        #: Live telemetry spool hook (``campaign shard --stream-out``
+        #: installs a :class:`~repro.telemetry.stream.StreamWriter`'s
+        #: ``on_batch`` here).  Fired with the same structured update as
+        #: the observer, after every checkpointed batch; the writer
+        #: decides internally whether a cadence boundary was crossed.
+        #: Purely observational -- never touches results or the store.
+        self._stream = stream or (lambda update: None)
 
     # -- queries ---------------------------------------------------------------
 
@@ -277,18 +309,20 @@ class CampaignRunner:
                     f"batch {batches}: {done}"
                     f"/{len(pending)} pending trials done"
                 )
-                self._observer(
-                    {
-                        "name": self.spec.name,
-                        "done": done,
-                        "pending": len(pending),
-                        "total": len(refs),
-                        "cached": len(refs) - len(pending),
-                        "cell": cell,
-                        "cells": cells_total,
-                        "failures": failures,
-                    }
-                )
+                update = {
+                    "name": self.spec.name,
+                    "done": done,
+                    "pending": len(pending),
+                    "total": len(refs),
+                    "cached": len(refs) - len(pending),
+                    "cell": cell,
+                    "cells": cells_total,
+                    "failures": failures,
+                }
+                if observing:
+                    update.update(_live_batch_counts())
+                self._observer(update)
+                self._stream(update)
                 if (
                     self.max_failures is not None
                     and failures > self.max_failures

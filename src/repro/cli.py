@@ -275,6 +275,29 @@ def cmd_obs_tail(args) -> int:
     return run_obs_tail(args.trace, count=args.count)
 
 
+def cmd_obs_top(args) -> int:
+    from repro.telemetry.live import run_obs_top
+
+    return run_obs_top(
+        args.root,
+        once=args.once,
+        interval=args.interval,
+        timeout=args.timeout,
+    )
+
+
+def cmd_obs_flame(args) -> int:
+    from repro.telemetry.live import run_obs_flame
+
+    return run_obs_flame(args.trace, output=args.output)
+
+
+def cmd_obs_fold(args) -> int:
+    from repro.telemetry.live import run_obs_fold
+
+    return run_obs_fold(args.root, output=args.output, check=args.check)
+
+
 def cmd_obs_overhead(args) -> int:
     from repro.perf import run_overhead
 
@@ -418,7 +441,7 @@ def cmd_campaign_run(args) -> int:
 
 def cmd_campaign_shard(args) -> int:
     from repro.campaign import CampaignAborted, Shard
-    from repro.distrib import manifest_path, run_shard
+    from repro.distrib import manifest_path, run_shard_observed
 
     try:
         spec = _campaign_spec(args.name)
@@ -435,18 +458,25 @@ def cmd_campaign_shard(args) -> int:
         from repro.faults import ResiliencePolicy
 
         policy = ResiliencePolicy(max_retries=args.retry)
-    tracing = bool(args.trace_out)
-    if tracing:
-        from repro import telemetry
+    trace_out = args.trace_out
+    if args.stream_out and not trace_out:
+        # Streaming without a sidecar would leave nothing for the fold
+        # identity check; record the conventional sidecar alongside.
+        from repro.distrib import telemetry_sidecar
 
-        telemetry.enable(wall_clock=True)
+        trace_out = telemetry_sidecar(args.store)
     pool = _trial_pool(args)
     label = f"{spec.name} {shard}"
+    observed = {}
     try:
-        store, stats = run_shard(
+        store, stats = run_shard_observed(
             spec,
             shard,
             args.store,
+            trace_path=trace_out,
+            stream_path=args.stream_out,
+            stream_every=args.stream_every,
+            observed=observed,
             pool=pool,
             batch_size=args.batch_size,
             policy=policy,
@@ -459,17 +489,16 @@ def cmd_campaign_shard(args) -> int:
     finally:
         if pool is not None:
             pool.close()
-        if tracing:
-            from repro import telemetry
-            from repro.telemetry.export import write_jsonl
-
-            records = telemetry.recorder().drain()
-            metrics = telemetry.metrics_registry().drain()
-            telemetry.disable()
-            write_jsonl(records, args.trace_out, metrics=metrics)
+        if trace_out:
             print(
-                f"[{label}] wrote {len(records)} telemetry records to "
-                f"{args.trace_out}",
+                f"[{label}] wrote {observed.get('records', 0)} telemetry "
+                f"records to {trace_out}",
+                file=sys.stderr,
+            )
+        if args.stream_out:
+            print(
+                f"[{label}] streamed live telemetry to {args.stream_out} "
+                f"(tail with `repro obs top`)",
                 file=sys.stderr,
             )
     print(f"{label}: {stats}")
@@ -542,7 +571,14 @@ def cmd_campaign_fleet(args) -> int:
         batch_size=args.batch_size,
         retry=args.retry,
         trace=args.trace,
+        stream=args.stream,
+        stream_every=args.stream_every,
     )
+    on_stream = None
+    if args.stream:
+        def on_stream(view):
+            print(view.render(), file=sys.stderr)
+
     coordinator = Coordinator(
         spec,
         args.store,
@@ -554,6 +590,8 @@ def cmd_campaign_fleet(args) -> int:
         parallel=args.parallel,
         progress=lambda message: print(f"[fleet {spec.name}] {message}",
                                        file=sys.stderr),
+        stream=args.stream,
+        on_stream=on_stream,
     )
     try:
         result = coordinator.run()
@@ -566,6 +604,11 @@ def cmd_campaign_fleet(args) -> int:
         f"obs      : repro obs report "
         f"{os.path.join(args.store, FLEET_TELEMETRY)}"
     )
+    if args.stream:
+        print(
+            f"stream   : repro obs top {args.store} --once; "
+            f"repro obs fold {args.store} --check"
+        )
     if result.report is not None:
         json_path, text_path = _artifact_paths(args.store, spec.name)
         result.report.write_json(json_path)
@@ -949,6 +992,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="record this shard's telemetry sidecar (fleet merges fold "
         "segment sidecars into one `repro obs` view)",
     )
+    cshard.add_argument(
+        "--stream-out", default=None, metavar="PATH",
+        help="append live framed telemetry (spans, metric snapshots, "
+        "heartbeats) to this spool while the shard runs; implies a "
+        "telemetry sidecar, and folding the spool is byte-identical to "
+        "merging the sidecar",
+    )
+    cshard.add_argument(
+        "--stream-every", type=int, default=None, metavar="N",
+        help="heartbeat/snapshot cadence in completed trials (never "
+        "wall-clock; default: 32)",
+    )
     cshard.set_defaults(func=cmd_campaign_shard)
 
     cmerge = csub.add_parser(
@@ -1009,6 +1064,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="record per-segment telemetry sidecars and aggregate them "
         "into the fleet obs view",
+    )
+    cfleet.add_argument(
+        "--stream", action="store_true",
+        help="arm the live plane: shards append framed spools, the "
+        "coordinator tails them concurrently (implies --trace; watch "
+        "with `repro obs top`, check with `repro obs fold --check`)",
+    )
+    cfleet.add_argument(
+        "--stream-every", type=int, default=None, metavar="N",
+        help="per-shard heartbeat/snapshot cadence in completed trials "
+        "(default: 32)",
     )
     cfleet.set_defaults(func=cmd_campaign_fleet)
 
@@ -1181,6 +1247,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="records to print (default: 20)",
     )
     otail.set_defaults(func=cmd_obs_tail)
+
+    otop = osub.add_parser(
+        "top",
+        help="live fleet dashboard: tail every shard's stream spool "
+        "(campaign fleet --stream)",
+    )
+    otop.add_argument(
+        "root",
+        help="fleet store root (spools under segments/*/stream.jsonl), "
+        "a segment root, or a spool file",
+    )
+    otop.add_argument(
+        "--once", action="store_true",
+        help="render the current fleet state once and exit (CI mode)",
+    )
+    otop.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval in follow mode (default: 0.5)",
+    )
+    otop.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="in follow mode, exit 3 if the fleet has not sealed every "
+        "spool after SECONDS (default: wait forever)",
+    )
+    otop.set_defaults(func=cmd_obs_top)
+
+    oflame = osub.add_parser(
+        "flame",
+        help="export collapsed stacks (flamegraph.pl / speedscope input) "
+        "from a recorded run or a live spool",
+    )
+    oflame.add_argument(
+        "trace",
+        help="JSONL trace from --trace-out, or a stream spool",
+    )
+    oflame.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="output path (default: <trace>.folded)",
+    )
+    oflame.set_defaults(func=cmd_obs_flame)
+
+    ofold = osub.add_parser(
+        "fold",
+        help="fold completed stream spools into one metrics artifact; "
+        "--check asserts byte-identity with the sidecar merge",
+    )
+    ofold.add_argument(
+        "root", help="fleet store root, segment root, or spool file"
+    )
+    ofold.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the folded recorded run here (repro obs report reads it)",
+    )
+    ofold.add_argument(
+        "--check", action="store_true",
+        help="also merge the segments' telemetry sidecars and exit "
+        "non-zero unless the bytes match (CI obs-stream-smoke)",
+    )
+    ofold.set_defaults(func=cmd_obs_fold)
 
     ooverhead = osub.add_parser(
         "overhead",

@@ -64,8 +64,10 @@ from repro.distrib.shard import (
     manifest_path,
     read_manifest,
     run_shard,
+    run_shard_observed,
     segment_root,
     shard_spec_positions,
+    stream_spool_args,
     telemetry_sidecar,
     write_manifest,
 )
@@ -89,8 +91,10 @@ __all__ = [
     "merge_telemetry",
     "read_manifest",
     "run_shard",
+    "run_shard_observed",
     "segment_root",
     "shard_spec_positions",
+    "stream_spool_args",
     "telemetry_sidecar",
     "write_manifest",
 ]

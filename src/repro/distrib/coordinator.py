@@ -42,7 +42,14 @@ from repro.campaign.runner import CampaignRunner, RunStats
 from repro.campaign.spec import CampaignSpec, Shard
 from repro.campaign.store import ResultStore
 from repro.distrib.merge import MergeStats, merge_stores, merge_telemetry
-from repro.distrib.shard import run_shard, segment_root, telemetry_sidecar_args
+from repro.distrib.shard import (
+    run_shard,
+    run_shard_observed,
+    segment_root,
+    stream_spool_args,
+    telemetry_sidecar,
+    telemetry_sidecar_args,
+)
 from repro.faults.resilience import ResiliencePolicy
 
 FLEET_TELEMETRY = "fleet_telemetry.jsonl"
@@ -138,6 +145,8 @@ class LocalProcessWorker:
         batch_size: Optional[int] = None,
         retry: int = 0,
         trace: bool = False,
+        stream: bool = False,
+        stream_every: Optional[int] = None,
         python: str = sys.executable,
         env: Optional[Dict[str, str]] = None,
     ) -> None:
@@ -145,7 +154,11 @@ class LocalProcessWorker:
         self.workers = workers
         self.batch_size = batch_size
         self.retry = retry
-        self.trace = trace
+        # Streaming implies tracing: the spool's end frame must carry
+        # the same snapshot the sidecar is written from (fold identity).
+        self.trace = trace or stream
+        self.stream = stream
+        self.stream_every = stream_every
         self.python = python
         self.env = env
 
@@ -178,6 +191,11 @@ class LocalProcessWorker:
             cmd += ["--retry", str(self.retry)]
         if self.trace:
             cmd += telemetry_sidecar_args(segment)
+        if self.stream:
+            from repro.telemetry.stream import DEFAULT_STREAM_EVERY
+
+            every = self.stream_every or DEFAULT_STREAM_EVERY
+            cmd += stream_spool_args(segment, every)
         return cmd
 
     async def __call__(self, shard: Shard, segment: str, attempt: int) -> None:
@@ -206,16 +224,29 @@ class StubWorker:
     after ``k`` checkpointed batches -- the segment keeps those batches,
     exactly like a real host losing power mid-run, and the retried
     attempt resumes past them.
+
+    ``stream=True`` (optionally with ``trace=True`` for the sidecar)
+    routes through :func:`~repro.distrib.shard.run_shard_observed`, so
+    chaos suites can exercise the live spool's attempt/dedup machinery
+    without subprocesses: a scripted death still seals the partial
+    attempt, and the retry appends a fresh (higher) attempt whose end
+    frame supersedes it in the fold.
     """
 
     def __init__(
         self,
         spec: CampaignSpec,
         chaos: Optional[Callable[[Shard, int], Optional[int]]] = None,
+        trace: bool = False,
+        stream: bool = False,
+        stream_every: Optional[int] = None,
         **runner_kwargs,
     ) -> None:
         self.spec = spec
         self.chaos = chaos
+        self.trace = trace or stream
+        self.stream = stream
+        self.stream_every = stream_every
         self.runner_kwargs = runner_kwargs
 
     async def __call__(self, shard: Shard, segment: str, attempt: int) -> None:
@@ -223,15 +254,33 @@ class StubWorker:
         kwargs = dict(self.runner_kwargs)
         if surviving is not None:
             seen = {"batches": 0}
+            inner = kwargs.get("progress")
 
             def _killer(message: str) -> None:
+                if inner is not None:
+                    inner(message)
                 seen["batches"] += 1
                 if seen["batches"] > surviving:
                     raise _WorkerDied(message)
 
             kwargs["progress"] = _killer
         try:
-            run_shard(self.spec, shard, segment, **kwargs)
+            if self.trace:
+                from repro.telemetry.stream import stream_spool
+
+                run_shard_observed(
+                    self.spec,
+                    shard,
+                    segment,
+                    trace_path=telemetry_sidecar(segment),
+                    stream_path=(
+                        stream_spool(segment) if self.stream else None
+                    ),
+                    stream_every=self.stream_every,
+                    **kwargs,
+                )
+            else:
+                run_shard(self.spec, shard, segment, **kwargs)
         except _WorkerDied as died:
             raise ShardWorkerError(
                 shard, attempt, f"worker died mid-run ({died})"
@@ -262,6 +311,15 @@ class Coordinator:
     segment the moment it lands.  Detector ingestion deduplicates per
     trial coordinate, so retried shards and the round-robin cover's
     interleaving cannot change what the detector concludes.
+
+    ``stream=True`` arms the live plane: the coordinator builds a
+    :class:`~repro.telemetry.stream.FleetView` over every shard's
+    conventional spool path and tails all of them *concurrently with
+    shard execution* -- an asyncio task polls the spools every
+    *stream_interval* seconds and hands the refreshed view to
+    *on_stream* (the ``repro obs top`` renderer, a test probe, ...).
+    Tailing is read-only and purely additive: the merge/ingest path and
+    every final artifact are byte-identical with streaming on or off.
     """
 
     def __init__(
@@ -274,6 +332,9 @@ class Coordinator:
         parallel: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
         detector=None,
+        stream: bool = False,
+        stream_interval: float = 0.2,
+        on_stream: Optional[Callable] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -286,6 +347,13 @@ class Coordinator:
         )
         self.parallel = parallel if parallel else min(shards, 8)
         self.detector = detector
+        self.stream = stream
+        self.stream_interval = stream_interval
+        #: The live fleet view (populated only for streaming runs); kept
+        #: on the instance so callers can inspect the final tailed state
+        #: after :meth:`run` returns.
+        self.stream_view = None
+        self._on_stream = on_stream or (lambda view: None)
         self._progress = progress or (lambda message: None)
         self._lock: Optional[asyncio.Lock] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
@@ -337,9 +405,32 @@ class Coordinator:
         self._lock = asyncio.Lock()
         self._semaphore = asyncio.Semaphore(self.parallel)
         result = FleetResult(name=self.spec.name, shards=len(self.shards))
-        outcomes = await asyncio.gather(
-            *(self._drive(shard, result) for shard in self.shards)
-        )
+        tail_task = None
+        tail_done: Optional[asyncio.Event] = None
+        if self.stream:
+            from repro.telemetry.stream import FleetView, stream_spool
+
+            self.stream_view = FleetView(
+                {
+                    shard.label: stream_spool(
+                        segment_root(self.dest_root, shard)
+                    )
+                    for shard in self.shards
+                },
+                campaign=self.spec.name,
+            )
+            tail_done = asyncio.Event()
+            tail_task = asyncio.create_task(
+                self._tail_spools(self.stream_view, tail_done)
+            )
+        try:
+            outcomes = await asyncio.gather(
+                *(self._drive(shard, result) for shard in self.shards)
+            )
+        finally:
+            if tail_task is not None and tail_done is not None:
+                tail_done.set()
+                await tail_task
         failed = [a for a in outcomes if a is not None and not a.ok]
         self._aggregate_metrics(result)
         if failed:
@@ -348,6 +439,28 @@ class Coordinator:
             self.spec, store=ResultStore(self.dest_root)
         ).collect()
         return result
+
+    async def _tail_spools(self, view, done: asyncio.Event) -> None:
+        """Tail every shard spool until the fleet finishes.
+
+        Runs concurrently with ``_drive``: each tick polls the spools
+        (cheap incremental reads from the persisted cursor offsets) and
+        hands the refreshed view to the ``on_stream`` consumer.  A final
+        poll after ``done`` fires guarantees the consumer sees the
+        sealed end frames, so the last rendered state is the complete
+        stream -- the prefix property ends at the full fold.
+        """
+        while not done.is_set():
+            if view.poll():
+                self._on_stream(view)
+            try:
+                await asyncio.wait_for(
+                    done.wait(), timeout=self.stream_interval
+                )
+            except asyncio.TimeoutError:
+                continue
+        view.poll()
+        self._on_stream(view)
 
     def run(self) -> FleetResult:
         return asyncio.run(self.run_async())

@@ -50,6 +50,13 @@ def telemetry_sidecar_args(root: str) -> List[str]:
     return ["--trace-out", telemetry_sidecar(root)]
 
 
+def stream_spool_args(root: str, every: int) -> List[str]:
+    """The ``campaign shard`` CLI arguments that arm the live spool."""
+    from repro.telemetry.stream import stream_spool
+
+    return ["--stream-out", stream_spool(root), "--stream-every", str(every)]
+
+
 @dataclass(frozen=True)
 class ShardManifest:
     """What one store segment sliced, and under which format versions.
@@ -157,3 +164,72 @@ def run_shard(
     runner = CampaignRunner(spec, store=store, shard=shard, **runner_kwargs)
     _, stats = runner.run()
     return store, stats
+
+
+def run_shard_observed(
+    spec: CampaignSpec,
+    shard: Shard,
+    store_root: str,
+    trace_path: Optional[str] = None,
+    stream_path: Optional[str] = None,
+    stream_every: Optional[int] = None,
+    observed: Optional[dict] = None,
+    **runner_kwargs,
+) -> Tuple[ResultStore, RunStats]:
+    """:func:`run_shard` with the observability plane armed around it.
+
+    One code path seals both telemetry artifacts so their contents can
+    never drift apart:
+
+    * *trace_path* -- the end-of-shard sidecar (``telemetry.jsonl``),
+      written from a **single** drain of the recorder and registry;
+    * *stream_path* -- the live spool (``stream.jsonl``): a
+      :class:`~repro.telemetry.stream.StreamWriter` is fed from the
+      runner's per-batch ``stream`` hook and its ``end`` frame carries
+      the *same* drained metrics snapshot the sidecar was written from.
+      That shared dict is the whole byte-identity contract: folding the
+      spool reproduces exactly what ``merge_telemetry`` reads.
+
+    Streaming also arms the pool heartbeat cadence (trial counts, never
+    wall clocks) for the duration of the run and disarms it after.
+    Artifacts are sealed in a ``finally`` -- an aborted or crashed shard
+    still leaves a tailable spool and a replayable sidecar.  *observed*,
+    when given, is filled with ``{"records": N, "metrics": {...}}`` so
+    callers can report what was sealed even when the run raised.
+    """
+    from repro import telemetry
+    from repro.telemetry.export import write_jsonl
+    from repro.telemetry.stream import DEFAULT_STREAM_EVERY, StreamWriter
+
+    if trace_path is None and stream_path is None:
+        return run_shard(spec, shard, store_root, **runner_kwargs)
+    every = DEFAULT_STREAM_EVERY if stream_every is None else stream_every
+    telemetry.enable(wall_clock=True)
+    writer = None
+    if stream_path is not None:
+        telemetry.set_heartbeat_cadence(every)
+        writer = StreamWriter(
+            stream_path,
+            shard=shard.label,
+            campaign=spec.name,
+            total=shard.size(spec.trial_count()),
+            every=every,
+        )
+        runner_kwargs["stream"] = writer.on_batch
+    try:
+        return run_shard(spec, shard, store_root, **runner_kwargs)
+    finally:
+        metrics = telemetry.metrics_registry().drain()
+        # Seal the spool before draining the recorder: close() collects
+        # the final span delta (spans closed since the last cadence
+        # flush) straight from the live recorder.
+        if writer is not None:
+            writer.close(snapshot=metrics)
+        records = telemetry.recorder().drain()
+        telemetry.disable()
+        telemetry.set_heartbeat_cadence(0)
+        if trace_path is not None:
+            write_jsonl(records, trace_path, metrics=metrics)
+        if observed is not None:
+            observed["records"] = len(records)
+            observed["metrics"] = metrics

@@ -43,6 +43,7 @@ __all__ = [
     "DISABLED_OVERHEAD_CEILING",
     "ENABLED_OVERHEAD_CEILING",
     "REGRESSION_FLOOR",
+    "STREAMING_OVERHEAD_CEILING",
     "bench_cell",
     "calibrate_host",
     "cell_payloads",
@@ -74,9 +75,11 @@ DEFAULT_CELL = 0
 
 #: Telemetry overhead gates (``repro obs overhead`` / CI obs-smoke):
 #: the disabled path must cost under 2% of trial time, the fully
-#: enabled path under 15%.
+#: enabled path under 15%, and the streaming path (telemetry armed
+#: *plus* live spool appends at the default cadence) under 15% too.
 DISABLED_OVERHEAD_CEILING = 0.02
 ENABLED_OVERHEAD_CEILING = 0.15
+STREAMING_OVERHEAD_CEILING = 0.15
 
 
 def cell_payloads(campaign: str, cell: int, limit: Optional[int] = None) -> List:
@@ -502,11 +505,12 @@ def run_overhead(
     trials: int = 16,
     repeats: int = 3,
     quick: bool = False,
+    report_path: Optional[str] = DEFAULT_REPORT_PATH,
     out=print,
 ) -> int:
     """The ``repro obs overhead`` body: gate telemetry's cost.
 
-    Two measurements, two ceilings:
+    Three measurements, three ceilings:
 
     * **disabled** -- the per-trial cost of the dormant hooks (one
       ``telemetry.enabled()`` check in ``run_trial`` plus the pool's
@@ -518,11 +522,21 @@ def run_overhead(
     * **enabled** -- best-of-N A/B of the same trial slice with
       telemetry off vs fully armed (spans, counters, PMU reads, drains).
       Ceiling: :data:`ENABLED_OVERHEAD_CEILING`.
+    * **streaming** -- telemetry armed *plus* a live
+      :class:`~repro.telemetry.stream.StreamWriter` fed at the default
+      cadence, spool appends and all -- the full ``--stream-out`` path.
+      Ceiling: :data:`STREAMING_OVERHEAD_CEILING`.
 
-    Returns 0 when both pass, 1 otherwise.
+    The streaming on/off ratio merges into the ``perf_bench`` section of
+    the reproduction report so its trajectory is tracked across PRs.
+    Returns 0 when all gates pass, 1 otherwise.
     """
+    import shutil
+    import tempfile
+
     from repro import telemetry
     from repro.runtime.tasks import run_trial
+    from repro.telemetry.stream import StreamWriter
 
     if quick:
         trials = min(trials, 12)
@@ -550,13 +564,50 @@ def run_overhead(
                 best = elapsed
         return best
 
-    # Interleave off/on/off and keep the best disabled time, so one-sided
-    # host interference cannot masquerade as telemetry overhead.
+    def best_seconds_streaming() -> float:
+        """The full live-plane arm: armed telemetry, spool appends at a
+        cadence that flushes several times over the slice."""
+        best = float("inf")
+        every = max(1, len(payloads) // 4)
+        total = len(payloads)
+        for _ in range(repeats):
+            spool_dir = tempfile.mkdtemp(prefix="repro-obs-stream-")
+            try:
+                telemetry.enable()
+                writer = StreamWriter(
+                    os.path.join(spool_dir, "stream.jsonl"),
+                    shard="bench",
+                    campaign=campaign,
+                    total=total,
+                    every=every,
+                )
+                start = time.perf_counter()
+                done = 0
+                for payload in payloads:
+                    run_trial(payload)
+                    done += 1
+                    writer.on_batch(
+                        {"done": done, "pending": total, "total": total}
+                    )
+                elapsed = time.perf_counter() - start
+                writer.close(snapshot=telemetry.metrics_registry().drain())
+                telemetry.recorder().drain()
+                telemetry.disable()
+            finally:
+                shutil.rmtree(spool_dir, ignore_errors=True)
+            if 0 < elapsed < best:
+                best = elapsed
+        return best
+
+    # Interleave off/on/stream/off and keep the best disabled time, so
+    # one-sided host interference cannot masquerade as telemetry overhead.
     off = best_seconds(False)
     on = best_seconds(True)
+    streaming = best_seconds_streaming()
     off = min(off, best_seconds(False))
     per_trial = off / len(payloads)
     enabled_overhead = on / off - 1.0
+    streaming_overhead = streaming / off - 1.0
 
     # The dormant hook, measured where it is visible: the exact check the
     # disabled run_trial performs, amortised over a large loop.
@@ -577,12 +628,28 @@ def run_overhead(
         f"(ceiling {DISABLED_OVERHEAD_CEILING:.0%})")
     out(f"  enabled overhead  : {enabled_overhead:8.2%} "
         f"(ceiling {ENABLED_OVERHEAD_CEILING:.0%})")
+    out(f"  streaming overhead: {streaming_overhead:8.2%} "
+        f"(ceiling {STREAMING_OVERHEAD_CEILING:.0%}; "
+        f"on/off ratio {streaming / off:.3f})")
+    if report_path:
+        merge_report_metrics(
+            report_path,
+            "perf_bench",
+            {
+                "streaming_overhead_ratio": round(streaming / off, 4),
+                "telemetry_enabled_overhead": round(enabled_overhead, 4),
+            },
+        )
+        out(f"  overhead merged   : {report_path}")
     failed = False
     if disabled_overhead >= DISABLED_OVERHEAD_CEILING:
         out("OVERHEAD: disabled-path telemetry cost exceeds its ceiling")
         failed = True
     if enabled_overhead >= ENABLED_OVERHEAD_CEILING:
         out("OVERHEAD: enabled-path telemetry cost exceeds its ceiling")
+        failed = True
+    if streaming_overhead >= STREAMING_OVERHEAD_CEILING:
+        out("OVERHEAD: streaming-path telemetry cost exceeds its ceiling")
         failed = True
     return 1 if failed else 0
 

@@ -1376,6 +1376,21 @@ def run_trial_group(group: Sequence) -> List:
                     for reason, count in sorted(stats.evictions.items())
                 },
             )
+        # Counters beside the span attrs: spans answer "which pack",
+        # counters feed the live plane (heartbeats, ``--progress``,
+        # ``repro obs top``) without a trace walk.
+        telemetry.add("batch.packs", 1)
+        telemetry.add("batch.lanes.packed", len(group))
+        if stats.evicted_lanes:
+            telemetry.add("batch.lanes.evicted", stats.evicted_lanes)
+            for reason, evicted in sorted(stats.evictions.items()):
+                telemetry.add(f"batch.evicted.{reason}", evicted)
+        if stats.leader_cache_hits:
+            telemetry.add("batch.leader_cache.hits", stats.leader_cache_hits)
+        if stats.leader_cache_misses:
+            telemetry.add(
+                "batch.leader_cache.misses", stats.leader_cache_misses
+            )
         return results
     return [run_trial(group[0])]
 

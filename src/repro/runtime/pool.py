@@ -78,6 +78,37 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def _emit_heartbeats(
+    emitted_through: int, completed: int, dispatched: int, started: float
+) -> int:
+    """Emit ``pool.heartbeat`` events for every cadence boundary crossed.
+
+    The cadence (``telemetry.set_heartbeat_cadence``) is a completed
+    *trial count*, never a timer: the number of heartbeats and their
+    deterministic attributes (the boundary, the dispatch size) depend
+    only on the work, at any worker count.  Wall-derived throughput
+    rides in the ``host`` sidecar like every other host fact.  Returns
+    the highest boundary emitted so far.
+    """
+    cadence = telemetry.heartbeat_cadence()
+    if not cadence or not telemetry.enabled():
+        return emitted_through
+    while emitted_through + cadence <= completed:
+        emitted_through += cadence
+        elapsed = time.monotonic() - started
+        telemetry.event(
+            "pool.heartbeat",
+            completed=emitted_through,
+            dispatched=dispatched,
+            host={
+                "trials_per_sec": (
+                    round(completed / elapsed, 1) if elapsed > 0 else 0.0
+                ),
+            },
+        )
+    return emitted_through
+
+
 class WorkerLostError(RuntimeError):
     """A worker process died mid-batch.
 
@@ -224,7 +255,18 @@ class SerialExecutor:
     workers = 1
 
     def map(self, fn: Callable, payloads: Iterable) -> List:
-        return [fn(payload) for payload in payloads]
+        if not telemetry.heartbeat_cadence():
+            return [fn(payload) for payload in payloads]
+        payloads = list(payloads)
+        started = time.monotonic()
+        results: List = []
+        beats = 0
+        for payload in payloads:
+            results.append(fn(payload))
+            beats = _emit_heartbeats(
+                beats, len(results), len(payloads), started
+            )
+        return results
 
     def run_resilient(self, fn: Callable, payloads: Sequence, policy, stats):
         return _map_serial_resilient(fn, payloads, policy, stats)
@@ -455,6 +497,8 @@ class WorkerCrew:
         # the merged trace order depends only on payload identity -- never
         # on which worker ran a trial or when its pipe delivered.
         batches: List = []
+        map_started = time.monotonic()
+        beats = 0
 
         def fail(index: int, attempt: int, category: str, message: str) -> None:
             next_attempt = ledger.fail(index, attempt, category, message)
@@ -559,6 +603,12 @@ class WorkerCrew:
                                 f"trial payload {index} failed in worker: {value}"
                             )
                         fail(index, attempt, "raise", value)
+                beats = _emit_heartbeats(
+                    beats,
+                    ledger.completed if ledger else completed,
+                    count,
+                    map_started,
+                )
                 sweep()
         finally:
             if observe and batches:
@@ -792,10 +842,14 @@ class TrialPool:
                 results = [result for group in packed for result in group]
             else:
                 if observing and self.batch_size and self.batch_size > 1:
+                    reason = self._standdown_reason(fn)
                     telemetry.event(
                         "batch.standdown",
-                        reason=self._standdown_reason(fn),
+                        reason=reason,
                         payloads=len(payloads),
+                    )
+                    telemetry.add(
+                        f"batch.standdown.{reason}", len(payloads)
                     )
                 results = self.executor.map(fn, payloads)
             self.trials_executed += len(payloads)
@@ -806,6 +860,9 @@ class TrialPool:
                 "batch.standdown",
                 reason="resilience-policy",
                 payloads=len(payloads),
+            )
+            telemetry.add(
+                "batch.standdown.resilience-policy", len(payloads)
             )
         retries_before = self.fault_stats.retries
         quarantined_before = self.fault_stats.quarantined

@@ -7,16 +7,20 @@ hot path -- with the same discipline the paper applies to its own
 measurements (a timing result is only as good as the instrumentation
 around it).
 
-Four modules:
+Five modules:
 
 * :mod:`repro.telemetry.spans` -- the span/event recorder and the
   worker-batch ingest that merges pooled traces;
 * :mod:`repro.telemetry.metrics` -- the typed registry (counters,
   gauges, fixed-bucket histograms) with mergeable snapshots;
 * :mod:`repro.telemetry.export` -- JSONL logs, Chrome ``trace_event``
-  JSON, text cycle attribution, sidecar-stripped checksums;
+  JSON, text cycle attribution, collapsed flamegraph stacks,
+  sidecar-stripped checksums;
+* :mod:`repro.telemetry.stream` -- the live fleet plane: framed
+  per-shard spools, deterministic heartbeats, the tail-then-fold
+  contract (fold == end-of-shard ``merge_telemetry``, byte for byte);
 * :mod:`repro.telemetry.live` -- the ``--progress`` renderer and the
-  ``repro obs report|trace|tail|overhead`` CLI bodies.
+  ``repro obs report|trace|tail|top|flame|fold|overhead`` CLI bodies.
 
 This module owns the *process-global* switch.  Telemetry is **off by
 default** and the disabled path is near-free: every hook in the
@@ -65,6 +69,7 @@ __all__ = [
     "enabled",
     "event",
     "gauge_set",
+    "heartbeat_cadence",
     "ingest_batches",
     "merge_snapshots",
     "merge_worker_metrics",
@@ -72,6 +77,7 @@ __all__ = [
     "observe",
     "orphan_records",
     "recorder",
+    "set_heartbeat_cadence",
     "span",
 ]
 
@@ -82,6 +88,31 @@ _RECORDER: Optional[Recorder] = None
 #: touch it when a recorder is active, so a disabled run never pays for
 #: metric lookups.
 _METRICS = MetricsRegistry()
+
+#: Heartbeat cadence in completed trials (0 = off, the default).  Armed
+#: by the streaming path (``campaign shard --stream-out``): the pool's
+#: executors then emit ``pool.heartbeat`` events every N completions.
+#: The cadence is a *trial count*, never a wall-clock timer, so the
+#: heartbeat stream's deterministic attributes are identical at any
+#: worker count.  Off by default because heartbeat events interleave
+#: differently between the serial and pooled trace streams (serial
+#: records trial spans inline; pooled ingests them at end-of-map), and
+#: the serial-vs-pooled trace checksum identity must hold whenever the
+#: caller has not opted into streaming.
+_HEARTBEAT_EVERY = 0
+
+
+def set_heartbeat_cadence(every: int) -> None:
+    """Arm (or, with 0, disarm) pool heartbeat events every N trials."""
+    global _HEARTBEAT_EVERY
+    if every < 0:
+        raise ValueError("heartbeat cadence cannot be negative")
+    _HEARTBEAT_EVERY = int(every)
+
+
+def heartbeat_cadence() -> int:
+    """The armed heartbeat cadence in trials (0 = off)."""
+    return _HEARTBEAT_EVERY
 
 
 def enable(wall_clock: bool = False, origin: str = "m") -> Recorder:

@@ -30,8 +30,11 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "TraceUnreadable",
     "chrome_trace",
+    "collapsed_stacks",
     "cycle_attribution",
+    "load_trace",
     "read_jsonl",
     "records_checksum",
     "render_attribution",
@@ -90,6 +93,56 @@ def read_jsonl(path: str) -> List[dict]:
             line = line.strip()
             if line:
                 records.append(json.loads(line))
+    return records
+
+
+class TraceUnreadable(RuntimeError):
+    """A recorded run the obs CLI cannot replay (missing/empty/garbled).
+
+    Carries the one-line operator-facing explanation; ``repro obs``
+    commands print it and exit non-zero instead of dumping a traceback.
+    """
+
+
+def load_trace(path: str, warn=None) -> List[dict]:
+    """:func:`read_jsonl` with operator-grade damage handling.
+
+    The obs CLI's loader: a missing, empty or wholly undecodable file
+    raises :class:`TraceUnreadable` with a one-line diagnosis, and a
+    torn record -- a writer killed mid-append, exactly the damage the
+    store's torn-tail healing absorbs -- is skipped with a *warn*
+    callback note rather than poisoning the whole replay.
+    """
+    if not os.path.exists(path):
+        raise TraceUnreadable(
+            f"no recorded run at {path} (record one with --trace-out)"
+        )
+    records: List[dict] = []
+    torn = 0
+    with open(path) as handle:
+        lines = handle.readlines()
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError:
+            torn += 1
+            if warn is not None:
+                warn(
+                    f"{path}:{number}: skipping torn telemetry record "
+                    f"(writer died mid-append?)"
+                )
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    if not records:
+        if torn:
+            raise TraceUnreadable(
+                f"{path}: every record is damaged ({torn} torn lines)"
+            )
+        raise TraceUnreadable(f"{path} is empty (the run recorded nothing)")
     return records
 
 
@@ -264,6 +317,21 @@ def cycle_attribution(records: Sequence[dict]) -> List[Tuple[str, int, int]]:
     rows = [(path, cycles, count) for path, (cycles, count) in buckets.items()]
     rows.sort(key=lambda row: (-row[1], row[0]))
     return rows
+
+
+def collapsed_stacks(records: Sequence[dict]) -> List[str]:
+    """Self-cycle attribution as collapsed-stack lines.
+
+    One ``frame;frame;frame count`` line per span path -- the input
+    format of ``flamegraph.pl`` and the speedscope importer, so a
+    recorded run (or a live spool's span frames) renders as a real
+    flamegraph.  Lines sort lexicographically: the export is a pure
+    function of the deterministic trace content.
+    """
+    return sorted(
+        f"{path.replace('/', ';')} {cycles}"
+        for path, cycles, _ in cycle_attribution(records)
+    )
 
 
 def render_attribution(

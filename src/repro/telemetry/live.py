@@ -1,30 +1,43 @@
 """Live campaign introspection and recorded-run replay.
 
-Two consumers:
+Three consumers:
 
 * ``repro campaign run --progress`` installs a :class:`ProgressRenderer`
-  as the runner's observer: per-cell throughput, ETA and failure counts
-  stream to stderr while the campaign executes (stderr only -- the
-  report artifact stays byte-identical).
+  as the runner's observer: per-cell throughput, ETA, failure counts and
+  the batch layer's eviction/stand-down counters stream to stderr while
+  the campaign executes (stderr only -- the report artifact stays
+  byte-identical).
 * ``repro obs report|trace|tail`` replay a run recorded with
   ``--trace-out``: ``report`` prints the span-tree rollup, cycle
   attribution and metrics table; ``trace`` converts to Chrome
   ``trace_event`` JSON for ``chrome://tracing`` / Perfetto; ``tail``
   prints the last N records (what was the campaign doing when it
-  died?).
+  died?).  All three load through the tolerant
+  :func:`~repro.telemetry.export.load_trace`: a missing or empty file
+  is a one-line error, a torn trailing record a skipped warning.
+* ``repro obs top|flame|fold`` consume the live plane
+  (:mod:`repro.telemetry.stream`): ``top`` tails every shard spool
+  under a fleet root into one refreshing dashboard, ``flame`` exports
+  collapsed stacks (``flamegraph.pl`` / speedscope input) from a trace
+  or a spool, and ``fold`` folds completed spools -- with ``--check``
+  asserting the fold is byte-identical to the end-of-shard
+  ``merge_telemetry`` artifact (the CI determinism gate).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional
 
 from repro.telemetry.export import (
+    TraceUnreadable,
     chrome_trace,
+    collapsed_stacks,
     cycle_attribution,
-    read_jsonl,
+    load_trace,
     render_attribution,
     split_metrics,
     validate_chrome_trace,
@@ -33,8 +46,11 @@ from repro.telemetry.export import (
 __all__ = [
     "ProgressRenderer",
     "render_metrics",
+    "run_obs_flame",
+    "run_obs_fold",
     "run_obs_report",
     "run_obs_tail",
+    "run_obs_top",
     "run_obs_trace",
 ]
 
@@ -75,6 +91,18 @@ class ProgressRenderer:
             f"({cached} cached) | {rate:7.1f} trials/s | "
             f"ETA {eta_text} | {failures} failures"
         )
+        # Batch-layer health rides along when the runner observes it
+        # (telemetry on): eviction volume and why packs stood down.
+        evictions = update.get("evictions", 0)
+        if evictions:
+            line += f" | {evictions} evicted"
+        standdowns = update.get("standdowns") or {}
+        if standdowns:
+            reasons = ",".join(
+                f"{reason}x{count}"
+                for reason, count in sorted(standdowns.items())
+            )
+            line += f" | standdown {reasons}"
         self.stream.write(line + "\n")
         self.stream.flush()
 
@@ -123,9 +151,26 @@ def _span_rollup(records: List[dict], out=print) -> None:
         out(f"  {count:>8}x event {name}")
 
 
+def _load_tolerant(path: str, out) -> Optional[List[dict]]:
+    """Load a recorded run for an obs command, or None after reporting.
+
+    The satellite contract for every replay command: damage becomes a
+    one-line diagnosis (the caller exits 2), never a traceback.
+    """
+    try:
+        return load_trace(
+            path, warn=lambda message: out(f"warning: {message}")
+        )
+    except TraceUnreadable as exc:
+        out(f"error: {exc}")
+        return None
+
+
 def run_obs_report(path: str, limit: int = 10, out=print) -> int:
     """The ``repro obs report`` body: summarise a recorded run."""
-    records = read_jsonl(path)
+    records = _load_tolerant(path, out)
+    if records is None:
+        return 2
     trace, metrics = split_metrics(records)
     out(f"recorded run: {path}")
     _span_rollup(trace, out=out)
@@ -144,7 +189,9 @@ def run_obs_trace(
 ) -> int:
     """The ``repro obs trace`` body: convert a recorded run to Chrome
     ``trace_event`` JSON (optionally validating it against the schema)."""
-    records = read_jsonl(path)
+    records = _load_tolerant(path, out)
+    if records is None:
+        return 2
     trace_records, _ = split_metrics(records)
     trace = chrome_trace(trace_records)
     target = output or (path.rsplit(".", 1)[0] + ".trace.json")
@@ -167,7 +214,9 @@ def run_obs_trace(
 
 def run_obs_tail(path: str, count: int = 20, out=print) -> int:
     """The ``repro obs tail`` body: the last *count* records of a run."""
-    records = read_jsonl(path)
+    records = _load_tolerant(path, out)
+    if records is None:
+        return 2
     trace, _ = split_metrics(records)
     for record in trace[-count:]:
         attrs = record.get("attrs", {})
@@ -178,4 +227,146 @@ def run_obs_tail(path: str, count: int = 20, out=print) -> int:
         )
     if not trace:
         out("(empty trace)")
+    return 0
+
+
+# -- the live plane (repro obs top|flame|fold) ------------------------------
+
+
+def run_obs_top(
+    root: str,
+    once: bool = False,
+    interval: float = 0.5,
+    timeout: Optional[float] = None,
+    out=print,
+) -> int:
+    """The ``repro obs top`` body: tail a fleet's spools as a dashboard.
+
+    *root* is a fleet destination root, a segment root, or a spool file.
+    ``once`` renders the current state and exits (the CI mode); follow
+    mode re-renders every *interval* seconds until every shard's spool
+    is sealed (or *timeout* elapses -- exit 3, the fleet is still
+    running or died without sealing).
+    """
+    from repro.telemetry.stream import FleetView, discover_spools
+
+    spools = discover_spools(root)
+    if not spools:
+        out(
+            f"error: no stream spools under {root} "
+            f"(start the fleet with --stream)"
+        )
+        return 2
+    view = FleetView(spools)
+    started = time.perf_counter()
+    view.poll()
+    out(view.render(name=os.path.basename(os.path.normpath(root))))
+    if once:
+        return 0
+    while not view.all_done():
+        if (
+            timeout is not None
+            and time.perf_counter() - started > timeout
+        ):
+            out(f"error: fleet not sealed after {timeout:.0f}s")
+            return 3
+        time.sleep(interval)
+        if view.poll():
+            out("")
+            out(view.render(name=os.path.basename(os.path.normpath(root))))
+    return 0
+
+
+def run_obs_flame(
+    path: str, output: Optional[str] = None, out=print
+) -> int:
+    """The ``repro obs flame`` body: collapsed-stack cycle export.
+
+    Accepts a recorded sidecar *or* a live spool (span frames are
+    unwrapped); writes one ``frame;frame count`` line per span path --
+    pipe straight into ``flamegraph.pl`` or import into speedscope.
+    """
+    from repro.telemetry.stream import FRAME_KINDS, spool_records
+
+    records = _load_tolerant(path, out)
+    if records is None:
+        return 2
+    first = records[0]
+    if first.get("kind") in FRAME_KINDS and isinstance(
+        first.get("body"), dict
+    ):
+        records = spool_records(records)
+    trace, _ = split_metrics(records)
+    stacks = collapsed_stacks(trace)
+    if not stacks:
+        out(f"error: {path} carries no spans with cycle counts")
+        return 2
+    target = output or (path.rsplit(".", 1)[0] + ".folded")
+    with open(target, "w") as handle:
+        for line in stacks:
+            handle.write(line + "\n")
+    total = sum(int(line.rsplit(" ", 1)[1]) for line in stacks)
+    out(
+        f"wrote {len(stacks)} collapsed stacks ({total:,} self-cycles) "
+        f"to {target} (flamegraph.pl/speedscope input)"
+    )
+    return 0
+
+
+def run_obs_fold(
+    root: str,
+    output: Optional[str] = None,
+    check: bool = False,
+    out=print,
+) -> int:
+    """The ``repro obs fold`` body: fold spools; ``--check`` pins identity.
+
+    Folds every segment spool under *root* into one recorded-run
+    metrics artifact.  With *check*, also folds the segments'
+    end-of-shard sidecars through ``merge_telemetry`` and asserts the
+    two artifacts are byte-identical -- the streaming determinism
+    contract, run standalone by the CI ``obs-stream-smoke`` step.
+    """
+    import hashlib
+
+    from repro.distrib.merge import merge_telemetry
+    from repro.telemetry.stream import discover_spools, fold_streams
+
+    spools = discover_spools(root)
+    if not spools:
+        out(
+            f"error: no stream spools under {root} "
+            f"(start the fleet with --stream)"
+        )
+        return 2
+    segments = sorted(os.path.dirname(path) for path in spools.values())
+    folded = fold_streams(segments, dest_path=output)
+
+    def artifact_bytes(snapshot: Dict[str, dict]) -> bytes:
+        return (
+            json.dumps(
+                {"kind": "metrics", "snapshot": snapshot}, sort_keys=True
+            )
+            + "\n"
+        ).encode()
+
+    fold_bytes = artifact_bytes(folded)
+    fold_sum = hashlib.sha256(fold_bytes).hexdigest()
+    out(
+        f"folded {len(spools)} spool(s): {len(folded)} metrics, "
+        f"sha256 {fold_sum}"
+    )
+    if output:
+        out(f"wrote fold to {output}")
+    if check:
+        merged = merge_telemetry(segments)
+        merge_bytes = artifact_bytes(merged)
+        merge_sum = hashlib.sha256(merge_bytes).hexdigest()
+        if fold_bytes != merge_bytes:
+            out(
+                f"FOLD MISMATCH: stream fold sha256 {fold_sum} != "
+                f"sidecar merge sha256 {merge_sum}"
+            )
+            return 1
+        out(f"fold == merge_telemetry: ok (sha256 {merge_sum})")
     return 0

@@ -1,0 +1,541 @@
+"""The live fleet plane: spool framing, tailing, and the fold contract.
+
+Two properties carry this module (see ``repro.telemetry.stream``):
+
+* **prefix** -- the live fold after any frame prefix is a prefix of the
+  final fold (cumulative snapshots only ever grow);
+* **fold identity** -- folding completed spools is byte-identical to
+  the end-of-shard ``merge_telemetry`` fold, at 1/3/8 shards, under
+  chaos (killed workers, torn spool tails, duplicated frame replays).
+
+Everything runs on stub trials (``payload_fingerprint``) so the suite
+stays fast while exercising the real runner/pool/spool machinery.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import ResultStore, Shard, builtin_campaign
+from repro.distrib import (
+    Coordinator,
+    StubWorker,
+    merge_telemetry,
+    run_shard_observed,
+    telemetry_sidecar,
+)
+from repro.faults import ResiliencePolicy, payload_fingerprint
+from repro.runtime import TrialResult
+from repro.telemetry.export import (
+    read_jsonl,
+    records_checksum,
+    split_metrics,
+)
+from repro.telemetry.metrics import deterministic_view
+from repro.telemetry.stream import (
+    FleetView,
+    StreamCursor,
+    StreamWriter,
+    discover_spools,
+    fold_frames,
+    fold_stream,
+    fold_streams,
+    read_frames,
+    spool_records,
+    stream_spool,
+)
+
+
+def _stub_trial(trial):
+    fingerprint = payload_fingerprint(trial)
+    return TrialResult(
+        totes=(fingerprint % 997, (fingerprint >> 16) % 997),
+        cycles=fingerprint % 100_000,
+    )
+
+
+def _stream_shard(spec, shard, root, every=4, **kwargs):
+    kwargs.setdefault("trial_fn", _stub_trial)
+    kwargs.setdefault("batch_size", 4)
+    return run_shard_observed(
+        spec,
+        shard,
+        str(root),
+        trace_path=telemetry_sidecar(str(root)),
+        stream_path=stream_spool(str(root)),
+        stream_every=every,
+        **kwargs,
+    )
+
+
+def _artifact_bytes(snapshot):
+    return (
+        json.dumps({"kind": "metrics", "snapshot": snapshot}, sort_keys=True)
+        + "\n"
+    ).encode()
+
+
+class TestSpoolFraming:
+    def test_writer_emits_well_formed_sealed_stream(self, tmp_path):
+        spec = builtin_campaign("ci-smoke")
+        _stream_shard(spec, Shard(0, 1), tmp_path / "seg")
+        frames, torn = read_frames(stream_spool(str(tmp_path / "seg")))
+        assert torn == 0
+        kinds = [frame["kind"] for frame in frames]
+        assert kinds[0] == "open" and kinds[-1] == "end"
+        assert {"spans", "metrics", "heartbeat"} <= set(kinds)
+        # One attempt, sequence-numbered gaplessly from zero.
+        assert {frame["attempt"] for frame in frames} == {0}
+        assert [frame["seq"] for frame in frames] == list(range(len(frames)))
+
+    def test_heartbeats_fire_at_trial_cadence_with_host_quarantine(
+        self, tmp_path
+    ):
+        spec = builtin_campaign("ci-smoke")
+        _stream_shard(spec, Shard(0, 1), tmp_path / "seg", every=8)
+        frames, _ = read_frames(stream_spool(str(tmp_path / "seg")))
+        beats = [f["body"] for f in frames if f["kind"] == "heartbeat"]
+        # 32 trials, batch 4, cadence 8: a beat at every second batch.
+        assert [beat["done"] for beat in beats] == [8, 16, 24, 32]
+        for beat in beats:
+            assert set(beat["host"]) == {"wall_seconds", "trials_per_sec"}
+            assert all(
+                name.startswith(("pool.", "batch.", "campaign.", "defend."))
+                for name in beat["counters"]
+            )
+        assert beats[-1]["counters"]["pool.trials.executed"] == 32
+
+    def test_heartbeat_stream_is_deterministic_across_runs(self, tmp_path):
+        spec = builtin_campaign("ci-smoke")
+
+        def deterministic_beats(root):
+            _stream_shard(spec, Shard(0, 1), root, every=8)
+            frames, _ = read_frames(stream_spool(str(root)))
+            beats = []
+            for frame in frames:
+                if frame["kind"] != "heartbeat":
+                    continue
+                body = dict(frame["body"])
+                body.pop("host")
+                beats.append(body)
+            return beats
+
+        first = deterministic_beats(tmp_path / "a")
+        second = deterministic_beats(tmp_path / "b")
+        assert first == second
+
+    def test_spool_spans_mirror_the_sidecar_trace(self, tmp_path):
+        """The spool streams span deltas without draining the recorder:
+        its concatenated records are exactly the sidecar's trace."""
+        spec = builtin_campaign("ci-smoke")
+        root = tmp_path / "seg"
+        _stream_shard(spec, Shard(0, 1), root)
+        frames, _ = read_frames(stream_spool(str(root)))
+        streamed = sorted(spool_records(frames), key=lambda r: r["seq"])
+        sidecar, _ = split_metrics(read_jsonl(telemetry_sidecar(str(root))))
+        sidecar = sorted(sidecar, key=lambda r: r["seq"])
+        assert len(streamed) == len(sidecar) > 0
+        assert records_checksum(streamed) == records_checksum(sidecar)
+
+    def test_heartbeats_stay_off_without_streaming(self, tmp_path):
+        """The cadence defaults to 0: a plain traced run records no
+        pool.heartbeat events (the serial-vs-pooled trace identity in
+        test_telemetry depends on this)."""
+        from repro import telemetry
+
+        assert telemetry.heartbeat_cadence() == 0
+        spec = builtin_campaign("ci-smoke")
+        run_shard_observed(
+            spec,
+            Shard(0, 1),
+            str(tmp_path / "seg"),
+            trace_path=telemetry_sidecar(str(tmp_path / "seg")),
+            trial_fn=_stub_trial,
+            batch_size=4,
+        )
+        records = read_jsonl(telemetry_sidecar(str(tmp_path / "seg")))
+        assert not any(r.get("name") == "pool.heartbeat" for r in records)
+        assert telemetry.heartbeat_cadence() == 0
+
+
+class TestSpoolDamage:
+    def test_torn_tail_is_skipped_and_counted(self, tmp_path):
+        spec = builtin_campaign("ci-smoke")
+        root = tmp_path / "seg"
+        _stream_shard(spec, Shard(0, 1), root)
+        spool = stream_spool(str(root))
+        whole, _ = read_frames(spool)
+        with open(spool, "ab") as handle:
+            handle.write(b'{"kind": "heartbeat", "att')  # killed mid-append
+        frames, torn = read_frames(spool)
+        assert torn == 1
+        assert [f["seq"] for f in frames] == [f["seq"] for f in whole]
+        # The fold sees through the damage entirely.
+        assert fold_frames(frames) == fold_frames(whole)
+
+    def test_cursor_never_consumes_a_partial_line(self, tmp_path):
+        spool = str(tmp_path / "stream.jsonl")
+        writer = StreamWriter(spool, shard="s", every=1)
+        cursor = StreamCursor(spool)
+        assert [f["kind"] for f in cursor.poll()] == ["open"]
+        with open(spool, "ab") as handle:
+            handle.write(b'{"kind": "metrics"')  # no newline yet
+        assert cursor.poll() == []  # buffered, not torn
+        writer.flush({"done": 1})  # the writer heals the tail first
+        kinds = [f["kind"] for f in cursor.poll()]
+        assert kinds == ["metrics", "heartbeat"]
+        assert cursor.torn == 1  # the healed fragment, skipped once
+
+    def test_duplicate_frames_dedup_first_write_wins(self, tmp_path):
+        spec = builtin_campaign("ci-smoke")
+        root = tmp_path / "seg"
+        _stream_shard(spec, Shard(0, 1), root)
+        spool = stream_spool(str(root))
+        clean, _ = read_frames(spool)
+        with open(spool, "rb") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        # Replay a slice of frames, as a retrying transport would.
+        with open(spool, "ab") as handle:
+            for line in lines[2:6] + lines[:1]:
+                handle.write(line + b"\n")
+        replayed, torn = read_frames(spool)
+        assert torn == 0
+        assert replayed == clean
+        assert fold_stream(spool) == fold_frames(clean)
+
+    def test_new_writer_resumes_under_next_attempt(self, tmp_path):
+        spool = str(tmp_path / "stream.jsonl")
+        first = StreamWriter(spool, shard="s", every=1)
+        first.close(snapshot={})
+        second = StreamWriter(spool, shard="s", every=1)
+        assert (first.attempt, second.attempt) == (0, 1)
+        second.close(snapshot={})
+        frames, _ = read_frames(spool)
+        assert [f["attempt"] for f in frames if f["kind"] == "open"] == [0, 1]
+
+
+class TestFoldContract:
+    @pytest.mark.parametrize("shards", [1, 3, 8])
+    def test_fold_matches_merge_telemetry_bytes(self, tmp_path, shards):
+        """The headline identity at 1/3/8 shards: folding the spools
+        writes the exact bytes merge_telemetry writes."""
+        spec = builtin_campaign("ci-smoke")
+        segments = []
+        for index in range(shards):
+            root = tmp_path / f"seg{index}"
+            _stream_shard(spec, Shard(index, shards), root, every=2)
+            segments.append(str(root))
+        fold_path = str(tmp_path / "fold.jsonl")
+        merge_path = str(tmp_path / "merge.jsonl")
+        folded = fold_streams(segments, dest_path=fold_path)
+        merged = merge_telemetry(segments, dest_path=merge_path)
+        assert folded == merged and folded
+        with open(fold_path, "rb") as a, open(merge_path, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_fold_identity_survives_killed_worker_retries(self, tmp_path):
+        """A shard dies mid-run; the retry resumes under attempt 1 and
+        its end frame supersedes the partial attempt in the fold."""
+        spec = builtin_campaign("ci-smoke")
+        deaths = []
+
+        def chaos(shard, attempt):
+            if shard.index == 1 and attempt == 0:
+                deaths.append(attempt)
+                return 1
+            return None
+
+        dest = str(tmp_path / "fleet")
+        Coordinator(
+            spec,
+            dest,
+            shards=3,
+            worker=StubWorker(
+                spec, chaos=chaos, stream=True, stream_every=2,
+                trial_fn=_stub_trial, batch_size=4,
+            ),
+            policy=ResiliencePolicy(max_retries=1, backoff_base=0.0),
+        ).run()
+        assert deaths == [0]
+        segments = sorted(
+            os.path.dirname(path)
+            for path in discover_spools(dest).values()
+        )
+        frames, _ = read_frames(
+            stream_spool(os.path.join(dest, "segments", "shard1of3"))
+        )
+        assert max(f["attempt"] for f in frames) == 1  # the retry appended
+        assert _artifact_bytes(fold_streams(segments)) == _artifact_bytes(
+            merge_telemetry(segments)
+        )
+
+    def test_fold_identity_survives_torn_spool_and_replay(self, tmp_path):
+        """Tear the spool tail AND duplicate frames, then resume the
+        shard: the fold still matches the sidecar merge byte for byte."""
+        spec = builtin_campaign("ci-smoke")
+        root = tmp_path / "seg"
+        _stream_shard(spec, Shard(0, 2), root, every=2)
+        spool = stream_spool(str(root))
+        with open(spool, "rb") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        with open(spool, "wb") as handle:
+            # Keep a prefix, replay two frames, tear the last line.
+            for line in lines[:-3] + lines[1:3]:
+                handle.write(line + b"\n")
+            handle.write(lines[-1][: len(lines[-1]) // 2])
+        # The re-run heals the tail and seals a fresh attempt.
+        _stream_shard(spec, Shard(0, 2), root, every=2)
+        other = tmp_path / "seg1"
+        _stream_shard(spec, Shard(1, 2), other, every=2)
+        segments = [str(root), str(other)]
+        assert _artifact_bytes(fold_streams(segments)) == _artifact_bytes(
+            merge_telemetry(segments)
+        )
+
+    def test_live_fold_is_a_prefix_of_the_final_fold(self, tmp_path):
+        """Poll mid-stream at every frame boundary: deterministic
+        counters only ever grow toward their final values, and no metric
+        appears that the final fold lacks."""
+        spec = builtin_campaign("ci-smoke")
+        root = tmp_path / "seg"
+        _stream_shard(spec, Shard(0, 1), root, every=2)
+        frames, _ = read_frames(stream_spool(str(root)))
+        final = deterministic_view(fold_frames(frames))
+        previous = 0
+        for cut in range(1, len(frames) + 1):
+            live = deterministic_view(fold_frames(frames[:cut]))
+            assert set(live) <= set(final)
+            for name, entry in live.items():
+                if entry["type"] == "counter":
+                    assert entry["value"] <= final[name]["value"]
+            executed = live.get("pool.trials.executed", {}).get("value", 0)
+            assert executed >= previous
+            previous = executed
+        assert deterministic_view(fold_frames(frames)) == final
+
+    def test_streaming_never_perturbs_campaign_artifacts(self, tmp_path):
+        """The whole point of the sidecar discipline: a streamed fleet's
+        report and store bytes equal a plain fleet's."""
+        spec = builtin_campaign("ci-smoke")
+        outputs = {}
+        for mode, stream in (("plain", False), ("streamed", True)):
+            dest = str(tmp_path / mode)
+            result = Coordinator(
+                spec,
+                dest,
+                shards=3,
+                worker=StubWorker(
+                    spec, stream=stream, stream_every=2,
+                    trial_fn=_stub_trial, batch_size=4,
+                ),
+                stream=stream,
+            ).run()
+            assert result.report is not None
+            with open(ResultStore(dest).path, "rb") as handle:
+                outputs[mode] = (
+                    result.report.to_json(),
+                    result.report.render_text(),
+                    handle.read(),
+                )
+        assert outputs["plain"] == outputs["streamed"]
+
+
+class TestCoordinatorTailing:
+    def test_coordinator_tails_spools_concurrently(self, tmp_path):
+        spec = builtin_campaign("ci-smoke")
+        seen = []
+        coordinator = Coordinator(
+            spec,
+            str(tmp_path / "fleet"),
+            shards=3,
+            worker=StubWorker(
+                spec, stream=True, stream_every=2,
+                trial_fn=_stub_trial, batch_size=4,
+            ),
+            stream=True,
+            stream_interval=0.01,
+            on_stream=lambda view: seen.append(view.render()),
+        )
+        result = coordinator.run()
+        assert result.completed == 3
+        assert seen  # the tail task observed the fleet
+        view = coordinator.stream_view
+        assert view is not None and view.all_done()
+        # The final tailed state is the complete stream: its merged
+        # metrics equal the end-of-shard fold exactly.
+        segments = [
+            os.path.dirname(path)
+            for path in discover_spools(str(tmp_path / "fleet")).values()
+        ]
+        assert view.merged_metrics() == fold_streams(segments)
+        assert "3 shards" in seen[-1] and "done" in seen[-1]
+
+    def test_fleet_view_renders_waiting_running_done(self, tmp_path):
+        spool = str(tmp_path / "stream.jsonl")
+        view = FleetView({"s0": spool}, campaign="demo")
+        view.poll()
+        assert view.shards["s0"].status == "waiting"
+        writer = StreamWriter(spool, shard="s0", total=8, every=2)
+        writer.flush({"done": 4, "total": 8, "failures": 1})
+        view.poll()
+        assert view.shards["s0"].status == "running"
+        assert view.shards["s0"].done == 4
+        writer.close(snapshot={}, update={"done": 8, "total": 8})
+        view.poll()
+        assert view.all_done()
+        text = view.render()
+        assert text.startswith("fleet demo: 1 shards")
+        assert "done" in text
+
+
+class TestObsCli:
+    def _record(self, tmp_path):
+        # Under segments/ so discover_spools() finds it from the root.
+        spec = builtin_campaign("ci-smoke")
+        root = tmp_path / "segments" / "seg0"
+        _stream_shard(spec, Shard(0, 1), root, every=2)
+        return root
+
+    def test_obs_commands_reject_missing_and_empty_files(self, tmp_path):
+        from repro.telemetry.live import (
+            run_obs_report,
+            run_obs_tail,
+            run_obs_trace,
+        )
+
+        lines = []
+        missing = str(tmp_path / "nope.jsonl")
+        empty = str(tmp_path / "empty.jsonl")
+        open(empty, "w").close()
+        for body in (run_obs_report, run_obs_trace, run_obs_tail):
+            assert body(missing, out=lines.append) == 2
+            assert body(empty, out=lines.append) == 2
+        assert all(line.startswith("error: ") for line in lines)
+        assert any("no recorded run" in line for line in lines)
+        assert any("is empty" in line for line in lines)
+
+    def test_obs_report_heals_torn_tail_with_warning(self, tmp_path):
+        from repro.telemetry.live import run_obs_report
+
+        root = self._record(tmp_path)
+        trace = telemetry_sidecar(str(root))
+        with open(trace, "ab") as handle:
+            handle.write(b'{"kind": "span", "na')
+        lines = []
+        assert run_obs_report(trace, out=lines.append) == 0
+        assert any(
+            line.startswith("warning: ") and "torn telemetry record" in line
+            for line in lines
+        )
+
+    def test_obs_top_once_and_fold_check(self, tmp_path):
+        from repro.telemetry.live import run_obs_fold, run_obs_top
+
+        self._record(tmp_path)
+        lines = []
+        assert run_obs_top(str(tmp_path), once=True, out=lines.append) == 0
+        assert any("1 shards" in line for line in lines)
+        lines = []
+        assert run_obs_fold(
+            str(tmp_path), check=True, out=lines.append
+        ) == 0
+        assert any("fold == merge_telemetry: ok" in line for line in lines)
+
+    def test_obs_fold_check_fails_on_divergence(self, tmp_path):
+        from repro.telemetry.live import run_obs_fold
+
+        root = self._record(tmp_path)
+        # Corrupt the *sidecar* (the spool stays sealed): the byte
+        # identity must break loudly, not silently pass.
+        records = read_jsonl(telemetry_sidecar(str(root)))
+        for record in records:
+            if record.get("kind") == "metrics":
+                record["snapshot"]["pool.trials.executed"]["value"] += 1
+        with open(telemetry_sidecar(str(root)), "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        lines = []
+        assert run_obs_fold(
+            str(tmp_path), check=True, out=lines.append
+        ) == 1
+        assert any("FOLD MISMATCH" in line for line in lines)
+
+    def test_obs_flame_exports_collapsed_stacks_from_both_inputs(
+        self, tmp_path
+    ):
+        from repro.telemetry.live import run_obs_flame
+
+        # Real trials here: only core.run spans carry cycle counts, and
+        # the export must be identical from the sidecar and the spool.
+        spec = builtin_campaign("ci-smoke")
+        root = tmp_path / "segments" / "seg0"
+        run_shard_observed(
+            spec,
+            Shard(0, 1),
+            str(root),
+            trace_path=telemetry_sidecar(str(root)),
+            stream_path=stream_spool(str(root)),
+            stream_every=8,
+            batch_size=8,
+        )
+        outputs = {}
+        for name, source in (
+            ("trace", telemetry_sidecar(str(root))),
+            ("spool", stream_spool(str(root))),
+        ):
+            target = str(tmp_path / f"{name}.folded")
+            assert run_obs_flame(source, output=target, out=lambda _: None) == 0
+            with open(target) as handle:
+                outputs[name] = handle.read()
+        assert outputs["trace"] == outputs["spool"]
+        for line in outputs["trace"].splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) >= 0
+        assert any(
+            ";" in line for line in outputs["trace"].splitlines()
+        )  # real nesting collapsed
+
+    def test_obs_top_missing_spools_is_one_line_error(self, tmp_path):
+        from repro.telemetry.live import run_obs_top
+
+        lines = []
+        assert run_obs_top(str(tmp_path), once=True, out=lines.append) == 2
+        assert lines == [
+            f"error: no stream spools under {tmp_path} "
+            f"(start the fleet with --stream)"
+        ]
+
+
+class TestProgressRenderer:
+    def test_progress_line_surfaces_evictions_and_standdowns(self):
+        import io
+
+        from repro.telemetry.live import ProgressRenderer
+
+        sink = io.StringIO()
+        renderer = ProgressRenderer(stream=sink, name="demo")
+        renderer.on_batch(
+            {
+                "done": 8, "pending": 16, "total": 32, "cached": 16,
+                "cell": 1, "cells": 2, "failures": 1,
+                "evictions": 3,
+                "standdowns": {"resilience-policy": 2, "cache-hit": 1},
+            }
+        )
+        line = sink.getvalue()
+        assert "3 evicted" in line
+        assert "standdown cache-hitx1,resilience-policyx2" in line
+
+    def test_progress_line_stays_quiet_without_batch_counts(self):
+        import io
+
+        from repro.telemetry.live import ProgressRenderer
+
+        sink = io.StringIO()
+        ProgressRenderer(stream=sink, name="demo").on_batch(
+            {"done": 4, "pending": 8, "total": 8, "cached": 0,
+             "cell": 0, "cells": 1, "failures": 0}
+        )
+        line = sink.getvalue()
+        assert "evicted" not in line and "standdown" not in line
